@@ -1,0 +1,60 @@
+"""Ablation — host BGP engine choice under identical SPARQL-UO plans.
+
+§7.1 observes "the trends of the results across gStore and Jena are
+similar, showing the adaptability of our approach regardless of the
+underlying BGP execution engine".  This bench runs the same transformed
+plans on the WCO engine (gStore-style) and the hash-join engine
+(Jena-style) and checks answers agree, recording the per-engine times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DBPEDIA_QUERIES, LUBM_QUERIES
+from repro.sparql import parse_query
+
+try:
+    from .common import BGP_ENGINES, GROUP1, engine_for, format_table
+except ImportError:
+    from common import BGP_ENGINES, GROUP1, engine_for, format_table
+
+QUERIES = {"lubm": LUBM_QUERIES, "dbpedia": DBPEDIA_QUERIES}
+
+
+def run(dataset: str, bgp_engine: str, name: str):
+    engine = engine_for(dataset, bgp_engine, "full")
+    return engine.execute(parse_query(QUERIES[dataset][name]))
+
+
+@pytest.mark.parametrize("dataset", ["lubm", "dbpedia"])
+@pytest.mark.parametrize("bgp_engine", BGP_ENGINES)
+@pytest.mark.parametrize("name", GROUP1)
+@pytest.mark.benchmark(group="ablation-engines")
+def test_ablation_engine_cell(benchmark, dataset, bgp_engine, name):
+    engine = engine_for(dataset, bgp_engine, "full")
+    parsed = parse_query(QUERIES[dataset][name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info["results"] = len(result)
+
+
+def test_engines_agree_on_every_query():
+    for dataset in ("lubm", "dbpedia"):
+        for name in GROUP1:
+            wco = run(dataset, "wco", name)
+            hashjoin = run(dataset, "hashjoin", name)
+            assert wco.solutions == hashjoin.solutions, (dataset, name)
+
+
+if __name__ == "__main__":
+    for dataset in ("lubm", "dbpedia"):
+        rows = []
+        for name in GROUP1:
+            cells = [name]
+            for bgp_engine in BGP_ENGINES:
+                result = run(dataset, bgp_engine, name)
+                cells.append(f"{result.execute_seconds * 1000:.1f}")
+            rows.append(cells)
+        print(f"Ablation: BGP engine choice under full — {dataset} (ms)")
+        print(format_table(["Query"] + list(BGP_ENGINES), rows))
+        print()

@@ -1,0 +1,93 @@
+"""Ablation — candidate-size threshold policy (§6 / §7.1).
+
+The paper runs CP with a fixed 1 % threshold and full with an adaptive
+one (the engine's estimated BGP result size).  This bench sweeps the
+fixed fraction and compares against adaptive, on the CP-showcase
+queries q1.3/q1.4 (selective anchor feeding nested OPTIONALs).
+
+Expected shape: results identical under every policy; too-small
+thresholds disable pruning (times drift toward base); adaptive matches
+the best fixed setting without tuning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SparqlUOEngine
+from repro.datasets import LUBM_QUERIES
+from repro.sparql import parse_query
+
+try:
+    from .common import format_table, lubm_store
+except ImportError:
+    from common import format_table, lubm_store
+
+QUERIES = ("q1.3", "q1.4")
+FRACTIONS = (0.0001, 0.01, 0.5)
+
+
+def run(mode: str, name: str, fraction: float = 0.01):
+    engine = SparqlUOEngine(
+        lubm_store(), bgp_engine="wco", mode=mode, fixed_fraction=fraction
+    )
+    return engine.execute(parse_query(LUBM_QUERIES[name]))
+
+
+@pytest.mark.parametrize("name", QUERIES)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.benchmark(group="ablation-threshold")
+def test_ablation_fixed_threshold(benchmark, name, fraction):
+    engine = SparqlUOEngine(
+        lubm_store(), bgp_engine="wco", mode="cp", fixed_fraction=fraction
+    )
+    parsed = parse_query(LUBM_QUERIES[name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info["pruned"] = result.trace.pruned_evaluations
+    benchmark.extra_info["join_space"] = result.join_space
+
+
+@pytest.mark.parametrize("name", QUERIES)
+@pytest.mark.benchmark(group="ablation-threshold")
+def test_ablation_adaptive_threshold(benchmark, name):
+    engine = SparqlUOEngine(lubm_store(), bgp_engine="wco", mode="full")
+    parsed = parse_query(LUBM_QUERIES[name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info["pruned"] = result.trace.pruned_evaluations
+    benchmark.extra_info["join_space"] = result.join_space
+
+
+def test_threshold_does_not_change_results():
+    for name in QUERIES:
+        reference = run("base", name).solutions
+        for fraction in FRACTIONS:
+            assert run("cp", name, fraction).solutions == reference, (name, fraction)
+        assert run("full", name).solutions == reference, name
+
+
+def test_tiny_threshold_disables_pruning():
+    result = run("cp", "q1.3", fraction=1e-9)
+    assert result.trace.pruned_evaluations == 0
+
+
+def test_generous_threshold_enables_pruning():
+    result = run("cp", "q1.3", fraction=0.5)
+    assert result.trace.pruned_evaluations >= 1
+
+
+if __name__ == "__main__":
+    rows = []
+    for name in QUERIES:
+        for fraction in FRACTIONS:
+            result = run("cp", name, fraction)
+            rows.append(
+                [name, f"fixed {fraction}", f"{result.execute_seconds * 1000:.1f}",
+                 result.trace.pruned_evaluations, f"{result.join_space:.3g}"]
+            )
+        result = run("full", name)
+        rows.append(
+            [name, "adaptive", f"{result.execute_seconds * 1000:.1f}",
+             result.trace.pruned_evaluations, f"{result.join_space:.3g}"]
+        )
+    print("Ablation: candidate threshold policy (LUBM)")
+    print(format_table(["Query", "policy", "time (ms)", "pruned BGPs", "JS"], rows))

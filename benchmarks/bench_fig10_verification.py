@@ -1,0 +1,80 @@
+"""Figure 10 — verification of the optimizations.
+
+The paper's matrix: query time of base / TT / CP / full on q1.1–q1.6,
+for both host BGP engines (gStore-style WCO, Jena-style hash join) and
+both datasets, with transformation time reported for TT/full.
+
+Expected shape (paper §7.1): TT, CP and full all beat base on every
+query; full is best (or tied) everywhere; transformation time is a
+small fraction of execution time.
+
+``python benchmarks/bench_fig10_verification.py`` prints the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DBPEDIA_QUERIES, LUBM_QUERIES
+from repro.sparql import parse_query
+
+try:
+    from .common import BGP_ENGINES, GROUP1, MODES, engine_for, format_table, record
+except ImportError:
+    from common import BGP_ENGINES, GROUP1, MODES, engine_for, format_table, record
+
+QUERIES = {"lubm": LUBM_QUERIES, "dbpedia": DBPEDIA_QUERIES}
+
+
+def run_cell(dataset: str, bgp_engine: str, mode: str, name: str):
+    engine = engine_for(dataset, bgp_engine, mode)
+    return engine.execute(parse_query(QUERIES[dataset][name]))
+
+
+@pytest.mark.parametrize("dataset", ["lubm", "dbpedia"])
+@pytest.mark.parametrize("bgp_engine", BGP_ENGINES)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", GROUP1)
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_cell(benchmark, dataset, bgp_engine, mode, name):
+    engine = engine_for(dataset, bgp_engine, mode)
+    parsed = parse_query(QUERIES[dataset][name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info.update(record(result))
+    assert result.solutions is not None
+
+
+def fig10_series(dataset: str, bgp_engine: str):
+    rows = []
+    for name in GROUP1:
+        cells = []
+        for mode in MODES:
+            result = run_cell(dataset, bgp_engine, mode, name)
+            cells.append(f"{result.execute_seconds * 1000:.1f}")
+            if mode in ("tt", "full"):
+                cells.append(f"(+{result.transform_seconds * 1000:.1f})")
+        rows.append([name] + cells)
+    return rows
+
+
+def test_fig10_shape_full_never_loses_badly():
+    """The paper's headline: optimized modes beat base.  At repro scale
+    we assert the aggregate shape (sum over queries), since individual
+    sub-millisecond cells are noisy."""
+    for dataset in ("lubm", "dbpedia"):
+        totals = {}
+        for mode in ("base", "full"):
+            totals[mode] = sum(
+                run_cell(dataset, "wco", mode, name).execute_seconds for name in GROUP1
+            )
+        assert totals["full"] < totals["base"], dataset
+
+
+if __name__ == "__main__":
+    headers = ["Query", "base", "tt", "(transform)", "cp", "full", "(transform)"]
+    for dataset in ("lubm", "dbpedia"):
+        for bgp_engine in BGP_ENGINES:
+            title = f"Figure 10: {bgp_engine}, {dataset} — query time (ms)"
+            print(title)
+            print(format_table(headers, fig10_series(dataset, bgp_engine)))
+            print()

@@ -1,0 +1,75 @@
+"""Figure 11 — execution time and join space JS per query and strategy.
+
+The paper plots, for every q1.x on both datasets, the gStore time, the
+Jena time and the join space of each strategy, and observes the three
+metrics trend together, with full having the smallest JS overall.
+
+``python benchmarks/bench_fig11_joinspace.py`` prints the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DBPEDIA_QUERIES, LUBM_QUERIES
+from repro.sparql import parse_query
+
+try:
+    from .common import GROUP1, MODES, engine_for, format_table, record
+except ImportError:
+    from common import GROUP1, MODES, engine_for, format_table, record
+
+QUERIES = {"lubm": LUBM_QUERIES, "dbpedia": DBPEDIA_QUERIES}
+
+
+def run_cell(dataset: str, mode: str, name: str):
+    engine = engine_for(dataset, "wco", mode)
+    return engine.execute(parse_query(QUERIES[dataset][name]))
+
+
+@pytest.mark.parametrize("dataset", ["lubm", "dbpedia"])
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", GROUP1)
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_cell(benchmark, dataset, mode, name):
+    engine = engine_for(dataset, "wco", mode)
+    parsed = parse_query(QUERIES[dataset][name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info.update(record(result))
+
+
+def test_fig11_full_minimizes_join_space():
+    """full's JS is never larger than base's (the paper: 'full has the
+    smallest join space overall')."""
+    for dataset in ("lubm", "dbpedia"):
+        for name in GROUP1:
+            base_js = run_cell(dataset, "base", name).join_space
+            full_js = run_cell(dataset, "full", name).join_space
+            assert full_js <= base_js, (dataset, name)
+
+
+def test_fig11_optimized_modes_reduce_join_space():
+    """TT and CP each shrink JS vs base on the aggregate."""
+    for dataset in ("lubm", "dbpedia"):
+        base = sum(run_cell(dataset, "base", n).join_space for n in GROUP1)
+        for mode in ("tt", "cp"):
+            optimized = sum(run_cell(dataset, mode, n).join_space for n in GROUP1)
+            assert optimized <= base, (dataset, mode)
+
+
+if __name__ == "__main__":
+    for dataset in ("lubm", "dbpedia"):
+        rows = []
+        for name in GROUP1:
+            row = [name]
+            for mode in MODES:
+                result = run_cell(dataset, mode, name)
+                row.append(f"{result.execute_seconds * 1000:.1f}ms")
+                row.append(f"JS={result.join_space:.3g}")
+            rows.append(row)
+        headers = ["Query"]
+        for mode in MODES:
+            headers += [mode, f"{mode} JS"]
+        print(f"Figure 11: execution time and join space — {dataset}")
+        print(format_table(headers, rows))
+        print()

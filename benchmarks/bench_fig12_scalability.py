@@ -1,0 +1,84 @@
+"""Figure 12 — scalability of `full` on growing LUBM datasets.
+
+The paper scales LUBM to 0.5 / 1 / 1.5 / 2 billion triples and finds
+near-linear growth of execution time, with slopes tracking each query's
+result-size growth (q1.1/q1.2 results grow with the data; q1.3–q1.6
+are anchored on University0 and stay constant).
+
+Repro scale uses the same generator knob (the university count) at
+2 / 4 / 6 / 8 universities — the paper's 4-point sweep, scaled down.
+
+``python benchmarks/bench_fig12_scalability.py`` prints the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SparqlUOEngine
+from repro.datasets import LUBM_QUERIES
+from repro.sparql import parse_query
+
+try:
+    from .common import GROUP1, format_table, lubm_store, record
+except ImportError:
+    from common import GROUP1, format_table, lubm_store, record
+
+SCALES = (2, 4, 6, 8)
+
+
+def run_cell(universities: int, name: str):
+    engine = SparqlUOEngine(lubm_store(universities), bgp_engine="wco", mode="full")
+    return engine.execute(parse_query(LUBM_QUERIES[name]))
+
+
+@pytest.mark.parametrize("universities", SCALES)
+@pytest.mark.parametrize("name", GROUP1)
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_cell(benchmark, universities, name):
+    engine = SparqlUOEngine(lubm_store(universities), bgp_engine="wco", mode="full")
+    parsed = parse_query(LUBM_QUERIES[name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info.update(record(result))
+    benchmark.extra_info["triples"] = len(lubm_store(universities))
+
+
+def test_fig12_anchored_queries_have_stable_results():
+    """q1.3–q1.6 are anchored on University0 individuals: their result
+    sizes do not grow with the dataset (paper §7.3's observation)."""
+    for name in ("q1.3", "q1.4"):
+        sizes = {len(run_cell(u, name)) for u in (2, 8)}
+        assert len(sizes) == 1, name
+
+
+def test_fig12_unanchored_queries_grow():
+    """q1.2 scans every emailAddress: its result size grows with the
+    data.  University0 carries a fixed majority of the volume at repro
+    scale, so growth is clear but sublinear in the scale knob."""
+    small = len(run_cell(2, "q1.2"))
+    large = len(run_cell(8, "q1.2"))
+    assert large > small * 1.3
+
+
+def test_fig12_time_growth_is_subquadratic():
+    """Near-linear scaling: total time at 4× data stays well below the
+    quadratic extrapolation (16×).  A loose bound keeps the assertion
+    robust on noisy laptop timings."""
+    total_small = sum(run_cell(2, n).execute_seconds for n in GROUP1)
+    total_large = sum(run_cell(8, n).execute_seconds for n in GROUP1)
+    assert total_large < total_small * 16
+
+
+if __name__ == "__main__":
+    rows = []
+    for name in GROUP1:
+        row = [name]
+        for universities in SCALES:
+            result = run_cell(universities, name)
+            row.append(f"{result.execute_seconds * 1000:.1f}ms/{len(result)}")
+        rows.append(row)
+    headers = ["Query"] + [
+        f"{u} univ ({len(lubm_store(u))} triples)" for u in SCALES
+    ]
+    print("Figure 12: full on growing LUBM (time / result count)")
+    print(format_table(headers, rows))

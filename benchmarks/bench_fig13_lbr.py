@@ -1,0 +1,97 @@
+"""Figure 13 — comparison with the state of the art (LBR).
+
+The paper runs q2.1–q2.6 (LBR's own OPTIONAL-only workload) on LUBM and
+DBpedia and finds `full` significantly faster than LBR on every query,
+with the largest gaps on q2.4–q2.6 (high-selectivity BGPs that candidate
+pruning exploits, while LBR still pays its two semijoin passes over
+fully materialized patterns).
+
+``python benchmarks/bench_fig13_lbr.py`` prints the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import LBREngine
+from repro.datasets import DBPEDIA_QUERIES, LUBM_QUERIES
+from repro.sparql import parse_query
+
+try:
+    from .common import GROUP2, engine_for, format_table, store_for
+except ImportError:
+    from common import GROUP2, engine_for, format_table, store_for
+
+QUERIES = {"lubm": LUBM_QUERIES, "dbpedia": DBPEDIA_QUERIES}
+
+
+def run_full(dataset: str, name: str):
+    engine = engine_for(dataset, "wco", "full")
+    return engine.execute(parse_query(QUERIES[dataset][name]))
+
+
+def run_lbr(dataset: str, name: str):
+    return LBREngine(store_for(dataset)).execute(parse_query(QUERIES[dataset][name]))
+
+
+@pytest.mark.parametrize("dataset", ["lubm", "dbpedia"])
+@pytest.mark.parametrize("name", GROUP2)
+@pytest.mark.benchmark(group="fig13-full")
+def test_fig13_full(benchmark, dataset, name):
+    engine = engine_for(dataset, "wco", "full")
+    parsed = parse_query(QUERIES[dataset][name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info["results"] = len(result)
+
+
+@pytest.mark.parametrize("dataset", ["lubm", "dbpedia"])
+@pytest.mark.parametrize("name", GROUP2)
+@pytest.mark.benchmark(group="fig13-lbr")
+def test_fig13_lbr(benchmark, dataset, name):
+    lbr = LBREngine(store_for(dataset))
+    parsed = parse_query(QUERIES[dataset][name])
+    result = benchmark.pedantic(lbr.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info["results"] = len(result)
+
+
+def test_fig13_same_answers():
+    """Both systems implement the same semantics."""
+    for dataset in ("lubm", "dbpedia"):
+        for name in GROUP2:
+            assert run_full(dataset, name).solutions == run_lbr(dataset, name).solutions, (
+                dataset,
+                name,
+            )
+
+
+def test_fig13_full_beats_lbr_on_selective_queries():
+    """The paper's emphasized gap: on q2.4–q2.6 (high-selectivity BGPs)
+    candidate pruning beats LBR's heavy-weight two-pass pruning by a
+    clear factor.  (On q2.1–q2.3 our repro-scale LBR is competitive —
+    its per-pattern materialization, the paper's billion-triple killer,
+    is cheap at tens of kilotriples; see EXPERIMENTS.md.)"""
+    selective = ("q2.4", "q2.5", "q2.6")
+    for dataset in ("lubm", "dbpedia"):
+        full_total = sum(run_full(dataset, n).execute_seconds for n in selective)
+        lbr_total = sum(run_lbr(dataset, n).seconds for n in selective)
+        assert full_total < lbr_total, dataset
+
+
+if __name__ == "__main__":
+    for dataset in ("lubm", "dbpedia"):
+        rows = []
+        for name in GROUP2:
+            full = run_full(dataset, name)
+            lbr = run_lbr(dataset, name)
+            rows.append(
+                [
+                    name,
+                    f"{full.total_seconds * 1000:.1f}",
+                    f"{lbr.seconds * 1000:.1f}",
+                    f"{lbr.seconds / max(full.total_seconds, 1e-9):.1f}x",
+                    len(full),
+                ]
+            )
+        print(f"Figure 13: full vs LBR — {dataset} (ms)")
+        print(format_table(["Query", "full", "LBR", "speedup", "results"], rows))
+        print()

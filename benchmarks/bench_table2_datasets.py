@@ -1,0 +1,69 @@
+"""Table 2 — dataset statistics (triples, entities, predicates, literals).
+
+Paper values (full scale):     LUBM 534 M triples / 87 M entities / 18
+predicates / 45 M literals; DBpedia 830 M / 96 M / 57 471 / 60 M.
+Repro scale shrinks the counts but preserves the structural contrast:
+LUBM has a *fixed small predicate vocabulary*, DBpedia a much wider
+one; both keep entities ≈ O(triples/3).
+
+Run ``python benchmarks/bench_table2_datasets.py`` to print the table,
+or via pytest-benchmark to time dataset generation + loading.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dbpedia, generate_lubm
+from repro.storage import TripleStore
+
+try:
+    from .common import DBPEDIA_ARTICLES, LUBM_UNIVERSITIES, format_table
+except ImportError:  # executed as a plain script
+    from common import DBPEDIA_ARTICLES, LUBM_UNIVERSITIES, format_table
+
+
+def table2_rows():
+    rows = []
+    for name, dataset in (
+        ("LUBM", generate_lubm(universities=LUBM_UNIVERSITIES)),
+        ("DBpedia", generate_dbpedia(articles=DBPEDIA_ARTICLES)),
+    ):
+        stats = dataset.statistics()
+        rows.append(
+            [name, stats["triples"], stats["entities"], stats["predicates"], stats["literals"]]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_generate_and_load_lubm(benchmark):
+    def build():
+        return TripleStore.from_dataset(generate_lubm(universities=LUBM_UNIVERSITIES))
+
+    store = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["triples"] = len(store)
+    benchmark.extra_info["predicates"] = store.statistics.predicate_count()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_generate_and_load_dbpedia(benchmark):
+    def build():
+        return TripleStore.from_dataset(generate_dbpedia(articles=DBPEDIA_ARTICLES))
+
+    store = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["triples"] = len(store)
+    benchmark.extra_info["predicates"] = store.statistics.predicate_count()
+
+
+def test_table2_shape_holds():
+    """DBpedia's predicate vocabulary is far wider than LUBM's, and LUBM
+    keeps its fixed 18-ish univ-bench predicates — the Table 2 contrast."""
+    rows = {row[0]: row for row in table2_rows()}
+    assert rows["LUBM"][3] <= 20
+    assert rows["DBpedia"][3] > rows["LUBM"][3]
+
+
+if __name__ == "__main__":
+    print("Table 2: Dataset statistics (repro scale)")
+    print(format_table(["Dataset", "triples", "entities", "predicates", "literals"], table2_rows()))

@@ -1,0 +1,61 @@
+"""Table 3 — LUBM query statistics: type, Count_BGP, Depth, |[[Q]]_D|.
+
+The structural columns (Type / Count BGP / Depth) reproduce the paper's
+values exactly where definitions coincide (see EXPERIMENTS.md for the
+two rows where the paper's own table is internally inconsistent).
+Result sizes are repro-scale counterparts of the paper's.
+
+``python benchmarks/bench_table3_lubm_queries.py`` prints the table;
+under pytest-benchmark each row also times its query under `full`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import count_bgp, depth
+from repro.datasets import LUBM_QUERIES, QUERY_TYPES
+from repro.sparql import parse_query
+
+try:
+    from .common import GROUP1, GROUP2, engine_for, format_table, record
+except ImportError:
+    from common import GROUP1, GROUP2, engine_for, format_table, record
+
+ALL = GROUP1 + GROUP2
+
+
+def table3_rows():
+    engine = engine_for("lubm", "wco", "full")
+    rows = []
+    for name in ALL:
+        parsed = parse_query(LUBM_QUERIES[name])
+        result = engine.execute(parsed)
+        rows.append(
+            [
+                name,
+                QUERY_TYPES["lubm"][name],
+                count_bgp(parsed),
+                depth(parsed),
+                len(result),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.benchmark(group="table3-lubm")
+def test_table3_row(benchmark, name):
+    engine = engine_for("lubm", "wco", "full")
+    parsed = parse_query(LUBM_QUERIES[name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info.update(record(result))
+    benchmark.extra_info["count_bgp"] = count_bgp(parsed)
+    benchmark.extra_info["depth"] = depth(parsed)
+    benchmark.extra_info["type"] = QUERY_TYPES["lubm"][name]
+    assert len(result) > 0
+
+
+if __name__ == "__main__":
+    print("Table 3: Query statistics on LUBM (repro scale)")
+    print(format_table(["Query", "Type", "Count BGP", "Depth", "|[[Q]]_D|"], table3_rows()))

@@ -1,0 +1,55 @@
+"""Table 4 — DBpedia query statistics: type, Count_BGP, Depth, |[[Q]]_D|.
+
+Companion to bench_table3; same semantics on the DBpedia-like dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import count_bgp, depth
+from repro.datasets import DBPEDIA_QUERIES, QUERY_TYPES
+from repro.sparql import parse_query
+
+try:
+    from .common import GROUP1, GROUP2, engine_for, format_table, record
+except ImportError:
+    from common import GROUP1, GROUP2, engine_for, format_table, record
+
+ALL = GROUP1 + GROUP2
+
+
+def table4_rows():
+    engine = engine_for("dbpedia", "wco", "full")
+    rows = []
+    for name in ALL:
+        parsed = parse_query(DBPEDIA_QUERIES[name])
+        result = engine.execute(parsed)
+        rows.append(
+            [
+                name,
+                QUERY_TYPES["dbpedia"][name],
+                count_bgp(parsed),
+                depth(parsed),
+                len(result),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.benchmark(group="table4-dbpedia")
+def test_table4_row(benchmark, name):
+    engine = engine_for("dbpedia", "wco", "full")
+    parsed = parse_query(DBPEDIA_QUERIES[name])
+    result = benchmark.pedantic(engine.execute, args=(parsed,), rounds=1, iterations=1)
+    benchmark.extra_info.update(record(result))
+    benchmark.extra_info["count_bgp"] = count_bgp(parsed)
+    benchmark.extra_info["depth"] = depth(parsed)
+    benchmark.extra_info["type"] = QUERY_TYPES["dbpedia"][name]
+    assert len(result) > 0
+
+
+if __name__ == "__main__":
+    print("Table 4: Query statistics on DBpedia (repro scale)")
+    print(format_table(["Query", "Type", "Count BGP", "Depth", "|[[Q]]_D|"], table4_rows()))

@@ -1,0 +1,86 @@
+"""Shared infrastructure for the benchmark harness.
+
+Stores are built once per process (module-level caches) at "repro
+scale": the paper's datasets hold 0.5–2 G triples on a 256 GB server;
+ours hold tens of thousands on a laptop.  Absolute numbers therefore
+differ by construction — the benches exist to reproduce the *shapes*:
+which strategy wins per query, by roughly what factor, and how times
+scale (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.core import ExecutionMode, QueryResult, SparqlUOEngine
+from repro.datasets import generate_dbpedia, generate_lubm
+from repro.storage import TripleStore
+
+__all__ = [
+    "lubm_store",
+    "dbpedia_store",
+    "engine_for",
+    "MODES",
+    "BGP_ENGINES",
+    "GROUP1",
+    "GROUP2",
+    "format_table",
+]
+
+#: The four strategies of §7.1 and the two host BGP engines.
+MODES = ("base", "tt", "cp", "full")
+BGP_ENGINES = ("wco", "hashjoin")
+
+GROUP1 = ["q1.1", "q1.2", "q1.3", "q1.4", "q1.5", "q1.6"]
+GROUP2 = ["q2.1", "q2.2", "q2.3", "q2.4", "q2.5", "q2.6"]
+
+#: Default repro scales.  LUBM needs >= 13 universities so q2.5/q2.6's
+#: University12 exists; DBpedia's article count balances runtime vs the
+#: heavy-tailed wikilink shape.
+LUBM_UNIVERSITIES = 13
+DBPEDIA_ARTICLES = 1500
+
+
+@lru_cache(maxsize=None)
+def lubm_store(universities: int = LUBM_UNIVERSITIES) -> TripleStore:
+    return TripleStore.from_dataset(generate_lubm(universities=universities))
+
+
+@lru_cache(maxsize=None)
+def dbpedia_store(articles: int = DBPEDIA_ARTICLES) -> TripleStore:
+    return TripleStore.from_dataset(generate_dbpedia(articles=articles))
+
+
+def store_for(dataset: str) -> TripleStore:
+    if dataset == "lubm":
+        return lubm_store()
+    if dataset == "dbpedia":
+        return dbpedia_store()
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def engine_for(dataset: str, bgp_engine: str, mode: str) -> SparqlUOEngine:
+    return SparqlUOEngine(store_for(dataset), bgp_engine=bgp_engine, mode=mode)
+
+
+def record(result: QueryResult) -> Dict[str, float]:
+    """The per-run observations every bench attaches as extra_info."""
+    return {
+        "results": len(result),
+        "execute_ms": round(result.execute_seconds * 1000, 3),
+        "transform_ms": round(result.transform_seconds * 1000, 3),
+        "join_space": result.join_space,
+    }
+
+
+def format_table(headers: List[str], rows: List[List]) -> str:
+    """Fixed-width text table (the shape the paper's tables print in)."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(columns):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

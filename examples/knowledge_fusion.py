@@ -1,0 +1,62 @@
+"""Knowledge fusion: UNION over diverse representations (paper §1).
+
+RDF datasets integrated from several sources express the same fact in
+different vocabularies — DBpedia itself stores person names under both
+``foaf:name`` and ``rdfs:label``, and categorization under both
+``purl:subject`` and ``skos:subject``.  Queries that want *complete*
+answers must UNION the variants, and those UNIONs are exactly what the
+merge transformation optimizes.
+
+This example runs a fusion query over the DBpedia-like generator and
+shows what the optimizer does to it:
+
+- `base` evaluates each low-selectivity UNION branch in full;
+- `full` merges the selective anchor into the branches (Theorem 1),
+  shrinking the intermediate results by orders of magnitude.
+
+Run with:  python examples/knowledge_fusion.py
+"""
+
+from repro import SparqlUOEngine, TripleStore
+from repro.datasets import generate_dbpedia
+
+FUSION_QUERY = """
+SELECT ?article ?label ?topic WHERE {
+  ?article dbo:wikiPageWikiLink dbr:Economic_system .
+  { ?article rdfs:label ?label } UNION { ?article foaf:name ?label }
+  { ?article purl:subject ?topic } UNION { ?article skos:subject ?topic }
+}
+"""
+
+
+def main() -> None:
+    print("generating DBpedia-like dataset …")
+    store = TripleStore.from_dataset(generate_dbpedia(articles=1500))
+    print(f"  {store}")
+
+    print("\n-- answers (complete across both name representations) --")
+    engine = SparqlUOEngine(store, bgp_engine="wco", mode="full")
+    result = engine.execute(FUSION_QUERY)
+    for row in list(result)[:10]:
+        print(f"  {row['article'].n3():60s} {row['label'].n3()}")
+    print(f"  … {len(result)} rows total")
+
+    print("\n-- what each strategy pays --")
+    print(f"{'strategy':8s}  {'time (ms)':>10s}  {'join space':>12s}  transformations")
+    for mode in ("base", "tt", "cp", "full"):
+        engine = SparqlUOEngine(store, bgp_engine="wco", mode=mode)
+        result = engine.execute(FUSION_QUERY)
+        transforms = (
+            result.transform_report.transformations if result.transform_report else 0
+        )
+        print(
+            f"{mode:8s}  {result.execute_seconds * 1000:10.1f}  "
+            f"{result.join_space:12.3g}  {transforms}"
+        )
+
+    print("\n-- the transformed plan (note the anchor inside each branch) --")
+    print(SparqlUOEngine(store, mode="tt").explain(FUSION_QUERY))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Shim for environments whose setuptools lacks PEP 517 editable-install
+# support (no `wheel`); configuration lives in pyproject.toml.
+setup()

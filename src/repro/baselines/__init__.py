@@ -1,0 +1,6 @@
+"""Baseline systems the paper compares against."""
+
+from .gosn import SuperNode, build_gosn
+from .lbr import LBREngine, LBRResult
+
+__all__ = ["SuperNode", "build_gosn", "LBREngine", "LBRResult"]

@@ -1,0 +1,98 @@
+"""GoSN — LBR's Graph of SuperNodes (Atre, SIGMOD 2015).
+
+LBR organizes an OPTIONAL query into *supernodes*: the master supernode
+holds the required triple patterns; each OPTIONAL clause becomes a child
+supernode, recursively.  Nested plain groups are flattened into their
+enclosing supernode (their join semantics is the same), which mirrors
+LBR's treatment of well-designed pattern trees.
+
+LBR predates SPARQL-UO optimization and does not handle UNION; building
+a GoSN for a query containing UNION raises
+:class:`~repro.sparql.errors.UnsupportedFeatureError`, matching the
+scope of the paper's Figure 13 comparison (OPTIONAL-only queries).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..rdf.triple import TriplePattern
+from ..sparql.algebra import (
+    GroupGraphPattern,
+    OptionalExpression,
+    SelectQuery,
+    UnionExpression,
+)
+from ..sparql.errors import UnsupportedFeatureError
+
+__all__ = ["SuperNode", "build_gosn"]
+
+
+class SuperNode:
+    """One supernode: required patterns plus optional children."""
+
+    def __init__(self):
+        self.patterns: List[TriplePattern] = []
+        self.children: List["SuperNode"] = []
+
+    def variables(self) -> Set[str]:
+        out: Set[str] = set()
+        for pattern in self.patterns:
+            out.update(v.name for v in pattern.variables())
+        return out
+
+    def all_variables(self) -> Set[str]:
+        out = self.variables()
+        for child in self.children:
+            out |= child.all_variables()
+        return out
+
+    def descendant_count(self) -> int:
+        return 1 + sum(child.descendant_count() for child in self.children)
+
+    def pattern_count(self) -> int:
+        return len(self.patterns) + sum(c.pattern_count() for c in self.children)
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperNode({len(self.patterns)} patterns, "
+            f"{len(self.children)} optional children)"
+        )
+
+
+def build_gosn(source) -> SuperNode:
+    """Build the GoSN of a query or group graph pattern."""
+    if isinstance(source, SelectQuery):
+        source = source.where
+    if not isinstance(source, GroupGraphPattern):
+        raise TypeError(f"cannot build a GoSN from {source!r}")
+    root = SuperNode()
+    _fill(root, source)
+    return root
+
+
+def _fill(node: SuperNode, group: GroupGraphPattern) -> None:
+    """Flatten a group into a supernode.
+
+    Nested *required* groups live in the same left-join scope as their
+    siblings, so their patterns flatten into the enclosing supernode and
+    their OPTIONALs become that supernode's children — the well-designed
+    pattern-tree normalization LBR performs.  (For non-well-designed
+    queries this normalization can change semantics; LBR's supported
+    class, and every Figure 13 query, is well-designed.)
+    """
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            node.patterns.append(element)
+        elif isinstance(element, GroupGraphPattern):
+            _fill(node, element)
+        elif isinstance(element, OptionalExpression):
+            child = SuperNode()
+            _fill(child, element.pattern)
+            node.children.append(child)
+        elif isinstance(element, UnionExpression):
+            raise UnsupportedFeatureError(
+                "LBR's GoSN does not support UNION (OPTIONAL-only baseline)"
+            )
+        else:  # pragma: no cover - AST validates
+            raise TypeError(f"invalid group element {element!r}")

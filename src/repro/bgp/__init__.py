@@ -1,0 +1,22 @@
+"""BGP evaluation engines and cardinality estimation."""
+
+from .cardinality import CardinalityEstimator, pattern_count
+from .hashjoin import HashJoinEngine, binary_join_cost
+from .interface import BGPEngine, Candidates, PlanEstimate, ground_pattern_present
+from .plans import connected_components, greedy_pattern_order, pattern_join_vars
+from .wco import WCOJoinEngine
+
+__all__ = [
+    "BGPEngine",
+    "Candidates",
+    "PlanEstimate",
+    "ground_pattern_present",
+    "CardinalityEstimator",
+    "pattern_count",
+    "HashJoinEngine",
+    "binary_join_cost",
+    "WCOJoinEngine",
+    "connected_components",
+    "greedy_pattern_order",
+    "pattern_join_vars",
+]

@@ -1,0 +1,120 @@
+"""The BGP-engine interface the optimizer builds on.
+
+The paper's central architectural claim (§4) is that SPARQL-UO
+optimization can sit *above* any BGP engine, as long as the engine
+exposes three capabilities:
+
+1. ``evaluate(patterns, candidates)`` — run a BGP, optionally restricted
+   by per-variable candidate sets (§6's candidate pruning);
+2. ``estimate(patterns)`` — a cost + cardinality estimate for the BGP
+   (§5.1's cost model consumes both);
+3. transparency of its cost model, so the SPARQL-UO layer can reason in
+   the same units.
+
+Both concrete engines (:mod:`repro.bgp.wco`, :mod:`repro.bgp.hashjoin`)
+implement this interface; so could an adapter around an external store.
+
+All engine-level mappings bind variable *names* to dictionary-encoded
+integer ids; :meth:`BGPEngine.decode_bag` converts to term-level
+mappings at projection time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.bags import Bag
+from ..storage.store import TripleStore
+
+__all__ = ["Candidates", "PlanEstimate", "BGPEngine", "ground_pattern_present"]
+
+#: Candidate restriction: variable name → set of permitted term ids.
+Candidates = Dict[str, Set[int]]
+
+
+class PlanEstimate:
+    """An engine's estimate for one BGP: plan cost and result cardinality.
+
+    ``cost`` is in the engine's own cost units (sums of per-join costs,
+    §5.1.2); ``cardinality`` is the estimated number of result mappings.
+    Both feed the SPARQL-UO Δ-cost (Equations 1–8).
+    """
+
+    __slots__ = ("cost", "cardinality")
+
+    def __init__(self, cost: float, cardinality: float):
+        self.cost = float(cost)
+        self.cardinality = float(cardinality)
+
+    def __repr__(self) -> str:
+        return f"PlanEstimate(cost={self.cost:.1f}, cardinality={self.cardinality:.1f})"
+
+
+class BGPEngine:
+    """Abstract BGP evaluation engine bound to one :class:`TripleStore`."""
+
+    #: Human-readable engine name (used in benchmark output).
+    name = "abstract"
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # mandatory interface
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        patterns: Sequence[TriplePattern],
+        candidates: Optional[Candidates] = None,
+    ) -> Bag:
+        """Evaluate the BGP, returning a bag of id-level mappings.
+
+        ``candidates`` restricts the named variables to the given id
+        sets.  Engines must apply the restriction *fully* (a solution
+        binding a restricted variable outside its set never appears) —
+        how early they push the filter is their own optimization choice.
+        """
+        raise NotImplementedError
+
+    def estimate(
+        self,
+        patterns: Sequence[TriplePattern],
+        candidates: Optional[Candidates] = None,
+    ) -> PlanEstimate:
+        """Estimated cost and cardinality of evaluating the BGP."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def decode_bag(self, bag: Bag) -> Bag:
+        """Convert id-level mappings to term-level mappings."""
+        decode = self.store.decode
+        return Bag({var: decode(value) for var, value in m.items()} for m in bag)
+
+    def encode_candidates_from_bag(
+        self, bag: Bag, variables: Iterable[str]
+    ) -> Candidates:
+        """Collect candidate id sets for ``variables`` from an id-level bag."""
+        out: Candidates = {}
+        for var in variables:
+            values = bag.distinct_values(var)
+            if values:
+                out[var] = values
+        return out
+
+    def _pattern_variables(self, patterns: Sequence[TriplePattern]) -> Set[str]:
+        out: Set[str] = set()
+        for pattern in patterns:
+            out.update(v.name for v in pattern.variables())
+        return out
+
+
+def ground_pattern_present(store: TripleStore, pattern: TriplePattern) -> bool:
+    """Existence check for a fully ground pattern."""
+    encoded = store.encode_pattern(pattern)
+    if any(x == -1 for x in encoded):
+        return False
+    return store.count_pattern(encoded) > 0

@@ -1,0 +1,245 @@
+"""gStore-style BGP engine: worst-case-optimal vertex-at-a-time joins.
+
+The BGP is treated as a query graph whose vertices are the
+subject/object terms and whose edges are the triple patterns.  Execution
+extends one query vertex at a time: for each partial result tuple, the
+candidate extensions of the new vertex are enumerated from the cheapest
+connecting edge's adjacency list and verified (intersected) against all
+other connecting edges — the WCO join of Hogan et al. adapted to RDF
+adjacency indexes, which is how gStore executes BGPs.
+
+Cost model (paper §5.1.2):
+
+    cost(WCOJoin({v1…vk-1}, vk)) = card({v1…vk-1}) × min_i average_size(vi, p)
+
+i.e. for every existing partial tuple, the engine scans the cheapest
+incident adjacency list at least once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.bags import Bag
+from ..storage.store import TripleStore
+from .cardinality import CardinalityEstimator, pattern_count
+from .interface import BGPEngine, Candidates, PlanEstimate
+from .plans import greedy_pattern_order
+
+__all__ = ["WCOJoinEngine"]
+
+
+class _Edge:
+    """One triple pattern viewed as a query-graph edge."""
+
+    __slots__ = ("pattern", "s", "p", "o")
+
+    def __init__(self, store: TripleStore, pattern: TriplePattern):
+        self.pattern = pattern
+        # Each position: ('var', name) or ('const', id) — id may be the
+        # MISSING sentinel (-1), meaning the edge matches nothing.
+        self.s = self._classify(store, pattern.subject)
+        self.p = self._classify(store, pattern.predicate)
+        self.o = self._classify(store, pattern.object)
+
+    @staticmethod
+    def _classify(store: TripleStore, term) -> Tuple[str, object]:
+        if isinstance(term, Variable):
+            return ("var", term.name)
+        term_id = store.lookup(term)
+        return ("const", -1 if term_id is None else term_id)
+
+    def endpoint_vars(self) -> Set[str]:
+        out = set()
+        if self.s[0] == "var":
+            out.add(self.s[1])
+        if self.o[0] == "var":
+            out.add(self.o[1])
+        return out
+
+    def all_vars(self) -> Set[str]:
+        out = self.endpoint_vars()
+        if self.p[0] == "var":
+            out.add(self.p[1])
+        return out
+
+    def impossible(self) -> bool:
+        return ("const", -1) in (self.s, self.p, self.o)
+
+
+class WCOJoinEngine(BGPEngine):
+    """Vertex-at-a-time worst-case-optimal join engine (gStore-like)."""
+
+    name = "wco"
+
+    def __init__(self, store: TripleStore, estimator: Optional[CardinalityEstimator] = None):
+        super().__init__(store)
+        self.estimator = estimator or CardinalityEstimator(store)
+        self._estimate_cache: Dict[tuple, PlanEstimate] = {}
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        patterns: Sequence[TriplePattern],
+        candidates: Optional[Candidates] = None,
+    ) -> Bag:
+        if not patterns:
+            return Bag.identity()
+        edges = [_Edge(self.store, p) for p in patterns]
+        if any(edge.impossible() for edge in edges):
+            return Bag.empty()
+        ordered = self._order_edges(patterns)
+        partials: List[Dict[str, int]] = [{}]
+        for pattern in ordered:
+            edge = _Edge(self.store, pattern)
+            partials = self._extend(partials, edge, candidates)
+            if not partials:
+                return Bag.empty()
+        return Bag(partials)
+
+    def _order_edges(self, patterns: Sequence[TriplePattern]) -> List[TriplePattern]:
+        return greedy_pattern_order(
+            patterns, lambda p: self.store.count_pattern(self.store.encode_pattern(p))
+        )
+
+    def _extend(
+        self,
+        partials: List[Dict[str, int]],
+        edge: _Edge,
+        candidates: Optional[Candidates],
+    ) -> List[Dict[str, int]]:
+        """Extend every partial tuple through one edge.
+
+        Depending on which of the edge's variables are already bound
+        this is a vertex extension (adjacency enumeration), an edge
+        verification (O(1) membership probe) or a predicate binding.
+        """
+        out: List[Dict[str, int]] = []
+        indexes = self.store.indexes
+        for binding in partials:
+            s = self._resolve(edge.s, binding)
+            p = self._resolve(edge.p, binding)
+            o = self._resolve(edge.o, binding)
+            out.extend(
+                self._matches_for(edge, binding, s, p, o, candidates, indexes)
+            )
+        return out
+
+    @staticmethod
+    def _resolve(position: Tuple[str, object], binding: Dict[str, int]):
+        """Return the bound id for a position, or None if still free."""
+        kind, value = position
+        if kind == "const":
+            return value
+        return binding.get(value)
+
+    def _matches_for(
+        self,
+        edge: _Edge,
+        binding: Dict[str, int],
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+        candidates: Optional[Candidates],
+        indexes,
+    ) -> List[Dict[str, int]]:
+        """Enumerate extensions of one binding through one edge."""
+        out: List[Dict[str, int]] = []
+        svar = edge.s[1] if edge.s[0] == "var" and s is None else None
+        pvar = edge.p[1] if edge.p[0] == "var" and p is None else None
+        ovar = edge.o[1] if edge.o[0] == "var" and o is None else None
+        # Repeated free variable in one pattern (e.g. ?x ?x / ?x p ?x):
+        same_so = svar is not None and svar == ovar
+        same_sp = svar is not None and svar == pvar
+        same_po = pvar is not None and pvar == ovar
+
+        allowed_s = candidates.get(svar) if candidates and svar else None
+        allowed_p = candidates.get(pvar) if candidates and pvar else None
+        allowed_o = candidates.get(ovar) if candidates and ovar else None
+
+        for ts, tp, to in indexes.scan(s, p, o):
+            if same_so and ts != to:
+                continue
+            if same_sp and ts != tp:
+                continue
+            if same_po and tp != to:
+                continue
+            if allowed_s is not None and ts not in allowed_s:
+                continue
+            if allowed_p is not None and tp not in allowed_p:
+                continue
+            if allowed_o is not None and to not in allowed_o:
+                continue
+            extended = dict(binding)
+            if svar is not None:
+                extended[svar] = ts
+            if pvar is not None:
+                extended[pvar] = tp
+            if ovar is not None:
+                extended[ovar] = to
+            out.append(extended)
+        return out
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        patterns: Sequence[TriplePattern],
+        candidates: Optional[Candidates] = None,
+    ) -> PlanEstimate:
+        """WCO cost: Σ_k card(V_{k-1}) × min_i average_size(vi, p_k)."""
+        if not patterns:
+            return PlanEstimate(0.0, 1.0)
+        # Memoize the (deterministic) candidate-free case: Δ-cost
+        # probing and the adaptive pruning threshold hit the same BGPs
+        # many times per query.
+        key = (len(self.store), tuple(patterns)) if candidates is None else None
+        if key is not None:
+            cached = self._estimate_cache.get(key)
+            if cached is not None:
+                return cached
+        ordered = self._order_edges(patterns)
+        final_card, per_step = self.estimator.estimate_sequence(ordered)
+        cost = float(pattern_count(self.store, ordered[0], candidates))
+        bound_vars = {v.name for v in ordered[0].variables()}
+        for index in range(1, len(ordered)):
+            pattern = ordered[index]
+            previous_card = per_step[index - 1]
+            cost += previous_card * self._min_average_size(pattern, bound_vars)
+            bound_vars |= {v.name for v in pattern.variables()}
+        estimate = PlanEstimate(cost, final_card)
+        if key is not None:
+            self._estimate_cache[key] = estimate
+        return estimate
+
+    def _min_average_size(self, pattern: TriplePattern, bound_vars: Set[str]) -> float:
+        """min_i average_size(vi, p) over the pattern's bound endpoints.
+
+        When the predicate is a variable the per-predicate statistics
+        cannot be used; fall back to the global average degree.
+        """
+        stats = self.store.statistics
+        if isinstance(pattern.predicate, Variable):
+            total = stats.total_triples
+            predicates = max(stats.predicate_count(), 1)
+            return max(total / predicates, 1.0)
+        predicate_id = self.store.lookup(pattern.predicate)
+        if predicate_id is None:
+            return 1.0
+        sizes: List[float] = []
+        subject = pattern.subject
+        obj = pattern.object
+        if not isinstance(subject, Variable) or subject.name in bound_vars:
+            sizes.append(stats.average_size(predicate_id, "out"))
+        if not isinstance(obj, Variable) or obj.name in bound_vars:
+            sizes.append(stats.average_size(predicate_id, "in"))
+        if not sizes:
+            # Disconnected extension: every edge with this predicate is
+            # a possible match.
+            return float(stats.for_predicate(predicate_id).triples)
+        return max(min(sizes), 1.0)

@@ -1,0 +1,218 @@
+"""SparqlUOEngine — the library's main entry point.
+
+Ties the whole pipeline together, parameterized exactly like the
+paper's §7.1 experimental matrix:
+
+=========  ===================================  =========================
+mode       plan-time (BE-tree transformation)   query-time (cand. pruning)
+=========  ===================================  =========================
+``base``   none                                 off
+``tt``     cost-driven (Algorithm 4)            off
+``cp``     none                                 fixed threshold (1 %)
+``full``   cost-driven, CP-equivalent skipped   adaptive threshold
+=========  ===================================  =========================
+
+Typical use::
+
+    from repro import Dataset, SparqlUOEngine
+    engine = SparqlUOEngine.for_dataset(dataset, bgp_engine="wco", mode="full")
+    result = engine.execute("SELECT ?x WHERE { ... }")
+    for row in result:
+        print(row)
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Iterator, List, Optional as Opt, Union as U
+
+from ..bgp.hashjoin import HashJoinEngine
+from ..bgp.interface import BGPEngine
+from ..bgp.wco import WCOJoinEngine
+from ..rdf.dataset import Dataset
+from ..sparql.algebra import SelectQuery, pattern_variables
+from ..sparql.bags import Bag, Mapping
+from ..sparql.parser import parse_query
+from ..storage.store import TripleStore
+from .betree import BETree
+from .candidates import CandidatePolicy, ThresholdMode
+from .cost import CostModel
+from .evaluator import BGPBasedEvaluator, EvaluationTrace
+from .joinspace import join_space
+from .transform import TransformReport, multi_level_transform
+
+__all__ = ["ExecutionMode", "QueryResult", "SparqlUOEngine"]
+
+_BGP_ENGINES = {
+    "wco": WCOJoinEngine,
+    "gstore": WCOJoinEngine,  # alias: the paper's gStore-style engine
+    "hashjoin": HashJoinEngine,
+    "jena": HashJoinEngine,  # alias: the paper's Jena-style engine
+}
+
+
+class ExecutionMode(enum.Enum):
+    """The four strategies of the paper's §7.1 evaluation."""
+
+    BASE = "base"
+    TT = "tt"
+    CP = "cp"
+    FULL = "full"
+
+    @property
+    def transforms(self) -> bool:
+        return self in (ExecutionMode.TT, ExecutionMode.FULL)
+
+    @property
+    def prunes(self) -> bool:
+        return self in (ExecutionMode.CP, ExecutionMode.FULL)
+
+
+class QueryResult:
+    """The outcome of one query execution, with full instrumentation."""
+
+    def __init__(
+        self,
+        solutions: Bag,
+        variables: List[str],
+        tree: BETree,
+        trace: EvaluationTrace,
+        transform_report: Opt[TransformReport],
+        parse_seconds: float,
+        transform_seconds: float,
+        execute_seconds: float,
+    ):
+        self.solutions = solutions
+        self.variables = variables
+        self.tree = tree
+        self.trace = trace
+        self.transform_report = transform_report
+        self.parse_seconds = parse_seconds
+        self.transform_seconds = transform_seconds
+        self.execute_seconds = execute_seconds
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self) -> Iterator[Mapping]:
+        return iter(self.solutions)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.transform_seconds + self.execute_seconds
+
+    @property
+    def join_space(self) -> float:
+        """JS of this execution (Figure 11's quantitative metric)."""
+        return join_space(self.tree, self.trace)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({len(self)} solutions in "
+            f"{self.total_seconds * 1000:.1f} ms)"
+        )
+
+
+class SparqlUOEngine:
+    """BGP-based, cost-driven SPARQL-UO query engine (the paper's system)."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        bgp_engine: U[str, BGPEngine] = "wco",
+        mode: U[str, ExecutionMode] = ExecutionMode.FULL,
+        fixed_fraction: float = 0.01,
+    ):
+        self.store = store
+        if isinstance(bgp_engine, str):
+            try:
+                bgp_engine = _BGP_ENGINES[bgp_engine](store)
+            except KeyError:
+                raise ValueError(
+                    f"unknown BGP engine {bgp_engine!r}; "
+                    f"choose from {sorted(_BGP_ENGINES)}"
+                ) from None
+        self.bgp_engine: BGPEngine = bgp_engine
+        self.mode = ExecutionMode(mode) if not isinstance(mode, ExecutionMode) else mode
+        self.cost_model = CostModel(self.bgp_engine)
+        self.policy = self._make_policy(fixed_fraction)
+        self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy)
+
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: Dataset,
+        bgp_engine: U[str, BGPEngine] = "wco",
+        mode: U[str, ExecutionMode] = ExecutionMode.FULL,
+        fixed_fraction: float = 0.01,
+    ) -> "SparqlUOEngine":
+        """Build a store from a plain dataset and wrap an engine around it."""
+        return cls(TripleStore.from_dataset(dataset), bgp_engine, mode, fixed_fraction)
+
+    def _make_policy(self, fixed_fraction: float) -> CandidatePolicy:
+        if self.mode is ExecutionMode.CP:
+            return CandidatePolicy(ThresholdMode.FIXED, fixed_fraction)
+        if self.mode is ExecutionMode.FULL:
+            return CandidatePolicy(ThresholdMode.ADAPTIVE, fixed_fraction)
+        return CandidatePolicy(ThresholdMode.OFF)
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def prepare(self, query: U[str, SelectQuery]):
+        """Parse (if needed) and plan: returns (query, tree, report, timings)."""
+        parse_start = time.perf_counter()
+        if isinstance(query, str):
+            query = parse_query(query)
+        parse_seconds = time.perf_counter() - parse_start
+
+        transform_start = time.perf_counter()
+        tree = BETree.from_query(query)
+        report: Opt[TransformReport] = None
+        if self.mode.transforms:
+            report = multi_level_transform(
+                self.cost_model,
+                tree,
+                skip_cp_equivalent=(self.mode is ExecutionMode.FULL),
+            )
+        transform_seconds = time.perf_counter() - transform_start
+        return query, tree, report, parse_seconds, transform_seconds
+
+    def execute(self, query: U[str, SelectQuery]) -> QueryResult:
+        """Run the full pipeline on a query text or parsed query."""
+        parsed, tree, report, parse_seconds, transform_seconds = self.prepare(query)
+
+        execute_start = time.perf_counter()
+        trace = EvaluationTrace()
+        solutions = self.evaluator.evaluate(tree, trace)
+        names = parsed.projection_names()
+        if names is None:
+            names = sorted(pattern_variables(parsed.where))
+        projected = self.bgp_engine.decode_bag(solutions).project(names)
+        execute_seconds = time.perf_counter() - execute_start
+
+        return QueryResult(
+            solutions=projected,
+            variables=list(names),
+            tree=tree,
+            trace=trace,
+            transform_report=report,
+            parse_seconds=parse_seconds,
+            transform_seconds=transform_seconds,
+            execute_seconds=execute_seconds,
+        )
+
+    def explain(self, query: U[str, SelectQuery]) -> str:
+        """The (transformed) BE-tree plan as indented text."""
+        _, tree, report, _, _ = self.prepare(query)
+        header = f"mode={self.mode.value} engine={self.bgp_engine.name}"
+        if report is not None:
+            header += f" | {report!r}"
+        return header + "\n" + tree.pretty()
+
+    def __repr__(self) -> str:
+        return (
+            f"SparqlUOEngine(mode={self.mode.value}, "
+            f"bgp_engine={self.bgp_engine.name}, store={self.store!r})"
+        )

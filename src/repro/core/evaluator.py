@@ -1,0 +1,121 @@
+"""BGP-based query evaluation — Algorithm 1, with §6's candidate pruning.
+
+The evaluator walks a BE-tree's root group left to right, accumulating a
+bag ``r`` of id-level solutions:
+
+- BGP child          → ``r ← r ⋈ EvaluateBGP(D, bgp, cand)``
+- group child        → ``r ← r ⋈ BGPBasedEvaluation(D, child, r)``
+- UNION child        → ``r ← r ⋈ (∪bag over branches, each given r)``
+- OPTIONAL child     → ``r ← r ⟕ BGPBasedEvaluation(D, child, r)``
+
+Candidate pruning follows the paper's modification of Algorithm 1: the
+*current* results flow into nested structures as candidates, while BGP
+children are restricted by the candidates passed in from the enclosing
+context.  When the current results are still the identity (nothing
+evaluated yet at this level) the incoming candidates are forwarded, so
+pruning crosses levels — the behaviour §6 highlights for nested
+OPTIONALs.
+
+The evaluator also records every BGP node's actual result size into an
+:class:`EvaluationTrace`, from which the join-space metric JS (§7.1,
+Figure 11) is computed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional as Opt
+
+from ..bgp.interface import BGPEngine
+from ..sparql.bags import Bag, join, left_join, union
+from .betree import BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+from .candidates import CandidatePolicy
+
+__all__ = ["EvaluationTrace", "BGPBasedEvaluator"]
+
+
+class EvaluationTrace:
+    """Per-node observations collected during one evaluation."""
+
+    def __init__(self):
+        #: node_id → actual result size of each evaluated BGP node.
+        self.bgp_result_sizes: Dict[int, int] = {}
+        #: Number of BGP evaluations that were candidate-restricted.
+        self.pruned_evaluations: int = 0
+        #: Number of BGP evaluations total.
+        self.bgp_evaluations: int = 0
+
+    def record(self, node_id: int, size: int, pruned: bool) -> None:
+        self.bgp_result_sizes[node_id] = size
+        self.bgp_evaluations += 1
+        if pruned:
+            self.pruned_evaluations += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationTrace({self.bgp_evaluations} BGP evals, "
+            f"{self.pruned_evaluations} pruned)"
+        )
+
+
+class BGPBasedEvaluator:
+    """Algorithm 1 over a BE-tree, parameterized by engine and policy."""
+
+    def __init__(self, engine: BGPEngine, policy: Opt[CandidatePolicy] = None):
+        self.engine = engine
+        self.policy = policy or CandidatePolicy()
+
+    def evaluate(self, tree: BETree, trace: Opt[EvaluationTrace] = None) -> Bag:
+        """Evaluate the whole tree; returns an id-level solution bag."""
+        return self.evaluate_group(tree.root, None, trace)
+
+    def evaluate_group(
+        self,
+        group: GroupNode,
+        cand: Opt[Bag],
+        trace: Opt[EvaluationTrace] = None,
+    ) -> Bag:
+        """BGPBasedEvaluation(D, T(group), cand) — Algorithm 1."""
+        r: Opt[Bag] = None  # None ⇔ the join identity (nothing yet)
+        for child in group.children:
+            # Nested structures receive the *current* results as
+            # candidates (the paper's Lines 7/9/15/19); BGP children
+            # receive the candidates passed in from the enclosing
+            # context (Line 11).  While r is still the identity, the
+            # incoming candidates flow through, carrying pruning across
+            # levels (§6's nested-OPTIONAL discussion).
+            child_cand = r if r is not None else cand
+            if isinstance(child, BGPNode):
+                evaluated = self._evaluate_bgp(child, cand, trace)
+                r = evaluated if r is None else join(r, evaluated)
+            elif isinstance(child, GroupNode):
+                evaluated = self.evaluate_group(child, child_cand, trace)
+                r = evaluated if r is None else join(r, evaluated)
+            elif isinstance(child, UnionNode):
+                u = Bag.empty()
+                for branch in child.branches:
+                    u = union(u, self.evaluate_group(branch, child_cand, trace))
+                r = u if r is None else join(r, u)
+            elif isinstance(child, OptionalNode):
+                o = self.evaluate_group(child.group, child_cand, trace)
+                left = r if r is not None else Bag.identity()
+                r = left_join(left, o)
+            else:  # pragma: no cover - tree constructor validates
+                raise TypeError(f"not a BE-tree node: {child!r}")
+        return r if r is not None else Bag.identity()
+
+    # ------------------------------------------------------------------
+    # BGP leaf evaluation with candidate pruning
+    # ------------------------------------------------------------------
+    def _evaluate_bgp(
+        self,
+        node: BGPNode,
+        cand: Opt[Bag],
+        trace: Opt[EvaluationTrace],
+    ) -> Bag:
+        if node.is_empty():
+            return Bag.identity()
+        candidates = self.policy.candidates_for(self.engine, node.patterns, cand)
+        result = self.engine.evaluate(node.patterns, candidates)
+        if trace is not None:
+            trace.record(node.node_id, len(result), candidates is not None)
+        return result

@@ -1,0 +1,46 @@
+"""Join-space metric JS(P) (§7.1, Figure 11).
+
+The join space estimates the largest intermediate result materialized
+while executing a query — joins (AND, OPTIONAL) multiply, UNION adds,
+and BGP leaves contribute their *actual* result sizes as observed
+during evaluation.  Because candidate pruning shrinks observed BGP
+results, the same tree yields different join spaces under different
+execution strategies, which is exactly what Figure 11 plots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .betree import BENode, BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+from .evaluator import EvaluationTrace
+
+__all__ = ["join_space"]
+
+
+def join_space(tree: BETree, trace: EvaluationTrace) -> float:
+    """JS of an executed BE-tree, from the trace's observed BGP sizes.
+
+    A BGP node never evaluated (because an earlier sibling already
+    emptied the result) contributes 0 — it materialized nothing.
+    Empty BGP nodes contribute 1 (the identity bag).
+    """
+    return _js(tree.root, trace)
+
+
+def _js(node: BENode, trace: EvaluationTrace) -> float:
+    if isinstance(node, BGPNode):
+        if node.is_empty():
+            return 1.0
+        recorded = trace.bgp_result_sizes.get(node.node_id)
+        return float(recorded) if recorded is not None else 0.0
+    if isinstance(node, GroupNode):
+        out = 1.0
+        for child in node.children:
+            out *= _js(child, trace)
+        return out
+    if isinstance(node, UnionNode):
+        return float(sum(_js(branch, trace) for branch in node.branches))
+    if isinstance(node, OptionalNode):
+        return _js(node.group, trace)
+    raise TypeError(f"not a BE-tree node: {node!r}")

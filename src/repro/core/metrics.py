@@ -1,0 +1,74 @@
+"""Query-complexity metrics Count_BGP and Depth (§7.1, Tables 3–4).
+
+``Count_BGP`` counts the BGP nodes of the (untransformed) BE-tree —
+i.e. maximal coalesced BGPs, matching the paper's recursive definition
+once triple patterns have been grouped.
+
+``Depth`` is the maximum nesting depth of group graph patterns, per the
+paper's recursive definition (each brace level adds one, the outermost
+WHERE group included).
+"""
+
+from __future__ import annotations
+
+from ..rdf.triple import TriplePattern
+from ..sparql.algebra import (
+    GroupGraphPattern,
+    OptionalExpression,
+    SelectQuery,
+    UnionExpression,
+)
+from .betree import BETree
+
+__all__ = ["count_bgp", "depth", "query_statistics"]
+
+
+def count_bgp(source) -> int:
+    """Number of (maximal, non-empty) BGP nodes of the query's BE-tree.
+
+    Accepts a :class:`SelectQuery`, a syntax-form group, or a BE-tree.
+    """
+    tree = _as_tree(source)
+    return sum(1 for node in tree.bgp_nodes() if not node.is_empty())
+
+
+def depth(source) -> int:
+    """Maximum group-nesting depth (outermost WHERE group counts 1)."""
+    if isinstance(source, SelectQuery):
+        return _depth_group(source.where)
+    if isinstance(source, GroupGraphPattern):
+        return _depth_group(source)
+    if isinstance(source, BETree):
+        return _depth_group(source.to_group())
+    raise TypeError(f"cannot compute depth of {source!r}")
+
+
+def query_statistics(query: SelectQuery) -> dict:
+    """Tables 3–4 row for a query: Count_BGP and Depth (result size is
+    measured by the caller, which has the dataset)."""
+    return {"count_bgp": count_bgp(query), "depth": depth(query)}
+
+
+def _as_tree(source) -> BETree:
+    if isinstance(source, BETree):
+        return source
+    if isinstance(source, SelectQuery):
+        return BETree.from_query(source)
+    if isinstance(source, GroupGraphPattern):
+        return BETree.from_group(source)
+    raise TypeError(f"cannot build a BE-tree from {source!r}")
+
+
+def _depth_group(group: GroupGraphPattern) -> int:
+    deepest = 0
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            continue
+        if isinstance(element, GroupGraphPattern):
+            deepest = max(deepest, _depth_group(element))
+        elif isinstance(element, UnionExpression):
+            for branch in element.branches:
+                deepest = max(deepest, _depth_group(branch))
+        elif isinstance(element, OptionalExpression):
+            deepest = max(deepest, _depth_group(element.pattern))
+    return deepest + 1

@@ -1,0 +1,346 @@
+"""BE-tree transformations: merge, inject, and cost-driven selection.
+
+Implements Definitions 9–10 (the transformation primitives), Algorithm 2
+(single-level decision), Algorithm 3 (Δ-cost probing subroutines) and
+Algorithm 4 (multi-level greedy, post-order traversal).
+
+Both primitives are *undoable*: :func:`perform_merge` /
+:func:`perform_inject` return an undo closure, which Algorithm 3's
+perform → measure → undo probing relies on.
+
+Constraint checks ("if constraints are violated" in Algorithm 3) are the
+semantic side-conditions spelled out in Definitions 9–10 plus the
+relocation-safety condition for merge: removing P1 from its position and
+re-introducing it inside the UNION moves it across any siblings between
+the two, which is only semantics-preserving when intervening OPTIONAL
+bodies share with P1 only variables that are certainly bound earlier
+(see :mod:`repro.core.betree`'s module docstring).  Inject never moves
+P1, so only Definition 10's own conditions apply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional as Opt, Set, Tuple
+
+from .betree import (
+    BENode,
+    BETree,
+    BGPNode,
+    GroupNode,
+    OptionalNode,
+    UnionNode,
+    certain_variables,
+    coalesce_siblings,
+)
+from .cost import CostModel
+
+__all__ = [
+    "perform_merge",
+    "perform_inject",
+    "can_merge",
+    "can_inject",
+    "decide_merge",
+    "decide_inject",
+    "single_level_transform",
+    "multi_level_transform",
+    "TransformReport",
+]
+
+Undo = Callable[[], None]
+
+
+class TransformReport:
+    """What the cost-driven transformer did to one tree."""
+
+    def __init__(self):
+        self.merges: int = 0
+        self.injects: int = 0
+        self.considered: int = 0
+        self.total_delta: float = 0.0
+
+    @property
+    def transformations(self) -> int:
+        return self.merges + self.injects
+
+    def __repr__(self) -> str:
+        return (
+            f"TransformReport(merges={self.merges}, injects={self.injects}, "
+            f"considered={self.considered}, total_delta={self.total_delta:.1f})"
+        )
+
+
+# ----------------------------------------------------------------------
+# condition checks
+# ----------------------------------------------------------------------
+def _relocation_safe(parent: GroupNode, source: BENode, target: BENode) -> bool:
+    """Is moving ``source`` (a BGP) to ``target``'s position safe?
+
+    Only intervening OPTIONAL siblings matter (joins commute).  For each
+    OPTIONAL strictly between the two positions, the variables the moved
+    BGP shares with the OPTIONAL body must be certainly bound by the
+    children before that OPTIONAL, *excluding* the moved node itself.
+    """
+    children = parent.children
+    source_index = children.index(source)
+    target_index = children.index(target)
+    low, high = sorted((source_index, target_index))
+    moved_vars = source.variables()
+    for index in range(low + 1, high):
+        sibling = children[index]
+        if not isinstance(sibling, OptionalNode):
+            continue
+        shared = moved_vars & sibling.variables()
+        if not shared:
+            continue
+        certain = certain_variables(
+            [c for c in children[:index] if c is not source], index
+        )
+        if not shared <= certain:
+            return False
+    return True
+
+
+def can_merge(parent: GroupNode, p1: BENode, union_node: BENode) -> bool:
+    """Definition 9's conditions plus relocation safety."""
+    if not isinstance(p1, BGPNode) or p1.is_empty():
+        return False
+    if not isinstance(union_node, UnionNode):
+        return False
+    if p1 not in parent.children or union_node not in parent.children:
+        return False
+    if p1 is union_node:
+        return False
+    has_coalescable = any(
+        bgp.coalescable_with(p1)
+        for branch in union_node.branches
+        for bgp in branch.bgp_children()
+    )
+    if not has_coalescable:
+        return False
+    return _relocation_safe(parent, p1, union_node)
+
+
+def can_inject(parent: GroupNode, p1: BENode, optional_node: BENode) -> bool:
+    """Definition 10's conditions (OPTIONAL must be to P1's right)."""
+    if not isinstance(p1, BGPNode) or p1.is_empty():
+        return False
+    if not isinstance(optional_node, OptionalNode):
+        return False
+    children = parent.children
+    if p1 not in children or optional_node not in children:
+        return False
+    if children.index(optional_node) < children.index(p1):
+        return False
+    return any(
+        bgp.coalescable_with(p1) for bgp in optional_node.group.bgp_children()
+    )
+
+
+# ----------------------------------------------------------------------
+# transformation primitives
+# ----------------------------------------------------------------------
+def _snapshot_group(group: GroupNode):
+    """Capture enough state to undo list- and pattern-level mutations.
+
+    Node objects themselves are kept (not cloned) so that references
+    held by callers — notably P1 inside Algorithm 2's loop — survive a
+    perform/undo round trip with their identity intact.
+    """
+    children = list(group.children)
+    patterns = [
+        (child, list(child.patterns))
+        for child in children
+        if isinstance(child, BGPNode)
+    ]
+    return (group, children, patterns)
+
+
+def _restore_groups(snapshots) -> None:
+    for group, children, patterns in snapshots:
+        group.children[:] = children
+        for bgp, saved in patterns:
+            bgp.patterns[:] = saved
+
+
+def perform_merge(parent: GroupNode, p1: BGPNode, union_node: UnionNode) -> Undo:
+    """Definition 9's action; returns an undo closure.
+
+    P1's patterns are inserted as the leftmost child of every UNION'ed
+    group, coalesced to maximality there, and P1's original slot becomes
+    a retained empty BGP node.
+    """
+    snapshots = [_snapshot_group(parent)]
+    snapshots.extend(_snapshot_group(branch) for branch in union_node.branches)
+    index = parent.children.index(p1)
+    parent.children[index] = BGPNode([])
+    for branch in union_node.branches:
+        branch.children.insert(0, BGPNode(list(p1.patterns)))
+        coalesce_siblings(branch)
+
+    def undo() -> None:
+        _restore_groups(snapshots)
+
+    return undo
+
+
+def perform_inject(parent: GroupNode, p1: BGPNode, optional_node: OptionalNode) -> Undo:
+    """Definition 10's action; returns an undo closure.
+
+    P1's patterns are inserted as the leftmost child of the OPTIONAL's
+    group and coalesced to maximality; P1 keeps its original occurrence.
+    """
+    snapshots = [_snapshot_group(optional_node.group)]
+    optional_node.group.children.insert(0, BGPNode(list(p1.patterns)))
+    coalesce_siblings(optional_node.group)
+
+    def undo() -> None:
+        _restore_groups(snapshots)
+
+    return undo
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3: Δ-cost probing subroutines
+# ----------------------------------------------------------------------
+def decide_merge(
+    cost_model: CostModel,
+    parent: GroupNode,
+    p1: BGPNode,
+    union_node: UnionNode,
+) -> float:
+    """DecideMerge(P1, U): Δ-cost of merging, or 0 when not applicable.
+
+    The paper enumerates coalescing-target tuples; with maximal (fix-
+    point) coalescing the outcome of a merge is unique, so a single
+    perform / measure / undo probe suffices.
+    """
+    if not can_merge(parent, p1, union_node):
+        return 0.0
+    original = cost_model.local_cost_merge(parent, p1, union_node)
+    index = parent.children.index(p1)
+    undo = perform_merge(parent, p1, union_node)
+    transformed = cost_model.local_cost_merge(
+        parent, parent.children[index], union_node
+    )
+    undo()
+    return transformed - original
+
+
+def decide_inject(
+    cost_model: CostModel,
+    parent: GroupNode,
+    p1: BGPNode,
+    optional_node: OptionalNode,
+) -> float:
+    """DecideInject(P1, O): perform the inject iff its Δ-cost < 0.
+
+    Returns the Δ-cost of the (kept or undone) transformation.
+    """
+    if not can_inject(parent, p1, optional_node):
+        return 0.0
+    original = cost_model.local_cost_inject(parent, p1, optional_node)
+    undo = perform_inject(parent, p1, optional_node)
+    transformed = cost_model.local_cost_inject(parent, p1, optional_node)
+    delta = transformed - original
+    if delta >= 0:
+        undo()
+        return 0.0
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2: single-level transformation
+# ----------------------------------------------------------------------
+def _only_bgp_on_left(parent: GroupNode, p1: BGPNode, target: BENode) -> bool:
+    """§6's special case: P1 is the only (non-empty) node left of the
+    UNION/OPTIONAL — transformation is then equivalent to candidate
+    pruning and is skipped to avoid double work."""
+    target_index = parent.children.index(target)
+    left = [
+        c
+        for c in parent.children[:target_index]
+        if not (isinstance(c, BGPNode) and c.is_empty())
+    ]
+    return left == [p1]
+
+
+def single_level_transform(
+    cost_model: CostModel,
+    parent: GroupNode,
+    report: Opt[TransformReport] = None,
+    skip_cp_equivalent: bool = False,
+) -> TransformReport:
+    """Algorithm 2: decide transformations among ``parent``'s children.
+
+    Each BGP child is probed against every sibling UNION (picking the
+    single most-negative merge, since a merged BGP disappears from its
+    slot) and against every OPTIONAL to its right (injects are mutually
+    independent, each kept iff Δ-cost < 0).
+
+    With ``skip_cp_equivalent`` (set by the *full* strategy), the §6
+    special case — a lone BGP directly feeding the operator — is left to
+    candidate pruning.
+    """
+    report = report if report is not None else TransformReport()
+    for p1 in list(parent.children):
+        if not isinstance(p1, BGPNode) or p1.is_empty():
+            continue
+        if p1 not in parent.children:  # consumed by an earlier merge
+            continue
+        best_delta = 0.0
+        best_union: Opt[UnionNode] = None
+        for child in parent.children:
+            if isinstance(child, UnionNode):
+                report.considered += 1
+                if skip_cp_equivalent and _only_bgp_on_left(parent, p1, child):
+                    continue
+                delta = decide_merge(cost_model, parent, p1, child)
+                if delta < best_delta:
+                    best_delta = delta
+                    best_union = child
+        if best_union is not None:
+            perform_merge(parent, p1, best_union)
+            report.merges += 1
+            report.total_delta += best_delta
+            continue  # P1 is gone; injects no longer apply
+        for child in list(parent.children):
+            if isinstance(child, OptionalNode):
+                report.considered += 1
+                if skip_cp_equivalent and _only_bgp_on_left(parent, p1, child):
+                    continue
+                delta = decide_inject(cost_model, parent, p1, child)
+                if delta < 0:
+                    report.injects += 1
+                    report.total_delta += delta
+    return report
+
+
+# ----------------------------------------------------------------------
+# Algorithm 4: multi-level greedy transformation
+# ----------------------------------------------------------------------
+def multi_level_transform(
+    cost_model: CostModel,
+    tree: BETree,
+    skip_cp_equivalent: bool = False,
+) -> TransformReport:
+    """Algorithm 4: post-order traversal, transforming bottom-up.
+
+    Lower levels are fully transformed before their parents, so each
+    single-level decision sees stable child costs — the greedy strategy
+    that keeps the exponential multi-level plan space tractable.
+    """
+    report = TransformReport()
+
+    def traverse(group: GroupNode) -> None:
+        for child in group.children:
+            if isinstance(child, GroupNode):
+                traverse(child)
+            elif isinstance(child, UnionNode):
+                for branch in child.branches:
+                    traverse(branch)
+            elif isinstance(child, OptionalNode):
+                traverse(child.group)
+        single_level_transform(cost_model, group, report, skip_cp_equivalent)
+
+    traverse(tree.root)
+    return report

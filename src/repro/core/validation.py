@@ -1,0 +1,101 @@
+"""BE-tree validity checking (§4.2.1's *validity* transformation goal).
+
+A transformed BE-tree must keep Definition 8's structure: group nodes
+with BGP / UNION / OPTIONAL / group children, UNION nodes with two or
+more group branches, OPTIONAL nodes with exactly one group child, BGP
+leaves whose patterns are pairwise coalescability-connected, and a
+one-to-one mapping back to a syntactically valid SPARQL query.
+
+:func:`validate_tree` raises :class:`InvalidBETreeError` with a node
+path on the first violation; the transformer's tests call it after
+every transformation, and users can call it on hand-built plans.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rdf.triple import TriplePattern
+from .betree import BENode, BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+
+__all__ = ["InvalidBETreeError", "validate_tree", "validate_node"]
+
+
+class InvalidBETreeError(ValueError):
+    """A BE-tree violating Definition 8's structural rules."""
+
+    def __init__(self, message: str, path: str):
+        super().__init__(f"{message} (at {path})")
+        self.path = path
+
+
+def validate_tree(tree: BETree) -> None:
+    """Validate a whole tree; raises :class:`InvalidBETreeError`."""
+    if not isinstance(tree.root, GroupNode):
+        raise InvalidBETreeError("root must be a group graph pattern node", "root")
+    validate_node(tree.root, "root")
+    # The tree must render back to a well-formed syntax AST (the
+    # "syntactically valid SPARQL query" half of the validity goal);
+    # GroupGraphPattern's constructor enforces element types.
+    tree.to_group()
+
+
+def validate_node(node: BENode, path: str) -> None:
+    if isinstance(node, BGPNode):
+        _validate_bgp(node, path)
+    elif isinstance(node, GroupNode):
+        for index, child in enumerate(node.children):
+            child_path = f"{path}.children[{index}]"
+            if not isinstance(child, (BGPNode, GroupNode, UnionNode, OptionalNode)):
+                raise InvalidBETreeError(
+                    f"invalid child type {type(child).__name__}", child_path
+                )
+            validate_node(child, child_path)
+    elif isinstance(node, UnionNode):
+        if len(node.branches) < 2:
+            raise InvalidBETreeError("UNION node needs >= 2 branches", path)
+        for index, branch in enumerate(node.branches):
+            branch_path = f"{path}.branches[{index}]"
+            if not isinstance(branch, GroupNode):
+                raise InvalidBETreeError("UNION branches must be group nodes", branch_path)
+            validate_node(branch, branch_path)
+    elif isinstance(node, OptionalNode):
+        if not isinstance(node.group, GroupNode):
+            raise InvalidBETreeError("OPTIONAL child must be a group node", path)
+        validate_node(node.group, f"{path}.group")
+    else:
+        raise InvalidBETreeError(f"unknown node type {type(node).__name__}", path)
+
+
+def _validate_bgp(node: BGPNode, path: str) -> None:
+    for index, pattern in enumerate(node.patterns):
+        if not isinstance(pattern, TriplePattern):
+            raise InvalidBETreeError(
+                f"BGP element {index} is not a triple pattern", path
+            )
+    if len(node.patterns) > 1:
+        _validate_connected(node, path)
+
+
+def _validate_connected(node: BGPNode, path: str) -> None:
+    """Definition 5: a BGP's patterns form one coalescability component."""
+    remaining: List[TriplePattern] = list(node.patterns)
+    component = [remaining.pop(0)]
+    component_vars = {v.name for v in component[0].join_variables()}
+    grew = True
+    while grew and remaining:
+        grew = False
+        still = []
+        for pattern in remaining:
+            joins = {v.name for v in pattern.join_variables()}
+            if joins & component_vars:
+                component.append(pattern)
+                component_vars |= joins
+                grew = True
+            else:
+                still.append(pattern)
+        remaining = still
+    if remaining:
+        raise InvalidBETreeError(
+            "BGP patterns are not coalescability-connected (Definition 5)", path
+        )

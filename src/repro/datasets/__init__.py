@@ -1,0 +1,29 @@
+"""Synthetic workloads: LUBM-like and DBpedia-like generators + the
+paper's benchmark queries."""
+
+from .dbpedia import ANCHORS, DBpediaGenerator, generate_dbpedia
+from .lubm import LUBMGenerator, generate_lubm
+from .queries import (
+    DBPEDIA_QUERIES,
+    GROUP1,
+    GROUP2,
+    INTRO_OPTIONAL_QUERY,
+    INTRO_UNION_QUERY,
+    LUBM_QUERIES,
+    QUERY_TYPES,
+)
+
+__all__ = [
+    "LUBMGenerator",
+    "generate_lubm",
+    "DBpediaGenerator",
+    "generate_dbpedia",
+    "ANCHORS",
+    "LUBM_QUERIES",
+    "DBPEDIA_QUERIES",
+    "QUERY_TYPES",
+    "GROUP1",
+    "GROUP2",
+    "INTRO_UNION_QUERY",
+    "INTRO_OPTIONAL_QUERY",
+]

@@ -1,0 +1,276 @@
+"""DBpedia-like synthetic knowledge graph (scaled-down, deterministic).
+
+The paper's real-data experiments run on DBpedia V3.9 (830 M triples).
+This generator reproduces the *statistical shape* the benchmark queries
+depend on, at laptop scale:
+
+- a heavy-tailed ``dbo:wikiPageWikiLink`` graph (the low-selectivity
+  predicate that dominates DBpedia and blows up naive plans);
+- named anchor resources with concentrated in-links
+  (``dbr:Economic_system``, ``dbr:Abdul_Rahim_Wardak``,
+  ``dbr:Category:Cell_biology``, …) giving the high-selectivity
+  patterns the transformations exploit;
+- the diverse-representation split (``foaf:name`` vs ``rdfs:label``,
+  ``purl:subject`` vs ``skos:subject``) motivating UNION;
+- incomplete attributes (``owl:sameAs``, ``foaf:homepage``,
+  ``dbo:thumbnail``, …) motivating OPTIONAL;
+- typed sub-populations (persons, populated places, soccer players,
+  airports, settlements, companies, species) for the q2.* workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from ..rdf.dataset import Dataset
+from ..rdf.namespaces import DBO, DBP, DBR, FOAF, GEO, GEORSS, NSPROV, OWL, PURL, RDF, RDFS, SKOS
+from ..rdf.terms import IRI, Literal
+from ..rdf.triple import Triple
+
+__all__ = ["DBpediaGenerator", "generate_dbpedia", "ANCHORS"]
+
+#: Anchor resources the benchmark queries reference by IRI.
+ANCHORS = (
+    "Economic_system",
+    "Air_masses",
+    "Functional_neuroimaging",
+    "Abdul_Rahim_Wardak",
+    "Category:Cell_biology",
+    "President_of_the_United_States",
+)
+
+_XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+class DBpediaGenerator:
+    """Deterministic DBpedia-style generator.
+
+    ``articles`` controls overall size (every article contributes ~8–12
+    triples).  Sub-populations are fixed fractions of the article count.
+    """
+
+    def __init__(self, articles: int = 2000, seed: int = 7, anchor_fanin: int = 40):
+        if articles < 200:
+            raise ValueError("need at least 200 articles for the sub-populations")
+        self.articles = articles
+        self.seed = seed
+        self.anchor_fanin = anchor_fanin
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def article_iri(index: int) -> IRI:
+        return DBR.term(f"Entity_{index}")
+
+    @staticmethod
+    def category_iri(index: int) -> IRI:
+        return DBR.term(f"Category:Topic_{index}")
+
+    @staticmethod
+    def wikipage_iri(name: str) -> IRI:
+        return IRI(f"http://en.wikipedia.org/wiki/{name}")
+
+    @staticmethod
+    def external_iri(index: int) -> IRI:
+        return IRI(f"http://www.freebase.example/m/{index:06d}")
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Dataset:
+        dataset = Dataset()
+        dataset.update(self.triples())
+        return dataset
+
+    def triples(self) -> Iterator[Triple]:
+        rng = random.Random(self.seed)
+        n = self.articles
+        entities: List[IRI] = [self.article_iri(i) for i in range(n)]
+        anchors = [DBR.term(name) for name in ANCHORS]
+        all_articles = entities + anchors
+        categories = [self.category_iri(i) for i in range(max(n // 10, 20))]
+
+        yield from self._categories(categories, rng)
+        yield from self._article_core(all_articles, categories, rng)
+        yield from self._wikilink_graph(all_articles, anchors, rng)
+        yield from self._sub_populations(entities, rng)
+
+    # ------------------------------------------------------------------
+    def _categories(self, categories: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        for index, category in enumerate(categories):
+            yield Triple(category, RDFS.label, Literal(f"Topic {index}", language="en"))
+            if index % 2 == 0:
+                yield Triple(category, FOAF.name, Literal(f"Topic {index}"))
+            if index % 2 == 0:
+                yield Triple(category, OWL.sameAs, self.external_iri(900000 + index))
+                yield Triple(category, RDF.type, SKOS.Concept)
+            if index % 2 == 0 and index + 1 < len(categories):
+                yield Triple(categories[index + 1], SKOS.related, category)
+
+    def _article_core(
+        self, articles: List[IRI], categories: List[IRI], rng: random.Random
+    ) -> Iterator[Triple]:
+        for index, article in enumerate(articles):
+            name = article.value.rsplit("/", 1)[-1]
+            yield Triple(article, RDFS.label, Literal(name.replace("_", " "), language="en"))
+            # Diverse representation: roughly half also carry foaf:name.
+            if index % 2 == 0:
+                yield Triple(article, FOAF.name, Literal(name.replace("_", " ")))
+            # Provenance: every article derives from its wiki page.
+            page = self.wikipage_iri(name)
+            yield Triple(article, NSPROV.wasDerivedFrom, page)
+            # Wiki page topic pairing (both directions exist in DBpedia).
+            yield Triple(article, FOAF.isPrimaryTopicOf, page)
+            yield Triple(page, FOAF.primaryTopic, article)
+            # Categorization: purl:subject usually, skos:subject sometimes
+            # (the diverse-representation split of q1.1/q1.2's UNIONs).
+            category = categories[index % len(categories)]
+            if index % 5 != 0:
+                yield Triple(article, PURL.subject, category)
+            else:
+                yield Triple(article, SKOS.subject, category)
+            if index % 7 == 0:
+                yield Triple(article, SKOS.prefLabel, Literal(name.replace("_", " "), language="en"))
+            # Incompleteness: only a third have external sameAs links.
+            if index % 3 == 0:
+                yield Triple(article, OWL.sameAs, self.external_iri(index))
+                yield Triple(article, DBO.wikiPageLength, Literal(str(1000 + index), datatype=_XSD_INT))
+            # Redirect stubs: a redirect points at its target, links it,
+            # and shares the target's wiki page (as DBpedia extraction
+            # does for redirected titles) — so a page can be the primary
+            # topic of several resources, which q1.3/q1.6 rely on.
+            if index % 6 == 0 or name in ANCHORS:
+                redirect = DBR.term(f"Redirect_{index}")
+                yield Triple(redirect, DBO.wikiPageRedirects, article)
+                yield Triple(redirect, DBO.wikiPageWikiLink, article)
+                yield Triple(redirect, RDFS.label, Literal(f"Redirect {index}", language="en"))
+                yield Triple(redirect, FOAF.isPrimaryTopicOf, page)
+                yield Triple(page, FOAF.primaryTopic, redirect)
+
+    def _wikilink_graph(
+        self, articles: List[IRI], anchors: List[IRI], rng: random.Random
+    ) -> Iterator[Triple]:
+        count = len(articles)
+        # Heavy-tailed out-degree: most articles link a handful of
+        # targets, a few link dozens (Zipf-ish via paretovariate).
+        for article in articles:
+            out_degree = min(int(rng.paretovariate(1.6)) + 2, 40)
+            for _ in range(out_degree):
+                target = articles[rng.randrange(count)]
+                if target is not article:
+                    yield Triple(article, DBO.wikiPageWikiLink, target)
+        # Concentrated in-links for the anchors the queries select on.
+        for anchor in anchors:
+            linkers = rng.sample(range(count - len(anchors)), k=self.anchor_fanin)
+            for index in linkers:
+                yield Triple(articles[index], DBO.wikiPageWikiLink, anchor)
+
+    # ------------------------------------------------------------------
+    def _sub_populations(self, entities: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        n = len(entities)
+        persons = entities[: n // 8]
+        places = entities[n // 8 : n // 4]
+        players = entities[n // 4 : n // 4 + n // 16]
+        airports = entities[n // 4 + n // 16 : n // 4 + n // 8]
+        companies = entities[n // 4 + n // 8 : n // 2 - n // 16]
+        species = entities[n // 2 - n // 16 : n // 2]
+
+        yield from self._persons(persons, rng)
+        yield from self._places(places, rng)
+        yield from self._players(players, places, rng)
+        yield from self._airports(airports, places, rng)
+        yield from self._companies(companies, places, rng)
+        yield from self._species(species, rng)
+
+    def _persons(self, persons: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        for index, person in enumerate(persons):
+            yield Triple(person, RDF.type, DBO.Person)
+            if index % 2 == 0:
+                yield Triple(person, DBO.thumbnail, IRI(f"http://img.example/{person.value[-6:]}.png"))
+            if index % 3 == 0:
+                yield Triple(person, FOAF.homepage, IRI(f"http://home.example/{index}"))
+            if index % 4 == 0:
+                yield Triple(person, RDFS.comment, Literal(f"Comment {index}", language="en"))
+            yield Triple(person, FOAF.page, self.wikipage_iri(f"Person_{index}"))
+
+    def _places(self, places: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        for index, place in enumerate(places):
+            yield Triple(place, RDF.type, DBO.PopulatedPlace)
+            if index % 2 == 0:
+                yield Triple(place, RDF.type, DBO.Settlement)
+            yield Triple(place, DBO.abstract, Literal(f"A place number {index}.", language="en"))
+            yield Triple(place, GEO.lat, Literal(f"{index % 90}.5"))
+            yield Triple(place, GEO.long, Literal(f"{index % 180}.25"))
+            if index % 3 == 0:
+                yield Triple(place, FOAF.depiction, IRI(f"http://img.example/place{index}.jpg"))
+            if index % 4 == 0:
+                yield Triple(place, FOAF.homepage, IRI(f"http://city.example/{index}"))
+            if index % 5 == 0:
+                yield Triple(place, DBO.populationTotal, Literal(str(1000 * (index + 1)), datatype=_XSD_INT))
+            if index % 2 == 0:
+                yield Triple(place, DBO.thumbnail, IRI(f"http://img.example/thumb{index}.png"))
+
+    def _players(self, players: List[IRI], places: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        positions = ["Goalkeeper", "Defender", "Midfielder", "Forward"]
+        for index, player in enumerate(players):
+            yield Triple(player, RDF.type, DBO.SoccerPlayer)
+            yield Triple(player, FOAF.homepage, IRI(f"http://players.example/{index}"))
+            yield Triple(player, DBP.position, Literal(positions[index % 4]))
+            club = DBR.term(f"Club_{index % 25}")
+            yield Triple(player, DBP.clubs, club)
+            yield Triple(club, DBO.capacity, Literal(str(10000 + 500 * (index % 25)), datatype=_XSD_INT))
+            yield Triple(player, DBO.birthPlace, places[index % len(places)])
+            if index % 3 == 0:
+                yield Triple(player, DBO.number, Literal(str(index % 30), datatype=_XSD_INT))
+
+    def _airports(self, airports: List[IRI], places: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        settlements = [p for i, p in enumerate(places) if i % 2 == 0]
+        for index, airport in enumerate(airports):
+            yield Triple(airport, RDF.type, DBO.Airport)
+            city = settlements[index % len(settlements)]
+            yield Triple(airport, DBO.city, city)
+            yield Triple(airport, DBP.iata, Literal(f"A{index:02d}"[:3].upper()))
+            if index % 2 == 0:
+                yield Triple(airport, FOAF.homepage, IRI(f"http://airport.example/{index}"))
+            if index % 3 == 0:
+                yield Triple(airport, DBP.nativename, Literal(f"Aeropuerto {index}"))
+
+    def _companies(self, companies: List[IRI], places: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        for index, company in enumerate(companies):
+            yield Triple(company, RDFS.comment, Literal(f"A company, number {index}.", language="en"))
+            yield Triple(company, FOAF.page, self.wikipage_iri(f"Company_{index}"))
+            if index % 2 == 0:
+                yield Triple(company, DBP.industry, Literal(f"Industry{index % 12}"))
+            if index % 3 == 0:
+                yield Triple(company, DBP.location, places[index % len(places)])
+            if index % 4 == 0:
+                yield Triple(company, DBP.locationCountry, DBR.term(f"Country_{index % 30}"))
+            if index % 5 == 0:
+                yield Triple(company, DBP.locationCity, places[(index * 3) % len(places)])
+                product = DBR.term(f"Product_{index}")
+                yield Triple(product, DBP.manufacturer, company)
+            if index % 6 == 0:
+                yield Triple(company, DBP.products, Literal(f"Product line {index}"))
+                vehicle = DBR.term(f"Vehicle_{index}")
+                yield Triple(vehicle, DBP.model, company)
+            if index % 7 == 0:
+                yield Triple(company, GEORSS.point, Literal(f"{index % 90}.0 {index % 180}.0"))
+            if index % 2 == 0:
+                yield Triple(company, RDF.type, DBO.Company)
+
+    def _species(self, species: List[IRI], rng: random.Random) -> Iterator[Triple]:
+        if not species:
+            return
+        phyla = species[: max(len(species) // 10, 1)]
+        cell_biology = DBR.term("Category:Cell_biology")
+        for index, organism in enumerate(species):
+            phylum = phyla[index % len(phyla)]
+            if organism is not phylum:
+                yield Triple(organism, DBO.phylum, phylum)
+            # Species articles link into the Cell_biology category page,
+            # giving q1.6's anchor a typed neighbourhood.
+            if index % 2 == 0:
+                yield Triple(organism, DBO.wikiPageWikiLink, cell_biology)
+
+
+def generate_dbpedia(articles: int = 2000, seed: int = 7, **kwargs) -> Dataset:
+    """Generate a DBpedia-like dataset (convenience wrapper)."""
+    return DBpediaGenerator(articles=articles, seed=seed, **kwargs).generate()

@@ -1,0 +1,224 @@
+"""LUBM-like synthetic university dataset (scaled-down, deterministic).
+
+The paper evaluates on LUBM at 0.5–2 billion triples; this generator
+reproduces LUBM's *structure* — universities containing departments
+containing faculty, students, courses, research groups and publications,
+wired with the univ-bench ontology predicates — at laptop scale.  The
+scale knob is ``universities`` (LUBM's own scaling factor).
+
+Two properties matter for reproducing the paper's query behaviour and
+are guaranteed here:
+
+1. **Named individuals exist.**  The benchmark queries reference fixed
+   IRIs/emails (e.g. ``…Department1.University0.edu/UndergraduateStudent363``,
+   ``…Department0.University12.edu``).  University0 always has 15
+   departments, departments 0/1/12 of University0 are *large* (400
+   undergraduates), and q2.5/q2.6 need ``universities >= 13``.
+2. **Selectivity contrast.**  Per-student attribute predicates
+   (emailAddress, name, takesCourse) are high-volume / low-selectivity,
+   while constant-anchored patterns (a fixed student's memberOf) are
+   highly selective — the contrast the merge/inject/pruning decisions
+   key on, mirroring full-scale LUBM.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from ..rdf.dataset import Dataset
+from ..rdf.namespaces import RDF, UB
+from ..rdf.terms import IRI, Literal
+from ..rdf.triple import Triple
+
+__all__ = ["LUBMGenerator", "generate_lubm"]
+
+#: Departments of University0 that benchmark queries address by name and
+#: that therefore must contain at least 400 undergraduates.
+LARGE_DEPARTMENTS = (0, 1, 12)
+
+
+class LUBMGenerator:
+    """Deterministic LUBM-style generator.
+
+    Sizing defaults (per department): 8 faculty (4 full / 2 associate /
+    2 assistant professors), 8 graduate students, 25 undergraduates
+    (400 in the large departments), 10 courses, 2 research groups.
+    """
+
+    def __init__(
+        self,
+        universities: int = 1,
+        seed: int = 42,
+        departments_university0: int = 15,
+        departments_other: int = 5,
+        undergrads_large: int = 400,
+        undergrads_small: int = 25,
+        grads_per_department: int = 8,
+        faculty_per_department: int = 8,
+        courses_per_department: int = 10,
+        research_groups_per_department: int = 2,
+    ):
+        if universities < 1:
+            raise ValueError("need at least one university")
+        if undergrads_large < 400:
+            raise ValueError(
+                "undergrads_large must be >= 400 so the named students "
+                "(e.g. UndergraduateStudent363) exist"
+            )
+        self.universities = universities
+        self.seed = seed
+        self.departments_university0 = departments_university0
+        self.departments_other = departments_other
+        self.undergrads_large = undergrads_large
+        self.undergrads_small = undergrads_small
+        self.grads_per_department = grads_per_department
+        self.faculty_per_department = faculty_per_department
+        self.courses_per_department = courses_per_department
+        self.research_groups_per_department = research_groups_per_department
+
+    # ------------------------------------------------------------------
+    # IRI scheme (LUBM's own)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def university_iri(u: int) -> IRI:
+        return IRI(f"http://www.University{u}.edu")
+
+    @staticmethod
+    def department_iri(u: int, d: int) -> IRI:
+        return IRI(f"http://www.Department{d}.University{u}.edu")
+
+    @staticmethod
+    def member_iri(u: int, d: int, kind: str, index: int) -> IRI:
+        return IRI(f"http://www.Department{d}.University{u}.edu/{kind}{index}")
+
+    @staticmethod
+    def email(u: int, d: int, kind: str, index: int) -> Literal:
+        return Literal(f"{kind}{index}@Department{d}.University{u}.edu")
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def triples(self) -> Iterator[Triple]:
+        rng = random.Random(self.seed)
+        for u in range(self.universities):
+            yield from self._university(u, rng)
+
+    def generate(self) -> Dataset:
+        dataset = Dataset()
+        dataset.update(self.triples())
+        return dataset
+
+    def _departments_of(self, u: int) -> int:
+        return self.departments_university0 if u == 0 else self.departments_other
+
+    def _undergrads_of(self, u: int, d: int) -> int:
+        if u == 0 and d in LARGE_DEPARTMENTS:
+            return self.undergrads_large
+        return self.undergrads_small
+
+    def _university(self, u: int, rng: random.Random) -> Iterator[Triple]:
+        univ = self.university_iri(u)
+        yield Triple(univ, RDF.type, UB.University)
+        yield Triple(univ, UB.name, Literal(f"University{u}"))
+        for d in range(self._departments_of(u)):
+            yield from self._department(u, d, rng)
+
+    def _department(self, u: int, d: int, rng: random.Random) -> Iterator[Triple]:
+        univ = self.university_iri(u)
+        dept = self.department_iri(u, d)
+        yield Triple(dept, RDF.type, UB.Department)
+        yield Triple(dept, UB.name, Literal(f"Department{d}"))
+        yield Triple(dept, UB.subOrganizationOf, univ)
+
+        for g in range(self.research_groups_per_department):
+            group = self.member_iri(u, d, "ResearchGroup", g)
+            yield Triple(group, RDF.type, UB.ResearchGroup)
+            yield Triple(group, UB.subOrganizationOf, dept)
+
+        courses = [
+            self.member_iri(u, d, "Course", c)
+            for c in range(self.courses_per_department)
+        ]
+        for c, course in enumerate(courses):
+            yield Triple(course, RDF.type, UB.Course)
+            yield Triple(course, UB.name, Literal(f"Course{c}"))
+
+        faculty = yield from self._faculty(u, d, dept, univ, courses, rng)
+        yield from self._graduates(u, d, dept, univ, courses, faculty, rng)
+        yield from self._undergraduates(u, d, dept, univ, courses, faculty, rng)
+
+    def _faculty(self, u, d, dept, univ, courses, rng) -> Iterator[Triple]:
+        members: List[IRI] = []
+        ranks = (
+            ["FullProfessor"] * 4 + ["AssociateProfessor"] * 2 + ["AssistantProfessor"] * 2
+        )
+        for f in range(self.faculty_per_department):
+            rank = ranks[f % len(ranks)]
+            prof = self.member_iri(u, d, rank, f)
+            members.append(prof)
+            yield Triple(prof, RDF.type, UB.term(rank))
+            yield Triple(prof, UB.worksFor, dept)
+            yield Triple(prof, UB.name, Literal(f"{rank}{f}"))
+            yield Triple(prof, UB.emailAddress, self.email(u, d, rank, f))
+            yield Triple(prof, UB.telephone, Literal(f"555-{u:02d}{d:02d}-{f:04d}"))
+            degree_univ = self.university_iri(rng.randrange(self.universities))
+            yield Triple(prof, UB.undergraduateDegreeFrom, degree_univ)
+            yield Triple(prof, UB.doctoralDegreeFrom, self.university_iri(rng.randrange(self.universities)))
+            yield Triple(prof, UB.researchInterest, Literal(f"Research{(f + d) % 20}"))
+            taught = rng.sample(courses, k=min(2, len(courses)))
+            for course in taught:
+                yield Triple(prof, UB.teacherOf, course)
+            for p in range(2):
+                publication = self.member_iri(u, d, f"Publication{f}_", p)
+                yield Triple(publication, RDF.type, UB.Publication)
+                yield Triple(publication, UB.publicationAuthor, prof)
+            if f == 0:
+                yield Triple(prof, UB.headOf, dept)
+        return members
+
+    def _graduates(self, u, d, dept, univ, courses, faculty, rng) -> Iterator[Triple]:
+        for g in range(self.grads_per_department):
+            student = self.member_iri(u, d, "GraduateStudent", g)
+            yield Triple(student, RDF.type, UB.GraduateStudent)
+            yield Triple(student, UB.memberOf, dept)
+            yield Triple(student, UB.name, Literal(f"GraduateStudent{g}"))
+            yield Triple(student, UB.emailAddress, self.email(u, d, "GraduateStudent", g))
+            yield Triple(student, UB.telephone, Literal(f"555-{u:02d}{d:02d}-9{g:03d}"))
+            yield Triple(
+                student, UB.undergraduateDegreeFrom,
+                self.university_iri(rng.randrange(self.universities)),
+            )
+            advisor = faculty[g % len(faculty)]
+            yield Triple(student, UB.advisor, advisor)
+            for course in rng.sample(courses, k=min(2, len(courses))):
+                yield Triple(student, UB.takesCourse, course)
+            # Every other graduate assists a course they do not take.
+            if g % 2 == 0:
+                yield Triple(student, UB.teachingAssistantOf, courses[g % len(courses)])
+            # One publication co-authored with the advisor (q2.2/q2.3
+            # join publications on student and professor authorship).
+            publication = self.member_iri(u, d, f"GradPublication{g}_", 0)
+            yield Triple(publication, RDF.type, UB.Publication)
+            yield Triple(publication, UB.publicationAuthor, student)
+            yield Triple(publication, UB.publicationAuthor, advisor)
+
+    def _undergraduates(self, u, d, dept, univ, courses, faculty, rng) -> Iterator[Triple]:
+        for s in range(self._undergrads_of(u, d)):
+            student = self.member_iri(u, d, "UndergraduateStudent", s)
+            yield Triple(student, RDF.type, UB.UndergraduateStudent)
+            yield Triple(student, UB.memberOf, dept)
+            yield Triple(student, UB.name, Literal(f"UndergraduateStudent{s}"))
+            yield Triple(
+                student, UB.emailAddress, self.email(u, d, "UndergraduateStudent", s)
+            )
+            for course in rng.sample(courses, k=min(2, len(courses))):
+                yield Triple(student, UB.takesCourse, course)
+            # A minority of undergraduates have a (student) advisor.
+            if s % 5 == 0:
+                yield Triple(student, UB.advisor, faculty[s % len(faculty)])
+
+
+def generate_lubm(universities: int = 1, seed: int = 42, **kwargs) -> Dataset:
+    """Generate a LUBM-like dataset (convenience wrapper)."""
+    return LUBMGenerator(universities=universities, seed=seed, **kwargs).generate()

@@ -1,0 +1,302 @@
+"""The paper's benchmark queries (Appendix A), transcribed verbatim.
+
+Two groups per dataset:
+
+- **Group 1** (q1.1–q1.6): the paper's own SPARQL-UO mini-benchmark —
+  mixed UNION/OPTIONAL queries of varying BGP count and nesting depth
+  (Tables 3–4, Figures 10–12).
+- **Group 2** (q2.1–q2.6): the OPTIONAL-only queries from LBR's own
+  evaluation, used for the state-of-the-art comparison (Figure 13).
+
+Prefix declarations (the appendix's Listings 1 and 14) are pre-loaded
+into the parser via ``repro.rdf.namespaces.WELL_KNOWN_PREFIXES``, so the
+query texts here start directly at SELECT, like the listings do.
+
+``QUERY_TYPES`` mirrors the *Type* column of Tables 3–4 (U = UNION only,
+O = OPTIONAL only, UO = both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "LUBM_QUERIES",
+    "DBPEDIA_QUERIES",
+    "QUERY_TYPES",
+    "GROUP1",
+    "GROUP2",
+    "INTRO_UNION_QUERY",
+    "INTRO_OPTIONAL_QUERY",
+]
+
+GROUP1: List[str] = ["q1.1", "q1.2", "q1.3", "q1.4", "q1.5", "q1.6"]
+GROUP2: List[str] = ["q2.1", "q2.2", "q2.3", "q2.4", "q2.5", "q2.6"]
+
+LUBM_QUERIES: Dict[str, str] = {
+    # Listing 2
+    "q1.1": """
+SELECT * WHERE {
+  { ?v2 ub:headOf ?v1 . } UNION { ?v2 ub:worksFor ?v1 . }
+  ?v2 ub:undergraduateDegreeFrom ?v3 .
+  ?v4 ub:doctoralDegreeFrom ?v3 .
+  ?v5 ub:publicationAuthor ?v2 .
+  { ?v6 ub:headOf ?v1 . } UNION { ?v6 ub:worksFor ?v1 . }
+  { ?v2 ub:headOf ?v7 . } UNION { ?v2 ub:worksFor ?v7 . }
+  <http://www.Department0.University0.edu/UndergraduateStudent91> ub:memberOf ?v1 .
+  ?v7 ub:name ?v8 . }
+""",
+    # Listing 3
+    "q1.2": """
+SELECT * WHERE {
+  ?v3 ub:emailAddress "UndergraduateStudent91@Department0.University0.edu" .
+  ?v2 ub:emailAddress ?v1 .
+  OPTIONAL { ?v2 ub:teacherOf ?v4 . ?v3 ub:takesCourse ?v4 . } }
+""",
+    # Listing 4
+    "q1.3": """
+SELECT * WHERE {
+  <http://www.Department1.University0.edu/UndergraduateStudent363> ub:takesCourse ?v1 .
+  OPTIONAL { ?v2 ub:teachingAssistantOf ?v1 .
+    OPTIONAL { ?v2 ub:memberOf ?v3 .
+      ?v4 ub:subOrganizationOf ?v3 .
+      ?v4 ub:subOrganizationOf ?v5 .
+      ?v4 rdf:type ?v6 .
+      OPTIONAL { ?v5 ub:subOrganizationOf ?v7 . } } } }
+""",
+    # Listing 5
+    "q1.4": """
+SELECT * WHERE {
+  ?v1 ub:emailAddress "UndergraduateStudent309@Department12.University0.edu" .
+  OPTIONAL { ?v1 ub:memberOf ?v2 . ?v2 ub:name ?v3 .
+    OPTIONAL { ?v5 ub:publicationAuthor ?v4 . ?v4 ub:worksFor ?v2 .
+      OPTIONAL { ?v6 ub:publicationAuthor ?v4 . } } } }
+""",
+    # Listing 6
+    "q1.5": """
+SELECT * WHERE {
+  { ?v2 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?v3 . }
+  UNION
+  { ?v2 ub:name ?v4 . }
+  <http://www.Department0.University0.edu/UndergraduateStudent356> ub:memberOf ?v1 .
+  ?v2 ub:worksFor ?v1 .
+  OPTIONAL { ?v5 ub:advisor ?v2 .
+    OPTIONAL { ?v5 ub:teachingAssistantOf ?v6 . } }
+  OPTIONAL { ?v7 ub:advisor ?v2 . } }
+""",
+    # Listing 7
+    "q1.6": """
+SELECT * WHERE {
+  ?v4 ub:headOf ?v1 .
+  <http://www.Department1.University0.edu/UndergraduateStudent256> ub:memberOf ?v1 .
+  ?v3 ub:subOrganizationOf ?v5 .
+  { ?v2 ub:worksFor ?v1 . } UNION { ?v2 ub:headOf ?v1 . }
+  { ?v2 ub:worksFor ?v3 . } UNION { ?v2 ub:headOf ?v3 . }
+  OPTIONAL { ?v6 ub:publicationAuthor ?v2 . }
+  OPTIONAL { { ?v7 ub:headOf ?v1 . } UNION { ?v7 ub:worksFor ?v1 . } } }
+""",
+    # Listing 8
+    "q2.1": """
+SELECT * WHERE {
+  { ?st ub:teachingAssistantOf ?course .
+    OPTIONAL { ?st ub:takesCourse ?course2 . ?pub1 ub:publicationAuthor ?st . } }
+  { ?prof ub:teacherOf ?course . ?st ub:advisor ?prof .
+    OPTIONAL { ?prof ub:researchInterest ?resint . ?pub2 ub:publicationAuthor ?prof . } } }
+""",
+    # Listing 9
+    "q2.2": """
+SELECT * WHERE {
+  { ?pub rdf:type ub:Publication . ?pub ub:publicationAuthor ?st . ?pub ub:publicationAuthor ?prof .
+    OPTIONAL { ?st ub:emailAddress ?ste . ?st ub:telephone ?sttel . } }
+  { ?st ub:undergraduateDegreeFrom ?univ . ?dept ub:subOrganizationOf ?univ .
+    OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } }
+  { ?st ub:memberOf ?dept . ?prof ub:worksFor ?dept .
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ1 . ?prof ub:researchInterest ?resint1 . } } }
+""",
+    # Listing 10
+    "q2.3": """
+SELECT * WHERE {
+  { ?pub ub:publicationAuthor ?st . ?pub ub:publicationAuthor ?prof .
+    ?st rdf:type ub:GraduateStudent .
+    OPTIONAL { ?st ub:undergraduateDegreeFrom ?univ1 . ?st ub:telephone ?sttel . } }
+  { ?st ub:advisor ?prof .
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ . ?prof ub:researchInterest ?resint . } }
+  { ?st ub:memberOf ?dept . ?prof ub:worksFor ?dept . ?prof rdf:type ub:FullProfessor .
+    OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } } }
+""",
+    # Listing 11
+    "q2.4": """
+SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University0.edu> .
+  ?x rdf:type ub:FullProfessor .
+  OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . } }
+""",
+    # Listing 12
+    "q2.5": """
+SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University12.edu> .
+  ?x rdf:type ub:FullProfessor .
+  OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . } }
+""",
+    # Listing 13
+    "q2.6": """
+SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University12.edu> .
+  ?x rdf:type ub:FullProfessor .
+  OPTIONAL { ?x ub:emailAddress ?y1 . ?x ub:telephone ?y2 . ?x ub:name ?y3 . } }
+""",
+}
+
+DBPEDIA_QUERIES: Dict[str, str] = {
+    # Listing 15
+    "q1.1": """
+SELECT * WHERE {
+  { ?v3 rdfs:label ?v7 . } UNION { ?v3 foaf:name ?v7 . }
+  { ?v1 purl:subject ?v3 . } UNION { ?v3 skos:subject ?v1 . }
+  ?v3 rdfs:label ?v4 .
+  ?v5 nsprov:wasDerivedFrom ?v2 .
+  ?v1 owl:sameAs ?v6 .
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system .
+  ?v1 nsprov:wasDerivedFrom ?v2 . }
+""",
+    # Listing 16
+    "q1.2": """
+SELECT * WHERE {
+  { ?v3 purl:subject ?v5 . OPTIONAL { ?v5 rdfs:label ?v6 } }
+  UNION
+  { ?v5 skos:subject ?v3 . OPTIONAL { ?v5 foaf:name ?v6 } }
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system .
+  ?v1 nsprov:wasDerivedFrom ?v2 .
+  ?v3 dbo:wikiPageWikiLink ?v4 .
+  ?v3 nsprov:wasDerivedFrom ?v2 . }
+""",
+    # Listing 17
+    "q1.3": """
+SELECT * WHERE {
+  dbr:Air_masses foaf:isPrimaryTopicOf ?v1 .
+  ?v2 foaf:isPrimaryTopicOf ?v1 .
+  OPTIONAL {
+    ?v2 dbo:wikiPageRedirects ?v3 . ?v4 foaf:primaryTopic ?v2 .
+    OPTIONAL {
+      ?v5 dbo:wikiPageWikiLink ?v3 .
+      OPTIONAL { ?v6 dbo:wikiPageRedirects ?v5 .
+        OPTIONAL { ?v6 dbo:wikiPageWikiLink ?v7 . } } } } }
+""",
+    # Listing 18
+    "q1.4": """
+SELECT * WHERE {
+  dbr:Functional_neuroimaging purl:subject ?v1 .
+  OPTIONAL {
+    ?v1 owl:sameAs ?v2 . ?v1 rdf:type ?v3 . ?v4 owl:sameAs ?v2 . ?v5 skos:related ?v4 .
+    OPTIONAL { ?v6 skos:related ?v4 . }
+    OPTIONAL {
+      { ?v7 purl:subject ?v1 . } UNION { ?v1 skos:subject ?v7 . }
+      OPTIONAL {
+        { ?v7 purl:subject ?v8 . } UNION { ?v8 skos:subject ?v7 . } } } } }
+""",
+    # Listing 19
+    "q1.5": """
+SELECT * WHERE {
+  { ?v2 purl:subject ?v3 . } UNION { ?v2 dbo:wikiPageWikiLink ?v4 . }
+  ?v1 dbo:wikiPageWikiLink dbr:Abdul_Rahim_Wardak .
+  ?v2 dbo:wikiPageWikiLink ?v1 .
+  OPTIONAL { ?v5 owl:sameAs ?v2 .
+    OPTIONAL { ?v5 dbo:wikiPageLength ?v6 . } }
+  OPTIONAL { ?v2 skos:prefLabel ?v7 . } }
+""",
+    # Listing 20
+    "q1.6": """
+SELECT * WHERE {
+  { ?v2 foaf:primaryTopic ?v1 . } UNION { ?v1 foaf:isPrimaryTopicOf ?v2 . }
+  { ?v2 foaf:primaryTopic ?v3 . } UNION { ?v3 foaf:isPrimaryTopicOf ?v2 . }
+  ?v1 dbo:wikiPageWikiLink dbr:Category:Cell_biology .
+  ?v3 dbo:wikiPageWikiLink ?v1 .
+  OPTIONAL {
+    { ?v2 foaf:primaryTopic ?v4 . } UNION { ?v4 foaf:isPrimaryTopicOf ?v2 . } }
+  OPTIONAL { ?v5 dbo:phylum ?v3 . ?v6 dbo:phylum ?v3 .
+    OPTIONAL {
+      { ?v7 foaf:primaryTopic ?v5 . } UNION { ?v5 foaf:isPrimaryTopicOf ?v7 . } } } }
+""",
+    # Listing 21
+    "q2.1": """
+SELECT * WHERE {
+  { ?v6 a dbo:PopulatedPlace . ?v6 dbo:abstract ?v1 .
+    ?v6 rdfs:label ?v2 . ?v6 geo:lat ?v3 . ?v6 geo:long ?v4 .
+    OPTIONAL { ?v6 foaf:depiction ?v8 . } }
+  OPTIONAL { ?v6 foaf:homepage ?v10 . }
+  OPTIONAL { ?v6 dbo:populationTotal ?v12 . }
+  OPTIONAL { ?v6 dbo:thumbnail ?v14 . } }
+""",
+    # Listing 22
+    "q2.2": """
+SELECT * WHERE {
+  ?v3 foaf:homepage ?v0 . ?v3 a dbo:SoccerPlayer . ?v3 dbp:position ?v6 .
+  ?v3 dbp:clubs ?v8 . ?v8 dbo:capacity ?v1 . ?v3 dbo:birthPlace ?v5 .
+  OPTIONAL { ?v3 dbo:number ?v9 . } }
+""",
+    # Listing 23
+    "q2.3": """
+SELECT * WHERE {
+  ?v5 dbo:thumbnail ?v4 . ?v5 rdf:type dbo:Person . ?v5 rdfs:label ?v .
+  ?v5 foaf:homepage ?v8 .
+  OPTIONAL { ?v5 foaf:homepage ?v10 . } }
+""",
+    # Listing 24
+    "q2.4": """
+SELECT * WHERE {
+  { ?v2 a dbo:Settlement . ?v2 rdfs:label ?v . ?v6 a dbo:Airport .
+    ?v6 dbo:city ?v2 . ?v6 dbp:iata ?v5 .
+    OPTIONAL { ?v6 foaf:homepage ?v7 . } }
+  OPTIONAL { ?v6 dbp:nativename ?v8 . } }
+""",
+    # Listing 25
+    "q2.5": """
+SELECT * WHERE {
+  ?v4 skos:subject ?v . ?v4 foaf:name ?v6 .
+  OPTIONAL { ?v4 rdfs:comment ?v8 . } }
+""",
+    # Listing 26
+    "q2.6": """
+SELECT * WHERE {
+  ?v0 rdfs:comment ?v1 . ?v0 foaf:page ?v .
+  OPTIONAL { ?v0 skos:subject ?v6 . }
+  OPTIONAL { ?v0 dbp:industry ?v5 . }
+  OPTIONAL { ?v0 dbp:location ?v2 . }
+  OPTIONAL { ?v0 dbp:locationCountry ?v3 . }
+  OPTIONAL { ?v0 dbp:locationCity ?v9 . ?a dbp:manufacturer ?v0 . }
+  OPTIONAL { ?v0 dbp:products ?v11 . ?b dbp:model ?v0 . }
+  OPTIONAL { ?v0 georss:point ?v10 . }
+  OPTIONAL { ?v0 rdf:type ?v7 . } }
+""",
+}
+
+#: Type column of Tables 3–4 (U / O / UO), identical for both datasets
+#: in group 2 (all OPTIONAL-only there).
+QUERY_TYPES: Dict[str, Dict[str, str]] = {
+    "lubm": {
+        "q1.1": "U", "q1.2": "O", "q1.3": "O", "q1.4": "O", "q1.5": "UO", "q1.6": "UO",
+        "q2.1": "O", "q2.2": "O", "q2.3": "O", "q2.4": "O", "q2.5": "O", "q2.6": "O",
+    },
+    "dbpedia": {
+        "q1.1": "U", "q1.2": "UO", "q1.3": "O", "q1.4": "UO", "q1.5": "UO", "q1.6": "UO",
+        "q2.1": "O", "q2.2": "O", "q2.3": "O", "q2.4": "O", "q2.5": "O", "q2.6": "O",
+    },
+}
+
+#: Figure 1(a): names of U.S. presidents, via either foaf:name or
+#: rdfs:label (the diverse-representation motivation for UNION).
+INTRO_UNION_QUERY = """
+SELECT ?x ?name WHERE {
+  ?x dbo:wikiPageWikiLink dbr:President_of_the_United_States .
+  { ?x foaf:name ?name } UNION { ?x rdfs:label ?name }
+}
+"""
+
+#: Figure 1(b): presidents with their optional owl:sameAs references
+#: (the incompleteness motivation for OPTIONAL).
+INTRO_OPTIONAL_QUERY = """
+SELECT ?x ?same WHERE {
+  ?x dbo:wikiPageWikiLink dbr:President_of_the_United_States .
+  OPTIONAL { ?x owl:sameAs ?same }
+}
+"""

@@ -1,0 +1,212 @@
+"""N-Triples parser and serializer.
+
+The paper loads its datasets from N-Triples dumps (the DBpedia V3.9
+concatenated ``.nt`` files); this module provides the equivalent I/O for
+our generators and for users bringing their own data.
+
+Only the N-Triples line-based grammar is supported (one triple per line,
+``.`` terminator, ``#`` comments); this is deliberate — Turtle's
+abbreviations belong to a different substrate than the paper needs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable, Iterator, Union
+
+from .dataset import Dataset
+from .terms import BlankNode, IRI, Literal
+from .triple import Triple
+
+__all__ = ["NTriplesParseError", "parse_ntriples", "parse_ntriples_string", "serialize_ntriples", "load_ntriples", "dump_ntriples"]
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_UNESCAPES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+class _LineScanner:
+    """Cursor over a single N-Triples line."""
+
+    def __init__(self, line: str, line_number: int):
+        self.line = line
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> NTriplesParseError:
+        return NTriplesParseError(message, self.line_number, self.line)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        return self.line[self.pos]
+
+    def expect(self, char: str) -> None:
+        if self.at_end() or self.line[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        value = self.line[self.pos : end]
+        self.pos = end + 1
+        if not value:
+            raise self.error("empty IRI")
+        return IRI(value)
+
+    def read_blank(self) -> BlankNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.line) and (self.line[self.pos].isalnum() or self.line[self.pos] in "-_."):
+            self.pos += 1
+        label = self.line[start : self.pos]
+        if not label:
+            raise self.error("empty blank node label")
+        return BlankNode(label)
+
+    def read_quoted_string(self) -> str:
+        self.expect('"')
+        out = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal")
+            ch = self.line[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return "".join(out)
+            if ch == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                esc = self.line[self.pos]
+                self.pos += 1
+                if esc in _UNESCAPES:
+                    out.append(_UNESCAPES[esc])
+                elif esc == "u":
+                    out.append(self._read_unicode_escape(4))
+                elif esc == "U":
+                    out.append(self._read_unicode_escape(8))
+                else:
+                    raise self.error(f"invalid escape \\{esc}")
+            else:
+                out.append(ch)
+
+    def _read_unicode_escape(self, width: int) -> str:
+        hexdigits = self.line[self.pos : self.pos + width]
+        if len(hexdigits) != width:
+            raise self.error("truncated unicode escape")
+        try:
+            code = int(hexdigits, 16)
+        except ValueError:
+            raise self.error(f"invalid unicode escape \\u{hexdigits}") from None
+        self.pos += width
+        return chr(code)
+
+    def read_literal(self) -> Literal:
+        lexical = self.read_quoted_string()
+        if not self.at_end() and self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.line) and (self.line[self.pos].isalnum() or self.line[self.pos] == "-"):
+                self.pos += 1
+            tag = self.line[start : self.pos]
+            if not tag:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=tag)
+        if self.pos + 1 < len(self.line) and self.line[self.pos : self.pos + 2] == "^^":
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype.value)
+        return Literal(lexical)
+
+
+def _parse_line(line: str, line_number: int) -> Triple:
+    scanner = _LineScanner(line, line_number)
+    scanner.skip_ws()
+    first = scanner.peek()
+    if first == "<":
+        subject = scanner.read_iri()
+    elif first == "_":
+        subject = scanner.read_blank()
+    else:
+        raise scanner.error("subject must be an IRI or blank node")
+    scanner.skip_ws()
+    predicate = scanner.read_iri()
+    scanner.skip_ws()
+    head = scanner.peek()
+    if head == "<":
+        obj = scanner.read_iri()
+    elif head == "_":
+        obj = scanner.read_blank()
+    elif head == '"':
+        obj = scanner.read_literal()
+    else:
+        raise scanner.error("object must be an IRI, blank node or literal")
+    scanner.skip_ws()
+    scanner.expect(".")
+    scanner.skip_ws()
+    if not scanner.at_end() and scanner.peek() != "#":
+        raise scanner.error("trailing content after '.'")
+    return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(source: Union[IO[str], Iterable[str]]) -> Iterator[Triple]:
+    """Parse N-Triples from a file-like object or iterable of lines."""
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(line, line_number)
+
+
+def parse_ntriples_string(text: str) -> Iterator[Triple]:
+    """Parse N-Triples from a string."""
+    return parse_ntriples(io.StringIO(text))
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples into N-Triples text (sorted, deterministic)."""
+    lines = sorted(triple.n3() for triple in triples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_ntriples(path: str) -> Dataset:
+    """Read an ``.nt`` file into a :class:`Dataset`."""
+    dataset = Dataset()
+    with open(path, "r", encoding="utf-8") as handle:
+        for triple in parse_ntriples(handle):
+            dataset.add(triple)
+    return dataset
+
+
+def dump_ntriples(dataset: Dataset, path: str) -> None:
+    """Write a :class:`Dataset` to an ``.nt`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_ntriples(dataset))

@@ -1,0 +1,77 @@
+"""SPARQL front end: tokenizer, parser, algebra, bags, reference semantics."""
+
+from .algebra import (
+    And,
+    BinaryNode,
+    EmptyPattern,
+    GroupElement,
+    GroupGraphPattern,
+    OptionalExpression,
+    OptionalOp,
+    SelectQuery,
+    UnionExpression,
+    UnionOp,
+    format_group,
+    pattern_variables,
+    to_binary,
+)
+from .bags import (
+    Bag,
+    Mapping,
+    compatible,
+    join,
+    left_join,
+    mappings_equal_as_bags,
+    merge_mappings,
+    minus,
+    union,
+)
+from .errors import SparqlError, SparqlSyntaxError, UnsupportedFeatureError
+from .parser import parse_group, parse_query
+from .results import to_csv, to_json, to_json_dict
+from .semantics import (
+    evaluate_group,
+    evaluate_pattern,
+    evaluate_triple_pattern,
+    execute_query,
+)
+from .tokenizer import Token, tokenize
+
+__all__ = [
+    "GroupGraphPattern",
+    "UnionExpression",
+    "OptionalExpression",
+    "GroupElement",
+    "SelectQuery",
+    "BinaryNode",
+    "EmptyPattern",
+    "And",
+    "UnionOp",
+    "OptionalOp",
+    "to_binary",
+    "pattern_variables",
+    "format_group",
+    "Bag",
+    "Mapping",
+    "compatible",
+    "merge_mappings",
+    "join",
+    "union",
+    "minus",
+    "left_join",
+    "mappings_equal_as_bags",
+    "SparqlError",
+    "SparqlSyntaxError",
+    "UnsupportedFeatureError",
+    "parse_query",
+    "parse_group",
+    "to_json",
+    "to_json_dict",
+    "to_csv",
+    "evaluate_pattern",
+    "evaluate_triple_pattern",
+    "evaluate_group",
+    "execute_query",
+    "Token",
+    "tokenize",
+]

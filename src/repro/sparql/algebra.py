@@ -1,0 +1,292 @@
+"""Graph-pattern AST (Definition 6) in two isomorphic forms.
+
+**Syntax form** — mirrors query text: a :class:`GroupGraphPattern` holds
+an ordered list of elements, each a triple pattern, nested group, UNION
+expression or OPTIONAL expression.  BE-tree construction (§4.1) consumes
+this form directly, because sibling order matters there.
+
+**Binary form** — the operator tree of Section 3's semantics: AND /
+UNION / OPTIONAL nodes over triple-pattern leaves, produced by
+:func:`to_binary`.  The reference evaluator runs on this form.
+
+The conversion implements the paper's fixed operator semantics: elements
+of a group are joined left to right, and OPTIONAL is left-associative,
+attaching to everything accumulated so far.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional as Opt, Sequence, Union as U
+
+from ..rdf.terms import Variable
+from ..rdf.triple import TriplePattern
+
+__all__ = [
+    "GroupGraphPattern",
+    "UnionExpression",
+    "OptionalExpression",
+    "GroupElement",
+    "SelectQuery",
+    "BinaryNode",
+    "EmptyPattern",
+    "And",
+    "UnionOp",
+    "OptionalOp",
+    "to_binary",
+    "pattern_variables",
+    "format_group",
+]
+
+
+class UnionExpression:
+    """``{G1} UNION {G2} UNION …`` — two or more group branches."""
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Sequence["GroupGraphPattern"]):
+        branches = tuple(branches)
+        if len(branches) < 2:
+            raise ValueError("UNION requires at least two branches")
+        for branch in branches:
+            if not isinstance(branch, GroupGraphPattern):
+                raise TypeError(f"UNION branches must be groups, got {branch!r}")
+        self.branches = branches
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UnionExpression) and other.branches == self.branches
+
+    def __hash__(self) -> int:
+        return hash(("union", self.branches))
+
+    def __repr__(self) -> str:
+        return f"UnionExpression({list(self.branches)!r})"
+
+
+class OptionalExpression:
+    """``OPTIONAL {G}`` — the OPTIONAL-right group graph pattern."""
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: "GroupGraphPattern"):
+        if not isinstance(pattern, GroupGraphPattern):
+            raise TypeError(f"OPTIONAL body must be a group, got {pattern!r}")
+        self.pattern = pattern
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, OptionalExpression) and other.pattern == self.pattern
+
+    def __hash__(self) -> int:
+        return hash(("optional", self.pattern))
+
+    def __repr__(self) -> str:
+        return f"OptionalExpression({self.pattern!r})"
+
+
+GroupElement = U[TriplePattern, "GroupGraphPattern", UnionExpression, OptionalExpression]
+
+
+class GroupGraphPattern:
+    """``{ e1 . e2 . … }`` — ordered elements of one group."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[GroupElement] = ()):
+        elements = tuple(elements)
+        for element in elements:
+            if not isinstance(
+                element,
+                (TriplePattern, GroupGraphPattern, UnionExpression, OptionalExpression),
+            ):
+                raise TypeError(f"invalid group element {element!r}")
+        self.elements = elements
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GroupGraphPattern) and other.elements == self.elements
+
+    def __hash__(self) -> int:
+        return hash(("group", self.elements))
+
+    def __repr__(self) -> str:
+        return f"GroupGraphPattern({list(self.elements)!r})"
+
+
+class SelectQuery:
+    """A parsed SELECT query: projection + WHERE group + prefixes.
+
+    ``variables`` is None for ``SELECT *`` (and for the appendix's bare
+    ``SELECT WHERE``, which we treat identically): project every
+    in-scope variable.
+    """
+
+    __slots__ = ("variables", "where", "prefixes")
+
+    def __init__(
+        self,
+        variables: Opt[Sequence[Variable]],
+        where: GroupGraphPattern,
+        prefixes: Opt[Dict[str, str]] = None,
+    ):
+        if variables is not None:
+            variables = tuple(variables)
+            for var in variables:
+                if not isinstance(var, Variable):
+                    raise TypeError(f"projection must be variables, got {var!r}")
+        if not isinstance(where, GroupGraphPattern):
+            raise TypeError("WHERE clause must be a GroupGraphPattern")
+        self.variables = variables
+        self.where = where
+        self.prefixes = dict(prefixes or {})
+
+    def projection_names(self) -> Opt[List[str]]:
+        """Projected variable names, or None for select-all."""
+        if self.variables is None:
+            return None
+        return [v.name for v in self.variables]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SelectQuery)
+            and other.variables == self.variables
+            and other.where == self.where
+        )
+
+    def __repr__(self) -> str:
+        proj = "*" if self.variables is None else " ".join(v.n3() for v in self.variables)
+        return f"SelectQuery(SELECT {proj}, {self.where!r})"
+
+
+# ----------------------------------------------------------------------
+# binary operator tree (Section 3 semantics form)
+# ----------------------------------------------------------------------
+class BinaryNode:
+    """Base class for binary-form graph patterns."""
+
+    __slots__ = ()
+
+
+class EmptyPattern(BinaryNode):
+    """The empty group ``{}`` — evaluates to the identity bag."""
+
+    __slots__ = ()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EmptyPattern)
+
+    def __hash__(self) -> int:
+        return hash("empty")
+
+    def __repr__(self) -> str:
+        return "EmptyPattern()"
+
+
+class _BinaryOp(BinaryNode):
+    __slots__ = ("left", "right")
+    _tag = "?"
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.left == self.left and other.right == self.right
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+
+class And(_BinaryOp):
+    """P1 AND P2 — join."""
+
+    _tag = "and"
+
+
+class UnionOp(_BinaryOp):
+    """P1 UNION P2 — bag union."""
+
+    _tag = "union"
+
+
+class OptionalOp(_BinaryOp):
+    """P1 OPTIONAL P2 — left outer join."""
+
+    _tag = "optional"
+
+
+def to_binary(group: GroupGraphPattern) -> BinaryNode:
+    """Convert a syntax-form group to the binary operator tree.
+
+    Elements fold left to right under AND; an OPTIONAL element attaches
+    the accumulated pattern as its left operand (left-associativity);
+    n-ary UNION folds left.  The empty group becomes
+    :class:`EmptyPattern`.
+    """
+    accumulated: BinaryNode = None
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            operand: BinaryNode = element
+        elif isinstance(element, GroupGraphPattern):
+            operand = to_binary(element)
+        elif isinstance(element, UnionExpression):
+            operand = to_binary(element.branches[0])
+            for branch in element.branches[1:]:
+                operand = UnionOp(operand, to_binary(branch))
+        elif isinstance(element, OptionalExpression):
+            left = accumulated if accumulated is not None else EmptyPattern()
+            accumulated = OptionalOp(left, to_binary(element.pattern))
+            continue
+        else:  # pragma: no cover - constructor validates
+            raise TypeError(f"invalid group element {element!r}")
+        accumulated = operand if accumulated is None else And(accumulated, operand)
+    if accumulated is None:
+        return EmptyPattern()
+    return accumulated
+
+
+def pattern_variables(node) -> FrozenSet[str]:
+    """All variable names occurring anywhere in a pattern (either form)."""
+    if isinstance(node, TriplePattern):
+        return frozenset(v.name for v in node.variables())
+    if isinstance(node, GroupGraphPattern):
+        out = frozenset()
+        for element in node.elements:
+            out |= pattern_variables(element)
+        return out
+    if isinstance(node, UnionExpression):
+        out = frozenset()
+        for branch in node.branches:
+            out |= pattern_variables(branch)
+        return out
+    if isinstance(node, OptionalExpression):
+        return pattern_variables(node.pattern)
+    if isinstance(node, EmptyPattern):
+        return frozenset()
+    if isinstance(node, _BinaryOp):
+        return pattern_variables(node.left) | pattern_variables(node.right)
+    raise TypeError(f"not a graph pattern: {node!r}")
+
+
+def format_group(group: GroupGraphPattern, indent: int = 0) -> str:
+    """Render a syntax-form group back to SPARQL text (full IRIs).
+
+    Useful for debugging and for round-trip tests: the output re-parses
+    to an equal AST.
+    """
+    pad = "  " * indent
+    inner_pad = "  " * (indent + 1)
+    lines = [pad + "{"]
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            lines.append(inner_pad + element.n3())
+        elif isinstance(element, GroupGraphPattern):
+            lines.append(format_group(element, indent + 1))
+        elif isinstance(element, UnionExpression):
+            rendered = [format_group(branch, indent + 1) for branch in element.branches]
+            lines.append(("\n" + inner_pad + "UNION\n").join(rendered))
+        elif isinstance(element, OptionalExpression):
+            body = format_group(element.pattern, indent + 1)
+            lines.append(inner_pad + "OPTIONAL\n" + body)
+    lines.append(pad + "}")
+    return "\n".join(lines)

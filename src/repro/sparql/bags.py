@@ -1,0 +1,262 @@
+"""Bags of solution mappings and the operators of Section 3.
+
+A *mapping* μ is a partial function from variables to terms; we represent
+it as a plain dict whose keys are variable *names* (strings) and whose
+values are terms — ground :class:`~repro.rdf.terms.Term` objects in the
+reference evaluator, integer term ids inside the engines.  All operators
+here are value-agnostic, so the same :class:`Bag` serves both layers.
+
+The four bag operators follow the paper's definitions exactly and all
+preserve duplicates (bag/multiset semantics):
+
+- join        Ω1 ⋈ Ω2  = {μ1 ∪ μ2 | μ1 ∈ Ω1, μ2 ∈ Ω2, μ1 ~ μ2}
+- union       Ω1 ∪bag Ω2 = concatenation
+- minus       Ω1 ∖ Ω2  = {μ1 ∈ Ω1 | ∀ μ2 ∈ Ω2 : μ1 ≁ μ2}
+- left_join   Ω1 ⟕ Ω2  = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+__all__ = [
+    "Mapping",
+    "Bag",
+    "compatible",
+    "merge_mappings",
+    "join",
+    "union",
+    "minus",
+    "left_join",
+    "mappings_equal_as_bags",
+]
+
+#: A solution mapping: variable name → value.
+Mapping = Dict[str, object]
+
+
+def compatible(mu1: Mapping, mu2: Mapping) -> bool:
+    """μ1 ~ μ2: every shared variable is bound to the same value."""
+    if len(mu2) < len(mu1):
+        mu1, mu2 = mu2, mu1
+    for var, value in mu1.items():
+        other = mu2.get(var, _MISSING)
+        if other is not _MISSING and other != value:
+            return False
+    return True
+
+
+_MISSING = object()
+
+
+def merge_mappings(mu1: Mapping, mu2: Mapping) -> Mapping:
+    """μ1 ∪ μ2 for compatible mappings."""
+    merged = dict(mu1)
+    merged.update(mu2)
+    return merged
+
+
+class Bag:
+    """A multiset of solution mappings."""
+
+    __slots__ = ("_mappings",)
+
+    def __init__(self, mappings: Iterable[Mapping] = ()):
+        self._mappings: List[Mapping] = list(mappings)
+
+    @classmethod
+    def empty(cls) -> "Bag":
+        """The empty bag: zero solutions (a pattern that failed)."""
+        return cls()
+
+    @classmethod
+    def identity(cls) -> "Bag":
+        """The join identity: one empty mapping.
+
+        This is the value of the empty group pattern ``{}`` and the
+        correct initial accumulator for Algorithm 1 (the paper writes
+        ``r ← ∅`` and special-cases the first join; using the identity
+        bag removes the special case without changing semantics).
+        """
+        return cls([{}])
+
+    def __len__(self) -> int:
+        return len(self._mappings)
+
+    def __iter__(self) -> Iterator[Mapping]:
+        return iter(self._mappings)
+
+    def __bool__(self) -> bool:
+        return bool(self._mappings)
+
+    def add(self, mapping: Mapping) -> None:
+        self._mappings.append(mapping)
+
+    def variables(self) -> FrozenSet[str]:
+        """Every variable bound in at least one solution."""
+        seen = set()
+        for mapping in self._mappings:
+            seen.update(mapping.keys())
+        return frozenset(seen)
+
+    def certain_variables(self) -> FrozenSet[str]:
+        """Variables bound in *every* solution.
+
+        After an OPTIONAL some solutions may leave a variable unbound;
+        such a variable's observed values do not bound the values it can
+        join with, so candidate pruning must restrict itself to certain
+        variables.
+        """
+        if not self._mappings:
+            return frozenset()
+        certain = set(self._mappings[0].keys())
+        for mapping in self._mappings[1:]:
+            certain &= mapping.keys()
+            if not certain:
+                break
+        return frozenset(certain)
+
+    def project(self, variables: Iterable[str]) -> "Bag":
+        """SELECT-clause projection; unbound variables are simply absent."""
+        wanted = list(variables)
+        projected = []
+        for mapping in self._mappings:
+            projected.append({v: mapping[v] for v in wanted if v in mapping})
+        return Bag(projected)
+
+    def distinct_values(self, variable: str) -> set:
+        """The set of values ``variable`` takes across all solutions."""
+        return {m[variable] for m in self._mappings if variable in m}
+
+    def counter(self) -> Counter:
+        """Multiset signature used for bag-equality comparison."""
+        return Counter(frozenset(m.items()) for m in self._mappings)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return self.counter() == other.counter()
+
+    def __hash__(self):
+        raise TypeError("Bag is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Bag({len(self)} mappings over {sorted(self.variables())})"
+
+
+def _shared_variables(bag1: Bag, bag2: Bag) -> Tuple[str, ...]:
+    return tuple(sorted(bag1.variables() & bag2.variables()))
+
+
+def join(bag1: Bag, bag2: Bag) -> Bag:
+    """Ω1 ⋈ Ω2 with a hash join on the shared variables.
+
+    Mappings that leave a shared variable unbound (possible after
+    OPTIONAL) cannot be hashed to a single key, so they are routed
+    through a nested-loop fallback against the other side — this keeps
+    the operator exactly faithful to the compatibility definition.
+    """
+    if len(bag2) < len(bag1):
+        bag1, bag2 = bag2, bag1
+    shared = _shared_variables(bag1, bag2)
+    if not shared:
+        return Bag(merge_mappings(m1, m2) for m1 in bag1 for m2 in bag2)
+
+    table: Dict[tuple, List[Mapping]] = {}
+    loose_build: List[Mapping] = []  # build rows missing some shared var
+    for mapping in bag1:
+        if all(v in mapping for v in shared):
+            key = tuple(mapping[v] for v in shared)
+            table.setdefault(key, []).append(mapping)
+        else:
+            loose_build.append(mapping)
+
+    out: List[Mapping] = []
+    for probe in bag2:
+        if all(v in probe for v in shared):
+            key = tuple(probe[v] for v in shared)
+            for build in table.get(key, ()):
+                out.append(merge_mappings(build, probe))
+        else:
+            for build in table.values():
+                for mapping in build:
+                    if compatible(mapping, probe):
+                        out.append(merge_mappings(mapping, probe))
+        for build in loose_build:
+            if compatible(build, probe):
+                out.append(merge_mappings(build, probe))
+    return Bag(out)
+
+
+def union(bag1: Bag, bag2: Bag) -> Bag:
+    """Ω1 ∪bag Ω2: concatenation, duplicates preserved."""
+    out = list(bag1)
+    out.extend(bag2)
+    return Bag(out)
+
+
+def minus(bag1: Bag, bag2: Bag) -> Bag:
+    """Ω1 ∖ Ω2: solutions of Ω1 incompatible with *every* solution of Ω2."""
+    if not bag2:
+        return Bag(list(bag1))
+    shared_all = _shared_variables(bag1, bag2)
+    right = list(bag2)
+    out = []
+    for mu1 in bag1:
+        if not any(compatible(mu1, mu2) for mu2 in right):
+            out.append(mu1)
+    # `shared_all` unused beyond symmetry with join; kept simple on purpose:
+    # minus appears only on OPTIONAL's miss-path where |Ω2| is post-join.
+    del shared_all
+    return Bag(out)
+
+
+def left_join(bag1: Bag, bag2: Bag) -> Bag:
+    """Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2) — Definition 7's d|><|.
+
+    Implemented in one pass: for each μ1 we emit its joins if any exist,
+    otherwise μ1 itself.  This is equivalent to the two-operator form
+    but avoids re-scanning Ω2 for the minus part.
+    """
+    shared = _shared_variables(bag1, bag2)
+    if not shared:
+        if not bag2:
+            return Bag(list(bag1))
+        return Bag(merge_mappings(m1, m2) for m1 in bag1 for m2 in bag2)
+
+    table: Dict[tuple, List[Mapping]] = {}
+    loose_probe: List[Mapping] = []
+    for probe in bag2:
+        if all(v in probe for v in shared):
+            key = tuple(probe[v] for v in shared)
+            table.setdefault(key, []).append(probe)
+        else:
+            loose_probe.append(probe)
+
+    out: List[Mapping] = []
+    for mu1 in bag1:
+        matched = False
+        if all(v in mu1 for v in shared):
+            key = tuple(mu1[v] for v in shared)
+            for mu2 in table.get(key, ()):
+                out.append(merge_mappings(mu1, mu2))
+                matched = True
+        else:
+            for rows in table.values():
+                for mu2 in rows:
+                    if compatible(mu1, mu2):
+                        out.append(merge_mappings(mu1, mu2))
+                        matched = True
+        for mu2 in loose_probe:
+            if compatible(mu1, mu2):
+                out.append(merge_mappings(mu1, mu2))
+                matched = True
+        if not matched:
+            out.append(dict(mu1))
+    return Bag(out)
+
+
+def mappings_equal_as_bags(left: Iterable[Mapping], right: Iterable[Mapping]) -> bool:
+    """Multiset equality of two mapping collections (test helper)."""
+    return Bag(left) == Bag(right)

@@ -1,0 +1,34 @@
+"""Exception types for the SPARQL front end."""
+
+from __future__ import annotations
+
+__all__ = ["SparqlError", "SparqlSyntaxError", "UnsupportedFeatureError"]
+
+
+class SparqlError(Exception):
+    """Base class for SPARQL front-end errors."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """Malformed query text.
+
+    Carries the position (offset and line) at which parsing failed so
+    error messages can point into the query.
+    """
+
+    def __init__(self, message: str, line: int = None, column: int = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class UnsupportedFeatureError(SparqlError):
+    """A syntactically valid SPARQL feature outside the paper's scope.
+
+    The paper (and this reproduction) restricts itself to SELECT queries
+    over BGP / AND / UNION / OPTIONAL; FILTER, ASK, CONSTRUCT, property
+    paths, aggregates etc. raise this rather than silently misparsing.
+    """

@@ -1,0 +1,264 @@
+"""Recursive-descent parser for the paper's SPARQL fragment.
+
+Grammar (SELECT-only, per the paper's scope):
+
+.. code-block:: text
+
+    Query          := Prologue SELECT Projection? WHERE? Group
+    Prologue       := (PREFIX pname: <iri>)*
+    Projection     := '*' | Var+                 (absent ⇒ select-all)
+    Group          := '{' Element* '}'
+    Element        := Triple '.'?                (triple pattern)
+                    | Group UnionTail?           (group / UNION chain)
+                    | OPTIONAL Group             (OPTIONAL expression)
+    UnionTail      := (UNION Group)+
+    Triple         := Term Verb Term
+    Verb           := iri | pname | 'a' | Var
+    Term           := iri | pname | Var | literal | blank
+
+Anything outside the fragment (FILTER, ASK, property paths, DISTINCT…)
+raises :class:`~repro.sparql.errors.UnsupportedFeatureError` with a
+pointer at the offending token.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional as Opt
+
+from ..rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
+from ..rdf.terms import BlankNode, IRI, Literal, Variable
+from ..rdf.triple import TriplePattern
+from .algebra import GroupGraphPattern, OptionalExpression, SelectQuery, UnionExpression
+from .errors import SparqlSyntaxError, UnsupportedFeatureError
+from .tokenizer import Token, tokenize
+
+__all__ = ["parse_query", "parse_group"]
+
+_UNSUPPORTED_KEYWORDS = frozenset(
+    {"FILTER", "ASK", "CONSTRUCT", "DESCRIBE", "LIMIT", "OFFSET", "ORDER", "BY", "GROUP"}
+)
+
+_RDF_TYPE = RDF.term("type")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], prefixes: Opt[Dict[str, str]] = None):
+        self._tokens = tokens
+        self._pos = 0
+        # Benchmark query texts (Appendix A) assume Listing 1/14's
+        # prefixes; pre-loading them keeps those texts verbatim.
+        self.prefixes: Dict[str, str] = dict(WELL_KNOWN_PREFIXES)
+        if prefixes:
+            self.prefixes.update(prefixes)
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def error(self, message: str, token: Opt[Token] = None) -> SparqlSyntaxError:
+        token = token or self.peek()
+        return SparqlSyntaxError(message, token.line, token.column)
+
+    def expect_punct(self, char: str) -> Token:
+        token = self.peek()
+        if token.kind != "PUNCT" or token.value != char:
+            raise self.error(f"expected {char!r}, found {token.value!r}")
+        return self.advance()
+
+    def at_punct(self, char: str) -> bool:
+        token = self.peek()
+        return token.kind == "PUNCT" and token.value == char
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value == word
+
+    def check_unsupported(self) -> None:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in _UNSUPPORTED_KEYWORDS:
+            raise UnsupportedFeatureError(
+                f"{token.value} is outside the paper's SPARQL-UO fragment "
+                f"(line {token.line})"
+            )
+
+    # ------------------------------------------------------------------
+    # grammar productions
+    # ------------------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        self._parse_prologue()
+        self.check_unsupported()
+        if not self.at_keyword("SELECT"):
+            raise self.error("expected SELECT")
+        self.advance()
+        if self.at_keyword("DISTINCT") or self.at_keyword("REDUCED"):
+            raise UnsupportedFeatureError(
+                "DISTINCT/REDUCED are outside the paper's bag-semantics fragment"
+            )
+        variables = self._parse_projection()
+        if self.at_keyword("WHERE"):
+            self.advance()
+        group = self.parse_group()
+        token = self.peek()
+        if token.kind != "EOF":
+            self.check_unsupported()
+            raise self.error(f"trailing content after query: {token.value!r}")
+        return SelectQuery(variables, group, self.prefixes)
+
+    def _parse_prologue(self) -> None:
+        while self.at_keyword("PREFIX") or self.at_keyword("BASE"):
+            keyword = self.advance()
+            if keyword.value == "BASE":
+                raise UnsupportedFeatureError("BASE declarations are not supported")
+            name_token = self.peek()
+            if name_token.kind != "PNAME" or not name_token.value.endswith(":"):
+                raise self.error("expected 'prefix:' after PREFIX")
+            self.advance()
+            iri_token = self.peek()
+            if iri_token.kind != "IRI":
+                raise self.error("expected <iri> in PREFIX declaration")
+            self.advance()
+            prefix = name_token.value[:-1]
+            self.prefixes[prefix] = iri_token.value
+
+    def _parse_projection(self) -> Opt[List[Variable]]:
+        if self.at_punct("*"):
+            self.advance()
+            return None
+        variables: List[Variable] = []
+        while self.peek().kind == "VAR":
+            variables.append(Variable(self.advance().value))
+        if not variables:
+            return None  # bare 'SELECT WHERE {…}' — select-all
+        return variables
+
+    def parse_group(self) -> GroupGraphPattern:
+        self.expect_punct("{")
+        elements: List = []
+        while not self.at_punct("}"):
+            token = self.peek()
+            if token.kind == "EOF":
+                raise self.error("unterminated group: missing '}'")
+            self.check_unsupported()
+            if token.kind == "PUNCT" and token.value == ".":
+                # Stray separators between elements are tolerated, as in
+                # real SPARQL grammars.
+                self.advance()
+                continue
+            if self.at_keyword("OPTIONAL"):
+                self.advance()
+                body = self.parse_group()
+                elements.append(OptionalExpression(body))
+                continue
+            if self.at_punct("{"):
+                elements.append(self._parse_group_or_union())
+                continue
+            elements.append(self._parse_triple())
+            if self.at_punct("."):
+                self.advance()
+        self.expect_punct("}")
+        return GroupGraphPattern(elements)
+
+    def _parse_group_or_union(self):
+        first = self.parse_group()
+        if not self.at_keyword("UNION"):
+            return first
+        branches = [first]
+        while self.at_keyword("UNION"):
+            self.advance()
+            branches.append(self.parse_group())
+        return UnionExpression(branches)
+
+    def _parse_triple(self) -> TriplePattern:
+        subject = self._parse_term(position="subject")
+        predicate = self._parse_verb()
+        obj = self._parse_term(position="object")
+        try:
+            return TriplePattern(subject, predicate, obj)
+        except ValueError as exc:
+            raise self.error(str(exc)) from exc
+
+    def _parse_verb(self):
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "A":
+            self.advance()
+            return _RDF_TYPE
+        return self._parse_term(position="predicate")
+
+    def _parse_term(self, position: str):
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return Variable(token.value)
+        if token.kind == "IRI":
+            self.advance()
+            return IRI(token.value)
+        if token.kind == "PNAME":
+            self.advance()
+            return self._expand_pname(token)
+        if token.kind == "BLANK":
+            self.advance()
+            return BlankNode(token.value)
+        if token.kind == "STRING":
+            self.advance()
+            return self._parse_literal_tail(token.value)
+        if token.kind in ("INTEGER", "DECIMAL"):
+            self.advance()
+            datatype = (
+                "http://www.w3.org/2001/XMLSchema#integer"
+                if token.kind == "INTEGER"
+                else "http://www.w3.org/2001/XMLSchema#decimal"
+            )
+            return Literal(token.value, datatype=datatype)
+        self.check_unsupported()
+        raise self.error(f"expected a term in {position} position, found {token.value!r}")
+
+    def _parse_literal_tail(self, lexical: str) -> Literal:
+        token = self.peek()
+        if token.kind == "LANGTAG":
+            self.advance()
+            return Literal(lexical, language=token.value)
+        if token.kind == "DTYPE":
+            self.advance()
+            dtype_token = self.peek()
+            if dtype_token.kind == "IRI":
+                self.advance()
+                return Literal(lexical, datatype=dtype_token.value)
+            if dtype_token.kind == "PNAME":
+                self.advance()
+                return Literal(lexical, datatype=self._expand_pname(dtype_token).value)
+            raise self.error("expected datatype IRI after '^^'")
+        return Literal(lexical)
+
+    def _expand_pname(self, token: Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        base = self.prefixes.get(prefix)
+        if base is None:
+            raise self.error(f"undeclared prefix {prefix!r}", token)
+        return IRI(base + local)
+
+
+def parse_query(text: str, prefixes: Opt[Dict[str, str]] = None) -> SelectQuery:
+    """Parse a SELECT query.
+
+    ``prefixes`` supplies extra prefix bindings on top of the well-known
+    table (PREFIX declarations in the text still win).
+    """
+    return _Parser(tokenize(text), prefixes).parse_query()
+
+
+def parse_group(text: str, prefixes: Opt[Dict[str, str]] = None) -> GroupGraphPattern:
+    """Parse a bare group graph pattern ``{ … }`` (test convenience)."""
+    parser = _Parser(tokenize(text), prefixes)
+    group = parser.parse_group()
+    token = parser.peek()
+    if token.kind != "EOF":
+        raise parser.error(f"trailing content after group: {token.value!r}")
+    return group

@@ -1,0 +1,91 @@
+"""SELECT-result serialization: SPARQL 1.1 JSON and CSV formats.
+
+Downstream consumers of a SPARQL engine almost always want results in
+the W3C interchange formats rather than Python objects; this module
+renders a solution bag (term-level, as produced by
+:meth:`repro.core.engine.SparqlUOEngine.execute`) in:
+
+- the *SPARQL 1.1 Query Results JSON Format* (``application/sparql-results+json``),
+- the *SPARQL 1.1 Query Results CSV Format* (``text/csv``).
+
+Both follow the specs' term-rendering rules: IRIs as ``uri`` bindings,
+literals with ``xml:lang`` / ``datatype`` where present, blank nodes as
+``bnode``; unbound variables are simply absent (JSON) or empty (CSV).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from ..rdf.terms import BlankNode, GroundTerm, IRI, Literal, XSD_STRING
+from .bags import Bag, Mapping
+
+__all__ = ["to_json", "to_json_dict", "to_csv"]
+
+
+def _encode_term(term: GroundTerm) -> Dict[str, str]:
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        out: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language:
+            out["xml:lang"] = term.language
+        elif term.datatype != XSD_STRING:
+            out["datatype"] = term.datatype
+        return out
+    raise TypeError(f"cannot serialize {term!r} as a result binding")
+
+
+def to_json_dict(variables: Sequence[str], solutions: Iterable[Mapping]) -> dict:
+    """The results document as a plain dict (for programmatic use)."""
+    bindings: List[Dict[str, Dict[str, str]]] = []
+    for mapping in solutions:
+        bindings.append(
+            {var: _encode_term(mapping[var]) for var in variables if var in mapping}
+        )
+    return {
+        "head": {"vars": list(variables)},
+        "results": {"bindings": bindings},
+    }
+
+
+def to_json(variables: Sequence[str], solutions: Iterable[Mapping], indent: int = None) -> str:
+    """SPARQL 1.1 Query Results JSON text."""
+    return json.dumps(to_json_dict(variables, solutions), indent=indent, ensure_ascii=False)
+
+
+def _csv_cell(term: GroundTerm) -> str:
+    # The CSV results format renders the plain value: IRIs bare,
+    # literals as their lexical form, blank nodes prefixed "_:".
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, BlankNode):
+        return f"_:{term.label}"
+    if isinstance(term, Literal):
+        return term.lexical
+    raise TypeError(f"cannot serialize {term!r} as a CSV cell")
+
+
+def _csv_escape(cell: str) -> str:
+    if any(ch in cell for ch in ',"\n\r'):
+        return '"' + cell.replace('"', '""') + '"'
+    return cell
+
+
+def to_csv(variables: Sequence[str], solutions: Iterable[Mapping]) -> str:
+    """SPARQL 1.1 Query Results CSV text (CRLF line endings per spec)."""
+    out = io.StringIO()
+    out.write(",".join(variables) + "\r\n")
+    for mapping in solutions:
+        cells = []
+        for var in variables:
+            if var in mapping:
+                cells.append(_csv_escape(_csv_cell(mapping[var])))
+            else:
+                cells.append("")
+        out.write(",".join(cells) + "\r\n")
+    return out.getvalue()

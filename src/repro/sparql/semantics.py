@@ -1,0 +1,81 @@
+"""Reference evaluator: Definition 7 over the binary operator tree.
+
+This is the straightforward bottom-up evaluation the paper's Section 4
+describes (and criticizes for performance): each triple-pattern leaf is
+matched against the dataset by linear scan, and internal nodes apply the
+bag operators.  It is deliberately simple — it defines *correctness*
+for every optimized component, and all integration/property tests
+compare engine output against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional as Opt, Sequence
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import Variable
+from ..rdf.triple import TriplePattern
+from .algebra import (
+    And,
+    BinaryNode,
+    EmptyPattern,
+    GroupGraphPattern,
+    OptionalOp,
+    SelectQuery,
+    UnionOp,
+    pattern_variables,
+    to_binary,
+)
+from .bags import Bag, join, left_join, union
+
+__all__ = ["evaluate_pattern", "evaluate_triple_pattern", "evaluate_group", "execute_query"]
+
+
+def evaluate_triple_pattern(pattern: TriplePattern, dataset: Dataset) -> Bag:
+    """[[t]]_D = {μ | var(t) = dom(μ) ∧ μ(t) ∈ D} via linear scan."""
+    out = Bag()
+    positions = pattern.as_tuple()
+    for triple in dataset.match(pattern):
+        mapping = {}
+        for pattern_term, data_term in zip(positions, triple.as_tuple()):
+            if isinstance(pattern_term, Variable):
+                mapping[pattern_term.name] = data_term
+        out.add(mapping)
+    return out
+
+
+def evaluate_pattern(node: BinaryNode, dataset: Dataset) -> Bag:
+    """Recursive evaluation of a binary-form graph pattern (Definition 7)."""
+    if isinstance(node, TriplePattern):
+        return evaluate_triple_pattern(node, dataset)
+    if isinstance(node, EmptyPattern):
+        return Bag.identity()
+    if isinstance(node, And):
+        return join(evaluate_pattern(node.left, dataset), evaluate_pattern(node.right, dataset))
+    if isinstance(node, UnionOp):
+        return union(evaluate_pattern(node.left, dataset), evaluate_pattern(node.right, dataset))
+    if isinstance(node, OptionalOp):
+        return left_join(
+            evaluate_pattern(node.left, dataset), evaluate_pattern(node.right, dataset)
+        )
+    raise TypeError(f"not a binary graph pattern: {node!r}")
+
+
+def evaluate_group(group: GroupGraphPattern, dataset: Dataset) -> Bag:
+    """Evaluate a syntax-form group by converting to binary form first."""
+    return evaluate_pattern(to_binary(group), dataset)
+
+
+def execute_query(query: SelectQuery, dataset: Dataset) -> Bag:
+    """Evaluate a full SELECT query, applying projection.
+
+    For select-all queries every variable in the pattern is projected
+    (which is the identity on the solution bag apart from dict key
+    order, but going through :meth:`Bag.project` keeps behaviour
+    uniform).
+    """
+    solutions = evaluate_group(query.where, dataset)
+    names: Opt[Sequence[str]] = query.projection_names()
+    if names is None:
+        names = sorted(pattern_variables(query.where))
+    return solutions.project(names)

@@ -1,0 +1,256 @@
+"""SPARQL tokenizer for the SELECT / BGP / UNION / OPTIONAL fragment."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from .errors import SparqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Keywords recognized case-insensitively (normalized to upper case).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "WHERE",
+        "UNION",
+        "OPTIONAL",
+        "PREFIX",
+        "BASE",
+        "DISTINCT",
+        "REDUCED",
+        "FILTER",
+        "ASK",
+        "CONSTRUCT",
+        "DESCRIBE",
+        "LIMIT",
+        "OFFSET",
+        "ORDER",
+        "BY",
+        "GROUP",
+        "A",
+    }
+)
+
+_PUNCTUATION = {"{", "}", ".", ",", ";", "*", "(", ")"}
+
+
+class Token(NamedTuple):
+    """One lexical token.
+
+    ``kind`` is one of: KEYWORD, IRI, PNAME, VAR, STRING, LANGTAG,
+    DTYPE (the ``^^`` marker), INTEGER, DECIMAL, PUNCT, EOF.
+    ``value`` is the normalized payload (e.g. IRI string without angle
+    brackets, variable name without the sigil).
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+class _Cursor:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.text):
+            return ""
+        return self.text[index]
+
+    def advance(self, count: int = 1) -> str:
+        consumed = self.text[self.pos : self.pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return consumed
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        return SparqlSyntaxError(message, self.line, self.column)
+
+
+def _is_pname_char(ch: str) -> bool:
+    # Note: ch may be "" at end of input ('"" in "…"' is True, so the
+    # length check is required).
+    return len(ch) == 1 and (ch.isalnum() or ch in "_-.")
+
+
+def _is_var_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text, ending with an EOF token."""
+    cursor = _Cursor(text)
+    tokens: List[Token] = []
+    while not cursor.at_end():
+        ch = cursor.peek()
+        line, column = cursor.line, cursor.column
+
+        if ch in " \t\r\n":
+            cursor.advance()
+            continue
+        if ch == "#":
+            while not cursor.at_end() and cursor.peek() != "\n":
+                cursor.advance()
+            continue
+        if ch == "<":
+            cursor.advance()
+            start = cursor.pos
+            while not cursor.at_end() and cursor.peek() != ">":
+                if cursor.peek() in " \n\t":
+                    raise cursor.error("whitespace inside IRI")
+                cursor.advance()
+            if cursor.at_end():
+                raise cursor.error("unterminated IRI")
+            value = cursor.text[start : cursor.pos]
+            cursor.advance()  # '>'
+            tokens.append(Token("IRI", value, line, column))
+            continue
+        if ch in "?$":
+            cursor.advance()
+            start = cursor.pos
+            while not cursor.at_end() and _is_var_char(cursor.peek()):
+                cursor.advance()
+            name = cursor.text[start : cursor.pos]
+            if not name:
+                raise cursor.error("empty variable name")
+            tokens.append(Token("VAR", name, line, column))
+            continue
+        if ch == '"':
+            tokens.append(_read_string(cursor, line, column))
+            continue
+        if ch == "@":
+            cursor.advance()
+            start = cursor.pos
+            while not cursor.at_end() and (cursor.peek().isalnum() or cursor.peek() == "-"):
+                cursor.advance()
+            tag = cursor.text[start : cursor.pos]
+            if not tag:
+                raise cursor.error("empty language tag")
+            tokens.append(Token("LANGTAG", tag, line, column))
+            continue
+        if ch == "^" and cursor.peek(1) == "^":
+            cursor.advance(2)
+            tokens.append(Token("DTYPE", "^^", line, column))
+            continue
+        if ch in _PUNCTUATION:
+            cursor.advance()
+            tokens.append(Token("PUNCT", ch, line, column))
+            continue
+        if ch == "_" and cursor.peek(1) == ":":
+            cursor.advance(2)
+            start = cursor.pos
+            while not cursor.at_end() and _is_pname_char(cursor.peek()):
+                cursor.advance()
+            label = cursor.text[start : cursor.pos]
+            if not label:
+                raise cursor.error("empty blank node label")
+            tokens.append(Token("BLANK", label, line, column))
+            continue
+        if ch.isdigit() or (ch == "-" and cursor.peek(1).isdigit()):
+            start = cursor.pos
+            cursor.advance()
+            kind = "INTEGER"
+            while not cursor.at_end() and (cursor.peek().isdigit() or cursor.peek() == "."):
+                if cursor.peek() == ".":
+                    # A '.' followed by a non-digit terminates the number
+                    # (it is the triple separator).
+                    if not cursor.peek(1).isdigit():
+                        break
+                    kind = "DECIMAL"
+                cursor.advance()
+            tokens.append(Token(kind, cursor.text[start : cursor.pos], line, column))
+            continue
+        if ch.isalpha():
+            start = cursor.pos
+            while not cursor.at_end() and _is_pname_char(cursor.peek()):
+                # A '.' not followed by another name character is the
+                # triple separator, not part of the word.
+                if cursor.peek() == "." and not _is_pname_char(cursor.peek(1)):
+                    break
+                cursor.advance()
+            word = cursor.text[start : cursor.pos]
+            # A word followed directly by ':' is the prefix half of a
+            # prefixed name like 'dbo:Person'.
+            if _peek_colon(cursor):
+                colon_and_local = _consume_pname_rest(cursor)
+                tokens.append(Token("PNAME", word + colon_and_local, line, column))
+                continue
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, column))
+                continue
+            raise cursor.error(f"unexpected bare word {word!r}")
+        if ch == ":":
+            # pname with empty prefix, e.g. ':localName'
+            colon_and_local = _consume_pname_rest(cursor)
+            tokens.append(Token("PNAME", colon_and_local, line, column))
+            continue
+        raise cursor.error(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", cursor.line, cursor.column))
+    return tokens
+
+
+def _peek_colon(cursor: _Cursor) -> str:
+    """Return ':' if the cursor sits on a pname colon, else ''."""
+    return ":" if cursor.peek() == ":" else ""
+
+
+def _consume_pname_rest(cursor: _Cursor) -> str:
+    """Consume ':' plus the local part of a prefixed name.
+
+    Additional ':' characters followed by a name character are accepted
+    inside the local part — DBpedia category names are conventionally
+    written ``dbr:Category:Cell_biology`` (the paper's q1.6 uses one).
+    """
+    cursor.advance()  # ':'
+    start = cursor.pos
+    while not cursor.at_end():
+        ch = cursor.peek()
+        if ch == "." and not _is_pname_char(cursor.peek(1)):
+            # A trailing '.' is the triple separator, not pname content.
+            break
+        if ch == ":" and _is_pname_char(cursor.peek(1)):
+            cursor.advance()
+            continue
+        if not _is_pname_char(ch):
+            break
+        cursor.advance()
+    local = cursor.text[start : cursor.pos]
+    return ":" + local
+
+
+def _read_string(cursor: _Cursor, line: int, column: int) -> Token:
+    cursor.advance()  # opening quote
+    out = []
+    escapes = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "'": "'"}
+    while True:
+        if cursor.at_end():
+            raise cursor.error("unterminated string literal")
+        ch = cursor.advance()
+        if ch == '"':
+            return Token("STRING", "".join(out), line, column)
+        if ch == "\\":
+            esc = cursor.advance()
+            if esc in escapes:
+                out.append(escapes[esc])
+            elif esc == "u":
+                hexdigits = cursor.advance(4)
+                out.append(chr(int(hexdigits, 16)))
+            else:
+                raise cursor.error(f"invalid escape \\{esc}")
+        else:
+            out.append(ch)

@@ -1,0 +1,14 @@
+"""Storage substrate: permutation indexes, statistics, store facade."""
+
+from .indexes import TripleIndexes
+from .stats import PredicateStatistics, StoreStatistics
+from .store import EncodedPattern, MISSING_ID, TripleStore
+
+__all__ = [
+    "TripleIndexes",
+    "PredicateStatistics",
+    "StoreStatistics",
+    "TripleStore",
+    "EncodedPattern",
+    "MISSING_ID",
+]

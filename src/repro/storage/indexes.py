@@ -1,0 +1,172 @@
+"""Permutation indexes over dictionary-encoded triples.
+
+RDF-3X-style exhaustive indexing: every access pattern a triple pattern
+can generate — any subset of {S, P, O} bound — is answered by a direct
+hash lookup rather than a scan.  Concretely we maintain:
+
+====================  =======================================
+bound positions       structure
+====================  =======================================
+S, P, O               set of (s, p, o) — membership test
+S, P                  dict (s, p) → [o]
+P, O                  dict (p, o) → [s]
+S, O                  dict (s, o) → [p]
+S                     dict s → [(p, o)]
+P                     dict p → [(s, o)]
+O                     dict o → [(s, p)]
+(none)                list of (s, p, o)
+====================  =======================================
+
+This mirrors the six-permutation scheme of RDF-3X / gStore's adjacency
+structure at the fidelity the paper's cost model needs: constant-time
+seek plus result-proportional enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..rdf.dictionary import EncodedTriple
+
+__all__ = ["TripleIndexes"]
+
+
+class TripleIndexes:
+    """All access-pattern indexes for one encoded triple collection."""
+
+    def __init__(self):
+        self._all: List[EncodedTriple] = []
+        self._spo: Set[EncodedTriple] = set()
+        self._sp_o: Dict[Tuple[int, int], List[int]] = {}
+        self._po_s: Dict[Tuple[int, int], List[int]] = {}
+        self._so_p: Dict[Tuple[int, int], List[int]] = {}
+        self._s_po: Dict[int, List[Tuple[int, int]]] = {}
+        self._p_so: Dict[int, List[Tuple[int, int]]] = {}
+        self._o_sp: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def insert(self, triple: EncodedTriple) -> bool:
+        """Insert an encoded triple; returns False on duplicates."""
+        if triple in self._spo:
+            return False
+        s, p, o = triple
+        self._spo.add(triple)
+        self._all.append(triple)
+        self._sp_o.setdefault((s, p), []).append(o)
+        self._po_s.setdefault((p, o), []).append(s)
+        self._so_p.setdefault((s, o), []).append(p)
+        self._s_po.setdefault(s, []).append((p, o))
+        self._p_so.setdefault(p, []).append((s, o))
+        self._o_sp.setdefault(o, []).append((s, p))
+        return True
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __contains__(self, triple: EncodedTriple) -> bool:
+        return triple in self._spo
+
+    # ------------------------------------------------------------------
+    # lookups — one per access pattern
+    # ------------------------------------------------------------------
+    def objects_for_sp(self, s: int, p: int) -> List[int]:
+        return self._sp_o.get((s, p), [])
+
+    def subjects_for_po(self, p: int, o: int) -> List[int]:
+        return self._po_s.get((p, o), [])
+
+    def predicates_for_so(self, s: int, o: int) -> List[int]:
+        return self._so_p.get((s, o), [])
+
+    def po_for_s(self, s: int) -> List[Tuple[int, int]]:
+        return self._s_po.get(s, [])
+
+    def so_for_p(self, p: int) -> List[Tuple[int, int]]:
+        return self._p_so.get(p, [])
+
+    def sp_for_o(self, o: int) -> List[Tuple[int, int]]:
+        return self._o_sp.get(o, [])
+
+    def all_triples(self) -> List[EncodedTriple]:
+        return self._all
+
+    # ------------------------------------------------------------------
+    # generic access: any combination of bound positions
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        """Enumerate triples matching the given bound positions.
+
+        ``None`` means unbound.  The cheapest index for the binding
+        combination is chosen; cost is O(result size) after the seek.
+        """
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self._spo:
+                yield (s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj in self._sp_o.get((s, p), ()):
+                yield (s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._po_s.get((p, o), ()):
+                yield (subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._so_p.get((s, o), ()):
+                yield (s, pred, o)
+            return
+        if s is not None:
+            for pred, obj in self._s_po.get(s, ()):
+                yield (s, pred, obj)
+            return
+        if p is not None:
+            for subj, obj in self._p_so.get(p, ()):
+                yield (subj, p, obj)
+            return
+        if o is not None:
+            for subj, pred in self._o_sp.get(o, ()):
+                yield (subj, pred, o)
+            return
+        yield from self._all
+
+    def count(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> int:
+        """Exact match count for the binding combination, without scanning.
+
+        This is the "exact cardinality from pre-built indexes" the paper's
+        §5.1.2 relies on for single triple patterns.
+        """
+        if s is not None and p is not None and o is not None:
+            return 1 if (s, p, o) in self._spo else 0
+        if s is not None and p is not None:
+            return len(self._sp_o.get((s, p), ()))
+        if p is not None and o is not None:
+            return len(self._po_s.get((p, o), ()))
+        if s is not None and o is not None:
+            return len(self._so_p.get((s, o), ()))
+        if s is not None:
+            return len(self._s_po.get(s, ()))
+        if p is not None:
+            return len(self._p_so.get(p, ()))
+        if o is not None:
+            return len(self._o_sp.get(o, ()))
+        return len(self._all)
+
+    def subjects_of_predicate(self, p: int) -> Set[int]:
+        """Distinct subjects appearing with predicate ``p``."""
+        return {s for s, _ in self._p_so.get(p, ())}
+
+    def objects_of_predicate(self, p: int) -> Set[int]:
+        """Distinct objects appearing with predicate ``p``."""
+        return {o for _, o in self._p_so.get(p, ())}

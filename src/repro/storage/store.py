@@ -1,0 +1,165 @@
+"""TripleStore: the engine-facing RDF store facade.
+
+Combines the term dictionary, the permutation indexes and the statistics
+catalog.  Both BGP engines, the optimizer's cost model and the LBR
+baseline operate exclusively through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..rdf.dataset import Dataset
+from ..rdf.dictionary import EncodedTriple, TermDictionary
+from ..rdf.terms import GroundTerm, Variable
+from ..rdf.triple import Triple, TriplePattern
+from .indexes import TripleIndexes
+from .stats import StoreStatistics
+
+__all__ = ["TripleStore", "EncodedPattern"]
+
+#: An encoded triple pattern: each position is a term id (int) for a
+#: constant, or a variable name (str) for a variable.  A constant absent
+#: from the dictionary encodes to -1, which matches nothing.
+EncodedPattern = Tuple[Union[int, str], Union[int, str], Union[int, str]]
+
+#: Sentinel id for constants that do not occur in the data.
+MISSING_ID = -1
+
+
+class TripleStore:
+    """Dictionary-encoded, fully indexed, statistics-bearing triple store."""
+
+    def __init__(self):
+        self.dictionary = TermDictionary()
+        self.indexes = TripleIndexes()
+        self._stats: Optional[StoreStatistics] = None
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "TripleStore":
+        store = cls()
+        store.add_all(dataset)
+        return store
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "TripleStore":
+        store = cls()
+        store.add_all(triples)
+        return store
+
+    def add(self, triple: Triple) -> bool:
+        """Insert one triple; returns False for duplicates."""
+        self._stats = None
+        return self.indexes.insert(self.dictionary.encode_triple(triple))
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number actually added."""
+        self._stats = None
+        encode = self.dictionary.encode_triple
+        insert = self.indexes.insert
+        added = 0
+        for triple in triples:
+            if insert(encode(triple)):
+                added += 1
+        return added
+
+    def __len__(self) -> int:
+        return len(self.indexes)
+
+    # ------------------------------------------------------------------
+    # statistics (lazily built, invalidated on insert)
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self) -> StoreStatistics:
+        if self._stats is None:
+            self._stats = StoreStatistics.from_indexes(self.indexes)
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # pattern encoding
+    # ------------------------------------------------------------------
+    def encode_pattern(self, pattern: TriplePattern) -> EncodedPattern:
+        """Encode a triple pattern for index evaluation.
+
+        Variables become their name strings; constants become ids via
+        non-minting lookup (:data:`MISSING_ID` when the constant never
+        occurs in the data, so the pattern provably has no matches).
+        """
+        def encode_term(term) -> Union[int, str]:
+            if isinstance(term, Variable):
+                return term.name
+            term_id = self.dictionary.lookup(term)
+            return MISSING_ID if term_id is None else term_id
+
+        return (
+            encode_term(pattern.subject),
+            encode_term(pattern.predicate),
+            encode_term(pattern.object),
+        )
+
+    # ------------------------------------------------------------------
+    # pattern matching over ids
+    # ------------------------------------------------------------------
+    def match_encoded(self, pattern: EncodedPattern) -> Iterator[EncodedTriple]:
+        """Enumerate encoded triples matching an encoded pattern.
+
+        Handles repeated variables (e.g. ``?x :p ?x``) by post-filtering
+        the positions that share a name.
+        """
+        s, p, o = pattern
+        if MISSING_ID in (s, p, o):
+            return
+        bound_s = s if isinstance(s, int) else None
+        bound_p = p if isinstance(p, int) else None
+        bound_o = o if isinstance(o, int) else None
+        same_sp = isinstance(s, str) and isinstance(p, str) and s == p
+        same_so = isinstance(s, str) and isinstance(o, str) and s == o
+        same_po = isinstance(p, str) and isinstance(o, str) and p == o
+        for triple in self.indexes.scan(bound_s, bound_p, bound_o):
+            ts, tp, to = triple
+            if same_sp and ts != tp:
+                continue
+            if same_so and ts != to:
+                continue
+            if same_po and tp != to:
+                continue
+            yield triple
+
+    def count_pattern(self, pattern: EncodedPattern) -> int:
+        """Exact result count of a single triple pattern.
+
+        Constant positions use index counts directly; repeated-variable
+        patterns fall back to enumeration (rare in practice).
+        """
+        s, p, o = pattern
+        if MISSING_ID in (s, p, o):
+            return 0
+        names = [x for x in (s, p, o) if isinstance(x, str)]
+        if len(set(names)) != len(names):
+            return sum(1 for _ in self.match_encoded(pattern))
+        return self.indexes.count(
+            s if isinstance(s, int) else None,
+            p if isinstance(p, int) else None,
+            o if isinstance(o, int) else None,
+        )
+
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Term-level convenience wrapper around :meth:`match_encoded`."""
+        decode = self.dictionary.decode_triple
+        for encoded in self.match_encoded(self.encode_pattern(pattern)):
+            yield decode(encoded)
+
+    # ------------------------------------------------------------------
+    # decoding helpers
+    # ------------------------------------------------------------------
+    def decode(self, term_id: int) -> GroundTerm:
+        return self.dictionary.decode(term_id)
+
+    def lookup(self, term: GroundTerm) -> Optional[int]:
+        return self.dictionary.lookup(term)
+
+    def __repr__(self) -> str:
+        return f"TripleStore({len(self)} triples, {len(self.dictionary)} terms)"

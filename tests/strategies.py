@@ -1,0 +1,103 @@
+"""Hypothesis strategies for random RDF data and SPARQL-UO queries.
+
+The generated universe is deliberately tiny (few subjects, predicates,
+values) so that random triple patterns frequently join, optionals
+frequently half-match and unions overlap — the regimes where semantic
+bugs in transformations or pruning would surface.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.rdf import Dataset, IRI, Literal, Triple, TriplePattern, Variable
+from repro.sparql.algebra import (
+    GroupGraphPattern,
+    OptionalExpression,
+    SelectQuery,
+    UnionExpression,
+)
+
+EX = "http://x.test/"
+
+_SUBJECTS = [IRI(EX + f"s{i}") for i in range(8)]
+_PREDICATES = [IRI(EX + f"p{i}") for i in range(4)]
+_OBJECTS = _SUBJECTS + [Literal(f"v{i}") for i in range(4)]
+_VARIABLES = [Variable(f"v{i}") for i in range(6)]
+
+subjects = st.sampled_from(_SUBJECTS)
+predicates = st.sampled_from(_PREDICATES)
+objects = st.sampled_from(_OBJECTS)
+variables = st.sampled_from(_VARIABLES)
+
+
+@st.composite
+def triples(draw) -> Triple:
+    return Triple(draw(subjects), draw(predicates), draw(objects))
+
+
+@st.composite
+def datasets(draw) -> Dataset:
+    return Dataset(draw(st.lists(triples(), min_size=0, max_size=40)))
+
+
+@st.composite
+def triple_patterns(draw) -> TriplePattern:
+    subject = draw(st.one_of(variables, subjects))
+    predicate = draw(st.one_of(variables, predicates))
+    obj = draw(st.one_of(variables, objects))
+    return TriplePattern(subject, predicate, obj)
+
+
+def group_patterns(max_depth: int = 3):
+    """Recursive strategy for group graph patterns.
+
+    Depth-limited; union branches and optional bodies are groups, so the
+    full BGP/AND/UNION/OPTIONAL grammar is covered.
+    """
+    if max_depth <= 0:
+        return st.builds(
+            GroupGraphPattern,
+            st.lists(triple_patterns(), min_size=1, max_size=3),
+        )
+    sub = group_patterns(max_depth - 1)
+    element = st.one_of(
+        triple_patterns(),
+        st.builds(OptionalExpression, sub),
+        st.builds(
+            UnionExpression,
+            st.lists(sub, min_size=2, max_size=3),
+        ),
+        sub,
+    )
+    return st.builds(
+        GroupGraphPattern,
+        st.lists(element, min_size=1, max_size=4),
+    )
+
+
+@st.composite
+def select_queries(draw, max_depth: int = 3) -> SelectQuery:
+    """SELECT * over a random group pattern."""
+    return SelectQuery(None, draw(group_patterns(max_depth)))
+
+
+@st.composite
+def optional_only_groups(draw, max_depth: int = 2) -> GroupGraphPattern:
+    """Groups using only triples, nesting and OPTIONAL (LBR's class).
+
+    LBR additionally assumes well-designed patterns, so every OPTIONAL
+    body here is anchored: its first pattern reuses a variable from the
+    required part when possible.
+    """
+    required = draw(st.lists(triple_patterns(), min_size=1, max_size=3))
+    elements = list(required)
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        if max_depth > 0:
+            body = draw(optional_only_groups(max_depth=max_depth - 1))
+        else:
+            body = GroupGraphPattern(
+                draw(st.lists(triple_patterns(), min_size=1, max_size=2))
+            )
+        elements.append(OptionalExpression(body))
+    return GroupGraphPattern(elements)

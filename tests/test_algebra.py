@@ -1,0 +1,104 @@
+"""Unit tests for the graph-pattern AST and binary conversion."""
+
+import pytest
+
+from repro.rdf import IRI, TriplePattern, Variable
+from repro.sparql import (
+    And,
+    EmptyPattern,
+    GroupGraphPattern,
+    OptionalExpression,
+    OptionalOp,
+    SelectQuery,
+    UnionExpression,
+    UnionOp,
+    pattern_variables,
+    to_binary,
+)
+
+P = IRI("http://x/p")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+T1 = TriplePattern(X, P, Y)
+T2 = TriplePattern(Y, P, Z)
+T3 = TriplePattern(Z, P, X)
+
+
+class TestConstruction:
+    def test_union_needs_two_branches(self):
+        with pytest.raises(ValueError):
+            UnionExpression([GroupGraphPattern([T1])])
+
+    def test_union_branches_must_be_groups(self):
+        with pytest.raises(TypeError):
+            UnionExpression([T1, T2])
+
+    def test_optional_body_must_be_group(self):
+        with pytest.raises(TypeError):
+            OptionalExpression(T1)
+
+    def test_group_rejects_junk(self):
+        with pytest.raises(TypeError):
+            GroupGraphPattern(["nope"])
+
+    def test_select_query_validates(self):
+        with pytest.raises(TypeError):
+            SelectQuery(["x"], GroupGraphPattern([T1]))
+        with pytest.raises(TypeError):
+            SelectQuery(None, T1)
+
+
+class TestToBinary:
+    def test_single_triple(self):
+        assert to_binary(GroupGraphPattern([T1])) == T1
+
+    def test_empty_group(self):
+        assert to_binary(GroupGraphPattern([])) == EmptyPattern()
+
+    def test_left_fold_of_and(self):
+        node = to_binary(GroupGraphPattern([T1, T2, T3]))
+        assert node == And(And(T1, T2), T3)
+
+    def test_optional_left_associative(self):
+        group = GroupGraphPattern(
+            [T1, OptionalExpression(GroupGraphPattern([T2]))]
+        )
+        assert to_binary(group) == OptionalOp(T1, T2)
+
+    def test_leading_optional_attaches_to_empty(self):
+        group = GroupGraphPattern([OptionalExpression(GroupGraphPattern([T1]))])
+        assert to_binary(group) == OptionalOp(EmptyPattern(), T1)
+
+    def test_pattern_after_optional_joins_whole(self):
+        group = GroupGraphPattern(
+            [T1, OptionalExpression(GroupGraphPattern([T2])), T3]
+        )
+        assert to_binary(group) == And(OptionalOp(T1, T2), T3)
+
+    def test_union_folds_left(self):
+        union = UnionExpression(
+            [GroupGraphPattern([T1]), GroupGraphPattern([T2]), GroupGraphPattern([T3])]
+        )
+        assert to_binary(GroupGraphPattern([union])) == UnionOp(UnionOp(T1, T2), T3)
+
+    def test_nested_group_is_transparent(self):
+        group = GroupGraphPattern([GroupGraphPattern([T1, T2])])
+        assert to_binary(group) == And(T1, T2)
+
+
+class TestPatternVariables:
+    def test_triple(self):
+        assert pattern_variables(T1) == {"x", "y"}
+
+    def test_group(self):
+        assert pattern_variables(GroupGraphPattern([T1, T2])) == {"x", "y", "z"}
+
+    def test_union_and_optional(self):
+        union = UnionExpression([GroupGraphPattern([T1]), GroupGraphPattern([T2])])
+        group = GroupGraphPattern(
+            [union, OptionalExpression(GroupGraphPattern([T3]))]
+        )
+        assert pattern_variables(group) == {"x", "y", "z"}
+
+    def test_binary_forms(self):
+        assert pattern_variables(And(T1, T2)) == {"x", "y", "z"}
+        assert pattern_variables(EmptyPattern()) == frozenset()

@@ -1,0 +1,89 @@
+"""Unit tests for the candidate-pruning policy (§6)."""
+
+import pytest
+
+from repro.bgp import WCOJoinEngine
+from repro.core import CandidatePolicy, ThresholdMode
+from repro.rdf import Dataset, IRI, TriplePattern, Variable
+from repro.sparql.bags import Bag
+from repro.storage import TripleStore
+
+EX = "http://x/"
+P = IRI(EX + "p")
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    d = Dataset()
+    for i in range(100):
+        d.add_spo(IRI(EX + f"s{i}"), P, IRI(EX + f"o{i}"))
+    return WCOJoinEngine(TripleStore.from_dataset(d))
+
+
+PATTERNS = [TriplePattern(X, P, Y)]
+
+
+class TestModes:
+    def test_off_returns_none(self, engine):
+        policy = CandidatePolicy(ThresholdMode.OFF)
+        assert not policy.enabled
+        assert policy.candidates_for(engine, PATTERNS, Bag([{"x": 1}])) is None
+
+    def test_fixed_threshold_is_fraction_of_store(self, engine):
+        policy = CandidatePolicy(ThresholdMode.FIXED, fixed_fraction=0.05)
+        assert policy.threshold(engine, PATTERNS) == pytest.approx(5.0)
+
+    def test_adaptive_threshold_is_bgp_estimate(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        # The single pattern matches all 100 triples.
+        assert policy.threshold(engine, PATTERNS) == pytest.approx(100.0)
+
+    def test_adaptive_falls_back_for_empty_bgp(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE, fixed_fraction=0.01)
+        assert policy.threshold(engine, []) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(TypeError):
+            CandidatePolicy("full")
+        with pytest.raises(ValueError):
+            CandidatePolicy(ThresholdMode.FIXED, fixed_fraction=0)
+
+
+class TestCandidateExtraction:
+    def test_small_bag_produces_candidates(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        bag = Bag([{"x": 1}, {"x": 2}])
+        cands = policy.candidates_for(engine, PATTERNS, bag)
+        assert cands == {"x": {1, 2}}
+
+    def test_bag_over_threshold_rejected(self, engine):
+        policy = CandidatePolicy(ThresholdMode.FIXED, fixed_fraction=0.01)  # 1.0
+        bag = Bag([{"x": 1}, {"x": 2}])
+        assert policy.candidates_for(engine, PATTERNS, bag) is None
+
+    def test_no_shared_variables(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        assert policy.candidates_for(engine, PATTERNS, Bag([{"z": 1}])) is None
+
+    def test_none_bag(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        assert policy.candidates_for(engine, PATTERNS, None) is None
+
+    def test_empty_bag(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        assert policy.candidates_for(engine, PATTERNS, Bag()) is None
+
+    def test_uncertain_variable_excluded(self, engine):
+        """A variable unbound in some solution must not restrict the BGP
+        (an unbound variable joins with anything)."""
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        bag = Bag([{"x": 1, "y": 5}, {"y": 6}])  # x uncertain
+        cands = policy.candidates_for(engine, PATTERNS, bag)
+        assert cands == {"y": {5, 6}}
+
+    def test_predicate_only_variable_not_restricted(self, engine):
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        patterns = [TriplePattern(X, Variable("pp"), Y)]
+        cands = policy.candidates_for(engine, patterns, Bag([{"pp": 3}]))
+        assert cands is None

@@ -1,0 +1,89 @@
+"""Unit tests for sampling-based cardinality estimation (§5.1.2)."""
+
+import pytest
+
+from repro.bgp import CardinalityEstimator, pattern_count
+from repro.rdf import Dataset, IRI, Triple, TriplePattern, Variable
+from repro.storage import TripleStore
+
+EX = "http://x/"
+P, Q = IRI(EX + "p"), IRI(EX + "q")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture(scope="module")
+def store():
+    d = Dataset()
+    # 20 subjects, each with 3 p-edges; 10 of them have a q-edge.
+    for i in range(20):
+        s = IRI(EX + f"s{i}")
+        for j in range(3):
+            d.add_spo(s, P, IRI(EX + f"o{i}_{j}"))
+        if i < 10:
+            d.add_spo(s, Q, IRI(EX + f"t{i}"))
+    return TripleStore.from_dataset(d)
+
+
+class TestSinglePattern:
+    def test_exact_count(self, store):
+        est = CardinalityEstimator(store)
+        assert est.single_pattern(TriplePattern(X, P, Y)) == 60
+        assert est.single_pattern(TriplePattern(X, Q, Y)) == 10
+
+    def test_constant_anchored(self, store):
+        est = CardinalityEstimator(store)
+        assert est.single_pattern(TriplePattern(IRI(EX + "s0"), P, Y)) == 3
+
+    def test_absent_constant(self, store):
+        est = CardinalityEstimator(store)
+        assert est.single_pattern(TriplePattern(IRI(EX + "missing"), P, Y)) == 0
+
+
+class TestSequences:
+    def test_empty_sequence(self, store):
+        final, steps = CardinalityEstimator(store).estimate_sequence([])
+        assert final == 1.0 and steps == []
+
+    def test_two_pattern_join_estimate(self, store):
+        est = CardinalityEstimator(store, sample_size=64, seed=1)
+        patterns = [TriplePattern(X, Q, Y), TriplePattern(X, P, Z)]
+        final, steps = est.estimate_sequence(patterns)
+        # Exactly 10 subjects have q; each has 3 p-edges → true card 30.
+        assert steps[0] == 10.0
+        assert final == pytest.approx(30.0, rel=0.4)
+
+    def test_floor_is_one(self, store):
+        est = CardinalityEstimator(store)
+        patterns = [
+            TriplePattern(X, Q, Y),
+            TriplePattern(X, IRI(EX + "nothere"), Z),
+        ]
+        final, _ = est.estimate_sequence(patterns)
+        assert final == 1.0
+
+    def test_deterministic_with_seed(self, store):
+        patterns = [TriplePattern(X, P, Y), TriplePattern(X, Q, Z)]
+        one = CardinalityEstimator(store, seed=5).estimate(patterns)
+        two = CardinalityEstimator(store, seed=5).estimate(patterns)
+        assert one == two
+
+    def test_invalid_sample_size(self, store):
+        with pytest.raises(ValueError):
+            CardinalityEstimator(store, sample_size=0)
+
+
+class TestPatternCountWithCandidates:
+    def test_no_candidates_is_plain_count(self, store):
+        assert pattern_count(store, TriplePattern(X, Q, Y)) == 10
+
+    def test_subject_candidates_with_bound_object(self, store):
+        s0 = store.lookup(IRI(EX + "s0"))
+        s15 = store.lookup(IRI(EX + "s15"))  # has no q-edge
+        pattern = TriplePattern(X, Q, IRI(EX + "t0"))
+        assert pattern_count(store, pattern, {"x": {s0, s15}}) == 1
+
+    def test_unusable_candidates_fall_back(self, store):
+        s0 = store.lookup(IRI(EX + "s0"))
+        # Object position free → falls back to the unrestricted count.
+        pattern = TriplePattern(X, Q, Y)
+        assert pattern_count(store, pattern, {"x": {s0}}) == 10

@@ -1,0 +1,134 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.rdf import Dataset, IRI, Literal, dump_ntriples
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    d = Dataset()
+    EX = "http://x/"
+    for i in range(10):
+        d.add_spo(IRI(EX + f"s{i}"), IRI(EX + "p"), IRI(EX + f"o{i % 3}"))
+        d.add_spo(IRI(EX + f"s{i}"), IRI(EX + "name"), Literal(f"n{i}"))
+    path = tmp_path / "data.nt"
+    dump_ntriples(d, str(path))
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestQuery:
+    def test_basic_query(self, data_file):
+        code, output = run(
+            ["query", data_file, "SELECT ?x WHERE { ?x <http://x/p> <http://x/o0> }"]
+        )
+        assert code == 0
+        lines = output.strip().split("\n")
+        assert lines[0] == "?x"
+        assert len(lines) == 5  # header + 4 matches (s0, s3, s6, s9)
+
+    def test_query_from_file(self, data_file, tmp_path):
+        query_path = tmp_path / "q.rq"
+        query_path.write_text("SELECT ?n WHERE { ?x <http://x/name> ?n }")
+        code, output = run(["query", data_file, "-f", str(query_path)])
+        assert code == 0
+        assert output.count("\n") == 11  # header + 10 rows
+
+    def test_limit(self, data_file):
+        code, output = run(
+            ["query", data_file, "SELECT ?n WHERE { ?x <http://x/name> ?n }", "--limit", "3"]
+        )
+        assert code == 0
+        assert "more rows" in output
+
+    def test_unbound_optional_prints_empty_cell(self, data_file):
+        query = (
+            "SELECT ?x ?n WHERE { ?x <http://x/p> <http://x/o0> "
+            "OPTIONAL { ?x <http://x/missing> ?n } }"
+        )
+        code, output = run(["query", data_file, query])
+        assert code == 0
+        body = [line for line in output.splitlines()[1:] if line]
+        assert body
+        assert all(line.endswith("\t") for line in body)
+
+    def test_stats_flag(self, data_file):
+        code, output = run(
+            ["query", data_file, "SELECT ?x WHERE { ?x <http://x/p> ?o }", "--stats"]
+        )
+        assert code == 0
+        assert "join space" in output
+
+    def test_explain_flag(self, data_file):
+        code, output = run(
+            ["query", data_file, "SELECT ?x WHERE { ?x <http://x/p> ?o }", "--explain"]
+        )
+        assert code == 0
+        assert "GROUP" in output and "BGP" in output
+
+    def test_all_modes_and_engines(self, data_file):
+        for mode in ("base", "tt", "cp", "full"):
+            for engine in ("wco", "hashjoin"):
+                code, output = run(
+                    [
+                        "query", data_file,
+                        "SELECT ?x WHERE { ?x <http://x/p> ?o }",
+                        "--mode", mode, "--engine", engine,
+                    ]
+                )
+                assert code == 0
+                assert output.count("\n") == 11
+
+    def test_syntax_error_reports_nonzero(self, data_file):
+        code, _ = run(["query", data_file, "SELECT WHERE { broken"])
+        assert code == 2
+
+    def test_missing_query_text(self, data_file):
+        with pytest.raises(SystemExit):
+            run(["query", data_file])
+
+
+class TestGenerate:
+    def test_generate_lubm(self, tmp_path):
+        out_path = tmp_path / "lubm.nt"
+        code, output = run(
+            ["generate", "lubm", str(out_path), "--universities", "1"]
+        )
+        assert code == 0
+        assert "wrote" in output
+        assert out_path.stat().st_size > 100_000
+
+    def test_generate_dbpedia(self, tmp_path):
+        out_path = tmp_path / "dbp.nt"
+        code, output = run(["generate", "dbpedia", str(out_path), "--articles", "300"])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_generated_file_queryable(self, tmp_path):
+        out_path = tmp_path / "small.nt"
+        run(["generate", "dbpedia", str(out_path), "--articles", "200"])
+        code, output = run(
+            [
+                "query", str(out_path),
+                "SELECT ?x WHERE { ?x <http://dbpedia.org/ontology/wikiPageWikiLink> "
+                "<http://dbpedia.org/resource/Economic_system> }",
+            ]
+        )
+        assert code == 0
+        assert output.count("\n") > 1
+
+
+class TestStats:
+    def test_stats_output(self, data_file):
+        code, output = run(["stats", data_file])
+        assert code == 0
+        assert "triples" in output and "20" in output

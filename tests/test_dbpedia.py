@@ -1,0 +1,107 @@
+"""Unit tests for the DBpedia-like generator."""
+
+import pytest
+
+from repro.datasets import ANCHORS, DBpediaGenerator, generate_dbpedia
+from repro.rdf import DBO, DBR, FOAF, OWL, PURL, RDF, RDFS, TriplePattern, Variable
+
+X = Variable("x")
+
+
+@pytest.fixture(scope="module")
+def dbp():
+    return generate_dbpedia(articles=600)
+
+
+def count(dataset, pattern) -> int:
+    return sum(1 for _ in dataset.match(pattern))
+
+
+class TestAnchors:
+    def test_anchor_resources_exist(self, dbp):
+        for name in ANCHORS:
+            anchor = DBR.term(name)
+            assert count(dbp, TriplePattern(anchor, Variable("p"), Variable("o"))) > 0, name
+
+    def test_anchors_have_concentrated_inlinks(self, dbp):
+        anchor = DBR.term("Economic_system")
+        inlinks = count(dbp, TriplePattern(X, DBO.wikiPageWikiLink, anchor))
+        assert inlinks >= 40
+
+    def test_air_masses_has_redirect(self, dbp):
+        """q1.3 needs a resource sharing Air_masses' wiki page."""
+        page_triples = list(
+            dbp.match(TriplePattern(DBR.term("Air_masses"), FOAF.isPrimaryTopicOf, X))
+        )
+        assert page_triples
+        page = page_triples[0].object
+        topics = count(dbp, TriplePattern(page, FOAF.primaryTopic, X))
+        assert topics >= 2  # the article and its redirect
+
+    def test_functional_neuroimaging_categorized(self, dbp):
+        anchor = DBR.term("Functional_neuroimaging")
+        assert count(dbp, TriplePattern(anchor, PURL.subject, X)) > 0
+
+
+class TestShape:
+    def test_wikilink_dominates(self, dbp):
+        """wikiPageWikiLink must be the heavy, low-selectivity predicate."""
+        links = count(dbp, TriplePattern(X, DBO.wikiPageWikiLink, Variable("y")))
+        labels = count(dbp, TriplePattern(X, RDFS.label, Variable("y")))
+        assert links > labels
+
+    def test_heavy_tail_out_degree(self, dbp):
+        from collections import Counter
+
+        degrees = Counter()
+        for triple in dbp.match(TriplePattern(X, DBO.wikiPageWikiLink, Variable("y"))):
+            degrees[triple.subject] += 1
+        values = sorted(degrees.values(), reverse=True)
+        # The top linker links at least 4× the median — a heavy tail.
+        median = values[len(values) // 2]
+        assert values[0] >= 4 * max(median, 1)
+
+    def test_diverse_name_representation(self, dbp):
+        names = count(dbp, TriplePattern(X, FOAF.name, Variable("n")))
+        labels = count(dbp, TriplePattern(X, RDFS.label, Variable("n")))
+        assert names > 0 and labels > 0
+        assert names < labels  # only some articles carry foaf:name
+
+    def test_incomplete_sameas(self, dbp):
+        sameas_subjects = {
+            t.subject for t in dbp.match(TriplePattern(X, OWL.sameAs, Variable("o")))
+        }
+        labeled_subjects = {
+            t.subject for t in dbp.match(TriplePattern(X, RDFS.label, Variable("o")))
+        }
+        assert sameas_subjects and sameas_subjects < labeled_subjects
+
+
+class TestSubPopulations:
+    @pytest.mark.parametrize(
+        "cls", ["PopulatedPlace", "Person", "SoccerPlayer", "Airport", "Settlement"]
+    )
+    def test_typed_populations_exist(self, dbp, cls):
+        assert count(dbp, TriplePattern(X, RDF.type, DBO.term(cls))) > 0
+
+    def test_airports_have_cities_and_iata(self, dbp):
+        airports = [
+            t.subject for t in dbp.match(TriplePattern(X, RDF.type, DBO.Airport))
+        ]
+        assert airports
+        airport = airports[0]
+        assert count(dbp, TriplePattern(airport, DBO.city, X)) == 1
+
+    def test_species_have_phyla(self, dbp):
+        assert count(dbp, TriplePattern(X, DBO.phylum, Variable("ph"))) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_dbpedia(articles=300, seed=3)
+        b = generate_dbpedia(articles=300, seed=3)
+        assert set(a) == set(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DBpediaGenerator(articles=10)

@@ -1,0 +1,111 @@
+"""Unit tests for the BGP-based evaluator (Algorithm 1 + pruning)."""
+
+import pytest
+
+from repro.bgp import HashJoinEngine, WCOJoinEngine
+from repro.core import BETree, CandidatePolicy, ThresholdMode
+from repro.core.evaluator import BGPBasedEvaluator, EvaluationTrace
+from repro.sparql import SelectQuery, execute_query, parse_group
+from repro.storage import TripleStore
+
+QUERIES = [
+    "{ ?x <http://example.org/worksFor> ?d }",
+    "{ ?x <http://example.org/worksFor> ?d . ?x <http://example.org/headOf> ?d }",
+    "{ { ?x <http://example.org/headOf> ?d } UNION { ?x <http://example.org/worksFor> ?d } }",
+    "{ ?x <http://example.org/worksFor> ?d OPTIONAL { ?s <http://example.org/advisor> ?x } }",
+    "{ OPTIONAL { ?x <http://example.org/worksFor> ?d } }",
+    "{ ?x <http://example.org/headOf> ?d { ?s <http://example.org/advisor> ?x } }",
+    "{ ?x <http://example.org/worksFor> ?d OPTIONAL { ?s <http://example.org/advisor> ?x "
+    "  OPTIONAL { ?s <http://example.org/takesCourse> ?c } } }",
+    "{ ?x <http://example.org/headOf> ?d "
+    "  { ?x <http://example.org/type> ?t } UNION { ?x <http://example.org/name> ?n } "
+    "  OPTIONAL { ?x <http://example.org/teacherOf> ?c } }",
+    "{ }",
+]
+
+
+@pytest.fixture(params=["wco", "hashjoin"])
+def engine(request, university_store):
+    cls = WCOJoinEngine if request.param == "wco" else HashJoinEngine
+    return cls(university_store)
+
+
+def reference(text, dataset):
+    return execute_query(SelectQuery(None, parse_group(text)), dataset)
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_matches_reference(self, engine, university_dataset, text):
+        tree = BETree.from_group(parse_group(text))
+        evaluator = BGPBasedEvaluator(engine)
+        result = engine.decode_bag(evaluator.evaluate(tree))
+        names = sorted(result.variables())
+        assert result.project(names) == reference(text, university_dataset).project(names)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_pruning_preserves_results(self, engine, university_dataset, text):
+        tree = BETree.from_group(parse_group(text))
+        plain = BGPBasedEvaluator(engine).evaluate(tree)
+        pruned = BGPBasedEvaluator(
+            engine, CandidatePolicy(ThresholdMode.ADAPTIVE)
+        ).evaluate(tree)
+        assert plain == pruned
+
+    def test_empty_tree_is_identity(self, engine):
+        tree = BETree.from_group(parse_group("{ }"))
+        result = BGPBasedEvaluator(engine).evaluate(tree)
+        assert len(result) == 1 and list(result) == [{}]
+
+
+class TestTrace:
+    def test_trace_records_bgp_sizes(self, engine):
+        tree = BETree.from_group(parse_group("{ ?x <http://example.org/worksFor> ?d }"))
+        trace = EvaluationTrace()
+        BGPBasedEvaluator(engine).evaluate(tree, trace)
+        assert trace.bgp_evaluations == 1
+        (size,) = trace.bgp_result_sizes.values()
+        assert size == 12  # 3 departments × 4 professors
+
+    def test_trace_counts_pruned_evaluations(self, engine):
+        text = (
+            "{ ?x <http://example.org/headOf> ?d "
+            "OPTIONAL { ?x <http://example.org/teacherOf> ?c } }"
+        )
+        tree = BETree.from_group(parse_group(text))
+        trace = EvaluationTrace()
+        policy = CandidatePolicy(ThresholdMode.ADAPTIVE)
+        BGPBasedEvaluator(engine, policy).evaluate(tree, trace)
+        # headOf yields 3 heads < teacherOf's 12 → the optional BGP is pruned.
+        assert trace.pruned_evaluations == 1
+
+    def test_pruning_shrinks_observed_results(self, engine):
+        text = (
+            "{ ?x <http://example.org/headOf> ?d "
+            "OPTIONAL { ?x <http://example.org/teacherOf> ?c } }"
+        )
+        tree = BETree.from_group(parse_group(text))
+        plain_trace = EvaluationTrace()
+        BGPBasedEvaluator(engine).evaluate(tree, plain_trace)
+        pruned_trace = EvaluationTrace()
+        BGPBasedEvaluator(engine, CandidatePolicy(ThresholdMode.ADAPTIVE)).evaluate(
+            tree, pruned_trace
+        )
+        assert sum(pruned_trace.bgp_result_sizes.values()) < sum(
+            plain_trace.bgp_result_sizes.values()
+        )
+
+    def test_candidates_cross_levels(self, engine):
+        """§6: a selective BGP's results prune a nested OPTIONAL's BGP
+        two levels down, which tree transformation alone cannot reach."""
+        text = (
+            "{ ?x <http://example.org/headOf> ?d "
+            "OPTIONAL { ?s <http://example.org/advisor> ?x "
+            "  OPTIONAL { ?x <http://example.org/teacherOf> ?c } } }"
+        )
+        tree = BETree.from_group(parse_group(text))
+        trace = EvaluationTrace()
+        BGPBasedEvaluator(engine, CandidatePolicy(ThresholdMode.ADAPTIVE)).evaluate(
+            tree, trace
+        )
+        assert trace.pruned_evaluations >= 2

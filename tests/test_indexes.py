@@ -1,0 +1,94 @@
+"""Unit and property tests for the permutation indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import TermDictionary
+from repro.storage import TripleIndexes
+
+from .strategies import datasets
+
+
+def build(triples):
+    idx = TripleIndexes()
+    for t in triples:
+        idx.insert(t)
+    return idx
+
+
+class TestInsert:
+    def test_insert_and_len(self):
+        idx = build([(0, 1, 2)])
+        assert len(idx) == 1
+
+    def test_duplicate_rejected(self):
+        idx = TripleIndexes()
+        assert idx.insert((0, 1, 2)) is True
+        assert idx.insert((0, 1, 2)) is False
+        assert len(idx) == 1
+
+    def test_contains(self):
+        idx = build([(0, 1, 2)])
+        assert (0, 1, 2) in idx
+        assert (2, 1, 0) not in idx
+
+
+class TestLookups:
+    @pytest.fixture
+    def idx(self):
+        return build([(0, 1, 2), (0, 1, 3), (4, 1, 2), (0, 5, 2), (4, 5, 3)])
+
+    def test_objects_for_sp(self, idx):
+        assert sorted(idx.objects_for_sp(0, 1)) == [2, 3]
+
+    def test_subjects_for_po(self, idx):
+        assert sorted(idx.subjects_for_po(1, 2)) == [0, 4]
+
+    def test_predicates_for_so(self, idx):
+        assert sorted(idx.predicates_for_so(0, 2)) == [1, 5]
+
+    def test_po_for_s(self, idx):
+        assert sorted(idx.po_for_s(4)) == [(1, 2), (5, 3)]
+
+    def test_so_for_p(self, idx):
+        assert sorted(idx.so_for_p(5)) == [(0, 2), (4, 3)]
+
+    def test_sp_for_o(self, idx):
+        assert sorted(idx.sp_for_o(3)) == [(0, 1), (4, 5)]
+
+    def test_missing_keys_give_empty(self, idx):
+        assert idx.objects_for_sp(9, 9) == []
+        assert idx.po_for_s(9) == []
+
+    def test_subjects_objects_of_predicate(self, idx):
+        assert idx.subjects_of_predicate(1) == {0, 4}
+        assert idx.objects_of_predicate(1) == {2, 3}
+
+
+class TestScanAndCount:
+    @given(datasets(), st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    def test_scan_matches_naive_filter(self, dataset, bound):
+        """For every binding combination, scan() equals a full filter."""
+        dictionary = TermDictionary()
+        triples = [dictionary.encode_triple(t) for t in dataset]
+        idx = build(triples)
+        if not triples:
+            return
+        probe = triples[0]
+        s = probe[0] if bound[0] else None
+        p = probe[1] if bound[1] else None
+        o = probe[2] if bound[2] else None
+        expected = sorted(
+            t
+            for t in set(triples)
+            if (s is None or t[0] == s)
+            and (p is None or t[1] == p)
+            and (o is None or t[2] == o)
+        )
+        assert sorted(idx.scan(s, p, o)) == expected
+        assert idx.count(s, p, o) == len(expected)
+
+    def test_full_scan(self):
+        idx = build([(0, 1, 2), (3, 4, 5)])
+        assert sorted(idx.scan()) == [(0, 1, 2), (3, 4, 5)]
+        assert idx.count() == 2

@@ -1,0 +1,57 @@
+"""Unit tests for the join-space metric JS (§7.1)."""
+
+from repro.bgp import WCOJoinEngine
+from repro.core import BETree, join_space
+from repro.core.betree import BGPNode
+from repro.core.evaluator import BGPBasedEvaluator, EvaluationTrace
+from repro.sparql import parse_group
+
+
+def evaluate_with_trace(store, text):
+    tree = BETree.from_group(parse_group(text))
+    trace = EvaluationTrace()
+    BGPBasedEvaluator(WCOJoinEngine(store)).evaluate(tree, trace)
+    return tree, trace
+
+
+class TestRules:
+    def test_single_bgp(self, university_store):
+        tree, trace = evaluate_with_trace(
+            university_store, "{ ?x <http://example.org/worksFor> ?d }"
+        )
+        assert join_space(tree, trace) == 12.0
+
+    def test_join_multiplies(self, university_store):
+        # Two disconnected BGPs: worksFor (12) × advisor (36).
+        tree, trace = evaluate_with_trace(
+            university_store,
+            "{ ?x <http://example.org/worksFor> ?d . ?s <http://example.org/advisor> ?p }",
+        )
+        assert join_space(tree, trace) == 12.0 * 36.0
+
+    def test_union_adds(self, university_store):
+        tree, trace = evaluate_with_trace(
+            university_store,
+            "{ { ?x <http://example.org/worksFor> ?d } UNION { ?x <http://example.org/headOf> ?d } }",
+        )
+        assert join_space(tree, trace) == 12.0 + 3.0
+
+    def test_optional_multiplies(self, university_store):
+        tree, trace = evaluate_with_trace(
+            university_store,
+            "{ ?x <http://example.org/headOf> ?d OPTIONAL { ?x <http://example.org/teacherOf> ?c } }",
+        )
+        assert join_space(tree, trace) == 3.0 * 12.0
+
+    def test_empty_bgp_counts_one(self, university_store):
+        tree, trace = evaluate_with_trace(
+            university_store, "{ ?x <http://example.org/headOf> ?d }"
+        )
+        tree.root.children.append(BGPNode([]))
+        assert join_space(tree, trace) == 3.0
+
+    def test_unevaluated_bgp_counts_zero(self, university_store):
+        tree = BETree.from_group(
+            parse_group("{ ?x <http://example.org/headOf> ?d }")
+        )
+        assert join_space(tree, EvaluationTrace()) == 0.0

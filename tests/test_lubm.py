@@ -1,0 +1,107 @@
+"""Unit tests for the LUBM-like generator."""
+
+import pytest
+
+from repro.datasets import LUBMGenerator, generate_lubm
+from repro.rdf import IRI, Literal, TriplePattern, UB, Variable
+
+
+@pytest.fixture(scope="module")
+def lubm():
+    return generate_lubm(universities=1)
+
+
+def has_triple(dataset, s, p, o) -> bool:
+    return any(True for _ in dataset.match(TriplePattern(s, p, o)))
+
+
+class TestStructure:
+    def test_named_students_exist(self, lubm):
+        """The benchmark queries address these individuals by IRI/email;
+        they must exist at every scale (DESIGN.md guarantee 1)."""
+        x = Variable("x")
+        for dept, student in ((0, 91), (1, 363), (0, 356), (1, 256), (12, 309)):
+            iri = IRI(
+                f"http://www.Department{dept}.University0.edu/UndergraduateStudent{student}"
+            )
+            assert has_triple(lubm, iri, UB.memberOf, x), (dept, student)
+
+    def test_email_format_matches_queries(self, lubm):
+        student = IRI("http://www.Department0.University0.edu/UndergraduateStudent91")
+        email = Literal("UndergraduateStudent91@Department0.University0.edu")
+        assert has_triple(lubm, student, UB.emailAddress, email)
+
+    def test_university0_has_15_departments(self, lubm):
+        dept12 = IRI("http://www.Department12.University0.edu")
+        assert has_triple(lubm, dept12, UB.subOrganizationOf, Variable("u"))
+
+    def test_departments_have_heads_and_names(self, lubm):
+        dept = IRI("http://www.Department0.University0.edu")
+        assert has_triple(lubm, Variable("p"), UB.headOf, dept)
+        assert has_triple(lubm, dept, UB.name, Variable("n"))
+
+    def test_research_groups_are_suborganizations(self, lubm):
+        group = IRI("http://www.Department0.University0.edu/ResearchGroup0")
+        dept = IRI("http://www.Department0.University0.edu")
+        assert has_triple(lubm, group, UB.subOrganizationOf, dept)
+
+    def test_grad_publications_coauthored_with_advisor(self, lubm):
+        """q2.2/q2.3 join publications on student AND professor author."""
+        pub = Variable("pub")
+        st = Variable("st")
+        prof = Variable("prof")
+        found = False
+        for triple in lubm.match(TriplePattern(pub, UB.publicationAuthor, st)):
+            authors = [
+                t.object for t in lubm.match(
+                    TriplePattern(triple.subject, UB.publicationAuthor, Variable("a"))
+                )
+            ]
+            if len(authors) >= 2:
+                found = True
+                break
+        assert found
+
+    def test_predicate_inventory(self, lubm):
+        predicates = {p.value.rsplit("#", 1)[-1] for p in lubm.predicates()}
+        for needed in (
+            "headOf", "worksFor", "undergraduateDegreeFrom", "doctoralDegreeFrom",
+            "publicationAuthor", "memberOf", "name", "emailAddress", "teacherOf",
+            "takesCourse", "teachingAssistantOf", "subOrganizationOf", "advisor",
+            "researchInterest", "telephone",
+        ):
+            assert needed in predicates, needed
+
+
+class TestScaling:
+    def test_deterministic(self):
+        a = generate_lubm(universities=1, seed=1)
+        b = generate_lubm(universities=1, seed=1)
+        assert set(a) == set(b)
+
+    def test_seed_changes_data(self):
+        a = generate_lubm(universities=1, seed=1)
+        b = generate_lubm(universities=1, seed=2)
+        assert set(a) != set(b)
+
+    def test_roughly_linear_scaling(self):
+        # University0 is fixed-size; each further university adds a
+        # roughly constant volume, so growth in the scale knob is linear.
+        two = len(generate_lubm(universities=2))
+        four = len(generate_lubm(universities=4))
+        six = len(generate_lubm(universities=6))
+        first_increment = four - two
+        second_increment = six - four
+        assert first_increment > 0
+        assert second_increment == pytest.approx(first_increment, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LUBMGenerator(universities=0)
+        with pytest.raises(ValueError):
+            LUBMGenerator(undergrads_large=100)  # must cover student 363
+
+    def test_statistics_shape(self, lubm):
+        stats = lubm.statistics()
+        assert stats["triples"] > 10_000
+        assert stats["predicates"] >= 15

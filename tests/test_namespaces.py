@@ -1,0 +1,47 @@
+"""Unit tests for namespaces and the well-known prefix table."""
+
+import pytest
+
+from repro.rdf import DBO, IRI, Namespace, RDF, UB, WELL_KNOWN_PREFIXES
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x/")
+        assert ns.thing == IRI("http://x/thing")
+
+    def test_item_access(self):
+        ns = Namespace("http://x/")
+        assert ns["a-b.c"] == IRI("http://x/a-b.c")
+
+    def test_term(self):
+        assert Namespace("http://x/").term("t") == IRI("http://x/t")
+
+    def test_contains(self):
+        ns = Namespace("http://x/")
+        assert ns.thing in ns
+        assert IRI("http://y/thing") not in ns
+
+    def test_underscore_attributes_raise(self):
+        with pytest.raises(AttributeError):
+            Namespace("http://x/")._private
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+
+class TestWellKnownPrefixes:
+    def test_contains_paper_prefixes(self):
+        for prefix in ("rdf", "rdfs", "foaf", "owl", "dbo", "dbr", "dbp", "ub", "skos", "purl", "nsprov", "geo", "georss"):
+            assert prefix in WELL_KNOWN_PREFIXES
+
+    def test_ub_matches_lubm_ontology(self):
+        assert WELL_KNOWN_PREFIXES["ub"] == "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+        assert UB.worksFor.value.endswith("#worksFor")
+
+    def test_rdf_type(self):
+        assert RDF.type == IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+    def test_dbo(self):
+        assert DBO.wikiPageWikiLink.value == "http://dbpedia.org/ontology/wikiPageWikiLink"

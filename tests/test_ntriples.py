@@ -1,0 +1,102 @@
+"""Unit and property tests for the N-Triples parser/serializer."""
+
+import pytest
+from hypothesis import given
+
+from repro.rdf import (
+    BlankNode,
+    Dataset,
+    IRI,
+    Literal,
+    NTriplesParseError,
+    Triple,
+    parse_ntriples_string,
+    serialize_ntriples,
+)
+
+from .strategies import datasets
+
+
+class TestParse:
+    def test_simple_triple(self):
+        (t,) = parse_ntriples_string("<http://a> <http://b> <http://c> .")
+        assert t == Triple(IRI("http://a"), IRI("http://b"), IRI("http://c"))
+
+    def test_literal_object(self):
+        (t,) = parse_ntriples_string('<http://a> <http://b> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_language_literal(self):
+        (t,) = parse_ntriples_string('<http://a> <http://b> "hi"@en .')
+        assert t.object == Literal("hi", language="en")
+
+    def test_typed_literal(self):
+        text = '<http://a> <http://b> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        (t,) = parse_ntriples_string(text)
+        assert t.object.datatype.endswith("integer")
+
+    def test_blank_nodes(self):
+        (t,) = parse_ntriples_string("_:x <http://b> _:y .")
+        assert t.subject == BlankNode("x") and t.object == BlankNode("y")
+
+    def test_escapes(self):
+        (t,) = parse_ntriples_string('<http://a> <http://b> "a\\"b\\nc\\\\d" .')
+        assert t.object.lexical == 'a"b\nc\\d'
+
+    def test_unicode_escape(self):
+        (t,) = parse_ntriples_string('<http://a> <http://b> "\\u00e9" .')
+        assert t.object.lexical == "é"
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\n<http://a> <http://b> <http://c> .\n"
+        assert len(list(parse_ntriples_string(text))) == 1
+
+    def test_trailing_comment_after_dot(self):
+        (t,) = parse_ntriples_string("<http://a> <http://b> <http://c> . # note")
+        assert t.predicate == IRI("http://b")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://a> <http://b> <http://c>",  # missing dot
+            "<http://a> <http://b> .",  # missing object
+            '"lit" <http://b> <http://c> .',  # literal subject
+            "<http://a> <http://b> <http://c> . extra",  # trailing junk
+            "<http://a <http://b> <http://c> .",  # unterminated IRI
+            '<http://a> <http://b> "open .',  # unterminated string
+        ],
+    )
+    def test_malformed_lines(self, bad):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples_string(bad))
+
+    def test_error_carries_line_number(self):
+        text = "<http://a> <http://b> <http://c> .\nbroken line\n"
+        with pytest.raises(NTriplesParseError) as excinfo:
+            list(parse_ntriples_string(text))
+        assert excinfo.value.line_number == 2
+
+
+class TestRoundTrip:
+    def test_serialize_is_sorted_and_terminated(self):
+        d = Dataset(
+            [
+                Triple(IRI("http://b"), IRI("http://p"), IRI("http://o")),
+                Triple(IRI("http://a"), IRI("http://p"), IRI("http://o")),
+            ]
+        )
+        text = serialize_ntriples(d)
+        lines = text.strip().split("\n")
+        assert lines == sorted(lines)
+        assert text.endswith("\n")
+
+    def test_empty_serialization(self):
+        assert serialize_ntriples([]) == ""
+
+    @given(datasets())
+    def test_parse_serialize_round_trip(self, dataset):
+        text = serialize_ntriples(dataset)
+        reparsed = Dataset(parse_ntriples_string(text))
+        assert set(reparsed) == set(dataset)

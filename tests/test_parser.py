@@ -1,0 +1,170 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, TriplePattern, Variable
+from repro.sparql import (
+    GroupGraphPattern,
+    OptionalExpression,
+    SparqlSyntaxError,
+    UnionExpression,
+    UnsupportedFeatureError,
+    format_group,
+    parse_group,
+    parse_query,
+)
+
+X = Variable("x")
+
+
+class TestProjection:
+    def test_explicit_variables(self):
+        q = parse_query("SELECT ?a ?b WHERE { ?a ?p ?b }")
+        assert q.projection_names() == ["a", "b"]
+
+    def test_star(self):
+        q = parse_query("SELECT * WHERE { ?a ?p ?b }")
+        assert q.variables is None
+
+    def test_bare_select_where_is_select_all(self):
+        # The appendix queries are written 'SELECT WHERE { … }'.
+        q = parse_query("SELECT WHERE { ?a ?p ?b }")
+        assert q.variables is None
+
+    def test_where_keyword_optional(self):
+        q = parse_query("SELECT ?a { ?a ?p ?b }")
+        assert q.projection_names() == ["a"]
+
+
+class TestTriples:
+    def test_iri_terms(self):
+        q = parse_query("SELECT * WHERE { <http://s> <http://p> <http://o> }")
+        (pattern,) = q.where.elements
+        assert pattern == TriplePattern(IRI("http://s"), IRI("http://p"), IRI("http://o"))
+
+    def test_prefixed_names_from_prologue(self):
+        q = parse_query(
+            "PREFIX ex: <http://e/> SELECT * WHERE { ex:s ex:p ex:o }"
+        )
+        (pattern,) = q.where.elements
+        assert pattern.subject == IRI("http://e/s")
+
+    def test_well_known_prefixes_preloaded(self):
+        q = parse_query("SELECT * WHERE { ?x dbo:wikiPageWikiLink ?y }")
+        (pattern,) = q.where.elements
+        assert pattern.predicate == IRI("http://dbpedia.org/ontology/wikiPageWikiLink")
+
+    def test_prologue_overrides_preloaded(self):
+        q = parse_query("PREFIX dbo: <http://other/> SELECT * WHERE { ?x dbo:p ?y }")
+        (pattern,) = q.where.elements
+        assert pattern.predicate == IRI("http://other/p")
+
+    def test_a_expands_to_rdf_type(self):
+        q = parse_query("SELECT * WHERE { ?x a dbo:Person }")
+        (pattern,) = q.where.elements
+        assert pattern.predicate.value.endswith("#type")
+
+    def test_string_literal_object(self):
+        q = parse_query('SELECT * WHERE { ?x foaf:name "Bill"@en }')
+        (pattern,) = q.where.elements
+        assert pattern.object == Literal("Bill", language="en")
+
+    def test_typed_literal_object(self):
+        q = parse_query('SELECT * WHERE { ?x dbp:iata "5"^^xsd:integer }')
+        (pattern,) = q.where.elements
+        assert pattern.object.datatype.endswith("integer")
+
+    def test_integer_shorthand(self):
+        q = parse_query("SELECT * WHERE { ?x dbo:number 42 }")
+        (pattern,) = q.where.elements
+        assert pattern.object == Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer")
+
+    def test_multiple_triples_with_dots(self):
+        q = parse_query("SELECT * WHERE { ?a ?p ?b . ?b ?q ?c . }")
+        assert len(q.where.elements) == 2
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?x nosuch:p ?y }")
+
+
+class TestStructure:
+    def test_nested_group(self):
+        q = parse_query("SELECT * WHERE { { ?a ?p ?b } }")
+        (group,) = q.where.elements
+        assert isinstance(group, GroupGraphPattern)
+
+    def test_union(self):
+        q = parse_query("SELECT * WHERE { { ?a ?p ?b } UNION { ?a ?q ?b } }")
+        (union,) = q.where.elements
+        assert isinstance(union, UnionExpression)
+        assert len(union.branches) == 2
+
+    def test_chained_union_is_nary(self):
+        q = parse_query(
+            "SELECT * WHERE { { ?a ?p ?b } UNION { ?a ?q ?b } UNION { ?a ?r ?b } }"
+        )
+        (union,) = q.where.elements
+        assert len(union.branches) == 3
+
+    def test_optional(self):
+        q = parse_query("SELECT * WHERE { ?a ?p ?b OPTIONAL { ?b ?q ?c } }")
+        assert isinstance(q.where.elements[1], OptionalExpression)
+
+    def test_nested_optionals(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a ?p ?b OPTIONAL { ?b ?q ?c OPTIONAL { ?c ?r ?d } } }"
+        )
+        outer = q.where.elements[1]
+        assert isinstance(outer.pattern.elements[1], OptionalExpression)
+
+    def test_empty_group(self):
+        q = parse_query("SELECT * WHERE { }")
+        assert q.where.elements == ()
+
+    def test_stray_dots_tolerated(self):
+        q = parse_query("SELECT * WHERE { ?a ?p ?b . . OPTIONAL { ?b ?q ?c } . }")
+        assert len(q.where.elements) == 2
+
+
+class TestErrors:
+    def test_missing_closing_brace(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?a ?p ?b ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?a ?p ?b } ?extra")
+
+    def test_not_select(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("{ ?a ?p ?b }")
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT DISTINCT ?x WHERE { ?x ?p ?y }",
+            "ASK { ?x ?p ?y }",
+            "SELECT * WHERE { ?x ?p ?y FILTER(?y) }",
+            "SELECT * WHERE { ?x ?p ?y } LIMIT 10",
+            "CONSTRUCT { ?x ?p ?y } WHERE { ?x ?p ?y }",
+        ],
+    )
+    def test_unsupported_features(self, query):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query(query)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ ?a ?p ?b . }",
+            "{ ?a ?p ?b . OPTIONAL { ?b ?q ?c . } }",
+            "{ { ?a ?p ?b . } UNION { ?a ?q ?b . } }",
+            "{ ?a ?p ?b . { { ?b ?q ?c . } UNION { ?b ?r ?c . OPTIONAL { ?c ?s ?d . } } } }",
+        ],
+    )
+    def test_format_then_parse_is_identity(self, text):
+        group = parse_group(text)
+        assert parse_group(format_group(group)) == group

@@ -1,0 +1,71 @@
+"""Unit tests for join-order planning helpers."""
+
+from repro.bgp import connected_components, greedy_pattern_order
+from repro.rdf import IRI, TriplePattern, Variable
+
+P = IRI("http://x/p")
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+T_XY = TriplePattern(X, P, Y)
+T_YZ = TriplePattern(Y, P, Z)
+T_ZW = TriplePattern(Z, P, W)
+T_W = TriplePattern(W, P, IRI("http://x/c"))
+
+
+class TestConnectedComponents:
+    def test_single_chain(self):
+        components = connected_components([T_XY, T_YZ, T_ZW])
+        assert len(components) == 1
+        assert len(components[0]) == 3
+
+    def test_disconnected(self):
+        a = TriplePattern(X, P, Y)
+        b = TriplePattern(Z, P, W)
+        components = connected_components([a, b])
+        assert len(components) == 2
+
+    def test_transitive_connection(self):
+        # a-b share nothing, but both share with c.
+        a = TriplePattern(X, P, IRI("http://x/1"))
+        b = TriplePattern(Z, P, IRI("http://x/2"))
+        c = TriplePattern(X, P, Z)
+        components = connected_components([a, b, c])
+        assert len(components) == 1
+
+    def test_predicate_variable_does_not_connect(self):
+        a = TriplePattern(X, W, IRI("http://x/1"))  # W at predicate position
+        b = TriplePattern(Y, W, IRI("http://x/2"))
+        assert len(connected_components([a, b])) == 2
+
+    def test_empty(self):
+        assert connected_components([]) == []
+
+
+class TestGreedyOrder:
+    def test_most_selective_first(self):
+        counts = {T_XY: 100.0, T_YZ: 5.0, T_ZW: 50.0}
+        order = greedy_pattern_order(list(counts), counts.get)
+        assert order[0] == T_YZ
+
+    def test_connectivity_respected(self):
+        # T_W is cheapest but disconnected from T_XY; within the chain
+        # component every subsequent pattern must share a variable with
+        # what is already placed.
+        counts = {T_XY: 10.0, T_YZ: 20.0, T_ZW: 30.0, T_W: 1.0}
+        order = greedy_pattern_order([T_XY, T_YZ, T_ZW], counts.get)
+        placed_vars = {v.name for v in order[0].join_variables()}
+        for pattern in order[1:]:
+            pattern_vars = {v.name for v in pattern.join_variables()}
+            assert pattern_vars & placed_vars
+            placed_vars |= pattern_vars
+
+    def test_component_order_by_cheapest_member(self):
+        cheap_island = TriplePattern(W, P, IRI("http://x/c"))
+        counts = {T_XY: 10.0, T_YZ: 20.0, cheap_island: 1.0}
+        order = greedy_pattern_order([T_XY, T_YZ, cheap_island], counts.get)
+        assert order[0] == cheap_island
+
+    def test_all_patterns_kept(self):
+        patterns = [T_XY, T_YZ, T_ZW, T_W]
+        order = greedy_pattern_order(patterns, lambda p: 1.0)
+        assert sorted(map(repr, order)) == sorted(map(repr, patterns))

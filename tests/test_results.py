@@ -1,0 +1,99 @@
+"""Unit tests for SPARQL results serialization (JSON + CSV)."""
+
+import json
+
+import pytest
+
+from repro.rdf import BlankNode, IRI, Literal
+from repro.sparql.results import to_csv, to_json, to_json_dict
+
+
+ROWS = [
+    {"x": IRI("http://x/a"), "name": Literal("Alice", language="en")},
+    {"x": IRI("http://x/b")},  # name unbound (OPTIONAL miss)
+    {"x": BlankNode("b0"), "name": Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")},
+]
+
+
+class TestJson:
+    def test_head_lists_variables(self):
+        doc = to_json_dict(["x", "name"], ROWS)
+        assert doc["head"]["vars"] == ["x", "name"]
+
+    def test_uri_binding(self):
+        doc = to_json_dict(["x"], ROWS[:1])
+        assert doc["results"]["bindings"][0]["x"] == {
+            "type": "uri",
+            "value": "http://x/a",
+        }
+
+    def test_language_literal(self):
+        doc = to_json_dict(["name"], ROWS[:1])
+        binding = doc["results"]["bindings"][0]["name"]
+        assert binding == {"type": "literal", "value": "Alice", "xml:lang": "en"}
+
+    def test_typed_literal(self):
+        doc = to_json_dict(["name"], ROWS[2:])
+        binding = doc["results"]["bindings"][0]["name"]
+        assert binding["datatype"].endswith("integer")
+        assert "xml:lang" not in binding
+
+    def test_plain_literal_has_no_datatype_key(self):
+        doc = to_json_dict(["v"], [{"v": Literal("plain")}])
+        assert doc["results"]["bindings"][0]["v"] == {"type": "literal", "value": "plain"}
+
+    def test_bnode(self):
+        doc = to_json_dict(["x"], ROWS[2:])
+        assert doc["results"]["bindings"][0]["x"] == {"type": "bnode", "value": "b0"}
+
+    def test_unbound_variable_absent(self):
+        doc = to_json_dict(["x", "name"], ROWS)
+        assert "name" not in doc["results"]["bindings"][1]
+
+    def test_round_trips_through_json(self):
+        text = to_json(["x", "name"], ROWS, indent=2)
+        assert json.loads(text)["head"]["vars"] == ["x", "name"]
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            to_json_dict(["x"], [{"x": 42}])
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv(["x", "name"], ROWS)
+        lines = text.split("\r\n")
+        assert lines[0] == "x,name"
+        assert lines[1] == "http://x/a,Alice"
+
+    def test_unbound_is_empty_cell(self):
+        text = to_csv(["x", "name"], ROWS)
+        assert text.split("\r\n")[2] == "http://x/b,"
+
+    def test_bnode_prefix(self):
+        text = to_csv(["x"], ROWS[2:])
+        assert text.split("\r\n")[1] == "_:b0"
+
+    def test_quoting(self):
+        rows = [{"v": Literal('say "hi", ok\nbye')}]
+        text = to_csv(["v"], rows)
+        assert text.split("\r\n")[1] == '"say ""hi"", ok\nbye"'
+
+    def test_crlf_terminated(self):
+        assert to_csv(["x"], []).endswith("\r\n")
+
+
+class TestEndToEnd:
+    def test_engine_result_serializes(self, presidents_store):
+        from repro.core import SparqlUOEngine
+
+        engine = SparqlUOEngine(presidents_store, mode="full")
+        result = engine.execute(
+            "SELECT ?x ?same WHERE { "
+            "?x <http://example.org/wikiPageWikiLink> <http://example.org/President_of_the_United_States> "
+            "OPTIONAL { ?x <http://example.org/sameAs> ?same } }"
+        )
+        doc = to_json_dict(result.variables, result.solutions)
+        assert len(doc["results"]["bindings"]) == len(result)
+        csv_text = to_csv(result.variables, result.solutions)
+        assert csv_text.count("\r\n") == len(result) + 1

@@ -1,0 +1,77 @@
+"""Unit tests for the TripleStore facade."""
+
+import pytest
+
+from repro.rdf import Dataset, IRI, Triple, TriplePattern, Variable
+from repro.storage import MISSING_ID, TripleStore
+
+A, B, C, P, Q = (IRI(f"http://x/{n}") for n in "abcpq")
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture
+def store():
+    return TripleStore.from_triples(
+        [Triple(A, P, B), Triple(A, P, C), Triple(B, Q, A), Triple(A, Q, A)]
+    )
+
+
+class TestLoading:
+    def test_from_dataset(self):
+        d = Dataset([Triple(A, P, B)])
+        assert len(TripleStore.from_dataset(d)) == 1
+
+    def test_add_all_counts_new_only(self, store):
+        added = store.add_all([Triple(A, P, B), Triple(C, P, A)])
+        assert added == 1
+
+    def test_add_invalidates_statistics(self, store):
+        before = store.statistics.total_triples
+        store.add(Triple(C, Q, C))
+        assert store.statistics.total_triples == before + 1
+
+
+class TestPatternEncoding:
+    def test_variables_become_names(self, store):
+        encoded = store.encode_pattern(TriplePattern(X, P, Y))
+        assert encoded[0] == "x" and encoded[2] == "y"
+        assert isinstance(encoded[1], int)
+
+    def test_unknown_constant_becomes_missing(self, store):
+        encoded = store.encode_pattern(TriplePattern(IRI("http://nowhere"), P, X))
+        assert encoded[0] == MISSING_ID
+
+
+class TestMatching:
+    def test_match_returns_terms(self, store):
+        results = set(store.match(TriplePattern(A, P, X)))
+        assert results == {Triple(A, P, B), Triple(A, P, C)}
+
+    def test_match_unknown_constant_is_empty(self, store):
+        assert list(store.match(TriplePattern(IRI("http://nowhere"), P, X))) == []
+
+    def test_repeated_variable_enforced(self, store):
+        # ?x Q ?x matches only A Q A.
+        results = list(store.match(TriplePattern(X, Q, X)))
+        assert results == [Triple(A, Q, A)]
+
+    def test_count_pattern(self, store):
+        assert store.count_pattern(store.encode_pattern(TriplePattern(A, P, X))) == 2
+        assert store.count_pattern(store.encode_pattern(TriplePattern(X, Q, Y))) == 2
+
+    def test_count_repeated_variable(self, store):
+        assert store.count_pattern(store.encode_pattern(TriplePattern(X, Q, X))) == 1
+
+    def test_count_missing_constant(self, store):
+        pattern = store.encode_pattern(TriplePattern(IRI("http://nowhere"), P, X))
+        assert store.count_pattern(pattern) == 0
+
+    def test_all_variable_pattern_scans_everything(self, store):
+        z = Variable("z")
+        assert len(list(store.match(TriplePattern(X, z, Y)))) == 4
+
+
+class TestDecoding:
+    def test_decode_lookup_round_trip(self, store):
+        term_id = store.lookup(A)
+        assert store.decode(term_id) == A

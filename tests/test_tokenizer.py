@@ -1,0 +1,115 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql import SparqlSyntaxError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select WHERE union")[:3] == ["KEYWORD"] * 3
+        assert values("select")[0] == "SELECT"
+
+    def test_iri(self):
+        tokens = tokenize("<http://a/b#c>")
+        assert tokens[0].kind == "IRI" and tokens[0].value == "http://a/b#c"
+
+    def test_variable_both_sigils(self):
+        assert values("?x $y")[:2] == ["x", "y"]
+
+    def test_pname(self):
+        token = tokenize("dbo:wikiPageWikiLink")[0]
+        assert token.kind == "PNAME" and token.value == "dbo:wikiPageWikiLink"
+
+    def test_pname_with_extra_colon(self):
+        token = tokenize("dbr:Category:Cell_biology")[0]
+        assert token.value == "dbr:Category:Cell_biology"
+
+    def test_pname_trailing_dot_is_separator(self):
+        tokens = tokenize("dbo:Person.")
+        assert tokens[0].value == "dbo:Person"
+        assert tokens[1].kind == "PUNCT" and tokens[1].value == "."
+
+    def test_a_keyword(self):
+        token = tokenize("a")[0]
+        assert token.kind == "KEYWORD" and token.value == "A"
+
+    def test_a_followed_by_dot(self):
+        tokens = tokenize("?x a dbo:Person .")
+        assert [t.kind for t in tokens[:4]] == ["VAR", "KEYWORD", "PNAME", "PUNCT"]
+
+    def test_punctuation(self):
+        assert values("{ } . *")[:4] == ["{", "}", ".", "*"]
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] == "EOF"
+        assert kinds("?x")[-1] == "EOF"
+
+
+class TestLiterals:
+    def test_plain_string(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind == "STRING" and token.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b\nc"')[0].value == 'a"b\nc'
+
+    def test_unicode_escape(self):
+        assert tokenize(r'"é"')[0].value == "é"
+
+    def test_langtag(self):
+        tokens = tokenize('"hi"@en-GB')
+        assert tokens[1].kind == "LANGTAG" and tokens[1].value == "en-GB"
+
+    def test_datatype_marker(self):
+        tokens = tokenize('"5"^^<http://t>')
+        assert tokens[1].kind == "DTYPE"
+        assert tokens[2].kind == "IRI"
+
+    def test_integer_and_decimal(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].kind == "INTEGER" and tokens[0].value == "42"
+        assert tokens[1].kind == "DECIMAL" and tokens[1].value == "3.14"
+
+    def test_integer_then_dot_separator(self):
+        tokens = tokenize("42 .")
+        assert tokens[0].kind == "INTEGER"
+        assert tokens[1].value == "."
+
+
+class TestCommentsAndWhitespace:
+    def test_comment_to_end_of_line(self):
+        assert values("?x # comment here\n?y")[:2] == ["x", "y"]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  \t\n ?x ")[:1] == ["VAR"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://unterminated",
+            '"unterminated',
+            "?",  # empty variable
+            "@",  # empty language tag
+            "%",  # stray character
+            "bareword",  # not a keyword nor pname
+        ],
+    )
+    def test_bad_input_raises(self, bad):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize(bad)
+
+    def test_error_has_position(self):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            tokenize("?x\n  %")
+        assert excinfo.value.line == 2

@@ -1,0 +1,109 @@
+"""Unit tests for triples, triple patterns and coalescability."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable, coalescable
+
+S = IRI("http://x/s")
+P = IRI("http://x/p")
+O = IRI("http://x/o")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTriple:
+    def test_components(self):
+        t = Triple(S, P, O)
+        assert t.subject == S and t.predicate == P and t.object == O
+
+    def test_literal_object_ok(self):
+        assert Triple(S, P, Literal("v")).object == Literal("v")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(Literal("v"), P, O)
+
+    def test_variable_anywhere_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(X, P, O)
+        with pytest.raises(ValueError):
+            Triple(S, P, X)
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(S, Literal("p"), O)
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert len({Triple(S, P, O), Triple(S, P, O)}) == 1
+
+    def test_n3(self):
+        assert Triple(S, P, O).n3() == "<http://x/s> <http://x/p> <http://x/o> ."
+
+    def test_iteration(self):
+        assert list(Triple(S, P, O)) == [S, P, O]
+
+    def test_immutable(self):
+        t = Triple(S, P, O)
+        with pytest.raises(AttributeError):
+            t.subject = O
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        assert TriplePattern(X, P, Y).variables() == {X, Y}
+
+    def test_join_variables_exclude_predicate(self):
+        pattern = TriplePattern(X, Y, Z)
+        assert pattern.join_variables() == {X, Z}
+
+    def test_ground_check(self):
+        assert TriplePattern(S, P, O).is_ground()
+        assert not TriplePattern(X, P, O).is_ground()
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            TriplePattern(Literal("v"), P, O)
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            TriplePattern(S, Literal("v"), O)
+
+    def test_matches_basic(self):
+        assert TriplePattern(X, P, O).matches(Triple(S, P, O))
+        assert not TriplePattern(X, P, S).matches(Triple(S, P, O))
+
+    def test_matches_repeated_variable_requires_same_value(self):
+        pattern = TriplePattern(X, P, X)
+        assert pattern.matches(Triple(S, P, S))
+        assert not pattern.matches(Triple(S, P, O))
+
+    def test_substitute(self):
+        pattern = TriplePattern(X, P, Y)
+        out = pattern.substitute({X: S})
+        assert out == TriplePattern(S, P, Y)
+
+    def test_substitute_leaves_unbound(self):
+        pattern = TriplePattern(X, P, Y)
+        assert pattern.substitute({}) == pattern
+
+    def test_equality_and_hash(self):
+        assert TriplePattern(X, P, Y) == TriplePattern(X, P, Y)
+        assert hash(TriplePattern(X, P, Y)) == hash(TriplePattern(X, P, Y))
+
+
+class TestCoalescable:
+    def test_shared_subject_variable(self):
+        assert coalescable(TriplePattern(X, P, O), TriplePattern(X, P, Y))
+
+    def test_subject_object_cross(self):
+        assert coalescable(TriplePattern(X, P, Y), TriplePattern(Y, P, Z))
+
+    def test_no_shared_variable(self):
+        assert not coalescable(TriplePattern(X, P, O), TriplePattern(Y, P, Z))
+
+    def test_predicate_variable_does_not_count(self):
+        # Definition 3 considers only subject/object positions.
+        assert not coalescable(TriplePattern(S, X, O), TriplePattern(S, X, O))
+
+    def test_shared_constant_does_not_count(self):
+        assert not coalescable(TriplePattern(S, P, X), TriplePattern(S, P, Y))

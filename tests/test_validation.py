@@ -1,0 +1,96 @@
+"""Unit and property tests for BE-tree validity checking (§4.2.1)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bgp import WCOJoinEngine
+from repro.core import (
+    BETree,
+    BGPNode,
+    CostModel,
+    GroupNode,
+    InvalidBETreeError,
+    OptionalNode,
+    UnionNode,
+    multi_level_transform,
+    validate_tree,
+)
+from repro.rdf import IRI, TriplePattern, Variable
+from repro.sparql import parse_group
+from repro.storage import TripleStore
+
+from .strategies import datasets, select_queries
+
+P = IRI("http://x/p")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestStructuralRules:
+    def test_valid_tree_passes(self):
+        tree = BETree.from_group(
+            parse_group("{ ?x <http://x/p> ?y OPTIONAL { ?y <http://x/q> ?z } }")
+        )
+        validate_tree(tree)
+
+    def test_root_must_be_group(self):
+        tree = BETree.__new__(BETree)
+        tree.root = BGPNode([TriplePattern(X, P, Y)])
+        with pytest.raises(InvalidBETreeError):
+            validate_tree(tree)
+
+    def test_union_needs_two_branches(self):
+        union = UnionNode([GroupNode(), GroupNode()])
+        union.branches.pop()  # corrupt it after construction
+        tree = BETree(GroupNode([union]))
+        with pytest.raises(InvalidBETreeError):
+            validate_tree(tree)
+
+    def test_union_branches_must_be_groups(self):
+        union = UnionNode([GroupNode(), GroupNode()])
+        union.branches[0] = BGPNode([TriplePattern(X, P, Y)])
+        tree = BETree(GroupNode([union]))
+        with pytest.raises(InvalidBETreeError):
+            validate_tree(tree)
+
+    def test_invalid_child_type(self):
+        tree = BETree(GroupNode([]))
+        tree.root.children.append("not a node")
+        with pytest.raises(InvalidBETreeError):
+            validate_tree(tree)
+
+    def test_disconnected_bgp_rejected(self):
+        bgp = BGPNode([TriplePattern(X, P, Y), TriplePattern(Z, P, IRI("http://x/c"))])
+        tree = BETree(GroupNode([bgp]))
+        with pytest.raises(InvalidBETreeError) as excinfo:
+            validate_tree(tree)
+        assert "Definition 5" in str(excinfo.value)
+
+    def test_connected_bgp_accepted(self):
+        bgp = BGPNode([TriplePattern(X, P, Y), TriplePattern(Y, P, Z)])
+        validate_tree(BETree(GroupNode([bgp])))
+
+    def test_empty_bgp_accepted(self):
+        validate_tree(BETree(GroupNode([BGPNode([])])))
+
+    def test_error_carries_path(self):
+        union = UnionNode([GroupNode(), GroupNode()])
+        union.branches[1] = BGPNode([])
+        tree = BETree(GroupNode([union]))
+        with pytest.raises(InvalidBETreeError) as excinfo:
+            validate_tree(tree)
+        assert "branches[1]" in excinfo.value.path
+
+
+class TestInvariantUnderTransformation:
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(datasets(), select_queries())
+    def test_construction_yields_valid_trees(self, dataset, query):
+        validate_tree(BETree.from_query(query))
+
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(datasets(), select_queries())
+    def test_transformation_preserves_validity(self, dataset, query):
+        store = TripleStore.from_dataset(dataset)
+        tree = BETree.from_query(query)
+        multi_level_transform(CostModel(WCOJoinEngine(store)), tree)
+        validate_tree(tree)
