@@ -1,0 +1,250 @@
+"""Microbenchmark — columnar solution bags vs the seed dict-per-row bags.
+
+The seed stored every solution mapping as its own dict and rediscovered
+both bags' schemas on every operator call; the columnar :class:`Bag`
+carries an explicit schema and plain tuple rows.  This bench holds the
+seed's operator implementations verbatim (as ``_Seed*`` below) and
+races them against the current ones on the shapes the engines actually
+produce:
+
+- ``join``       10k × 10k hash join on one shared variable
+- ``left_join``  10k master rows, half of them with optional matches
+- ``union``      10k ∪bag 10k with half-overlapping schemas
+- ``minus``      10k ∖ 2k
+
+One caveat on ``union``: the seed's union was a bare list concat whose
+output dicts stayed heterogeneous — the schema work was deferred to
+whichever operator consumed the union next.  The columnar union pays
+that normalization up front (one row permutation), which the following
+join/left_join immediately recoups.
+
+``python benchmarks/bench_bags_micro.py`` prints the table; ``--emit``
+writes the records to ``BENCH_bags_micro.json``.  (``BENCH_pr1.json``
+is a one-time snapshot assembled for PR 1: these micro records plus
+Figure-12 sweeps of both engines, each tagged ``variant: pr1`` or
+``variant: seed`` — the seed rows were measured at the seed commit and
+are not regenerable from current code.)
+
+The acceptance bar for the columnar refactor is ≥ 3× on the join case.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.sparql.bags import Bag, join, left_join, minus, union
+
+try:
+    from .common import bench_record, emit_bench_json, format_table
+except ImportError:
+    from common import bench_record, emit_bench_json, format_table
+
+
+# ----------------------------------------------------------------------
+# The seed implementation (dict-per-row), kept verbatim for comparison.
+# ----------------------------------------------------------------------
+_MISSING = object()
+
+
+def _seed_compatible(mu1, mu2):
+    if len(mu2) < len(mu1):
+        mu1, mu2 = mu2, mu1
+    for var, value in mu1.items():
+        other = mu2.get(var, _MISSING)
+        if other is not _MISSING and other != value:
+            return False
+    return True
+
+
+def _seed_merge(mu1, mu2):
+    merged = dict(mu1)
+    merged.update(mu2)
+    return merged
+
+
+class _SeedBag:
+    __slots__ = ("_mappings",)
+
+    def __init__(self, mappings=()):
+        self._mappings = list(mappings)
+
+    def __len__(self):
+        return len(self._mappings)
+
+    def __iter__(self):
+        return iter(self._mappings)
+
+    def variables(self):
+        seen = set()
+        for mapping in self._mappings:
+            seen.update(mapping.keys())
+        return frozenset(seen)
+
+
+def _seed_shared(bag1, bag2):
+    return tuple(sorted(bag1.variables() & bag2.variables()))
+
+
+def _seed_join(bag1, bag2):
+    if len(bag2) < len(bag1):
+        bag1, bag2 = bag2, bag1
+    shared = _seed_shared(bag1, bag2)
+    if not shared:
+        return _SeedBag(_seed_merge(m1, m2) for m1 in bag1 for m2 in bag2)
+    table: Dict[tuple, list] = {}
+    loose_build = []
+    for mapping in bag1:
+        if all(v in mapping for v in shared):
+            key = tuple(mapping[v] for v in shared)
+            table.setdefault(key, []).append(mapping)
+        else:
+            loose_build.append(mapping)
+    out = []
+    for probe in bag2:
+        if all(v in probe for v in shared):
+            key = tuple(probe[v] for v in shared)
+            for build in table.get(key, ()):
+                out.append(_seed_merge(build, probe))
+        else:
+            for build in table.values():
+                for mapping in build:
+                    if _seed_compatible(mapping, probe):
+                        out.append(_seed_merge(mapping, probe))
+        for build in loose_build:
+            if _seed_compatible(build, probe):
+                out.append(_seed_merge(build, probe))
+    return _SeedBag(out)
+
+
+def _seed_union(bag1, bag2):
+    out = list(bag1)
+    out.extend(bag2)
+    return _SeedBag(out)
+
+
+def _seed_minus(bag1, bag2):
+    if not len(bag2):
+        return _SeedBag(list(bag1))
+    right = list(bag2)
+    out = []
+    for mu1 in bag1:
+        if not any(_seed_compatible(mu1, mu2) for mu2 in right):
+            out.append(mu1)
+    return _SeedBag(out)
+
+
+def _seed_left_join(bag1, bag2):
+    shared = _seed_shared(bag1, bag2)
+    if not shared:
+        if not len(bag2):
+            return _SeedBag(list(bag1))
+        return _SeedBag(_seed_merge(m1, m2) for m1 in bag1 for m2 in bag2)
+    table: Dict[tuple, list] = {}
+    loose_probe = []
+    for probe in bag2:
+        if all(v in probe for v in shared):
+            key = tuple(probe[v] for v in shared)
+            table.setdefault(key, []).append(probe)
+        else:
+            loose_probe.append(probe)
+    out = []
+    for mu1 in bag1:
+        matched = False
+        if all(v in mu1 for v in shared):
+            key = tuple(mu1[v] for v in shared)
+            for mu2 in table.get(key, ()):
+                out.append(_seed_merge(mu1, mu2))
+                matched = True
+        else:
+            for rows in table.values():
+                for mu2 in rows:
+                    if _seed_compatible(mu1, mu2):
+                        out.append(_seed_merge(mu1, mu2))
+                        matched = True
+        for mu2 in loose_probe:
+            if _seed_compatible(mu1, mu2):
+                out.append(_seed_merge(mu1, mu2))
+                matched = True
+        if not matched:
+            out.append(dict(mu1))
+    return _SeedBag(out)
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+N = 10_000
+
+
+def _workloads() -> List[Tuple[str, List[dict], List[dict], Callable, Callable]]:
+    join_left = [{"a": i, "b": i & 1023} for i in range(N)]
+    join_right = [{"a": i, "c": i * 2} for i in range(N)]
+    # OPTIONAL shape: half the masters find a match, rows share ?a.
+    opt_left = [{"a": i, "b": i & 1023} for i in range(N)]
+    opt_right = [{"a": i * 2, "d": i} for i in range(N // 2)]
+    union_left = [{"a": i, "b": i} for i in range(N)]
+    union_right = [{"a": i, "d": i} for i in range(N)]
+    minus_left = [{"a": i, "b": i} for i in range(N)]
+    minus_right = [{"a": i * 5, "c": i} for i in range(N // 5)]
+    return [
+        ("join_10k_x_10k", join_left, join_right, _seed_join, join),
+        ("left_join_optional", opt_left, opt_right, _seed_left_join, left_join),
+        ("union_disjoint_schemas", union_left, union_right, _seed_union, union),
+        ("minus_10k_x_2k", minus_left, minus_right, _seed_minus, minus),
+    ]
+
+
+def _best_of(repeats: int, thunk: Callable[[], object]) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_micro(repeats: int = 3) -> List[dict]:
+    records = []
+    for name, left, right, seed_op, columnar_op in _workloads():
+        seed_1, seed_2 = _SeedBag(left), _SeedBag(right)
+        col_1, col_2 = Bag(left), Bag(right)
+        seed_seconds, seed_out = _best_of(repeats, lambda: seed_op(seed_1, seed_2))
+        col_seconds, col_out = _best_of(repeats, lambda: columnar_op(col_1, col_2))
+        assert len(col_out) == len(seed_out), name  # same bag cardinality
+        records.append(
+            bench_record(
+                bench="bags_micro",
+                query=name,
+                engine="bags",
+                mode="operator",
+                wall_ms=col_seconds * 1000,
+                seed_wall_ms=round(seed_seconds * 1000, 3),
+                speedup=round(seed_seconds / col_seconds, 2),
+                rows_out=len(col_out),
+            )
+        )
+    return records
+
+
+if __name__ == "__main__":
+    records = run_micro()
+    rows = [
+        [r["query"], f"{r['seed_wall_ms']:.1f}", f"{r['wall_ms']:.1f}",
+         f"{r['speedup']:.2f}x", r["rows_out"]]
+        for r in records
+    ]
+    print("Columnar bag operators vs seed dict-per-row implementation")
+    print(format_table(["workload", "seed ms", "columnar ms", "speedup", "rows"], rows))
+    join_rec = next(r for r in records if r["query"] == "join_10k_x_10k")
+    # CI sets a laxer bar (BAGS_MICRO_MIN_SPEEDUP) because shared
+    # runners time noisily; the 3x default is the local acceptance bar.
+    bar = float(os.environ.get("BAGS_MICRO_MIN_SPEEDUP", "3.0"))
+    if join_rec["speedup"] < bar:
+        print(f"FAIL: join speedup {join_rec['speedup']}x below the {bar}x bar")
+        sys.exit(1)
+    if "--emit" in sys.argv:
+        print("wrote", emit_bench_json("bags_micro", records))

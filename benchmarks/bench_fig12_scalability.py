@@ -20,15 +20,31 @@ from repro.datasets import LUBM_QUERIES
 from repro.sparql import parse_query
 
 try:
-    from .common import GROUP1, format_table, lubm_store, record
+    from .common import (
+        BGP_ENGINES,
+        GROUP1,
+        bench_record,
+        emit_bench_json,
+        format_table,
+        lubm_store,
+        record,
+    )
 except ImportError:
-    from common import GROUP1, format_table, lubm_store, record
+    from common import (
+        BGP_ENGINES,
+        GROUP1,
+        bench_record,
+        emit_bench_json,
+        format_table,
+        lubm_store,
+        record,
+    )
 
 SCALES = (2, 4, 6, 8)
 
 
-def run_cell(universities: int, name: str):
-    engine = SparqlUOEngine(lubm_store(universities), bgp_engine="wco", mode="full")
+def run_cell(universities: int, name: str, bgp_engine: str = "wco"):
+    engine = SparqlUOEngine(lubm_store(universities), bgp_engine=bgp_engine, mode="full")
     return engine.execute(parse_query(LUBM_QUERIES[name]))
 
 
@@ -70,15 +86,35 @@ def test_fig12_time_growth_is_subquadratic():
 
 
 if __name__ == "__main__":
-    rows = []
-    for name in GROUP1:
-        row = [name]
-        for universities in SCALES:
-            result = run_cell(universities, name)
-            row.append(f"{result.execute_seconds * 1000:.1f}ms/{len(result)}")
-        rows.append(row)
-    headers = ["Query"] + [
-        f"{u} univ ({len(lubm_store(u))} triples)" for u in SCALES
-    ]
-    print("Figure 12: full on growing LUBM (time / result count)")
-    print(format_table(headers, rows))
+    import sys
+
+    records = []
+    for bgp_engine in BGP_ENGINES:
+        rows = []
+        for name in GROUP1:
+            row = [name]
+            for universities in SCALES:
+                result = run_cell(universities, name, bgp_engine)
+                row.append(f"{result.execute_seconds * 1000:.1f}ms/{len(result)}")
+                records.append(
+                    bench_record(
+                        bench="fig12",
+                        query=name,
+                        engine=bgp_engine,
+                        mode="full",
+                        wall_ms=result.execute_seconds * 1000,
+                        join_space=result.join_space,
+                        results=len(result),
+                        universities=universities,
+                        triples=len(lubm_store(universities)),
+                    )
+                )
+            rows.append(row)
+        headers = ["Query"] + [
+            f"{u} univ ({len(lubm_store(u))} triples)" for u in SCALES
+        ]
+        print(f"Figure 12: full on growing LUBM, engine={bgp_engine} (time / result count)")
+        print(format_table(headers, rows))
+        print()
+    if "--emit" in sys.argv:
+        print("wrote", emit_bench_json("fig12", records))

@@ -10,7 +10,9 @@ scale (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 from functools import lru_cache
+from pathlib import Path
 from typing import Dict, List
 
 from repro.core import ExecutionMode, QueryResult, SparqlUOEngine
@@ -26,7 +28,12 @@ __all__ = [
     "GROUP1",
     "GROUP2",
     "format_table",
+    "bench_record",
+    "emit_bench_json",
 ]
+
+#: Repository root — machine-readable benchmark output lands here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The four strategies of §7.1 and the two host BGP engines.
 MODES = ("base", "tt", "cp", "full")
@@ -72,6 +79,38 @@ def record(result: QueryResult) -> Dict[str, float]:
         "transform_ms": round(result.transform_seconds * 1000, 3),
         "join_space": result.join_space,
     }
+
+
+def bench_record(
+    bench: str, query: str, engine: str, mode: str, wall_ms: float, **extra
+) -> Dict:
+    """One machine-readable benchmark observation.
+
+    The fixed fields (bench, query, engine, mode, wall_ms) are the
+    cross-PR perf-trajectory schema; bench-specific observations
+    (join_space, result counts, speedups, scale knobs) ride along as
+    extra keys.
+    """
+    out: Dict = {
+        "bench": bench,
+        "query": query,
+        "engine": engine,
+        "mode": mode,
+        "wall_ms": round(wall_ms, 3),
+    }
+    out.update(extra)
+    return out
+
+
+def emit_bench_json(name: str, records: List[Dict]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    Committing these files gives every PR a durable, diffable record of
+    the perf trajectory (the paper's Figures 10–13 at repro scale).
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_table(headers: List[str], rows: List[List]) -> str:

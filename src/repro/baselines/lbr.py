@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional as Opt, Sequence, Set, Tuple, Union as U
 
-from ..rdf.terms import Variable
+from ..bgp.interface import decode_bag
 from ..rdf.triple import TriplePattern
 from ..sparql.algebra import SelectQuery, pattern_variables
 from ..sparql.bags import Bag, join, left_join
@@ -104,18 +104,15 @@ class LBREngine:
             self._materialize_node(child, scope + (index,), entries)
 
     def _scan(self, pattern: TriplePattern) -> Bag:
-        out = Bag()
         encoded = self.store.encode_pattern(pattern)
         if any(x == -1 for x in encoded):
-            return out
-        positions = pattern.as_tuple()
-        for triple in self.store.match_encoded(encoded):
-            mapping: Dict[str, int] = {}
-            for term, value in zip(positions, triple):
-                if isinstance(term, Variable):
-                    mapping[term.name] = value
-            out.add(mapping)
-        return out
+            return Bag.empty()
+        schema, positions = pattern.layout()
+        rows = [
+            tuple(triple[i] for i in positions)
+            for triple in self.store.match_encoded(encoded)
+        ]
+        return Bag.from_rows(schema, rows)
 
     # ------------------------------------------------------------------
     # phase 2: two-pass semijoin pruning
@@ -139,9 +136,20 @@ class LBREngine:
             shared = source_vars & {v.name for v in target_pattern.variables()}
             for var in shared:
                 allowed = source_bag.distinct_values(var)
-                kept = [m for m in target_bag if m.get(var) in allowed]
+                slot = target_bag.slot(var)
+                # A shared var is always in the target scan's schema;
+                # UNBOUND rows (none arise from scans) would be pruned.
+                kept = [
+                    row
+                    for row in target_bag.rows
+                    if slot is not None and row[slot] in allowed
+                ]
                 if len(kept) != len(target_bag):
-                    entries[target_index] = (target_scope, target_pattern, Bag(kept))
+                    entries[target_index] = (
+                        target_scope,
+                        target_pattern,
+                        Bag.from_rows(target_bag.schema, kept),
+                    )
                     target_bag = entries[target_index][2]
 
     # ------------------------------------------------------------------
@@ -166,8 +174,7 @@ class LBREngine:
     # decoding
     # ------------------------------------------------------------------
     def _decode(self, bag: Bag) -> Bag:
-        decode = self.store.decode
-        return Bag({var: decode(value) for var, value in m.items()} for m in bag)
+        return decode_bag(self.store, bag)
 
 
 def dict_by_id(entries: Sequence[_Entry]) -> Dict[Tuple[Tuple[int, ...], int], Bag]:

@@ -1,27 +1,29 @@
-"""Jena-style BGP engine: materializing scans + binary hash joins.
+"""Jena-style BGP engine: streaming scans + binary hash joins.
 
-Each triple pattern is scanned into a full bag of mappings, and bags are
-combined pairwise with hash joins in a selectivity-greedy order.  The
-cost model is Equation 9 of the paper:
+Each triple pattern is scanned into columnar rows, and relations are
+combined pairwise with hash joins in a selectivity-greedy order.  Scans
+are generators: the accumulated result is the hash-build side and each
+new pattern's rows stream through as probes (``join_streamed``), so a
+scanned pattern is never materialized as its own bag.  The cost model is
+Equation 9 of the paper:
 
     cost(BinaryJoin(V1, V2)) = 2·min(card(V1), card(V2)) + max(card(V1), card(V2))
 
 (2× the build side plus 1× the probe side).
 
-This engine's characteristic behaviour — fully materializing every
-pattern's matches before joining — is what makes low-selectivity
-patterns expensive, and is exactly the behaviour the paper's candidate
-pruning attacks: with candidate sets the scan is driven from the
-candidates instead of the full index range.
+This engine's characteristic behaviour — running every pattern's full
+scan through a join before any later pattern restricts it — is what
+makes low-selectivity patterns expensive, and is exactly the behaviour
+the paper's candidate pruning attacks: with candidate sets the scan is
+driven from the candidates instead of the full index range.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
-from ..sparql.bags import Bag, join
+from ..sparql.bags import Bag, Row, join, join_streamed
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .interface import BGPEngine, Candidates, PlanEstimate
@@ -55,16 +57,26 @@ class HashJoinEngine(BGPEngine):
     ) -> Bag:
         if not patterns:
             return Bag.identity()
-        ordered = greedy_pattern_order(
-            patterns, lambda p: self.store.count_pattern(self.store.encode_pattern(p))
-        )
+        # Counted once: count_pattern enumerates for repeated-variable
+        # patterns, and both the ordering and the build-side choice
+        # below consume the same numbers.
+        counts = {
+            pattern: self.store.count_pattern(self.store.encode_pattern(pattern))
+            for pattern in patterns
+        }
+        ordered = greedy_pattern_order(patterns, counts.__getitem__)
         result: Optional[Bag] = None
         for pattern in ordered:
-            scanned = self.scan_pattern(pattern, candidates)
+            schema, rows = self._scan_rows(pattern, candidates)
             if result is None:
-                result = scanned
+                result = Bag.from_rows(schema, list(rows))
+            elif self._scan_estimate(pattern, counts[pattern], candidates) < len(result):
+                # The scan is the smaller relation: materialize it and
+                # let join() hash-build on it (Equation 9 builds on the
+                # cheaper side) instead of on the accumulated result.
+                result = join(result, Bag.from_rows(schema, list(rows)))
             else:
-                result = join(result, scanned)
+                result = join_streamed(result, schema, rows)
             if not result:
                 return Bag.empty()
         return result if result is not None else Bag.identity()
@@ -74,7 +86,16 @@ class HashJoinEngine(BGPEngine):
         pattern: TriplePattern,
         candidates: Optional[Candidates] = None,
     ) -> Bag:
-        """Materialize one pattern's matches as id-level mappings.
+        """Materialize one pattern's matches as an id-level bag."""
+        schema, rows = self._scan_rows(pattern, candidates)
+        return Bag.from_rows(schema, list(rows))
+
+    def _scan_rows(
+        self,
+        pattern: TriplePattern,
+        candidates: Optional[Candidates] = None,
+    ) -> Tuple[Tuple[str, ...], Iterator[Row]]:
+        """One pattern's matches as (schema, streaming columnar rows).
 
         When a variable position carries a candidate set smaller than
         the unrestricted scan, the scan is *driven* from the candidates
@@ -83,23 +104,53 @@ class HashJoinEngine(BGPEngine):
         """
         encoded = self.store.encode_pattern(pattern)
         if any(x == -1 for x in encoded):
-            return Bag.empty()
-        var_names = [x for x in encoded if isinstance(x, str)]
-        if not var_names:  # ground pattern: existence filter
+            return (), iter(())
+        schema, positions = pattern.layout()
+        if not schema:  # ground pattern: existence filter
             if self.store.count_pattern(encoded) > 0:
-                return Bag.identity()
-            return Bag.empty()
+                return (), iter([()])
+            return (), iter(())
 
         driver = self._choose_candidate_driver(encoded, candidates)
         if driver is not None:
-            return self._scan_driven(pattern, encoded, driver, candidates)
-        out = Bag()
-        filters = self._candidate_filters(encoded, candidates)
+            return schema, self._rows_driven(
+                encoded, schema, positions, driver, candidates
+            )
+        filters = self._slot_filters(schema, candidates)
+        return schema, self._rows_plain(encoded, positions, filters)
+
+    def _scan_estimate(
+        self,
+        pattern: TriplePattern,
+        count: int,
+        candidates: Optional[Candidates],
+    ) -> float:
+        """Expected scan size for the build-side choice.
+
+        Mirrors :meth:`_choose_candidate_driver`: when a candidate set
+        would drive the scan, its size is the better size proxy than the
+        unrestricted pattern count.
+        """
+        if not candidates:
+            return count
+        encoded = self.store.encode_pattern(pattern)
+        best = count
+        for position in (0, 2):  # only endpoints can drive (see above)
+            name = encoded[position]
+            if isinstance(name, str) and name in candidates:
+                best = min(best, len(candidates[name]))
+        return best
+
+    def _rows_plain(
+        self,
+        encoded,
+        positions: List[int],
+        filters: List[Tuple[int, Set[int]]],
+    ) -> Iterator[Row]:
         for triple in self.store.match_encoded(encoded):
-            mapping = self._binding(pattern, triple)
-            if _passes(mapping, filters):
-                out.add(mapping)
-        return out
+            row = tuple(triple[p] for p in positions)
+            if not filters or all(row[s] in allowed for s, allowed in filters):
+                yield row
 
     # ------------------------------------------------------------------
     # candidate-driven scanning
@@ -130,50 +181,47 @@ class HashJoinEngine(BGPEngine):
                     best_size = size
         return best
 
-    def _scan_driven(
+    def _rows_driven(
         self,
-        pattern: TriplePattern,
         encoded,
+        schema: List[str],
+        positions: List[int],
         driver: Tuple[int, str],
         candidates: Optional[Candidates],
-    ) -> Bag:
+    ) -> Iterator[Row]:
         position, name = driver
-        filters = self._candidate_filters(encoded, candidates, skip=name)
-        out = Bag()
+        filters = self._slot_filters(schema, candidates, skip=name)
+        # The driver variable may repeat in the pattern (?x p ?x, ?x ?x ?o):
+        # every occurrence must be pinned to the candidate id, or the
+        # remaining free string position would match unrelated terms.
+        repeats = [
+            index
+            for index, term in enumerate(encoded)
+            if isinstance(term, str) and term == name
+        ]
+        match = self.store.match_encoded
         for candidate_id in candidates[name]:
             probe = list(encoded)
-            probe[position] = candidate_id
-            # The same variable may appear at both endpoints (?x p ?x):
-            other = 2 - position
-            if isinstance(encoded[other], str) and encoded[other] == name:
-                probe[other] = candidate_id
-            for triple in self.store.match_encoded(tuple(probe)):
-                mapping = self._binding(pattern, triple)
-                if _passes(mapping, filters):
-                    out.add(mapping)
-        return out
+            for index in repeats:
+                probe[index] = candidate_id
+            for triple in match(tuple(probe)):
+                row = tuple(triple[p] for p in positions)
+                if not filters or all(row[s] in allowed for s, allowed in filters):
+                    yield row
 
-    def _candidate_filters(
+    def _slot_filters(
         self,
-        encoded,
+        schema: List[str],
         candidates: Optional[Candidates],
         skip: Optional[str] = None,
-    ) -> List[Tuple[str, Set[int]]]:
+    ) -> List[Tuple[int, Set[int]]]:
         if not candidates:
             return []
-        names = {x for x in encoded if isinstance(x, str)}
         return [
-            (name, candidates[name])
-            for name in names
+            (slot, candidates[name])
+            for slot, name in enumerate(schema)
             if name in candidates and name != skip
         ]
-
-    def _binding(self, pattern: TriplePattern, triple: Tuple[int, int, int]) -> Dict[str, int]:
-        mapping: Dict[str, int] = {}
-        for term, value in zip(pattern.as_tuple(), triple):
-            if isinstance(term, Variable):
-                mapping[term.name] = value
-        return mapping
 
     # ------------------------------------------------------------------
     # estimation
@@ -207,11 +255,3 @@ class HashJoinEngine(BGPEngine):
         if key is not None:
             self._estimate_cache[key] = estimate
         return estimate
-
-
-def _passes(mapping: Dict[str, int], filters: List[Tuple[str, Set[int]]]) -> bool:
-    for name, allowed in filters:
-        value = mapping.get(name)
-        if value is not None and value not in allowed:
-            return False
-    return True

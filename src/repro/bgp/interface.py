@@ -25,10 +25,39 @@ from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
-from ..sparql.bags import Bag
+from ..sparql.bags import Bag, UNBOUND
 from ..storage.store import TripleStore
 
-__all__ = ["Candidates", "PlanEstimate", "BGPEngine", "ground_pattern_present"]
+__all__ = [
+    "Candidates",
+    "PlanEstimate",
+    "BGPEngine",
+    "decode_bag",
+    "ground_pattern_present",
+]
+
+
+def decode_bag(store: TripleStore, bag: Bag) -> Bag:
+    """Convert an id-level bag to a term-level bag.
+
+    Works column-wise on the bag's rows, memoizing each distinct id so
+    the dictionary is consulted once per value, not once per occurrence.
+    Shared by every engine and baseline that decodes at the boundary.
+    """
+    decode = store.decode
+    cache: Dict[int, object] = {}
+
+    def decoded(value):
+        if value is UNBOUND:
+            return UNBOUND
+        term = cache.get(value)
+        if term is None:
+            term = cache[value] = decode(value)
+        return term
+
+    return Bag.from_rows(
+        bag.schema, [tuple(decoded(v) for v in row) for row in bag.rows]
+    )
 
 #: Candidate restriction: variable name → set of permitted term ids.
 Candidates = Dict[str, Set[int]]
@@ -91,8 +120,7 @@ class BGPEngine:
     # ------------------------------------------------------------------
     def decode_bag(self, bag: Bag) -> Bag:
         """Convert id-level mappings to term-level mappings."""
-        decode = self.store.decode
-        return Bag({var: decode(value) for var, value in m.items()} for m in bag)
+        return decode_bag(self.store, bag)
 
     def encode_candidates_from_bag(
         self, bag: Bag, variables: Iterable[str]

@@ -8,6 +8,11 @@ connecting edge's adjacency list and verified (intersected) against all
 other connecting edges — the WCO join of Hogan et al. adapted to RDF
 adjacency indexes, which is how gStore executes BGPs.
 
+Partial results are columnar: a growing schema (one slot per bound
+variable) plus plain tuples, so extending a partial is tuple
+concatenation instead of a dict copy, and the final bag is emitted in
+columnar form without conversion.
+
 Cost model (paper §5.1.2):
 
     cost(WCOJoin({v1…vk-1}, vk)) = card({v1…vk-1}) × min_i average_size(vi, p)
@@ -22,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
-from ..sparql.bags import Bag
+from ..sparql.bags import Bag, Row
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .interface import BGPEngine, Candidates, PlanEstimate
@@ -93,13 +98,15 @@ class WCOJoinEngine(BGPEngine):
         if any(edge.impossible() for edge in edges):
             return Bag.empty()
         ordered = self._order_edges(patterns)
-        partials: List[Dict[str, int]] = [{}]
+        schema: List[str] = []
+        slots: Dict[str, int] = {}
+        rows: List[Row] = [()]
         for pattern in ordered:
             edge = _Edge(self.store, pattern)
-            partials = self._extend(partials, edge, candidates)
-            if not partials:
+            rows = self._extend(schema, slots, rows, edge, candidates)
+            if not rows:
                 return Bag.empty()
-        return Bag(partials)
+        return Bag.from_rows(tuple(schema), rows)
 
     def _order_edges(self, patterns: Sequence[TriplePattern]) -> List[TriplePattern]:
         return greedy_pattern_order(
@@ -108,51 +115,34 @@ class WCOJoinEngine(BGPEngine):
 
     def _extend(
         self,
-        partials: List[Dict[str, int]],
+        schema: List[str],
+        slots: Dict[str, int],
+        rows: List[Row],
         edge: _Edge,
         candidates: Optional[Candidates],
-    ) -> List[Dict[str, int]]:
+    ) -> List[Row]:
         """Extend every partial tuple through one edge.
 
         Depending on which of the edge's variables are already bound
         this is a vertex extension (adjacency enumeration), an edge
         verification (O(1) membership probe) or a predicate binding.
+        The new variables and their slots are decided once per edge,
+        not once per partial tuple.
         """
-        out: List[Dict[str, int]] = []
-        indexes = self.store.indexes
-        for binding in partials:
-            s = self._resolve(edge.s, binding)
-            p = self._resolve(edge.p, binding)
-            o = self._resolve(edge.o, binding)
-            out.extend(
-                self._matches_for(edge, binding, s, p, o, candidates, indexes)
-            )
-        return out
+        def classify(position: Tuple[str, object]):
+            kind, value = position
+            if kind == "const":
+                return ("const", value)
+            slot = slots.get(value)
+            if slot is not None:
+                return ("slot", slot)
+            return ("free", value)
 
-    @staticmethod
-    def _resolve(position: Tuple[str, object], binding: Dict[str, int]):
-        """Return the bound id for a position, or None if still free."""
-        kind, value = position
-        if kind == "const":
-            return value
-        return binding.get(value)
-
-    def _matches_for(
-        self,
-        edge: _Edge,
-        binding: Dict[str, int],
-        s: Optional[int],
-        p: Optional[int],
-        o: Optional[int],
-        candidates: Optional[Candidates],
-        indexes,
-    ) -> List[Dict[str, int]]:
-        """Enumerate extensions of one binding through one edge."""
-        out: List[Dict[str, int]] = []
-        svar = edge.s[1] if edge.s[0] == "var" and s is None else None
-        pvar = edge.p[1] if edge.p[0] == "var" and p is None else None
-        ovar = edge.o[1] if edge.o[0] == "var" and o is None else None
-        # Repeated free variable in one pattern (e.g. ?x ?x / ?x p ?x):
+        cs, cp, co = classify(edge.s), classify(edge.p), classify(edge.o)
+        svar = cs[1] if cs[0] == "free" else None
+        pvar = cp[1] if cp[0] == "free" else None
+        ovar = co[1] if co[0] == "free" else None
+        # Repeated free variable in one pattern (e.g. ?x ?x ?y / ?x p ?x):
         same_so = svar is not None and svar == ovar
         same_sp = svar is not None and svar == pvar
         same_po = pvar is not None and pvar == ovar
@@ -161,27 +151,48 @@ class WCOJoinEngine(BGPEngine):
         allowed_p = candidates.get(pvar) if candidates and pvar else None
         allowed_o = candidates.get(ovar) if candidates and ovar else None
 
-        for ts, tp, to in indexes.scan(s, p, o):
-            if same_so and ts != to:
-                continue
-            if same_sp and ts != tp:
-                continue
-            if same_po and tp != to:
-                continue
-            if allowed_s is not None and ts not in allowed_s:
-                continue
-            if allowed_p is not None and tp not in allowed_p:
-                continue
-            if allowed_o is not None and to not in allowed_o:
-                continue
-            extended = dict(binding)
-            if svar is not None:
-                extended[svar] = ts
-            if pvar is not None:
-                extended[pvar] = tp
-            if ovar is not None:
-                extended[ovar] = to
-            out.append(extended)
+        emit_p = pvar is not None and pvar != svar
+        emit_o = ovar is not None and ovar != svar and ovar != pvar
+        new_vars: List[str] = []
+        if svar is not None:
+            new_vars.append(svar)
+        if emit_p:
+            new_vars.append(pvar)
+        if emit_o:
+            new_vars.append(ovar)
+        schema.extend(new_vars)
+        for name in new_vars:
+            slots[name] = len(slots)
+
+        scan = self.store.indexes.scan
+        out: List[Row] = []
+        for row in rows:
+            s = cs[1] if cs[0] == "const" else (row[cs[1]] if cs[0] == "slot" else None)
+            p = cp[1] if cp[0] == "const" else (row[cp[1]] if cp[0] == "slot" else None)
+            o = co[1] if co[0] == "const" else (row[co[1]] if co[0] == "slot" else None)
+            for ts, tp, to in scan(s, p, o):
+                if same_so and ts != to:
+                    continue
+                if same_sp and ts != tp:
+                    continue
+                if same_po and tp != to:
+                    continue
+                if allowed_s is not None and ts not in allowed_s:
+                    continue
+                if allowed_p is not None and tp not in allowed_p:
+                    continue
+                if allowed_o is not None and to not in allowed_o:
+                    continue
+                if svar is not None:
+                    if emit_p:
+                        extension = (ts, tp, to) if emit_o else (ts, tp)
+                    else:
+                        extension = (ts, to) if emit_o else (ts,)
+                elif emit_p:
+                    extension = (tp, to) if emit_o else (tp,)
+                else:
+                    extension = (to,) if emit_o else ()
+                out.append(row + extension)
         return out
 
     # ------------------------------------------------------------------

@@ -82,8 +82,9 @@ class CandidatePolicy:
         if len(candidate_bag) == 0:
             return None
         # Threshold first: it is O(1) with memoized estimates, while the
-        # shared/certain-variable analysis scans the candidate bag — for
-        # an over-threshold bag that scan would be pure overhead.
+        # certain-variable analysis touches the candidate bag's columns
+        # (once — the bag caches it) and distinct-value collection scans
+        # them — for an over-threshold bag that would be pure overhead.
         if len(candidate_bag) >= self.threshold(engine, patterns):
             return None
         shared = self._shared_variables(patterns, candidate_bag)

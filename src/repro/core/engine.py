@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import Iterator, List, Optional as Opt, Union as U
+from collections import OrderedDict
+from typing import Iterator, List, Optional as Opt, Tuple, Union as U
 
 from ..bgp.hashjoin import HashJoinEngine
 from ..bgp.interface import BGPEngine
@@ -138,6 +139,14 @@ class SparqlUOEngine:
         self.cost_model = CostModel(self.bgp_engine)
         self.policy = self._make_policy(fixed_fraction)
         self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy)
+        #: parsed-query → BE-tree plan cache, keyed on query text and
+        #: invalidated by the store's write generation.  Complements the
+        #: BGP engines' estimate caches: repeated executions of the same
+        #: query text skip parsing AND the cost-driven transformation.
+        self._plan_cache: "OrderedDict[str, Tuple[int, SelectQuery, BETree, Opt[TransformReport]]]" = (
+            OrderedDict()
+        )
+        self._plan_cache_size = 128
 
     @classmethod
     def for_dataset(
@@ -161,7 +170,22 @@ class SparqlUOEngine:
     # pipeline
     # ------------------------------------------------------------------
     def prepare(self, query: U[str, SelectQuery]):
-        """Parse (if needed) and plan: returns (query, tree, report, timings)."""
+        """Parse (if needed) and plan: returns (query, tree, report, timings).
+
+        Query texts are memoized: the parsed query, the (transformed)
+        BE-tree and the transform report are reused as long as the store
+        has not been written to since they were planned.
+        """
+        cache_key: Opt[str] = query if isinstance(query, str) else None
+        if cache_key is not None:
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                generation, parsed, tree, report = cached
+                if generation == self.store.generation:
+                    self._plan_cache.move_to_end(cache_key)
+                    return parsed, tree, report, 0.0, 0.0
+                del self._plan_cache[cache_key]
+
         parse_start = time.perf_counter()
         if isinstance(query, str):
             query = parse_query(query)
@@ -177,6 +201,11 @@ class SparqlUOEngine:
                 skip_cp_equivalent=(self.mode is ExecutionMode.FULL),
             )
         transform_seconds = time.perf_counter() - transform_start
+
+        if cache_key is not None:
+            self._plan_cache[cache_key] = (self.store.generation, query, tree, report)
+            if len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
         return query, tree, report, parse_seconds, transform_seconds
 
     def execute(self, query: U[str, SelectQuery]) -> QueryResult:

@@ -100,8 +100,32 @@ def _relocation_safe(parent: GroupNode, source: BENode, target: BENode) -> bool:
     return True
 
 
+def _prefix_safe(group: GroupNode, moved_vars: Set[str]) -> bool:
+    """Is prefixing a BGP binding ``moved_vars`` to ``group`` equivalent
+    to joining the BGP with the group's result?
+
+    Joins and unions distribute over a prefixed join, so only the
+    group's direct OPTIONAL children matter:
+
+        P1 ⋈ (A ⟕ X)  ==  (P1 ⋈ A) ⟕ X
+
+    requires every variable P1 shares with X to be *certainly* bound in
+    A (the children before the OPTIONAL).  Otherwise a row of A that
+    matches X only through an unbound shared variable — or survives on
+    the OPTIONAL's miss-path — changes behaviour once P1's bindings are
+    merged in before the left join.
+    """
+    for index, child in enumerate(group.children):
+        if not isinstance(child, OptionalNode):
+            continue
+        shared = moved_vars & child.variables()
+        if shared and not shared <= certain_variables(group.children, index):
+            return False
+    return True
+
+
 def can_merge(parent: GroupNode, p1: BENode, union_node: BENode) -> bool:
-    """Definition 9's conditions plus relocation safety."""
+    """Definition 9's conditions plus relocation and prefix safety."""
     if not isinstance(p1, BGPNode) or p1.is_empty():
         return False
     if not isinstance(union_node, UnionNode):
@@ -116,6 +140,11 @@ def can_merge(parent: GroupNode, p1: BENode, union_node: BENode) -> bool:
         for bgp in branch.bgp_children()
     )
     if not has_coalescable:
+        return False
+    # P1 is inserted as the leftmost child of *every* branch, so each
+    # branch must tolerate the prefix, not just the coalescable ones.
+    moved_vars = p1.variables()
+    if not all(_prefix_safe(branch, moved_vars) for branch in union_node.branches):
         return False
     return _relocation_safe(parent, p1, union_node)
 

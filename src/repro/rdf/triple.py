@@ -103,6 +103,23 @@ class TriplePattern:
     def is_ground(self) -> bool:
         return not self.variables()
 
+    def layout(self) -> Tuple[Tuple[str, ...], Tuple[int, ...]]:
+        """Columnar scan layout: (schema, positions).
+
+        ``schema`` is the pattern's variable names deduplicated in
+        position order; ``positions`` gives, for each name, the first
+        s/p/o position it occupies.  Every scan that emits columnar
+        rows (engines, baselines, the reference evaluator) projects a
+        matched triple through these positions.
+        """
+        schema = []
+        positions = []
+        for index, term in enumerate(self.as_tuple()):
+            if isinstance(term, Variable) and term.name not in schema:
+                schema.append(term.name)
+                positions.append(index)
+        return tuple(schema), tuple(positions)
+
     def substitute(self, binding: Mapping[Variable, Term]) -> "TriplePattern":
         """Return a copy with every bound variable replaced by its value."""
         def lookup(term: PatternTerm) -> PatternTerm:

@@ -1,10 +1,21 @@
 """Bags of solution mappings and the operators of Section 3.
 
-A *mapping* μ is a partial function from variables to terms; we represent
-it as a plain dict whose keys are variable *names* (strings) and whose
-values are terms — ground :class:`~repro.rdf.terms.Term` objects in the
-reference evaluator, integer term ids inside the engines.  All operators
-here are value-agnostic, so the same :class:`Bag` serves both layers.
+A *mapping* μ is a partial function from variables to terms.  The public
+API still speaks dicts (variable *name* → term, where terms are ground
+:class:`~repro.rdf.terms.Term` objects in the reference evaluator and
+integer term ids inside the engines), but internally a :class:`Bag` is
+**columnar**: it carries a fixed, ordered tuple of variable names (its
+*schema*) and stores every solution as a plain tuple of values aligned
+with that schema.  A slot left unbound by a mapping (possible after
+OPTIONAL / UNION) holds the :data:`UNBOUND` sentinel.
+
+The columnar layout is what makes the operators fast: the schema is
+known up front (no per-call ``variables()`` rescans), join keys are
+extracted by precomputed slot indices, and merging two compatible rows
+is tuple concatenation instead of dict copy + update.  Rows whose join
+key contains :data:`UNBOUND` are routed through a nested-loop fallback,
+which keeps every operator exactly faithful to the paper's
+compatibility definition.
 
 The four bag operators follow the paper's definitions exactly and all
 preserve duplicates (bag/multiset semantics):
@@ -18,22 +29,54 @@ preserve duplicates (bag/multiset semantics):
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+from operator import itemgetter
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 __all__ = [
+    "UNBOUND",
     "Mapping",
+    "Row",
     "Bag",
     "compatible",
     "merge_mappings",
     "join",
+    "join_streamed",
     "union",
     "minus",
     "left_join",
     "mappings_equal_as_bags",
 ]
 
-#: A solution mapping: variable name → value.
+#: A solution mapping: variable name → value (the dict-level view).
 Mapping = Dict[str, object]
+
+#: A columnar solution row: one value per schema slot.
+Row = Tuple[object, ...]
+
+
+class _Unbound:
+    """Singleton sentinel for an unbound schema slot."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "UNBOUND"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The unbound-slot sentinel.  Always compare with ``is``.
+UNBOUND = _Unbound()
 
 
 def compatible(mu1: Mapping, mu2: Mapping) -> bool:
@@ -58,12 +101,40 @@ def merge_mappings(mu1: Mapping, mu2: Mapping) -> Mapping:
 
 
 class Bag:
-    """A multiset of solution mappings."""
+    """A multiset of solution mappings in columnar form.
 
-    __slots__ = ("_mappings",)
+    ``schema`` is the ordered tuple of variable names; ``rows`` is the
+    list of value tuples.  The mapping-level API (construction from
+    dicts, iteration yielding dicts, :meth:`add`) is a thin
+    compatibility layer over the columns.
+    """
+
+    __slots__ = ("_schema", "_slots", "_rows", "_vars", "_certain")
 
     def __init__(self, mappings: Iterable[Mapping] = ()):
-        self._mappings: List[Mapping] = list(mappings)
+        materialized = list(mappings)
+        names: List[str] = sorted({k for m in materialized for k in m})
+        self._schema: Tuple[str, ...] = tuple(names)
+        self._slots: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self._rows: List[Row] = [
+            tuple(m.get(v, UNBOUND) for v in names) for m in materialized
+        ]
+        self._vars: Optional[FrozenSet[str]] = None
+        self._certain: Optional[FrozenSet[str]] = None
+
+    # ------------------------------------------------------------------
+    # columnar constructors / accessors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: Sequence[str], rows: Iterable[Row]) -> "Bag":
+        """Fast path: build directly from a schema and aligned rows."""
+        bag = cls.__new__(cls)
+        bag._schema = tuple(schema)
+        bag._slots = {n: i for i, n in enumerate(bag._schema)}
+        bag._rows = rows if isinstance(rows, list) else list(rows)
+        bag._vars = None
+        bag._certain = None
+        return bag
 
     @classmethod
     def empty(cls) -> "Bag":
@@ -79,59 +150,119 @@ class Bag:
         ``r ← ∅`` and special-cases the first join; using the identity
         bag removes the special case without changing semantics).
         """
-        return cls([{}])
+        return cls.from_rows((), [()])
 
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        """The ordered variable names of the columnar layout."""
+        return self._schema
+
+    @property
+    def rows(self) -> List[Row]:
+        """The raw rows (treat as read-only)."""
+        return self._rows
+
+    def slot(self, name: str) -> Optional[int]:
+        """The schema slot of ``name``, or None if not in the schema."""
+        return self._slots.get(name)
+
+    def add_row(self, row: Row) -> None:
+        """Append one schema-aligned row."""
+        if len(row) != len(self._schema):
+            raise ValueError(
+                f"row of width {len(row)} does not fit schema {self._schema!r}"
+            )
+        self._rows.append(row)
+        self._vars = None
+        self._certain = None
+
+    # ------------------------------------------------------------------
+    # mapping-level compatibility layer
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._mappings)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[Mapping]:
-        return iter(self._mappings)
+        schema = self._schema
+        for row in self._rows:
+            yield {n: v for n, v in zip(schema, row) if v is not UNBOUND}
 
     def __bool__(self) -> bool:
-        return bool(self._mappings)
+        return bool(self._rows)
 
     def add(self, mapping: Mapping) -> None:
-        self._mappings.append(mapping)
+        """Append one dict-level mapping, widening the schema if needed."""
+        extra = [k for k in mapping if k not in self._slots]
+        if extra:
+            self._widen(extra)
+        self._rows.append(tuple(mapping.get(v, UNBOUND) for v in self._schema))
+        self._vars = None
+        self._certain = None
+
+    def _widen(self, extra: Sequence[str]) -> None:
+        self._schema = self._schema + tuple(extra)
+        self._slots = {n: i for i, n in enumerate(self._schema)}
+        pad = (UNBOUND,) * len(extra)
+        self._rows = [row + pad for row in self._rows]
 
     def variables(self) -> FrozenSet[str]:
-        """Every variable bound in at least one solution."""
-        seen = set()
-        for mapping in self._mappings:
-            seen.update(mapping.keys())
-        return frozenset(seen)
+        """Every variable bound in at least one solution (cached)."""
+        if self._vars is None:
+            rows = self._rows
+            self._vars = frozenset(
+                name
+                for i, name in enumerate(self._schema)
+                if any(row[i] is not UNBOUND for row in rows)
+            )
+        return self._vars
 
     def certain_variables(self) -> FrozenSet[str]:
-        """Variables bound in *every* solution.
+        """Variables bound in *every* solution (cached).
 
         After an OPTIONAL some solutions may leave a variable unbound;
         such a variable's observed values do not bound the values it can
         join with, so candidate pruning must restrict itself to certain
         variables.
         """
-        if not self._mappings:
-            return frozenset()
-        certain = set(self._mappings[0].keys())
-        for mapping in self._mappings[1:]:
-            certain &= mapping.keys()
-            if not certain:
-                break
-        return frozenset(certain)
+        if self._certain is None:
+            rows = self._rows
+            if not rows:
+                self._certain = frozenset()
+            else:
+                self._certain = frozenset(
+                    name
+                    for i, name in enumerate(self._schema)
+                    if all(row[i] is not UNBOUND for row in rows)
+                )
+        return self._certain
 
     def project(self, variables: Iterable[str]) -> "Bag":
         """SELECT-clause projection; unbound variables are simply absent."""
-        wanted = list(variables)
-        projected = []
-        for mapping in self._mappings:
-            projected.append({v: mapping[v] for v in wanted if v in mapping})
-        return Bag(projected)
+        wanted: List[str] = []
+        seen = set()
+        for v in variables:
+            if v in self._slots and v not in seen:
+                wanted.append(v)
+                seen.add(v)
+        idx = [self._slots[v] for v in wanted]
+        return Bag.from_rows(
+            tuple(wanted), [tuple(row[i] for i in idx) for row in self._rows]
+        )
 
     def distinct_values(self, variable: str) -> set:
         """The set of values ``variable`` takes across all solutions."""
-        return {m[variable] for m in self._mappings if variable in m}
+        i = self._slots.get(variable)
+        if i is None:
+            return set()
+        return {row[i] for row in self._rows if row[i] is not UNBOUND}
 
     def counter(self) -> Counter:
         """Multiset signature used for bag-equality comparison."""
-        return Counter(frozenset(m.items()) for m in self._mappings)
+        schema = self._schema
+        return Counter(
+            frozenset((n, v) for n, v in zip(schema, row) if v is not UNBOUND)
+            for row in self._rows
+        )
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Bag):
@@ -145,116 +276,302 @@ class Bag:
         return f"Bag({len(self)} mappings over {sorted(self.variables())})"
 
 
-def _shared_variables(bag1: Bag, bag2: Bag) -> Tuple[str, ...]:
-    return tuple(sorted(bag1.variables() & bag2.variables()))
+# ----------------------------------------------------------------------
+# row-level helpers shared by the operators
+# ----------------------------------------------------------------------
+def _rows_compatible(row1: Row, row2: Row, shared_pairs: List[Tuple[int, int]]) -> bool:
+    """μ1 ~ μ2 at row level: no shared slot bound to conflicting values."""
+    for i, j in shared_pairs:
+        a = row1[i]
+        if a is UNBOUND:
+            continue
+        b = row2[j]
+        if b is not UNBOUND and a != b:
+            return False
+    return True
 
 
+def _merge_rows(
+    row1: Row, row2: Row, shared_pairs: List[Tuple[int, int]], tail: Row
+) -> Row:
+    """μ1 ∪ μ2 at row level; a shared slot takes the bound value."""
+    merged = list(row1)
+    for i, j in shared_pairs:
+        v = row2[j]
+        if v is not UNBOUND:
+            merged[i] = v
+    return tuple(merged) + tail
+
+
+def _join_layout(bag1: Bag, schema2: Tuple[str, ...]):
+    """Precompute the slot arithmetic of joining ``bag1`` with ``schema2``."""
+    slots1 = bag1._slots
+    out_schema = bag1._schema + tuple(v for v in schema2 if v not in slots1)
+    right_only = [j for j, v in enumerate(schema2) if v not in slots1]
+    shared_pairs = [(slots1[v], j) for j, v in enumerate(schema2) if v in slots1]
+    return out_schema, right_only, shared_pairs
+
+
+def _empty_tail(row: Row) -> Row:
+    return ()
+
+
+def _tail_getter(right_only: List[int]):
+    """Extractor for the probe-side columns appended to merged rows."""
+    if not right_only:
+        return _empty_tail
+    if len(right_only) == 1:
+        j = right_only[0]
+
+        def tail(row: Row, _j=j) -> Row:
+            return (row[_j],)
+
+        return tail
+    return itemgetter(*right_only)  # ≥ 2 indices → returns a tuple
+
+
+# ----------------------------------------------------------------------
+# the operators
+# ----------------------------------------------------------------------
 def join(bag1: Bag, bag2: Bag) -> Bag:
-    """Ω1 ⋈ Ω2 with a hash join on the shared variables.
+    """Ω1 ⋈ Ω2 with a hash join on the shared schema columns.
 
-    Mappings that leave a shared variable unbound (possible after
-    OPTIONAL) cannot be hashed to a single key, so they are routed
-    through a nested-loop fallback against the other side — this keeps
-    the operator exactly faithful to the compatibility definition.
+    Rows that leave a shared variable unbound (possible after OPTIONAL)
+    cannot be hashed to a single key, so they are routed through a
+    nested-loop fallback against the other side — this keeps the
+    operator exactly faithful to the compatibility definition.
     """
     if len(bag2) < len(bag1):
         bag1, bag2 = bag2, bag1
-    shared = _shared_variables(bag1, bag2)
-    if not shared:
-        return Bag(merge_mappings(m1, m2) for m1 in bag1 for m2 in bag2)
+    return _hash_join(bag1, bag2._schema, bag2._rows)
 
-    table: Dict[tuple, List[Mapping]] = {}
-    loose_build: List[Mapping] = []  # build rows missing some shared var
-    for mapping in bag1:
-        if all(v in mapping for v in shared):
-            key = tuple(mapping[v] for v in shared)
-            table.setdefault(key, []).append(mapping)
-        else:
-            loose_build.append(mapping)
 
-    out: List[Mapping] = []
-    for probe in bag2:
-        if all(v in probe for v in shared):
-            key = tuple(probe[v] for v in shared)
-            for build in table.get(key, ()):
-                out.append(merge_mappings(build, probe))
+def join_streamed(bag1: Bag, schema2: Sequence[str], rows2: Iterable[Row]) -> Bag:
+    """Ω1 ⋈ Ω2 where Ω2 arrives as a row stream (pipelined scans).
+
+    Builds the hash table on the materialized side and probes with the
+    stream, so the streamed relation is never materialized as a bag.
+    """
+    return _hash_join(bag1, tuple(schema2), rows2)
+
+
+def _hash_join(build: Bag, probe_schema: Tuple[str, ...], probe_rows: Iterable[Row]) -> Bag:
+    out_schema, right_only, shared_pairs = _join_layout(build, probe_schema)
+    build_rows = build._rows
+    out: List[Row] = []
+    append = out.append
+    tail_of = _tail_getter(right_only)
+
+    if not shared_pairs:  # cartesian product
+        for row2 in probe_rows:
+            tail = tail_of(row2)
+            for row1 in build_rows:
+                append(row1 + tail)
+        return Bag.from_rows(out_schema, out)
+
+    single = len(shared_pairs) == 1
+    table: Dict[object, List[Row]] = {}
+    loose_build: List[Row] = []  # build rows missing some shared var
+    if single:
+        # Scalar keys: no per-row tuple construction at all.
+        i0, j0 = shared_pairs[0]
+        for row1 in build_rows:
+            key = row1[i0]
+            if key is UNBOUND:
+                loose_build.append(row1)
+            else:
+                table.setdefault(key, []).append(row1)
+    else:
+        get1 = itemgetter(*(i for i, _ in shared_pairs))
+        get2 = itemgetter(*(j for _, j in shared_pairs))
+        for row1 in build_rows:
+            key = get1(row1)
+            if UNBOUND in key:
+                loose_build.append(row1)
+            else:
+                table.setdefault(key, []).append(row1)
+
+    get_bucket = table.get
+    if single and not loose_build:
+        # The hottest loop in the system: engine-produced bags have no
+        # loose rows and almost always join on one variable.
+        for row2 in probe_rows:
+            key = row2[j0]
+            if key is not UNBOUND:
+                bucket = get_bucket(key)
+                if bucket is not None:
+                    tail = tail_of(row2)
+                    for row1 in bucket:
+                        append(row1 + tail)
+            else:  # loose probe: pair with every build row
+                tail = tail_of(row2)
+                for bucket in table.values():
+                    for row1 in bucket:
+                        append(_merge_rows(row1, row2, shared_pairs, tail))
+        return Bag.from_rows(out_schema, out)
+
+    for row2 in probe_rows:
+        key = row2[j0] if single else get2(row2)
+        loose_key = (key is UNBOUND) if single else (UNBOUND in key)
+        tail = tail_of(row2)
+        if not loose_key:
+            bucket = get_bucket(key)
+            if bucket is not None:
+                for row1 in bucket:
+                    append(row1 + tail)
         else:
-            for build in table.values():
-                for mapping in build:
-                    if compatible(mapping, probe):
-                        out.append(merge_mappings(mapping, probe))
-        for build in loose_build:
-            if compatible(build, probe):
-                out.append(merge_mappings(build, probe))
-    return Bag(out)
+            for bucket in table.values():
+                for row1 in bucket:
+                    if _rows_compatible(row1, row2, shared_pairs):
+                        append(_merge_rows(row1, row2, shared_pairs, tail))
+        for row1 in loose_build:
+            if _rows_compatible(row1, row2, shared_pairs):
+                append(_merge_rows(row1, row2, shared_pairs, tail))
+    return Bag.from_rows(out_schema, out)
 
 
 def union(bag1: Bag, bag2: Bag) -> Bag:
-    """Ω1 ∪bag Ω2: concatenation, duplicates preserved."""
-    out = list(bag1)
-    out.extend(bag2)
-    return Bag(out)
+    """Ω1 ∪bag Ω2: concatenation, duplicates preserved.
+
+    Schemas are merged; rows from either side are padded/permuted into
+    the merged layout with UNBOUND in the missing slots.
+    """
+    schema1, schema2 = bag1._schema, bag2._schema
+    if schema1 == schema2:
+        return Bag.from_rows(schema1, bag1._rows + bag2._rows)
+    # An empty side contributes no rows, so its schema can be dropped
+    # wholesale — this keeps the evaluator's Bag.empty() union seed off
+    # the per-row permutation path below.
+    if not bag1._rows:
+        return Bag.from_rows(schema2, list(bag2._rows))
+    if not bag2._rows:
+        return Bag.from_rows(schema1, list(bag1._rows))
+    slots1 = bag1._slots
+    out_schema = schema1 + tuple(v for v in schema2 if v not in slots1)
+    pad = (UNBOUND,) * (len(out_schema) - len(schema1))
+    out = [row + pad for row in bag1._rows]
+    slots2 = bag2._slots
+    # Permute right rows via itemgetter over a row widened with one
+    # trailing UNBOUND slot, which stands in for every missing column.
+    width2 = len(schema2)
+    positions = [slots2.get(v, width2) for v in out_schema]
+    if len(positions) >= 2:
+        permute = itemgetter(*positions)
+        widener = (UNBOUND,)
+        for row2 in bag2._rows:
+            out.append(permute(row2 + widener))
+    else:
+        for row2 in bag2._rows:
+            out.append(
+                tuple(UNBOUND if p == width2 else row2[p] for p in positions)
+            )
+    return Bag.from_rows(out_schema, out)
 
 
 def minus(bag1: Bag, bag2: Bag) -> Bag:
     """Ω1 ∖ Ω2: solutions of Ω1 incompatible with *every* solution of Ω2."""
     if not bag2:
-        return Bag(list(bag1))
-    shared_all = _shared_variables(bag1, bag2)
-    right = list(bag2)
-    out = []
-    for mu1 in bag1:
-        if not any(compatible(mu1, mu2) for mu2 in right):
-            out.append(mu1)
-    # `shared_all` unused beyond symmetry with join; kept simple on purpose:
-    # minus appears only on OPTIONAL's miss-path where |Ω2| is post-join.
-    del shared_all
-    return Bag(out)
+        return Bag.from_rows(bag1._schema, list(bag1._rows))
+    slots1 = bag1._slots
+    schema2 = bag2._schema
+    shared_pairs = [(slots1[v], j) for j, v in enumerate(schema2) if v in slots1]
+    if not shared_pairs:
+        # No shared columns: every μ2 is compatible with every μ1.
+        return Bag.from_rows(bag1._schema, [])
+
+    single = len(shared_pairs) == 1
+    if single:
+        i0, j0 = shared_pairs[0]
+    else:
+        get1 = itemgetter(*(i for i, _ in shared_pairs))
+        get2 = itemgetter(*(j for _, j in shared_pairs))
+    keys2 = set()
+    loose2: List[Row] = []
+    for row2 in bag2._rows:
+        key = row2[j0] if single else get2(row2)
+        if (key is UNBOUND) if single else (UNBOUND in key):
+            loose2.append(row2)
+        else:
+            keys2.add(key)
+
+    rows2 = bag2._rows
+    out: List[Row] = []
+    for row1 in bag1._rows:
+        key = row1[i0] if single else get1(row1)
+        if not ((key is UNBOUND) if single else (UNBOUND in key)):
+            if key in keys2:
+                continue
+            if any(_rows_compatible(row1, row2, shared_pairs) for row2 in loose2):
+                continue
+        else:
+            if any(_rows_compatible(row1, row2, shared_pairs) for row2 in rows2):
+                continue
+        out.append(row1)
+    return Bag.from_rows(bag1._schema, out)
 
 
 def left_join(bag1: Bag, bag2: Bag) -> Bag:
     """Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2) — Definition 7's d|><|.
 
     Implemented in one pass: for each μ1 we emit its joins if any exist,
-    otherwise μ1 itself.  This is equivalent to the two-operator form
-    but avoids re-scanning Ω2 for the minus part.
+    otherwise μ1 itself (padded with UNBOUND for Ω2's columns).  This is
+    equivalent to the two-operator form but avoids re-scanning Ω2 for
+    the minus part.
     """
-    shared = _shared_variables(bag1, bag2)
-    if not shared:
-        if not bag2:
-            return Bag(list(bag1))
-        return Bag(merge_mappings(m1, m2) for m1 in bag1 for m2 in bag2)
+    out_schema, right_only, shared_pairs = _join_layout(bag1, bag2._schema)
+    pad = (UNBOUND,) * len(right_only)
+    if not bag2:
+        return Bag.from_rows(out_schema, [row + pad for row in bag1._rows])
 
-    table: Dict[tuple, List[Mapping]] = {}
-    loose_probe: List[Mapping] = []
-    for probe in bag2:
-        if all(v in probe for v in shared):
-            key = tuple(probe[v] for v in shared)
-            table.setdefault(key, []).append(probe)
+    out: List[Row] = []
+    append = out.append
+    tail_of = _tail_getter(right_only)
+    if not shared_pairs:  # cartesian extension
+        tails = [tail_of(row2) for row2 in bag2._rows]
+        for row1 in bag1._rows:
+            for tail in tails:
+                append(row1 + tail)
+        return Bag.from_rows(out_schema, out)
+
+    single = len(shared_pairs) == 1
+    if single:
+        i0, j0 = shared_pairs[0]
+    else:
+        get1 = itemgetter(*(i for i, _ in shared_pairs))
+        get2 = itemgetter(*(j for _, j in shared_pairs))
+    table: Dict[object, List[Tuple[Row, Row]]] = {}
+    loose_probe: List[Tuple[Row, Row]] = []
+    for row2 in bag2._rows:
+        key = row2[j0] if single else get2(row2)
+        entry = (row2, tail_of(row2))  # tail computed once per Ω2 row
+        if (key is UNBOUND) if single else (UNBOUND in key):
+            loose_probe.append(entry)
         else:
-            loose_probe.append(probe)
+            table.setdefault(key, []).append(entry)
 
-    out: List[Mapping] = []
-    for mu1 in bag1:
+    get_bucket = table.get
+    for row1 in bag1._rows:
         matched = False
-        if all(v in mu1 for v in shared):
-            key = tuple(mu1[v] for v in shared)
-            for mu2 in table.get(key, ()):
-                out.append(merge_mappings(mu1, mu2))
+        key = row1[i0] if single else get1(row1)
+        if not ((key is UNBOUND) if single else (UNBOUND in key)):
+            bucket = get_bucket(key)
+            if bucket is not None:
                 matched = True
+                for row2, tail in bucket:
+                    append(row1 + tail)
         else:
-            for rows in table.values():
-                for mu2 in rows:
-                    if compatible(mu1, mu2):
-                        out.append(merge_mappings(mu1, mu2))
+            for bucket in table.values():
+                for row2, tail in bucket:
+                    if _rows_compatible(row1, row2, shared_pairs):
                         matched = True
-        for mu2 in loose_probe:
-            if compatible(mu1, mu2):
-                out.append(merge_mappings(mu1, mu2))
+                        append(_merge_rows(row1, row2, shared_pairs, tail))
+        for row2, tail in loose_probe:
+            if _rows_compatible(row1, row2, shared_pairs):
                 matched = True
+                append(_merge_rows(row1, row2, shared_pairs, tail))
         if not matched:
-            out.append(dict(mu1))
-    return Bag(out)
+            append(row1 + pad)
+    return Bag.from_rows(out_schema, out)
 
 
 def mappings_equal_as_bags(left: Iterable[Mapping], right: Iterable[Mapping]) -> bool:

@@ -20,9 +20,34 @@ import json
 from typing import Dict, Iterable, List, Sequence
 
 from ..rdf.terms import BlankNode, GroundTerm, IRI, Literal, XSD_STRING
-from .bags import Bag, Mapping
+from .bags import Bag, Mapping, UNBOUND
 
 __all__ = ["to_json", "to_json_dict", "to_csv"]
+
+
+def _iter_bindings(variables: Sequence[str], solutions: Iterable[Mapping]):
+    """Yield (position, variable, term) triples per solution.
+
+    ``position`` indexes into ``variables``; unbound variables are
+    simply skipped.  Columnar bags are walked row-by-row through
+    precomputed slots — no per-row dict is ever built; anything else
+    falls back to the mapping-level protocol.
+    """
+    if isinstance(solutions, Bag):
+        slots = [(i, var, solutions.slot(var)) for i, var in enumerate(variables)]
+        for row in solutions.rows:
+            yield [
+                (i, var, row[slot])
+                for i, var, slot in slots
+                if slot is not None and row[slot] is not UNBOUND
+            ]
+    else:
+        for mapping in solutions:
+            yield [
+                (i, var, mapping[var])
+                for i, var in enumerate(variables)
+                if var in mapping
+            ]
 
 
 def _encode_term(term: GroundTerm) -> Dict[str, str]:
@@ -43,10 +68,8 @@ def _encode_term(term: GroundTerm) -> Dict[str, str]:
 def to_json_dict(variables: Sequence[str], solutions: Iterable[Mapping]) -> dict:
     """The results document as a plain dict (for programmatic use)."""
     bindings: List[Dict[str, Dict[str, str]]] = []
-    for mapping in solutions:
-        bindings.append(
-            {var: _encode_term(mapping[var]) for var in variables if var in mapping}
-        )
+    for triples in _iter_bindings(variables, solutions):
+        bindings.append({var: _encode_term(term) for _, var, term in triples})
     return {
         "head": {"vars": list(variables)},
         "results": {"bindings": bindings},
@@ -80,12 +103,10 @@ def to_csv(variables: Sequence[str], solutions: Iterable[Mapping]) -> str:
     """SPARQL 1.1 Query Results CSV text (CRLF line endings per spec)."""
     out = io.StringIO()
     out.write(",".join(variables) + "\r\n")
-    for mapping in solutions:
-        cells = []
-        for var in variables:
-            if var in mapping:
-                cells.append(_csv_escape(_csv_cell(mapping[var])))
-            else:
-                cells.append("")
+    width = len(variables)
+    for triples in _iter_bindings(variables, solutions):
+        cells = [""] * width
+        for position, _, term in triples:
+            cells[position] = _csv_escape(_csv_cell(term))
         out.write(",".join(cells) + "\r\n")
     return out.getvalue()

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Optional as Opt, Sequence
 
 from ..rdf.dataset import Dataset
-from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
 from .algebra import (
     And,
@@ -33,15 +32,12 @@ __all__ = ["evaluate_pattern", "evaluate_triple_pattern", "evaluate_group", "exe
 
 def evaluate_triple_pattern(pattern: TriplePattern, dataset: Dataset) -> Bag:
     """[[t]]_D = {μ | var(t) = dom(μ) ∧ μ(t) ∈ D} via linear scan."""
-    out = Bag()
-    positions = pattern.as_tuple()
+    schema, positions = pattern.layout()
+    rows = []
     for triple in dataset.match(pattern):
-        mapping = {}
-        for pattern_term, data_term in zip(positions, triple.as_tuple()):
-            if isinstance(pattern_term, Variable):
-                mapping[pattern_term.name] = data_term
-        out.add(mapping)
-    return out
+        values = triple.as_tuple()
+        rows.append(tuple(values[i] for i in positions))
+    return Bag.from_rows(schema, rows)
 
 
 def evaluate_pattern(node: BinaryNode, dataset: Dataset) -> Bag:

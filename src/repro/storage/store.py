@@ -34,6 +34,7 @@ class TripleStore:
         self.dictionary = TermDictionary()
         self.indexes = TripleIndexes()
         self._stats: Optional[StoreStatistics] = None
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # loading
@@ -53,11 +54,13 @@ class TripleStore:
     def add(self, triple: Triple) -> bool:
         """Insert one triple; returns False for duplicates."""
         self._stats = None
+        self._generation += 1
         return self.indexes.insert(self.dictionary.encode_triple(triple))
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns the number actually added."""
         self._stats = None
+        self._generation += 1
         encode = self.dictionary.encode_triple
         insert = self.indexes.insert
         added = 0
@@ -68,6 +71,15 @@ class TripleStore:
 
     def __len__(self) -> int:
         return len(self.indexes)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic write counter; bumped by every insert batch.
+
+        Consumers caching anything derived from the store's contents
+        (query plans, estimates) key on this to invalidate on writes.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # statistics (lazily built, invalidated on insert)

@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Several test modules import shared Hypothesis strategies with a
+relative ``from .strategies import …``; this file makes ``tests`` a
+package so pytest imports them as ``tests.<module>`` and the relative
+imports resolve.
+"""

@@ -83,6 +83,31 @@ def select_queries(draw, max_depth: int = 3) -> SelectQuery:
 
 
 @st.composite
+def solution_mappings(draw, variables_pool: str = "abcd", max_value: int = 2) -> dict:
+    """One partial solution mapping over a tiny variable/value universe.
+
+    Every variable may be left unbound, which is exactly the regime the
+    bag operators' loose-row fallbacks (shared-but-unbound variables
+    after OPTIONAL/UNION) must handle.
+    """
+    out = {}
+    for var in variables_pool:
+        value = draw(st.none() | st.integers(min_value=0, max_value=max_value))
+        if value is not None:
+            out[var] = value
+    return out
+
+
+def solution_bags(variables_pool: str = "abcd", max_size: int = 6):
+    """Bags of partial mappings with overlapping, sometimes-unbound vars."""
+    return st.lists(
+        solution_mappings(variables_pool=variables_pool),
+        min_size=0,
+        max_size=max_size,
+    )
+
+
+@st.composite
 def optional_only_groups(draw, max_depth: int = 2) -> GroupGraphPattern:
     """Groups using only triples, nesting and OPTIONAL (LBR's class).
 

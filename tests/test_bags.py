@@ -7,14 +7,18 @@ set-builder definitions (Section 3), brute-forced.
 from hypothesis import given, strategies as st
 
 from repro.sparql.bags import (
+    UNBOUND,
     Bag,
     compatible,
     join,
+    join_streamed,
     left_join,
     merge_mappings,
     minus,
     union,
 )
+
+from .strategies import solution_bags
 
 # Small mapping universe: variables a/b/c over values 0..2, possibly absent.
 _values = st.none() | st.integers(min_value=0, max_value=2)
@@ -193,3 +197,126 @@ class TestLeftJoin:
     def test_result_at_least_left_size(self, b1):
         right = Bag([{"c": 0}])
         assert len(left_join(b1, right)) >= len(b1)
+
+
+# ----------------------------------------------------------------------
+# Columnar representation: equivalence with the old dict semantics.
+#
+# The strategies draw from `tests.strategies.solution_bags`, whose
+# mappings share variables but may leave any of them unbound — the
+# regime that exercises the loose-row fallback paths in join/left_join
+# (a row whose hash key contains UNBOUND must fall back to pairwise
+# compatibility checks, exactly as the per-row dicts did).
+# ----------------------------------------------------------------------
+wide_bags = solution_bags()
+
+
+def brute_union(m1, m2):
+    return list(m1) + list(m2)
+
+
+def brute_left_join(m1, m2):
+    joined = [
+        merge_mappings(a, b) for a in m1 for b in m2 if compatible(a, b)
+    ]
+    kept = [a for a in m1 if all(not compatible(a, b) for b in m2)]
+    return joined + kept
+
+
+class TestColumnarEquivalence:
+    """All four operators agree with the dict-level set-builder forms."""
+
+    @given(wide_bags, wide_bags)
+    def test_join_matches_dict_semantics(self, m1, m2):
+        expected = Bag(
+            merge_mappings(a, b) for a in m1 for b in m2 if compatible(a, b)
+        )
+        assert join(Bag(m1), Bag(m2)) == expected
+
+    @given(wide_bags, wide_bags)
+    def test_union_matches_dict_semantics(self, m1, m2):
+        assert union(Bag(m1), Bag(m2)) == Bag(brute_union(m1, m2))
+
+    @given(wide_bags, wide_bags)
+    def test_minus_matches_dict_semantics(self, m1, m2):
+        expected = Bag(
+            a for a in m1 if all(not compatible(a, b) for b in m2)
+        )
+        assert minus(Bag(m1), Bag(m2)) == expected
+
+    @given(wide_bags, wide_bags)
+    def test_left_join_matches_dict_semantics(self, m1, m2):
+        assert left_join(Bag(m1), Bag(m2)) == Bag(brute_left_join(m1, m2))
+
+    @given(wide_bags, wide_bags)
+    def test_join_streamed_equals_join(self, m1, m2):
+        b1, b2 = Bag(m1), Bag(m2)
+        streamed = join_streamed(b1, b2.schema, iter(b2.rows))
+        assert streamed == join(b1, b2)
+
+    @given(wide_bags, wide_bags)
+    def test_operators_roundtrip_through_dicts(self, m1, m2):
+        """Rebuilding an operator result from its dict view is lossless."""
+        for op in (join, union, minus, left_join):
+            result = op(Bag(m1), Bag(m2))
+            assert Bag(list(result)) == result
+
+
+class TestColumnarLayout:
+    def test_from_rows_roundtrip(self):
+        bag = Bag.from_rows(("a", "b"), [(1, 2), (3, UNBOUND)])
+        assert list(bag) == [{"a": 1, "b": 2}, {"a": 3}]
+        assert bag.schema == ("a", "b")
+        assert bag.slot("b") == 1 and bag.slot("z") is None
+
+    def test_unbound_columns_do_not_affect_equality(self):
+        padded = Bag.from_rows(("a", "b"), [(1, UNBOUND)])
+        assert padded == Bag([{"a": 1}])
+        assert padded.variables() == {"a"}
+
+    def test_add_widens_schema(self):
+        bag = Bag([{"a": 1}])
+        bag.add({"a": 2, "b": 3})
+        assert set(bag.schema) == {"a", "b"}
+        assert bag == Bag([{"a": 1}, {"a": 2, "b": 3}])
+        assert bag.certain_variables() == {"a"}
+
+    def test_add_row_checks_width(self):
+        import pytest
+
+        bag = Bag.from_rows(("a",), [])
+        bag.add_row((1,))
+        with pytest.raises(ValueError):
+            bag.add_row((1, 2))
+        assert list(bag) == [{"a": 1}]
+
+    def test_variables_cache_invalidated_by_add(self):
+        bag = Bag([{"a": 1}])
+        assert bag.variables() == {"a"}
+        bag.add({"b": 2})
+        assert bag.variables() == {"a", "b"}
+        assert bag.certain_variables() == frozenset()
+
+    def test_unbound_is_falsy_singleton(self):
+        assert not UNBOUND
+        assert repr(UNBOUND) == "UNBOUND"
+
+    @given(wide_bags)
+    def test_certain_and_variables_match_dict_view(self, m1):
+        bag = Bag(m1)
+        assert bag.variables() == frozenset().union(*(m.keys() for m in m1), frozenset())
+        if m1:
+            expected_certain = frozenset(
+                set(m1[0].keys()).intersection(*(m.keys() for m in m1))
+            )
+        else:
+            expected_certain = frozenset()
+        assert bag.certain_variables() == expected_certain
+
+    @given(wide_bags)
+    def test_project_matches_dict_view(self, m1):
+        bag = Bag(m1).project(["a", "c"])
+        expected = Bag(
+            {v: m[v] for v in ("a", "c") if v in m} for m in m1
+        )
+        assert bag == expected

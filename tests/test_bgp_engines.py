@@ -122,6 +122,25 @@ class TestCandidates:
         full = engine.evaluate(patterns)
         assert engine.evaluate(patterns, {"unused": {1, 2}}) == full
 
+    def test_candidate_driven_scan_pins_repeated_predicate_variable(self):
+        """A driver variable repeated at the predicate position (?x ?x ?o)
+        must be pinned in the candidate-driven probe too — leaving it
+        free would match triples whose predicate differs from the
+        candidate subject."""
+        d = Dataset()
+        a, b, q = IRI(EX + "a"), IRI(EX + "b"), IRI(EX + "qq")
+        d.add_spo(a, P, b)  # subject != predicate: must never match ?x ?x ?o
+        d.add_spo(q, q, b)  # subject == predicate
+        store = TripleStore.from_dataset(d)
+        pattern = [TriplePattern(X, Variable("x"), Y)]
+        for cls in (WCOJoinEngine, HashJoinEngine):
+            engine = cls(store)
+            full = engine.evaluate(pattern)
+            assert full == Bag([{"x": store.lookup(q), "y": store.lookup(b)}])
+            # Candidate sets small enough to drive the scan:
+            assert engine.evaluate(pattern, {"x": {store.lookup(a)}}) == Bag()
+            assert engine.evaluate(pattern, {"x": {store.lookup(q)}}) == full
+
 
 class TestEstimates:
     def test_estimate_positive_for_nonempty(self, engine):

@@ -110,6 +110,46 @@ class TestConditions:
         assert isinstance(union, UnionNode)
         assert not can_merge(tree.root, p1, union)
 
+    def test_can_merge_blocked_by_optional_headed_branch(self):
+        # Prefix safety: merging P1 into a branch whose group *starts*
+        # with an OPTIONAL sharing unbound variables with P1 would turn
+        # "P1 ⋈ (identity ⟕ X)" into "P1 ⟕ X" — not equivalent when
+        # some P1 rows are incompatible with every X row (they would
+        # survive bare instead of being dropped).
+        tree = tree_of(
+            "{ ?v1 <http://x/p> ?v2 ."
+            "  { ?v1 <http://x/name> ?v2 } UNION"
+            "  { OPTIONAL { ?v2 <http://x/q> ?v1 } } }"
+        )
+        p1, union = tree.root.children
+        assert isinstance(union, UnionNode)
+        assert not can_merge(tree.root, p1, union)
+
+    def test_transform_modes_preserve_optional_headed_union_semantics(self):
+        """Regression: the cost-driven transformer used to merge a BGP
+        into an OPTIONAL-headed UNION branch, changing the left side of
+        that branch's left join (found by the mode-equivalence property
+        suite; minimized here)."""
+        d = Dataset()
+        s0, s1, s2 = IRI(EX + "s0"), IRI(EX + "s1"), IRI(EX + "s2")
+        p0 = IRI(EX + "p0")
+        d.add_spo(s0, p0, s0)
+        d.add_spo(s0, p0, s2)
+        d.add_spo(s0, p0, s1)
+        group = parse_group(
+            "{ ?v1 ?v0 ?v2 ."
+            "  { ?v0 ?v0 ?v0 . ?v0 ?v0 ?v1 } UNION"
+            "  { OPTIONAL { ?v0 ?v1 ?v0 } } }"
+        )
+        from repro.core import SparqlUOEngine
+
+        expected = execute_query(SelectQuery(None, group), d)
+        for mode in ("base", "tt", "cp", "full"):
+            for bgp_engine in ("wco", "hashjoin"):
+                engine = SparqlUOEngine.for_dataset(d, bgp_engine=bgp_engine, mode=mode)
+                result = engine.execute(SelectQuery(None, group))
+                assert result.solutions == expected, (mode, bgp_engine)
+
     def test_can_inject_positive(self):
         tree = tree_of(OPTIONAL_QUERY)
         p1, optional = tree.root.children
