@@ -1,0 +1,152 @@
+"""FILTER pushdown and LIMIT short-circuit benchmark (PR 2).
+
+Two comparisons on the LUBM store, each across both BGP engines:
+
+1. **Pushdown vs post-filter** — a selective FILTER over a three-pattern
+   BGP.  With pushdown the predicate runs inside the name-pattern scan
+   (and the row never reaches a join); with ``pushdown=False`` the full
+   join result materializes first and the filter runs at group end.
+
+2. **LIMIT early termination** — ``LIMIT 10`` on a BGP producing
+   thousands of rows.  With pushdown the engines stop producing rows at
+   the limit (the hash-join probe stream / WCO extension loop aborts);
+   without it the full result materializes and is sliced afterwards.
+   "Work" is measured as the evaluator-observed BGP result rows
+   (``trace.bgp_result_sizes``), a deterministic metric independent of
+   machine noise; wall time rides along.
+
+``python benchmarks/bench_filter_pushdown.py`` prints the tables and
+writes ``BENCH_pr2.json``.  Exits non-zero if LIMIT early termination
+does not produce strictly fewer rows than full evaluation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List
+
+from repro.core import SparqlUOEngine
+
+try:
+    from .common import bench_record, emit_bench_json, format_table, lubm_store
+except ImportError:
+    from common import bench_record, emit_bench_json, format_table, lubm_store
+
+REPEATS = 5
+
+FILTER_QUERIES = {
+    "regex_selective": """
+        SELECT ?s ?n ?c WHERE {
+          ?s a ub:UndergraduateStudent .
+          ?s ub:name ?n .
+          ?s ub:takesCourse ?c .
+          FILTER (REGEX(?n, "^UndergraduateStudent1[0-3]$"))
+        }
+    """,
+    "equality_selective": """
+        SELECT ?s ?c WHERE {
+          ?s ub:name ?n .
+          ?s ub:takesCourse ?c .
+          FILTER (?n = "UndergraduateStudent42")
+        }
+    """,
+}
+
+LIMIT_QUERY = """
+    SELECT ?s ?c WHERE { ?s ub:takesCourse ?c . ?s ub:memberOf ?d } LIMIT 10
+"""
+UNLIMITED_QUERY = LIMIT_QUERY.replace("LIMIT 10", "")
+
+
+def run(engine: SparqlUOEngine, query: str):
+    """Median wall time over REPEATS plus the last run's result."""
+    times: List[float] = []
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = engine.execute(query)
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2] * 1000.0, result
+
+
+def bgp_rows(result) -> int:
+    """Total rows the BGP leaves materialized (the work proxy)."""
+    return sum(result.trace.bgp_result_sizes.values())
+
+
+def main() -> int:
+    store = lubm_store()
+    records: List[Dict] = []
+    failures: List[str] = []
+
+    print(f"store: {store!r}\n")
+    print("== FILTER pushdown vs post-filter ==")
+    rows = []
+    for engine_name in ("wco", "hashjoin"):
+        pushdown_engine = SparqlUOEngine(store, engine_name, mode="full", pushdown=True)
+        postfilter_engine = SparqlUOEngine(store, engine_name, mode="full", pushdown=False)
+        for query_name, query in FILTER_QUERIES.items():
+            push_ms, push_result = run(pushdown_engine, query)
+            post_ms, post_result = run(postfilter_engine, query)
+            assert len(push_result) == len(post_result), (engine_name, query_name)
+            speedup = post_ms / push_ms if push_ms > 0 else float("inf")
+            rows.append(
+                [engine_name, query_name, len(push_result),
+                 f"{push_ms:.2f}", f"{post_ms:.2f}", f"{speedup:.2f}x",
+                 bgp_rows(push_result), bgp_rows(post_result)]
+            )
+            records.append(
+                bench_record(
+                    "filter_pushdown", query_name, engine_name, "pushdown", push_ms,
+                    results=len(push_result), bgp_rows=bgp_rows(push_result),
+                    postfilter_wall_ms=round(post_ms, 3),
+                    postfilter_bgp_rows=bgp_rows(post_result),
+                    speedup=round(speedup, 2), variant="pr2",
+                )
+            )
+    print(format_table(
+        ["engine", "query", "results", "push ms", "post ms", "speedup",
+         "push bgp rows", "post bgp rows"], rows))
+
+    print("\n== LIMIT early termination ==")
+    rows = []
+    for engine_name in ("wco", "hashjoin"):
+        engine = SparqlUOEngine(store, engine_name, mode="full", pushdown=True)
+        reference = SparqlUOEngine(store, engine_name, mode="full", pushdown=False)
+        limited_ms, limited = run(engine, LIMIT_QUERY)
+        full_ms, full = run(reference, UNLIMITED_QUERY)
+        limited_rows, full_rows = bgp_rows(limited), bgp_rows(full)
+        rows.append(
+            [engine_name, len(limited), len(full), limited_rows, full_rows,
+             f"{limited_ms:.2f}", f"{full_ms:.2f}"]
+        )
+        records.append(
+            bench_record(
+                "limit_short_circuit", "takesCourse_memberOf_limit10", engine_name,
+                "pushdown", limited_ms,
+                results=len(limited), bgp_rows=limited_rows,
+                full_wall_ms=round(full_ms, 3), full_results=len(full),
+                full_bgp_rows=full_rows,
+                work_ratio=round(full_rows / max(limited_rows, 1), 1), variant="pr2",
+            )
+        )
+        if limited_rows >= full_rows:
+            failures.append(
+                f"{engine_name}: LIMIT produced {limited_rows} BGP rows, "
+                f"full evaluation {full_rows} — no early termination"
+            )
+    print(format_table(
+        ["engine", "limit results", "full results", "limit bgp rows",
+         "full bgp rows", "limit ms", "full ms"], rows))
+
+    path = emit_bench_json("pr2", records)
+    print(f"\nwrote {path}")
+    for failure in failures:
+        print("FAIL:", failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

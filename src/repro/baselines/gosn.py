@@ -18,6 +18,7 @@ from typing import List, Set
 
 from ..rdf.triple import TriplePattern
 from ..sparql.algebra import (
+    FilterExpression,
     GroupGraphPattern,
     OptionalExpression,
     SelectQuery,
@@ -93,6 +94,10 @@ def _fill(node: SuperNode, group: GroupGraphPattern) -> None:
         elif isinstance(element, UnionExpression):
             raise UnsupportedFeatureError(
                 "LBR's GoSN does not support UNION (OPTIONAL-only baseline)"
+            )
+        elif isinstance(element, FilterExpression):
+            raise UnsupportedFeatureError(
+                "LBR's GoSN does not support FILTER (predates the extension)"
             )
         else:  # pragma: no cover - AST validates
             raise TypeError(f"invalid group element {element!r}")

@@ -1,12 +1,15 @@
 """BGP evaluation engines and cardinality estimation."""
 
 from .cardinality import CardinalityEstimator, pattern_count
+from .filters import CompiledFilter, combine_predicates
 from .hashjoin import HashJoinEngine, binary_join_cost
 from .interface import BGPEngine, Candidates, PlanEstimate, ground_pattern_present
 from .plans import connected_components, greedy_pattern_order, pattern_join_vars
 from .wco import WCOJoinEngine
 
 __all__ = [
+    "CompiledFilter",
+    "combine_predicates",
     "BGPEngine",
     "Candidates",
     "PlanEstimate",

@@ -1,0 +1,92 @@
+"""FILTER pushdown machinery: expressions over id-level columnar rows.
+
+The engines and the evaluator work on dictionary-encoded integer ids,
+while FILTER expressions are defined over terms.  A
+:class:`CompiledFilter` bridges the two: it decodes only the slots the
+expression mentions, memoizes each distinct id's term (the same id
+recurs across rows constantly), and evaluates the shared term-level
+semantics of :mod:`repro.sparql.expressions`.  Both BGP engines accept
+compiled filters and apply them as early as their pipelines allow —
+inside pattern scans when a single pattern covers the expression's
+variables, otherwise right after the join step that completes coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional as Opt, Sequence
+
+from ..sparql.bags import Bag, Row, UNBOUND
+from ..sparql.expressions import (
+    Expression,
+    expression_variables,
+    filter_passes,
+)
+
+__all__ = ["CompiledFilter", "combine_predicates"]
+
+
+class CompiledFilter:
+    """One FILTER expression bound to a store, evaluable on id rows."""
+
+    __slots__ = ("expression", "variables", "_decode", "_cache")
+
+    def __init__(self, expression: Expression, store, cache: Opt[Dict] = None):
+        self.expression = expression
+        self.variables = expression_variables(expression)
+        self._decode = store.decode
+        #: id → term memo, shared across every predicate of this filter.
+        self._cache = cache if cache is not None else {}
+
+    def row_predicate(self, schema: Sequence[str]) -> Callable[[Row], bool]:
+        """A keep/drop predicate for rows aligned with ``schema``.
+
+        Variables of the expression absent from the schema are simply
+        unbound for every row (their references error, BOUND sees
+        false) — exactly the group-end FILTER semantics.
+        """
+        slots = [(name, i) for i, name in enumerate(schema) if name in self.variables]
+        expression = self.expression
+        decode = self._decode
+        cache = self._cache
+
+        def keep(row: Row) -> bool:
+            binding = {}
+            for name, i in slots:
+                value = row[i]
+                if value is UNBOUND:
+                    continue
+                term = cache.get(value)
+                if term is None:
+                    term = cache[value] = decode(value)
+                binding[name] = term
+            return filter_passes(expression, binding)
+
+        return keep
+
+    def apply(self, bag: Bag) -> Bag:
+        """σ over an id-level bag (used at group end and by post-filter
+        reference paths)."""
+        keep = self.row_predicate(bag.schema)
+        return Bag.from_rows(bag.schema, [row for row in bag.rows if keep(row)])
+
+    def __repr__(self) -> str:
+        return f"CompiledFilter(vars={sorted(self.variables)})"
+
+
+def combine_predicates(
+    filters: Sequence[CompiledFilter], schema: Sequence[str]
+) -> Opt[Callable[[Row], bool]]:
+    """Conjunction of several filters' predicates (None when empty)."""
+    if not filters:
+        return None
+    predicates = [f.row_predicate(schema) for f in filters]
+    if len(predicates) == 1:
+        return predicates[0]
+
+    def keep(row: Row) -> bool:
+        for predicate in predicates:
+            if not predicate(row):
+                return False
+        return True
+
+    return keep

@@ -20,12 +20,14 @@ driven from the candidates instead of the full index range.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..rdf.triple import TriplePattern
-from ..sparql.bags import Bag, Row, join, join_streamed
+from ..sparql.bags import Bag, Row, join, join_output_schema, join_streamed
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
+from .filters import combine_predicates as _combine
 from .interface import BGPEngine, Candidates, PlanEstimate
 from .plans import greedy_pattern_order
 
@@ -54,9 +56,13 @@ class HashJoinEngine(BGPEngine):
         self,
         patterns: Sequence[TriplePattern],
         candidates: Optional[Candidates] = None,
+        filters=None,
+        limit: Optional[int] = None,
     ) -> Bag:
         if not patterns:
             return Bag.identity()
+        if limit is not None and limit <= 0:
+            return Bag.empty()
         # Counted once: count_pattern enumerates for repeated-variable
         # patterns, and both the ordering and the build-side choice
         # below consume the same numbers.
@@ -65,11 +71,41 @@ class HashJoinEngine(BGPEngine):
             for pattern in patterns
         }
         ordered = greedy_pattern_order(patterns, counts.__getitem__)
+        remaining = list(filters) if filters else []
         result: Optional[Bag] = None
-        for pattern in ordered:
+        last = len(ordered) - 1
+        for index, pattern in enumerate(ordered):
             schema, rows = self._scan_rows(pattern, candidates)
+            if remaining:
+                # Pushdown stage 1: filters covered by this one scan run
+                # inside the streaming scan, before any join sees the rows.
+                scan_covered = set(schema)
+                scan_filters = [f for f in remaining if f.variables <= scan_covered]
+                if scan_filters:
+                    remaining = [f for f in remaining if f not in scan_filters]
+                    keep = _combine(scan_filters, schema)
+                    rows = (row for row in rows if keep(row))
+            join_filters: List = []
+            stop: Optional[int] = None
+            if result is not None and (remaining or (index == last and limit is not None)):
+                out_schema = join_output_schema(result.schema, schema)
+                join_filters = [
+                    f for f in remaining if f.variables <= set(out_schema)
+                ]
+                if join_filters:
+                    remaining = [f for f in remaining if f not in join_filters]
+                stop = limit if (index == last and not remaining) else None
             if result is None:
+                if index == last and not remaining and limit is not None:
+                    rows = islice(rows, limit)
                 result = Bag.from_rows(schema, list(rows))
+            elif join_filters or stop is not None:
+                # Pushdown stage 2: filters completed by this join run on
+                # its output rows as they are produced, and on the last
+                # join a LIMIT stops the probe once enough (post-filter)
+                # rows exist.
+                keep = _combine(join_filters, out_schema) if join_filters else None
+                result = join_streamed(result, schema, rows, keep=keep, stop_at=stop)
             elif self._scan_estimate(pattern, counts[pattern], candidates) < len(result):
                 # The scan is the smaller relation: materialize it and
                 # let join() hash-build on it (Equation 9 builds on the
@@ -79,6 +115,8 @@ class HashJoinEngine(BGPEngine):
                 result = join_streamed(result, schema, rows)
             if not result:
                 return Bag.empty()
+        for compiled in remaining:  # safety net; unreachable when the
+            result = compiled.apply(result)  # caller covers vars correctly
         return result if result is not None else Bag.identity()
 
     def scan_pattern(

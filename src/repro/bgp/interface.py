@@ -97,6 +97,8 @@ class BGPEngine:
         self,
         patterns: Sequence[TriplePattern],
         candidates: Optional[Candidates] = None,
+        filters=None,
+        limit: Optional[int] = None,
     ) -> Bag:
         """Evaluate the BGP, returning a bag of id-level mappings.
 
@@ -104,6 +106,13 @@ class BGPEngine:
         sets.  Engines must apply the restriction *fully* (a solution
         binding a restricted variable outside its set never appears) —
         how early they push the filter is their own optimization choice.
+
+        ``filters`` is an optional sequence of
+        :class:`~repro.bgp.filters.CompiledFilter` whose variables are
+        all covered by the BGP; engines must apply every one before
+        returning (pushing them into scans/joins is their optimization
+        choice).  ``limit`` permits — but does not require — stopping
+        production after that many (post-filter) result rows.
         """
         raise NotImplementedError
 

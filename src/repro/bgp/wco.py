@@ -30,6 +30,7 @@ from ..rdf.triple import TriplePattern
 from ..sparql.bags import Bag, Row
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
+from .filters import combine_predicates as _combine
 from .interface import BGPEngine, Candidates, PlanEstimate
 from .plans import greedy_pattern_order
 
@@ -91,22 +92,39 @@ class WCOJoinEngine(BGPEngine):
         self,
         patterns: Sequence[TriplePattern],
         candidates: Optional[Candidates] = None,
+        filters=None,
+        limit: Optional[int] = None,
     ) -> Bag:
         if not patterns:
             return Bag.identity()
+        if limit is not None and limit <= 0:
+            return Bag.empty()
         edges = [_Edge(self.store, p) for p in patterns]
         if any(edge.impossible() for edge in edges):
             return Bag.empty()
         ordered = self._order_edges(patterns)
+        remaining = list(filters) if filters else []
         schema: List[str] = []
         slots: Dict[str, int] = {}
         rows: List[Row] = [()]
-        for pattern in ordered:
+        last = len(ordered) - 1
+        for index, pattern in enumerate(ordered):
             edge = _Edge(self.store, pattern)
-            rows = self._extend(schema, slots, rows, edge, candidates)
+            rows = self._extend(
+                schema,
+                slots,
+                rows,
+                edge,
+                candidates,
+                filters=remaining or None,
+                stop_at=limit if index == last else None,
+            )
             if not rows:
                 return Bag.empty()
-        return Bag.from_rows(tuple(schema), rows)
+        result = Bag.from_rows(tuple(schema), rows)
+        for compiled in remaining:  # safety net; empty when the caller
+            result = compiled.apply(result)  # covers vars correctly
+        return result
 
     def _order_edges(self, patterns: Sequence[TriplePattern]) -> List[TriplePattern]:
         return greedy_pattern_order(
@@ -120,6 +138,8 @@ class WCOJoinEngine(BGPEngine):
         rows: List[Row],
         edge: _Edge,
         candidates: Optional[Candidates],
+        filters=None,
+        stop_at: Optional[int] = None,
     ) -> List[Row]:
         """Extend every partial tuple through one edge.
 
@@ -128,6 +148,14 @@ class WCOJoinEngine(BGPEngine):
         verification (O(1) membership probe) or a predicate binding.
         The new variables and their slots are decided once per edge,
         not once per partial tuple.
+
+        ``filters`` is a *mutable* list of compiled filters: every
+        filter covered by the schema after this edge's extension is
+        evaluated inline on each extended tuple (dropping it before it
+        is ever materialized) and removed from the list.  ``stop_at``
+        aborts extension once that many (post-filter) tuples exist; it
+        is ignored while uncovered filters remain, since rows could
+        still be dropped later.
         """
         def classify(position: Tuple[str, object]):
             kind, value = position
@@ -164,6 +192,17 @@ class WCOJoinEngine(BGPEngine):
         for name in new_vars:
             slots[name] = len(slots)
 
+        keep = None
+        if filters:
+            covered = set(schema)
+            eligible = [f for f in filters if f.variables <= covered]
+            if eligible:
+                keep = _combine(eligible, schema)
+                for compiled in eligible:
+                    filters.remove(compiled)
+        if stop_at is not None and filters:
+            stop_at = None  # uncovered filters could still drop rows
+
         scan = self.store.indexes.scan
         out: List[Row] = []
         for row in rows:
@@ -192,7 +231,12 @@ class WCOJoinEngine(BGPEngine):
                     extension = (tp, to) if emit_o else (tp,)
                 else:
                     extension = (to,) if emit_o else ()
-                out.append(row + extension)
+                extended = row + extension
+                if keep is not None and not keep(extended):
+                    continue
+                out.append(extended)
+                if stop_at is not None and len(out) >= stop_at:
+                    return out
         return out
 
     # ------------------------------------------------------------------

@@ -56,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="wco",
         help="host BGP engine; default: wco (gStore-style)",
     )
+    query.add_argument(
+        "--no-pushdown",
+        action="store_true",
+        help="disable FILTER pushdown / DISTINCT-before-decode / LIMIT "
+        "short-circuit (reference pipeline, for comparison)",
+    )
     query.add_argument("--explain", action="store_true", help="print the BE-tree plan")
     query.add_argument("--stats", action="store_true", help="print execution statistics")
     query.add_argument("--limit", type=int, default=None, help="print at most N rows")
@@ -88,7 +94,12 @@ def _command_query(args, out) -> int:
     store = TripleStore.from_dataset(dataset)
     load_seconds = time.perf_counter() - load_start
 
-    engine = SparqlUOEngine(store, bgp_engine=args.engine, mode=args.mode)
+    engine = SparqlUOEngine(
+        store,
+        bgp_engine=args.engine,
+        mode=args.mode,
+        pushdown=not args.no_pushdown,
+    )
     text = _read_query(args)
 
     if args.explain:

@@ -1,7 +1,7 @@
 """The paper's core contribution: BE-trees, transformations, cost model,
 candidate pruning, and the engine facade."""
 
-from .betree import BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+from .betree import BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 from .candidates import CandidatePolicy, ThresholdMode
 from .cost import CostModel, f_and, f_optional, f_union
 from .engine import ExecutionMode, QueryResult, SparqlUOEngine
@@ -27,6 +27,7 @@ __all__ = [
     "GroupNode",
     "UnionNode",
     "OptionalNode",
+    "FilterNode",
     "CandidatePolicy",
     "ThresholdMode",
     "CostModel",

@@ -27,13 +27,23 @@ from typing import Iterator, List, Optional as Opt, Sequence, Set, Union as U
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern, coalescable
 from ..sparql.algebra import (
+    FilterExpression,
     GroupGraphPattern,
     OptionalExpression,
     SelectQuery,
     UnionExpression,
 )
+from ..sparql.expressions import Expression, expression_variables, format_expression
 
-__all__ = ["BGPNode", "GroupNode", "UnionNode", "OptionalNode", "BETree", "BENode"]
+__all__ = [
+    "BGPNode",
+    "GroupNode",
+    "UnionNode",
+    "OptionalNode",
+    "FilterNode",
+    "BETree",
+    "BENode",
+]
 
 _ids = itertools.count()
 
@@ -98,6 +108,36 @@ class BGPNode(BENode):
         return f"BGPNode({len(self.patterns)} patterns)"
 
 
+class FilterNode(BENode):
+    """A group-scoped FILTER constraint.
+
+    Filters never bind variables; :meth:`variables` reports the
+    expression's variables for the transformer's safety analysis.
+    Their position among siblings is irrelevant semantically (SPARQL
+    filters scope over the whole group), so BGP coalescing and the
+    merge/inject transformations move freely across them.
+    """
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression: Expression):
+        super().__init__()
+        if not isinstance(expression, Expression):
+            raise TypeError(f"FilterNode requires an expression, got {expression!r}")
+        self.expression = expression
+
+    def variables(self) -> Set[str]:
+        return set(expression_variables(self.expression))
+
+    def clone(self) -> "FilterNode":
+        copy = FilterNode(self.expression)
+        copy.node_id = self.node_id
+        return copy
+
+    def __repr__(self) -> str:
+        return f"FilterNode({format_expression(self.expression)})"
+
+
 class GroupNode(BENode):
     """A group graph pattern node: ordered children of any node type."""
 
@@ -115,6 +155,13 @@ class GroupNode(BENode):
 
     def bgp_children(self) -> List[BGPNode]:
         return [c for c in self.children if isinstance(c, BGPNode)]
+
+    def filter_children(self) -> List["FilterNode"]:
+        return [c for c in self.children if isinstance(c, FilterNode)]
+
+    def operator_children(self) -> List[BENode]:
+        """The non-FILTER children, in evaluation order."""
+        return [c for c in self.children if not isinstance(c, FilterNode)]
 
     def clone(self) -> "GroupNode":
         copy = GroupNode([child.clone() for child in self.children])
@@ -239,6 +286,8 @@ def _build_group(group: GroupGraphPattern) -> GroupNode:
             children.append(UnionNode([_build_group(b) for b in element.branches]))
         elif isinstance(element, OptionalExpression):
             children.append(OptionalNode(_build_group(element.pattern)))
+        elif isinstance(element, FilterExpression):
+            children.append(FilterNode(element.expression))
         else:  # pragma: no cover - AST constructor validates
             raise TypeError(f"invalid group element {element!r}")
     node = GroupNode(children)
@@ -271,6 +320,8 @@ def _certain_of(node: BENode) -> Set[str]:
         return certain
     if isinstance(node, OptionalNode):
         return set()
+    if isinstance(node, FilterNode):
+        return set()  # filters only remove rows, they bind nothing
     raise TypeError(f"not a BE-tree node: {node!r}")
 
 
@@ -342,6 +393,8 @@ def _group_to_syntax(group: GroupNode) -> GroupGraphPattern:
             )
         elif isinstance(child, OptionalNode):
             elements.append(OptionalExpression(_group_to_syntax(child.group)))
+        elif isinstance(child, FilterNode):
+            elements.append(FilterExpression(child.expression))
         else:  # pragma: no cover
             raise TypeError(f"not a BE-tree node: {child!r}")
     return GroupGraphPattern(elements)
@@ -377,3 +430,5 @@ def _pretty(node: BENode, depth: int, lines: List[str]) -> None:
     elif isinstance(node, OptionalNode):
         lines.append(f"{pad}OPTIONAL")
         _pretty(node.group, depth + 1, lines)
+    elif isinstance(node, FilterNode):
+        lines.append(f"{pad}FILTER {format_expression(node.expression)}")

@@ -28,7 +28,7 @@ import math
 from typing import Dict, List, Optional as Opt, Sequence, Tuple
 
 from ..bgp.interface import BGPEngine, PlanEstimate
-from .betree import BENode, BGPNode, GroupNode, OptionalNode, UnionNode
+from .betree import BENode, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 
 __all__ = ["CostModel", "f_and", "f_union", "f_optional"]
 
@@ -86,6 +86,10 @@ class CostModel:
             return f_union([self.result_size(b) for b in node.branches])
         if isinstance(node, OptionalNode):
             return self.result_size(node.group)
+        if isinstance(node, FilterNode):
+            # Filters only shrink results; without per-expression
+            # selectivity statistics, stay neutral in the products.
+            return 1.0
         raise TypeError(f"not a BE-tree node: {node!r}")
 
     def bgp_cost(self, node: BGPNode) -> float:

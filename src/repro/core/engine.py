@@ -35,6 +35,7 @@ from ..rdf.dataset import Dataset
 from ..sparql.algebra import SelectQuery, pattern_variables
 from ..sparql.bags import Bag, Mapping
 from ..sparql.parser import parse_query
+from ..sparql.semantics import distinct_bag, order_bag, slice_bag
 from ..storage.store import TripleStore
 from .betree import BETree
 from .candidates import CandidatePolicy, ThresholdMode
@@ -124,6 +125,7 @@ class SparqlUOEngine:
         bgp_engine: U[str, BGPEngine] = "wco",
         mode: U[str, ExecutionMode] = ExecutionMode.FULL,
         fixed_fraction: float = 0.01,
+        pushdown: bool = True,
     ):
         self.store = store
         if isinstance(bgp_engine, str):
@@ -138,7 +140,12 @@ class SparqlUOEngine:
         self.mode = ExecutionMode(mode) if not isinstance(mode, ExecutionMode) else mode
         self.cost_model = CostModel(self.bgp_engine)
         self.policy = self._make_policy(fixed_fraction)
-        self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy)
+        #: ``pushdown=False`` turns off filter-into-pipeline evaluation,
+        #: DISTINCT-before-decode and LIMIT short-circuiting — the
+        #: reference configuration for equivalence testing and the
+        #: post-filter side of the pushdown benchmark.
+        self.pushdown = pushdown
+        self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy, pushdown=pushdown)
         #: parsed-query → BE-tree plan cache, keyed on query text and
         #: invalidated by the store's write generation.  Complements the
         #: BGP engines' estimate caches: repeated executions of the same
@@ -155,9 +162,12 @@ class SparqlUOEngine:
         bgp_engine: U[str, BGPEngine] = "wco",
         mode: U[str, ExecutionMode] = ExecutionMode.FULL,
         fixed_fraction: float = 0.01,
+        pushdown: bool = True,
     ) -> "SparqlUOEngine":
         """Build a store from a plain dataset and wrap an engine around it."""
-        return cls(TripleStore.from_dataset(dataset), bgp_engine, mode, fixed_fraction)
+        return cls(
+            TripleStore.from_dataset(dataset), bgp_engine, mode, fixed_fraction, pushdown
+        )
 
     def _make_policy(self, fixed_fraction: float) -> CandidatePolicy:
         if self.mode is ExecutionMode.CP:
@@ -209,16 +219,54 @@ class SparqlUOEngine:
         return query, tree, report, parse_seconds, transform_seconds
 
     def execute(self, query: U[str, SelectQuery]) -> QueryResult:
-        """Run the full pipeline on a query text or parsed query."""
+        """Run the full pipeline on a query text or parsed query.
+
+        Solution modifiers follow SPARQL 1.1's pipeline (ORDER BY →
+        projection → DISTINCT/REDUCED → OFFSET → LIMIT) with three
+        pushdown optimizations when enabled:
+
+        - a LIMIT without ORDER BY / DISTINCT short-circuits pipelined
+          solution production inside the BGP engines (``limit_hint``);
+        - without ORDER BY, DISTINCT runs on *encoded* columnar rows —
+          the dictionary is bijective, so id-row equality is term-row
+          equality — and only the surviving page is decoded;
+        - FILTERs are pushed into scans / joins by the evaluator.
+        """
         parsed, tree, report, parse_seconds, transform_seconds = self.prepare(query)
 
         execute_start = time.perf_counter()
         trace = EvaluationTrace()
-        solutions = self.evaluator.evaluate(tree, trace)
+        limit_hint = None
+        if (
+            self.pushdown
+            and parsed.limit is not None
+            and not parsed.order_by
+            and not parsed.deduplicates
+        ):
+            limit_hint = parsed.offset + parsed.limit
+        solutions = self.evaluator.evaluate(tree, trace, limit_hint=limit_hint)
         names = parsed.projection_names()
         if names is None:
             names = sorted(pattern_variables(parsed.where))
-        projected = self.bgp_engine.decode_bag(solutions).project(names)
+        if parsed.order_by:
+            # Ordering precedes projection (keys may use non-projected
+            # variables), so the full bag is decoded first.
+            decoded = order_bag(self.bgp_engine.decode_bag(solutions), parsed.order_by)
+            projected = decoded.project(names)
+            if parsed.deduplicates:
+                projected = distinct_bag(projected)
+            projected = slice_bag(projected, parsed.offset, parsed.limit)
+        elif self.pushdown:
+            page = solutions.project(names)
+            if parsed.deduplicates:
+                page = distinct_bag(page)  # on encoded rows, pre-decode
+            page = slice_bag(page, parsed.offset, parsed.limit)
+            projected = self.bgp_engine.decode_bag(page)
+        else:
+            projected = self.bgp_engine.decode_bag(solutions).project(names)
+            if parsed.deduplicates:
+                projected = distinct_bag(projected)
+            projected = slice_bag(projected, parsed.offset, parsed.limit)
         execute_seconds = time.perf_counter() - execute_start
 
         return QueryResult(

@@ -1,4 +1,5 @@
-"""BGP-based query evaluation — Algorithm 1, with §6's candidate pruning.
+"""BGP-based query evaluation — Algorithm 1, with §6's candidate pruning
+and FILTER pushdown.
 
 The evaluator walks a BE-tree's root group left to right, accumulating a
 bag ``r`` of id-level solutions:
@@ -7,6 +8,9 @@ bag ``r`` of id-level solutions:
 - group child        → ``r ← r ⋈ BGPBasedEvaluation(D, child, r)``
 - UNION child        → ``r ← r ⋈ (∪bag over branches, each given r)``
 - OPTIONAL child     → ``r ← r ⟕ BGPBasedEvaluation(D, child, r)``
+- FILTER children    → group-scoped constraints, applied as early as is
+  semantics-preserving (see below), at the latest when the group's last
+  operator child has been evaluated.
 
 Candidate pruning follows the paper's modification of Algorithm 1: the
 *current* results flow into nested structures as candidates, while BGP
@@ -16,6 +20,22 @@ evaluated yet at this level) the incoming candidates are forwarded, so
 pruning crosses levels — the behaviour §6 highlights for nested
 OPTIONALs.
 
+FILTER pushdown (with ``pushdown=True``, the default):
+
+- a filter whose variables are all covered by a sibling BGP node is
+  evaluated *inside* that BGP's scan/join pipeline (every solution of
+  the whole group takes those variables' values from the BGP's rows via
+  join compatibility, so filtering the BGP is filtering the group);
+- a filter whose variables are *certainly bound* in the accumulated
+  ``r`` (bound in every row) is applied immediately — later joins and
+  left joins cannot change a certainly-bound value, so early and
+  group-end application coincide;
+- remaining filters run at group end with full SPARQL error semantics
+  (unbound variable ⇒ error ⇒ row dropped, unless BOUND / || rescue).
+
+Early filtering also shrinks the candidate bags flowing into nested
+structures, compounding with §6's pruning.
+
 The evaluator also records every BGP node's actual result size into an
 :class:`EvaluationTrace`, from which the join-space metric JS (§7.1,
 Figure 11) is computed.
@@ -23,11 +43,12 @@ Figure 11) is computed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional as Opt
+from typing import Dict, List, Optional as Opt, Sequence
 
+from ..bgp.filters import CompiledFilter
 from ..bgp.interface import BGPEngine
 from ..sparql.bags import Bag, join, left_join, union
-from .betree import BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+from .betree import BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 from .candidates import CandidatePolicy
 
 __all__ = ["EvaluationTrace", "BGPBasedEvaluator"]
@@ -43,6 +64,10 @@ class EvaluationTrace:
         self.pruned_evaluations: int = 0
         #: Number of BGP evaluations total.
         self.bgp_evaluations: int = 0
+        #: Number of filters evaluated inside BGP pipelines (pushdown).
+        self.pushed_filters: int = 0
+        #: Number of filters applied at (or before) group end on bags.
+        self.bag_filters: int = 0
 
     def record(self, node_id: int, size: int, pruned: bool) -> None:
         self.bgp_result_sizes[node_id] = size
@@ -53,30 +78,63 @@ class EvaluationTrace:
     def __repr__(self) -> str:
         return (
             f"EvaluationTrace({self.bgp_evaluations} BGP evals, "
-            f"{self.pruned_evaluations} pruned)"
+            f"{self.pruned_evaluations} pruned, "
+            f"{self.pushed_filters} filters pushed)"
         )
 
 
 class BGPBasedEvaluator:
-    """Algorithm 1 over a BE-tree, parameterized by engine and policy."""
+    """Algorithm 1 over a BE-tree, parameterized by engine and policy.
 
-    def __init__(self, engine: BGPEngine, policy: Opt[CandidatePolicy] = None):
+    ``pushdown=False`` disables filter-into-pipeline evaluation and
+    early application (filters then run only at group end) as well as
+    LIMIT short-circuiting — the reference configuration the property
+    tests and the pushdown benchmark compare against.
+    """
+
+    def __init__(
+        self,
+        engine: BGPEngine,
+        policy: Opt[CandidatePolicy] = None,
+        pushdown: bool = True,
+    ):
         self.engine = engine
         self.policy = policy or CandidatePolicy()
+        self.pushdown = pushdown
 
-    def evaluate(self, tree: BETree, trace: Opt[EvaluationTrace] = None) -> Bag:
-        """Evaluate the whole tree; returns an id-level solution bag."""
-        return self.evaluate_group(tree.root, None, trace)
+    def evaluate(
+        self,
+        tree: BETree,
+        trace: Opt[EvaluationTrace] = None,
+        limit_hint: Opt[int] = None,
+    ) -> Bag:
+        """Evaluate the whole tree; returns an id-level solution bag.
+
+        ``limit_hint`` (offset+limit of a modifier-free LIMIT query)
+        allows the root group to stop producing solutions early; it is
+        only forwarded where truncating is sound.
+        """
+        if not self.pushdown:
+            limit_hint = None
+        return self.evaluate_group(tree.root, None, trace, limit_hint=limit_hint)
 
     def evaluate_group(
         self,
         group: GroupNode,
         cand: Opt[Bag],
         trace: Opt[EvaluationTrace] = None,
+        limit_hint: Opt[int] = None,
     ) -> Bag:
         """BGPBasedEvaluation(D, T(group), cand) — Algorithm 1."""
+        store = self.engine.store
+        pending: List[CompiledFilter] = [
+            CompiledFilter(child.expression, store)
+            for child in group.children
+            if isinstance(child, FilterNode)
+        ]
+        operators = [c for c in group.children if not isinstance(c, FilterNode)]
         r: Opt[Bag] = None  # None ⇔ the join identity (nothing yet)
-        for child in group.children:
+        for position, child in enumerate(operators):
             # Nested structures receive the *current* results as
             # candidates (the paper's Lines 7/9/15/19); BGP children
             # receive the candidates passed in from the enclosing
@@ -85,7 +143,27 @@ class BGPBasedEvaluator:
             # levels (§6's nested-OPTIONAL discussion).
             child_cand = r if r is not None else cand
             if isinstance(child, BGPNode):
-                evaluated = self._evaluate_bgp(child, cand, trace)
+                pushed: Sequence[CompiledFilter] = ()
+                bgp_limit: Opt[int] = None
+                if self.pushdown and pending and not child.is_empty():
+                    bgp_vars = child.variables()
+                    pushed = [f for f in pending if f.variables <= bgp_vars]
+                if (
+                    limit_hint is not None
+                    and self.pushdown
+                    and r is None
+                    and position == len(operators) - 1
+                    and len(pushed) == len(pending)
+                ):
+                    # The BGP alone produces this group's solutions and
+                    # every group filter runs inside it, so its output
+                    # rows are final — production can stop at the hint.
+                    bgp_limit = limit_hint
+                evaluated = self._evaluate_bgp(child, cand, trace, pushed, bgp_limit)
+                if pushed:
+                    pending = [f for f in pending if f not in pushed]
+                    if trace is not None:
+                        trace.pushed_filters += len(pushed)
                 r = evaluated if r is None else join(r, evaluated)
             elif isinstance(child, GroupNode):
                 evaluated = self.evaluate_group(child, child_cand, trace)
@@ -101,7 +179,36 @@ class BGPBasedEvaluator:
                 r = left_join(left, o)
             else:  # pragma: no cover - tree constructor validates
                 raise TypeError(f"not a BE-tree node: {child!r}")
-        return r if r is not None else Bag.identity()
+            if pending and r is not None and self.pushdown:
+                pending, r = self._apply_certain(pending, r, trace)
+        if r is None:
+            r = Bag.identity()
+        for compiled in pending:
+            r = compiled.apply(r)
+            if trace is not None:
+                trace.bag_filters += 1
+        return r
+
+    def _apply_certain(
+        self,
+        pending: List[CompiledFilter],
+        r: Bag,
+        trace: Opt[EvaluationTrace],
+    ):
+        """Apply every pending filter whose variables are certainly bound
+        in ``r`` — sound early, and it shrinks candidate bags."""
+        if not len(r):
+            return pending, r  # empty stays empty; filters are no-ops
+        certain = r.certain_variables()
+        still: List[CompiledFilter] = []
+        for compiled in pending:
+            if compiled.variables <= certain:
+                r = compiled.apply(r)
+                if trace is not None:
+                    trace.bag_filters += 1
+            else:
+                still.append(compiled)
+        return still, r
 
     # ------------------------------------------------------------------
     # BGP leaf evaluation with candidate pruning
@@ -111,11 +218,20 @@ class BGPBasedEvaluator:
         node: BGPNode,
         cand: Opt[Bag],
         trace: Opt[EvaluationTrace],
+        filters: Sequence[CompiledFilter] = (),
+        limit: Opt[int] = None,
     ) -> Bag:
         if node.is_empty():
             return Bag.identity()
         candidates = self.policy.candidates_for(self.engine, node.patterns, cand)
-        result = self.engine.evaluate(node.patterns, candidates)
+        if filters or limit is not None:
+            result = self.engine.evaluate(
+                node.patterns, candidates, filters=filters or None, limit=limit
+            )
+        else:
+            # Keyword-free call keeps minimal BGPEngine implementations
+            # (adapters, test doubles) working for filter-free queries.
+            result = self.engine.evaluate(node.patterns, candidates)
         if trace is not None:
             trace.record(node.node_id, len(result), candidates is not None)
         return result

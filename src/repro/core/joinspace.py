@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .betree import BENode, BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+from .betree import BENode, BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 from .evaluator import EvaluationTrace
 
 __all__ = ["join_space"]
@@ -43,4 +43,6 @@ def _js(node: BENode, trace: EvaluationTrace) -> float:
         return float(sum(_js(branch, trace) for branch in node.branches))
     if isinstance(node, OptionalNode):
         return _js(node.group, trace)
+    if isinstance(node, FilterNode):
+        return 1.0  # filters materialize nothing of their own
     raise TypeError(f"not a BE-tree node: {node!r}")

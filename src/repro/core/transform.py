@@ -26,6 +26,7 @@ from .betree import (
     BENode,
     BETree,
     BGPNode,
+    FilterNode,
     GroupNode,
     OptionalNode,
     UnionNode,
@@ -124,8 +125,31 @@ def _prefix_safe(group: GroupNode, moved_vars: Set[str]) -> bool:
     return True
 
 
+def _filter_safe(group: GroupNode, moved_vars: Set[str]) -> bool:
+    """Is prefixing a BGP binding ``moved_vars`` to ``group`` transparent
+    to the group's own FILTER constraints?
+
+    A direct FILTER child of the group evaluates over the group's
+    result rows.  Prefixing P1 additionally binds P1's variables in
+    those rows, so a filter mentioning a P1 variable changes outcome
+    unless that variable is already *certainly* bound by the group
+    itself (then the merged value coincides).  Filters inside nested
+    subgroups / OPTIONAL bodies are scoped to their own group, which
+    the prefix never enters.
+    """
+    for child in group.children:
+        if not isinstance(child, FilterNode):
+            continue
+        shared = moved_vars & child.variables()
+        if shared and not shared <= certain_variables(
+            group.children, len(group.children)
+        ):
+            return False
+    return True
+
+
 def can_merge(parent: GroupNode, p1: BENode, union_node: BENode) -> bool:
-    """Definition 9's conditions plus relocation and prefix safety."""
+    """Definition 9's conditions plus relocation, prefix and filter safety."""
     if not isinstance(p1, BGPNode) or p1.is_empty():
         return False
     if not isinstance(union_node, UnionNode):
@@ -146,6 +170,8 @@ def can_merge(parent: GroupNode, p1: BENode, union_node: BENode) -> bool:
     moved_vars = p1.variables()
     if not all(_prefix_safe(branch, moved_vars) for branch in union_node.branches):
         return False
+    if not all(_filter_safe(branch, moved_vars) for branch in union_node.branches):
+        return False
     return _relocation_safe(parent, p1, union_node)
 
 
@@ -159,6 +185,8 @@ def can_inject(parent: GroupNode, p1: BENode, optional_node: BENode) -> bool:
     if p1 not in children or optional_node not in children:
         return False
     if children.index(optional_node) < children.index(p1):
+        return False
+    if not _filter_safe(optional_node.group, p1.variables()):
         return False
     return any(
         bgp.coalescable_with(p1) for bgp in optional_node.group.bgp_children()
@@ -289,6 +317,7 @@ def _only_bgp_on_left(parent: GroupNode, p1: BGPNode, target: BENode) -> bool:
         c
         for c in parent.children[:target_index]
         if not (isinstance(c, BGPNode) and c.is_empty())
+        and not isinstance(c, FilterNode)  # filters are not positional
     ]
     return left == [p1]
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import List
 
 from ..rdf.triple import TriplePattern
-from .betree import BENode, BETree, BGPNode, GroupNode, OptionalNode, UnionNode
+from ..sparql.expressions import Expression
+from .betree import BENode, BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 
 __all__ = ["InvalidBETreeError", "validate_tree", "validate_node"]
 
@@ -46,7 +47,9 @@ def validate_node(node: BENode, path: str) -> None:
     elif isinstance(node, GroupNode):
         for index, child in enumerate(node.children):
             child_path = f"{path}.children[{index}]"
-            if not isinstance(child, (BGPNode, GroupNode, UnionNode, OptionalNode)):
+            if not isinstance(
+                child, (BGPNode, GroupNode, UnionNode, OptionalNode, FilterNode)
+            ):
                 raise InvalidBETreeError(
                     f"invalid child type {type(child).__name__}", child_path
                 )
@@ -63,6 +66,9 @@ def validate_node(node: BENode, path: str) -> None:
         if not isinstance(node.group, GroupNode):
             raise InvalidBETreeError("OPTIONAL child must be a group node", path)
         validate_node(node.group, f"{path}.group")
+    elif isinstance(node, FilterNode):
+        if not isinstance(node.expression, Expression):
+            raise InvalidBETreeError("FILTER node must hold an expression", path)
     else:
         raise InvalidBETreeError(f"unknown node type {type(node).__name__}", path)
 

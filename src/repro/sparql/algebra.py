@@ -20,18 +20,22 @@ from typing import Dict, FrozenSet, Iterable, List, Optional as Opt, Sequence, U
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
+from .expressions import Expression, format_expression
 
 __all__ = [
     "GroupGraphPattern",
     "UnionExpression",
     "OptionalExpression",
+    "FilterExpression",
     "GroupElement",
+    "OrderCondition",
     "SelectQuery",
     "BinaryNode",
     "EmptyPattern",
     "And",
     "UnionOp",
     "OptionalOp",
+    "FilterOp",
     "to_binary",
     "pattern_variables",
     "format_group",
@@ -82,7 +86,64 @@ class OptionalExpression:
         return f"OptionalExpression({self.pattern!r})"
 
 
-GroupElement = U[TriplePattern, "GroupGraphPattern", UnionExpression, OptionalExpression]
+class FilterExpression:
+    """``FILTER (expr)`` — a constraint scoped to its enclosing group.
+
+    Per SPARQL semantics a filter applies to the *whole* group result,
+    regardless of where it appears among the group's elements; the
+    element position is kept only so queries round-trip textually.
+    """
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression: Expression):
+        if not isinstance(expression, Expression):
+            raise TypeError(f"FILTER requires an expression, got {expression!r}")
+        self.expression = expression
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FilterExpression) and other.expression == self.expression
+
+    def __hash__(self) -> int:
+        return hash(("filter", self.expression))
+
+    def __repr__(self) -> str:
+        return f"FilterExpression({self.expression!r})"
+
+
+class OrderCondition:
+    """One ORDER BY key: an expression plus a direction."""
+
+    __slots__ = ("expression", "ascending")
+
+    def __init__(self, expression: Expression, ascending: bool = True):
+        if not isinstance(expression, Expression):
+            raise TypeError(f"ORDER BY requires an expression, got {expression!r}")
+        self.expression = expression
+        self.ascending = bool(ascending)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, OrderCondition)
+            and other.expression == self.expression
+            and other.ascending == self.ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash(("order", self.expression, self.ascending))
+
+    def __repr__(self) -> str:
+        direction = "ASC" if self.ascending else "DESC"
+        return f"OrderCondition({direction}, {self.expression!r})"
+
+
+GroupElement = U[
+    TriplePattern,
+    "GroupGraphPattern",
+    UnionExpression,
+    OptionalExpression,
+    FilterExpression,
+]
 
 
 class GroupGraphPattern:
@@ -95,10 +156,20 @@ class GroupGraphPattern:
         for element in elements:
             if not isinstance(
                 element,
-                (TriplePattern, GroupGraphPattern, UnionExpression, OptionalExpression),
+                (
+                    TriplePattern,
+                    GroupGraphPattern,
+                    UnionExpression,
+                    OptionalExpression,
+                    FilterExpression,
+                ),
             ):
                 raise TypeError(f"invalid group element {element!r}")
         self.elements = elements
+
+    def filters(self) -> List[FilterExpression]:
+        """The group's FILTER elements (scope: this whole group)."""
+        return [e for e in self.elements if isinstance(e, FilterExpression)]
 
     def __eq__(self, other) -> bool:
         return isinstance(other, GroupGraphPattern) and other.elements == self.elements
@@ -111,20 +182,40 @@ class GroupGraphPattern:
 
 
 class SelectQuery:
-    """A parsed SELECT query: projection + WHERE group + prefixes.
+    """A parsed SELECT query: projection + WHERE group + modifiers.
 
     ``variables`` is None for ``SELECT *`` (and for the appendix's bare
     ``SELECT WHERE``, which we treat identically): project every
     in-scope variable.
+
+    The solution modifiers follow SPARQL 1.1's pipeline: ORDER BY over
+    the full WHERE solutions, then projection, then DISTINCT (REDUCED is
+    treated as DISTINCT — both are permitted to eliminate duplicates,
+    and doing so keeps execution deterministic), then OFFSET, then
+    LIMIT.
     """
 
-    __slots__ = ("variables", "where", "prefixes")
+    __slots__ = (
+        "variables",
+        "where",
+        "prefixes",
+        "distinct",
+        "reduced",
+        "order_by",
+        "limit",
+        "offset",
+    )
 
     def __init__(
         self,
         variables: Opt[Sequence[Variable]],
         where: GroupGraphPattern,
         prefixes: Opt[Dict[str, str]] = None,
+        distinct: bool = False,
+        reduced: bool = False,
+        order_by: Sequence[OrderCondition] = (),
+        limit: Opt[int] = None,
+        offset: int = 0,
     ):
         if variables is not None:
             variables = tuple(variables)
@@ -133,9 +224,32 @@ class SelectQuery:
                     raise TypeError(f"projection must be variables, got {var!r}")
         if not isinstance(where, GroupGraphPattern):
             raise TypeError("WHERE clause must be a GroupGraphPattern")
+        order_by = tuple(order_by)
+        for condition in order_by:
+            if not isinstance(condition, OrderCondition):
+                raise TypeError(f"ORDER BY takes OrderConditions, got {condition!r}")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ValueError(f"LIMIT must be a non-negative integer, got {limit!r}")
+        if not isinstance(offset, int) or offset < 0:
+            raise ValueError(f"OFFSET must be a non-negative integer, got {offset!r}")
         self.variables = variables
         self.where = where
         self.prefixes = dict(prefixes or {})
+        self.distinct = bool(distinct)
+        self.reduced = bool(reduced)
+        self.order_by = order_by
+        self.limit = limit
+        self.offset = offset
+
+    @property
+    def deduplicates(self) -> bool:
+        """True when duplicate solutions are eliminated (DISTINCT/REDUCED)."""
+        return self.distinct or self.reduced
+
+    def has_modifiers(self) -> bool:
+        return bool(
+            self.deduplicates or self.order_by or self.limit is not None or self.offset
+        )
 
     def projection_names(self) -> Opt[List[str]]:
         """Projected variable names, or None for select-all."""
@@ -148,11 +262,28 @@ class SelectQuery:
             isinstance(other, SelectQuery)
             and other.variables == self.variables
             and other.where == self.where
+            and other.distinct == self.distinct
+            and other.reduced == self.reduced
+            and other.order_by == self.order_by
+            and other.limit == self.limit
+            and other.offset == self.offset
         )
 
     def __repr__(self) -> str:
         proj = "*" if self.variables is None else " ".join(v.n3() for v in self.variables)
-        return f"SelectQuery(SELECT {proj}, {self.where!r})"
+        extras = []
+        if self.distinct:
+            extras.append("DISTINCT")
+        if self.reduced:
+            extras.append("REDUCED")
+        if self.order_by:
+            extras.append(f"ORDER BY ×{len(self.order_by)}")
+        if self.limit is not None:
+            extras.append(f"LIMIT {self.limit}")
+        if self.offset:
+            extras.append(f"OFFSET {self.offset}")
+        suffix = (", " + " ".join(extras)) if extras else ""
+        return f"SelectQuery(SELECT {proj}, {self.where!r}{suffix})"
 
 
 # ----------------------------------------------------------------------
@@ -215,16 +346,42 @@ class OptionalOp(_BinaryOp):
     _tag = "optional"
 
 
+class FilterOp(BinaryNode):
+    """σ_expr(P) — FILTER applied to a pattern's solutions."""
+
+    __slots__ = ("child", "expression")
+
+    def __init__(self, child: BinaryNode, expression: Expression):
+        self.child = child
+        self.expression = expression
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FilterOp)
+            and other.child == self.child
+            and other.expression == self.expression
+        )
+
+    def __hash__(self) -> int:
+        return hash(("filterop", self.child, self.expression))
+
+    def __repr__(self) -> str:
+        return f"FilterOp({self.child!r}, {self.expression!r})"
+
+
 def to_binary(group: GroupGraphPattern) -> BinaryNode:
     """Convert a syntax-form group to the binary operator tree.
 
     Elements fold left to right under AND; an OPTIONAL element attaches
     the accumulated pattern as its left operand (left-associativity);
-    n-ary UNION folds left.  The empty group becomes
-    :class:`EmptyPattern`.
+    n-ary UNION folds left.  FILTER elements are group-scoped: they wrap
+    the completed group in :class:`FilterOp` nodes, in source order.
+    The empty group becomes :class:`EmptyPattern`.
     """
     accumulated: BinaryNode = None
     for element in group.elements:
+        if isinstance(element, FilterExpression):
+            continue  # applied to the whole group below
         if isinstance(element, TriplePattern):
             operand: BinaryNode = element
         elif isinstance(element, GroupGraphPattern):
@@ -241,12 +398,19 @@ def to_binary(group: GroupGraphPattern) -> BinaryNode:
             raise TypeError(f"invalid group element {element!r}")
         accumulated = operand if accumulated is None else And(accumulated, operand)
     if accumulated is None:
-        return EmptyPattern()
+        accumulated = EmptyPattern()
+    for filter_element in group.filters():
+        accumulated = FilterOp(accumulated, filter_element.expression)
     return accumulated
 
 
 def pattern_variables(node) -> FrozenSet[str]:
-    """All variable names occurring anywhere in a pattern (either form)."""
+    """All variable names a pattern can *bind* (either form).
+
+    FILTER expressions never bind variables, so their variables do not
+    contribute — a variable mentioned only inside a FILTER is not in
+    scope for select-all projection.
+    """
     if isinstance(node, TriplePattern):
         return frozenset(v.name for v in node.variables())
     if isinstance(node, GroupGraphPattern):
@@ -261,8 +425,12 @@ def pattern_variables(node) -> FrozenSet[str]:
         return out
     if isinstance(node, OptionalExpression):
         return pattern_variables(node.pattern)
+    if isinstance(node, FilterExpression):
+        return frozenset()
     if isinstance(node, EmptyPattern):
         return frozenset()
+    if isinstance(node, FilterOp):
+        return pattern_variables(node.child)
     if isinstance(node, _BinaryOp):
         return pattern_variables(node.left) | pattern_variables(node.right)
     raise TypeError(f"not a graph pattern: {node!r}")
@@ -288,5 +456,11 @@ def format_group(group: GroupGraphPattern, indent: int = 0) -> str:
         elif isinstance(element, OptionalExpression):
             body = format_group(element.pattern, indent + 1)
             lines.append(inner_pad + "OPTIONAL\n" + body)
+        elif isinstance(element, FilterExpression):
+            rendered = format_expression(element.expression)
+            if not rendered.startswith("("):
+                # FILTER requires a bracketted expression or builtin call.
+                rendered = f"({rendered})"
+            lines.append(inner_pad + "FILTER " + rendered)
     lines.append(pad + "}")
     return "\n".join(lines)

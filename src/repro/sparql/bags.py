@@ -50,6 +50,7 @@ __all__ = [
     "merge_mappings",
     "join",
     "join_streamed",
+    "join_output_schema",
     "union",
     "minus",
     "left_join",
@@ -303,10 +304,24 @@ def _merge_rows(
     return tuple(merged) + tail
 
 
+def join_output_schema(
+    build_schema: Sequence[str], probe_schema: Sequence[str]
+) -> Tuple[str, ...]:
+    """The output schema of joining build with probe: build columns
+    first, then the probe-only columns in probe order.
+
+    The single source of truth for join column layout — callers that
+    precompute per-row predicates over join output (FILTER pushdown)
+    use this rather than re-deriving the order.
+    """
+    build = set(build_schema)
+    return tuple(build_schema) + tuple(v for v in probe_schema if v not in build)
+
+
 def _join_layout(bag1: Bag, schema2: Tuple[str, ...]):
     """Precompute the slot arithmetic of joining ``bag1`` with ``schema2``."""
     slots1 = bag1._slots
-    out_schema = bag1._schema + tuple(v for v in schema2 if v not in slots1)
+    out_schema = join_output_schema(bag1._schema, schema2)
     right_only = [j for j, v in enumerate(schema2) if v not in slots1]
     shared_pairs = [(slots1[v], j) for j, v in enumerate(schema2) if v in slots1]
     return out_schema, right_only, shared_pairs
@@ -333,6 +348,10 @@ def _tail_getter(right_only: List[int]):
 # ----------------------------------------------------------------------
 # the operators
 # ----------------------------------------------------------------------
+class _StopJoin(Exception):
+    """Internal signal: a stop_at row budget has been reached."""
+
+
 def join(bag1: Bag, bag2: Bag) -> Bag:
     """Ω1 ⋈ Ω2 with a hash join on the shared schema columns.
 
@@ -346,21 +365,72 @@ def join(bag1: Bag, bag2: Bag) -> Bag:
     return _hash_join(bag1, bag2._schema, bag2._rows)
 
 
-def join_streamed(bag1: Bag, schema2: Sequence[str], rows2: Iterable[Row]) -> Bag:
+def join_streamed(
+    bag1: Bag,
+    schema2: Sequence[str],
+    rows2: Iterable[Row],
+    keep=None,
+    stop_at: Optional[int] = None,
+) -> Bag:
     """Ω1 ⋈ Ω2 where Ω2 arrives as a row stream (pipelined scans).
 
     Builds the hash table on the materialized side and probes with the
     stream, so the streamed relation is never materialized as a bag.
+
+    ``keep`` (a predicate over output rows) drops rows before they are
+    emitted, and ``stop_at`` aborts the probe once that many rows have
+    been produced — the hooks FILTER pushdown and LIMIT short-circuit
+    use to terminate pipelined production early.
     """
-    return _hash_join(bag1, tuple(schema2), rows2)
+    return _hash_join(bag1, tuple(schema2), rows2, keep=keep, stop_at=stop_at)
 
 
-def _hash_join(build: Bag, probe_schema: Tuple[str, ...], probe_rows: Iterable[Row]) -> Bag:
+def _hash_join(
+    build: Bag,
+    probe_schema: Tuple[str, ...],
+    probe_rows: Iterable[Row],
+    keep=None,
+    stop_at: Optional[int] = None,
+) -> Bag:
     out_schema, right_only, shared_pairs = _join_layout(build, probe_schema)
     build_rows = build._rows
     out: List[Row] = []
     append = out.append
     tail_of = _tail_getter(right_only)
+
+    if keep is not None or stop_at is not None:
+        # Guarded emission replaces the plain append on the (rare)
+        # filtered / limited path; the hot unfiltered loops below run
+        # with the raw list append as before.
+        if stop_at is not None and stop_at <= 0:
+            return Bag.from_rows(out_schema, out)
+        raw_append = append
+
+        def append(row, _raw=raw_append):
+            if keep is None or keep(row):
+                _raw(row)
+                if stop_at is not None and len(out) >= stop_at:
+                    raise _StopJoin
+        try:
+            return _hash_join_loops(
+                build_rows, probe_rows, out_schema, out, append, tail_of, shared_pairs
+            )
+        except _StopJoin:
+            return Bag.from_rows(out_schema, out)
+    return _hash_join_loops(
+        build_rows, probe_rows, out_schema, out, append, tail_of, shared_pairs
+    )
+
+
+def _hash_join_loops(
+    build_rows: List[Row],
+    probe_rows: Iterable[Row],
+    out_schema: Tuple[str, ...],
+    out: List[Row],
+    append,
+    tail_of,
+    shared_pairs: List[Tuple[int, int]],
+) -> Bag:
 
     if not shared_pairs:  # cartesian product
         for row2 in probe_rows:

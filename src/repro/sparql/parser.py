@@ -1,24 +1,38 @@
-"""Recursive-descent parser for the paper's SPARQL fragment.
+"""Recursive-descent parser for the supported SPARQL fragment.
 
-Grammar (SELECT-only, per the paper's scope):
+Grammar (SELECT-only; the paper's bag fragment extended with FILTER and
+solution modifiers):
 
 .. code-block:: text
 
-    Query          := Prologue SELECT Projection? WHERE? Group
+    Query          := Prologue SELECT ('DISTINCT'|'REDUCED')? Projection?
+                      WHERE? Group Modifiers
     Prologue       := (PREFIX pname: <iri>)*
     Projection     := '*' | Var+                 (absent ⇒ select-all)
     Group          := '{' Element* '}'
     Element        := Triple '.'?                (triple pattern)
                     | Group UnionTail?           (group / UNION chain)
                     | OPTIONAL Group             (OPTIONAL expression)
+                    | FILTER Constraint          (group-scoped filter)
     UnionTail      := (UNION Group)+
+    Modifiers      := ('ORDER' 'BY' OrderCond+)? ( LIMIT n | OFFSET n )*
+    OrderCond      := Var | '(' Expr ')' | ('ASC'|'DESC') '(' Expr ')'
+    Constraint     := '(' Expr ')' | BuiltIn
+    BuiltIn        := 'BOUND' '(' Var ')'
+                    | 'REGEX' '(' Expr ',' Expr (',' Expr)? ')'
+    Expr           := Or; Or := And ('||' And)*; And := Rel ('&&' Rel)*
+    Rel            := Add (('='|'!='|'<'|'>'|'<='|'>=') Add)?
+    Add            := Mul (('+'|'-') Mul)*; Mul := Unary (('*'|'/') Unary)*
+    Unary          := ('!'|'-'|'+') Unary | Primary
+    Primary        := '(' Expr ')' | BuiltIn | Var | literal | iri | bool
     Triple         := Term Verb Term
     Verb           := iri | pname | 'a' | Var
-    Term           := iri | pname | Var | literal | blank
+    Term           := iri | pname | Var | literal | blank | bool
 
-Anything outside the fragment (FILTER, ASK, property paths, DISTINCT…)
-raises :class:`~repro.sparql.errors.UnsupportedFeatureError` with a
-pointer at the offending token.
+Anything outside the fragment (ASK, CONSTRUCT, property paths,
+GROUP BY, …) raises
+:class:`~repro.sparql.errors.UnsupportedFeatureError` with a pointer at
+the offending token.
 """
 
 from __future__ import annotations
@@ -28,17 +42,38 @@ from typing import Dict, List, Optional as Opt
 from ..rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
 from ..rdf.terms import BlankNode, IRI, Literal, Variable
 from ..rdf.triple import TriplePattern
-from .algebra import GroupGraphPattern, OptionalExpression, SelectQuery, UnionExpression
+from .algebra import (
+    FilterExpression,
+    GroupGraphPattern,
+    OptionalExpression,
+    OrderCondition,
+    SelectQuery,
+    UnionExpression,
+)
 from .errors import SparqlSyntaxError, UnsupportedFeatureError
+from .expressions import (
+    Arithmetic,
+    BoundCall,
+    Comparison,
+    ConstantTerm,
+    Expression,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    RegexCall,
+    UnaryMinus,
+    VariableRef,
+)
 from .tokenizer import Token, tokenize
 
 __all__ = ["parse_query", "parse_group"]
 
-_UNSUPPORTED_KEYWORDS = frozenset(
-    {"FILTER", "ASK", "CONSTRUCT", "DESCRIBE", "LIMIT", "OFFSET", "ORDER", "BY", "GROUP"}
-)
+_UNSUPPORTED_KEYWORDS = frozenset({"ASK", "CONSTRUCT", "DESCRIBE", "GROUP"})
 
 _RDF_TYPE = RDF.term("type")
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+_XSD_BOOLEAN = _XSD + "boolean"
 
 
 class _Parser:
@@ -98,19 +133,86 @@ class _Parser:
         if not self.at_keyword("SELECT"):
             raise self.error("expected SELECT")
         self.advance()
-        if self.at_keyword("DISTINCT") or self.at_keyword("REDUCED"):
-            raise UnsupportedFeatureError(
-                "DISTINCT/REDUCED are outside the paper's bag-semantics fragment"
-            )
+        distinct = reduced = False
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        elif self.at_keyword("REDUCED"):
+            self.advance()
+            reduced = True
         variables = self._parse_projection()
         if self.at_keyword("WHERE"):
             self.advance()
         group = self.parse_group()
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
         token = self.peek()
         if token.kind != "EOF":
             self.check_unsupported()
             raise self.error(f"trailing content after query: {token.value!r}")
-        return SelectQuery(variables, group, self.prefixes)
+        return SelectQuery(
+            variables,
+            group,
+            self.prefixes,
+            distinct=distinct,
+            reduced=reduced,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_order_by(self) -> List[OrderCondition]:
+        if not self.at_keyword("ORDER"):
+            return []
+        self.advance()
+        if not self.at_keyword("BY"):
+            raise self.error("expected BY after ORDER")
+        self.advance()
+        conditions: List[OrderCondition] = []
+        while True:
+            token = self.peek()
+            if token.kind == "VAR":
+                self.advance()
+                conditions.append(OrderCondition(VariableRef(token.value), True))
+            elif token.kind == "KEYWORD" and token.value in ("ASC", "DESC"):
+                self.advance()
+                self.expect_punct("(")
+                expression = self._parse_expression()
+                self.expect_punct(")")
+                conditions.append(OrderCondition(expression, token.value == "ASC"))
+            elif self.at_punct("("):
+                self.advance()
+                expression = self._parse_expression()
+                self.expect_punct(")")
+                conditions.append(OrderCondition(expression, True))
+            else:
+                break
+        if not conditions:
+            raise self.error("ORDER BY requires at least one sort condition")
+        return conditions
+
+    def _parse_limit_offset(self):
+        limit: Opt[int] = None
+        offset = 0
+        seen = set()
+        while True:
+            if self.at_keyword("LIMIT") and "limit" not in seen:
+                seen.add("limit")
+                self.advance()
+                limit = self._parse_nonnegative_int("LIMIT")
+            elif self.at_keyword("OFFSET") and "offset" not in seen:
+                seen.add("offset")
+                self.advance()
+                offset = self._parse_nonnegative_int("OFFSET")
+            else:
+                return limit, offset
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self.peek()
+        if token.kind != "INTEGER" or token.value.startswith("-"):
+            raise self.error(f"{clause} requires a non-negative integer")
+        self.advance()
+        return int(token.value)
 
     def _parse_prologue(self) -> None:
         while self.at_keyword("PREFIX") or self.at_keyword("BASE"):
@@ -156,6 +258,10 @@ class _Parser:
                 self.advance()
                 body = self.parse_group()
                 elements.append(OptionalExpression(body))
+                continue
+            if self.at_keyword("FILTER"):
+                self.advance()
+                elements.append(FilterExpression(self._parse_constraint()))
                 continue
             if self.at_punct("{"):
                 elements.append(self._parse_group_or_union())
@@ -211,12 +317,11 @@ class _Parser:
             return self._parse_literal_tail(token.value)
         if token.kind in ("INTEGER", "DECIMAL"):
             self.advance()
-            datatype = (
-                "http://www.w3.org/2001/XMLSchema#integer"
-                if token.kind == "INTEGER"
-                else "http://www.w3.org/2001/XMLSchema#decimal"
-            )
+            datatype = _XSD + ("integer" if token.kind == "INTEGER" else "decimal")
             return Literal(token.value, datatype=datatype)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value.lower(), datatype=_XSD_BOOLEAN)
         self.check_unsupported()
         raise self.error(f"expected a term in {position} position, found {token.value!r}")
 
@@ -236,6 +341,138 @@ class _Parser:
                 return Literal(lexical, datatype=self._expand_pname(dtype_token).value)
             raise self.error("expected datatype IRI after '^^'")
         return Literal(lexical)
+
+    # ------------------------------------------------------------------
+    # FILTER / ORDER BY expressions
+    # ------------------------------------------------------------------
+    def _parse_constraint(self) -> Expression:
+        """FILTER's operand: a bracketted expression or a builtin call."""
+        if self.at_punct("("):
+            self.advance()
+            expression = self._parse_expression()
+            self.expect_punct(")")
+            return expression
+        if self.at_keyword("BOUND") or self.at_keyword("REGEX"):
+            return self._parse_builtin()
+        raise self.error("FILTER requires a bracketted expression or BOUND/REGEX call")
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def at_op(self, *values: str) -> bool:
+        token = self.peek()
+        return token.kind == "OP" and token.value in values
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.at_op("||"):
+            self.advance()
+            left = LogicalOr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_relational()
+        while self.at_op("&&"):
+            self.advance()
+            left = LogicalAnd(left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "OP" and token.value in Comparison.OPS:
+            self.advance()
+            return Comparison(token.value, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            if self.at_op("+", "-"):
+                op = self.advance().value
+                left = Arithmetic(op, left, self._parse_multiplicative())
+                continue
+            token = self.peek()
+            # '?x -1' lexes the -1 as one negative-number token; treat it
+            # as addition of the (negative) constant, which is the same
+            # subtraction.
+            if token.kind in ("INTEGER", "DECIMAL") and token.value.startswith("-"):
+                self.advance()
+                datatype = _XSD + ("integer" if token.kind == "INTEGER" else "decimal")
+                left = Arithmetic(
+                    "+", left, ConstantTerm(Literal(token.value, datatype=datatype))
+                )
+                continue
+            return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self.at_op("/") or self.at_punct("*"):
+            op = self.advance().value
+            left = Arithmetic(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self.at_op("!"):
+            self.advance()
+            return LogicalNot(self._parse_unary())
+        if self.at_op("-"):
+            self.advance()
+            return UnaryMinus(self._parse_unary())
+        if self.at_op("+"):
+            self.advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.peek()
+        if self.at_punct("("):
+            self.advance()
+            expression = self._parse_expression()
+            self.expect_punct(")")
+            return expression
+        if self.at_keyword("BOUND") or self.at_keyword("REGEX"):
+            return self._parse_builtin()
+        if token.kind == "VAR":
+            self.advance()
+            return VariableRef(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return ConstantTerm(Literal(token.value.lower(), datatype=_XSD_BOOLEAN))
+        if token.kind == "IRI":
+            self.advance()
+            return ConstantTerm(IRI(token.value))
+        if token.kind == "PNAME":
+            self.advance()
+            return ConstantTerm(self._expand_pname(token))
+        if token.kind == "STRING":
+            self.advance()
+            return ConstantTerm(self._parse_literal_tail(token.value))
+        if token.kind in ("INTEGER", "DECIMAL"):
+            self.advance()
+            datatype = _XSD + ("integer" if token.kind == "INTEGER" else "decimal")
+            return ConstantTerm(Literal(token.value, datatype=datatype))
+        raise self.error(f"expected an expression, found {token.value!r}")
+
+    def _parse_builtin(self) -> Expression:
+        keyword = self.advance()
+        self.expect_punct("(")
+        if keyword.value == "BOUND":
+            token = self.peek()
+            if token.kind != "VAR":
+                raise self.error("BOUND takes a single variable")
+            self.advance()
+            self.expect_punct(")")
+            return BoundCall(token.value)
+        text = self._parse_expression()
+        self.expect_punct(",")
+        pattern = self._parse_expression()
+        flags: Opt[Expression] = None
+        if self.at_punct(","):
+            self.advance()
+            flags = self._parse_expression()
+        self.expect_punct(")")
+        return RegexCall(text, pattern, flags)
 
     def _expand_pname(self, token: Token) -> IRI:
         prefix, _, local = token.value.partition(":")

@@ -18,6 +18,7 @@ from .algebra import (
     And,
     BinaryNode,
     EmptyPattern,
+    FilterOp,
     GroupGraphPattern,
     OptionalOp,
     SelectQuery,
@@ -25,9 +26,19 @@ from .algebra import (
     pattern_variables,
     to_binary,
 )
-from .bags import Bag, join, left_join, union
+from .bags import Bag, UNBOUND, join, left_join, union
+from .expressions import filter_passes, order_key_for_binding
 
-__all__ = ["evaluate_pattern", "evaluate_triple_pattern", "evaluate_group", "execute_query"]
+__all__ = [
+    "evaluate_pattern",
+    "evaluate_triple_pattern",
+    "evaluate_group",
+    "execute_query",
+    "apply_filter",
+    "order_bag",
+    "distinct_bag",
+    "slice_bag",
+]
 
 
 def evaluate_triple_pattern(pattern: TriplePattern, dataset: Dataset) -> Bag:
@@ -54,7 +65,74 @@ def evaluate_pattern(node: BinaryNode, dataset: Dataset) -> Bag:
         return left_join(
             evaluate_pattern(node.left, dataset), evaluate_pattern(node.right, dataset)
         )
+    if isinstance(node, FilterOp):
+        return apply_filter(evaluate_pattern(node.child, dataset), node.expression)
     raise TypeError(f"not a binary graph pattern: {node!r}")
+
+
+def apply_filter(bag: Bag, expression) -> Bag:
+    """σ_expr over a term-level bag: keep rows whose EBV is true.
+
+    Rows on which the expression errors (unbound variables, type
+    errors) are dropped, per SPARQL's FILTER semantics.
+    """
+    schema = bag.schema
+    kept = [
+        row
+        for row in bag.rows
+        if filter_passes(
+            expression, {n: v for n, v in zip(schema, row) if v is not UNBOUND}
+        )
+    ]
+    return Bag.from_rows(schema, kept)
+
+
+def order_bag(bag: Bag, order_by) -> Bag:
+    """Stable multi-key sort of a term-level bag (ORDER BY semantics).
+
+    Keys are evaluated per row via the shared expression semantics;
+    unbound / erroring keys sort first.  Descending keys are handled by
+    successive stable sorts from the least-significant condition.
+    """
+    if not order_by:
+        return bag
+    schema = bag.schema
+    decorated = [
+        ({n: v for n, v in zip(schema, row) if v is not UNBOUND}, row)
+        for row in bag.rows
+    ]
+    for condition in reversed(tuple(order_by)):
+        decorated.sort(
+            key=lambda pair, e=condition.expression: order_key_for_binding(e, pair[0]),
+            reverse=not condition.ascending,
+        )
+    return Bag.from_rows(schema, [row for _, row in decorated])
+
+
+def distinct_bag(bag: Bag) -> Bag:
+    """Duplicate elimination preserving first occurrences.
+
+    Row tuples over a fixed schema (with the UNBOUND sentinel) identify
+    solutions exactly, so plain tuple hashing implements mapping-level
+    distinctness.
+    """
+    seen = set()
+    kept = []
+    for row in bag.rows:
+        if row not in seen:
+            seen.add(row)
+            kept.append(row)
+    return Bag.from_rows(bag.schema, kept)
+
+
+def slice_bag(bag: Bag, offset: int = 0, limit=None) -> Bag:
+    """OFFSET / LIMIT applied to the bag's current row order."""
+    rows = bag.rows
+    if offset:
+        rows = rows[offset:]
+    if limit is not None:
+        rows = rows[:limit]
+    return Bag.from_rows(bag.schema, list(rows))
 
 
 def evaluate_group(group: GroupGraphPattern, dataset: Dataset) -> Bag:
@@ -63,15 +141,19 @@ def evaluate_group(group: GroupGraphPattern, dataset: Dataset) -> Bag:
 
 
 def execute_query(query: SelectQuery, dataset: Dataset) -> Bag:
-    """Evaluate a full SELECT query, applying projection.
+    """Evaluate a full SELECT query, applying projection and modifiers.
 
-    For select-all queries every variable in the pattern is projected
-    (which is the identity on the solution bag apart from dict key
-    order, but going through :meth:`Bag.project` keeps behaviour
-    uniform).
+    The modifier pipeline is SPARQL 1.1's: ORDER BY over the full WHERE
+    solutions, then projection, then DISTINCT/REDUCED (first occurrence
+    kept), then OFFSET, then LIMIT.  For select-all queries every
+    pattern-bound variable is projected.
     """
     solutions = evaluate_group(query.where, dataset)
     names: Opt[Sequence[str]] = query.projection_names()
     if names is None:
         names = sorted(pattern_variables(query.where))
-    return solutions.project(names)
+    solutions = order_bag(solutions, query.order_by)
+    projected = solutions.project(names)
+    if query.deduplicates:
+        projected = distinct_bag(projected)
+    return slice_bag(projected, query.offset, query.limit)

@@ -1,4 +1,5 @@
-"""SPARQL tokenizer for the SELECT / BGP / UNION / OPTIONAL fragment."""
+"""SPARQL tokenizer for the SELECT / BGP / UNION / OPTIONAL fragment,
+extended with FILTER expressions and solution modifiers."""
 
 from __future__ import annotations
 
@@ -28,18 +29,29 @@ KEYWORDS = frozenset(
         "ORDER",
         "BY",
         "GROUP",
+        "ASC",
+        "DESC",
+        "BOUND",
+        "REGEX",
+        "TRUE",
+        "FALSE",
         "A",
     }
 )
 
 _PUNCTUATION = {"{", "}", ".", ",", ";", "*", "(", ")"}
 
+#: Expression operators, emitted as OP tokens.  ``*`` stays PUNCT (it
+#: doubles as the select-all star); ``<`` needs IRI disambiguation and
+#: ``-`` needs numeric-literal disambiguation, both handled inline.
+_OPERATOR_STARTS = {"=", "!", "<", ">", "&", "|", "+", "-", "/"}
+
 
 class Token(NamedTuple):
     """One lexical token.
 
     ``kind`` is one of: KEYWORD, IRI, PNAME, VAR, STRING, LANGTAG,
-    DTYPE (the ``^^`` marker), INTEGER, DECIMAL, PUNCT, EOF.
+    DTYPE (the ``^^`` marker), INTEGER, DECIMAL, PUNCT, OP, EOF.
     ``value`` is the normalized payload (e.g. IRI string without angle
     brackets, variable name without the sigil).
     """
@@ -107,6 +119,18 @@ def tokenize(text: str) -> List[Token]:
                 cursor.advance()
             continue
         if ch == "<":
+            # '<' is ambiguous: IRI opener or less-than.  '<=' is always
+            # the operator; otherwise it opens an IRI iff a '>' appears
+            # before any whitespace (IRIs cannot contain whitespace, so
+            # a whitespace-separated comparison never misreads).
+            if cursor.peek(1) == "=":
+                cursor.advance(2)
+                tokens.append(Token("OP", "<=", line, column))
+                continue
+            if not _looks_like_iri(cursor):
+                cursor.advance()
+                tokens.append(Token("OP", "<", line, column))
+                continue
             cursor.advance()
             start = cursor.pos
             while not cursor.at_end() and cursor.peek() != ">":
@@ -174,6 +198,20 @@ def tokenize(text: str) -> List[Token]:
                 cursor.advance()
             tokens.append(Token(kind, cursor.text[start : cursor.pos], line, column))
             continue
+        if ch in _OPERATOR_STARTS:
+            if ch in "&|":
+                if cursor.peek(1) != ch:
+                    raise cursor.error(f"expected {ch * 2!r}")
+                cursor.advance(2)
+                tokens.append(Token("OP", ch * 2, line, column))
+                continue
+            if ch in "!>" and cursor.peek(1) == "=":
+                cursor.advance(2)
+                tokens.append(Token("OP", ch + "=", line, column))
+                continue
+            cursor.advance()
+            tokens.append(Token("OP", ch, line, column))
+            continue
         if ch.isalpha():
             start = cursor.pos
             while not cursor.at_end() and _is_pname_char(cursor.peek()):
@@ -202,6 +240,32 @@ def tokenize(text: str) -> List[Token]:
         raise cursor.error(f"unexpected character {ch!r}")
     tokens.append(Token("EOF", "", cursor.line, cursor.column))
     return tokens
+
+
+def _looks_like_iri(cursor: _Cursor) -> bool:
+    """From a '<', is this an IRI opener rather than a less-than?
+
+    Requires a '>' before any whitespace AND a scheme prefix
+    (``ALPHA (ALPHA|DIGIT|+|-|.)* ':'``) at the start of the content.
+    BASE declarations are unsupported, so every IRI in a query is
+    absolute and must carry a scheme — which cleanly disambiguates
+    un-spaced comparisons like ``?x<?y&&?y>2`` (content starts with
+    '?', no scheme) from ``<http://…>``.
+    """
+    offset = 1
+    content = []
+    while True:
+        ch = cursor.peek(offset)
+        if ch == "" or ch in " \t\r\n":
+            return False
+        if ch == ">":
+            break
+        content.append(ch)
+        offset += 1
+    scheme, colon, _ = "".join(content).partition(":")
+    if not colon or not scheme or not scheme[0].isalpha():
+        return False
+    return all(ch.isalnum() or ch in "+.-" for ch in scheme)
 
 
 def _peek_colon(cursor: _Cursor) -> str:

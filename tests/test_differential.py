@@ -1,0 +1,109 @@
+"""Differential suite: optimized engines vs. the naive oracle.
+
+Each seed deterministically generates a small dataset plus a random
+query, evaluates it with the naive bottom-up oracle (``tests/oracle.py``,
+decoded term rows, nested-loop joins) and with the full optimized stack
+— both BGP engines, cost-driven BE-tree transformations AND candidate
+pruning enabled (``mode="full"``), filter/modifier pushdown on — and
+asserts exact bag equality.
+
+Result comparison is modifier-aware:
+
+- no LIMIT/OFFSET → exact multiset equality;
+- ORDER BY → additionally, the per-row sort-key sequences must match
+  (keys are generated over projected variables only, so tied rows carry
+  identical keys and any key-respecting order is acceptable);
+- LIMIT/OFFSET without ORDER BY → SPARQL leaves *which* page is
+  returned implementation-defined, so the checks are: exact expected
+  cardinality, multiset containment in the full (pre-slice) oracle
+  result, and pairwise distinctness under DISTINCT.
+
+300 seeds × {paper fragment, extended fragment} are generated; the
+suite asserts that well over 200 of them execute (the circuit breaker
+for cartesian blowups skips only a handful).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SparqlUOEngine
+from repro.storage import TripleStore
+from repro.sparql.expressions import order_key_for_binding
+
+from . import oracle
+from .strategies import random_dataset, random_query
+
+ENGINES = ("wco", "hashjoin")
+SEEDS = range(150)
+
+#: Executed (non-skipped) query count, asserted ≥ 200 at session end.
+_executed = {"count": 0, "attempted": 0}
+
+
+def _key_sequence(query, rows):
+    return [
+        tuple(order_key_for_binding(c.expression, mu) for c in query.order_by)
+        for mu in rows
+    ]
+
+
+def check_equivalent(query, expected: oracle.OracleResult, result, context: str):
+    rows = [dict(mu) for mu in result]
+    assert sorted(result.variables) == sorted(expected.variables), context
+    if query.limit is None and not query.offset:
+        assert oracle.as_counter(rows) == oracle.as_counter(expected.rows), context
+    else:
+        assert len(rows) == len(expected.rows), context
+        assert oracle.contained_in(rows, expected.full), context
+        if query.deduplicates:
+            assert max(oracle.as_counter(rows).values(), default=1) == 1, context
+    if query.order_by:
+        assert _key_sequence(query, rows) == _key_sequence(query, expected.rows), context
+
+
+def _run_differential(seed: int, extended: bool) -> None:
+    _executed["attempted"] += 1
+    rng = random.Random(seed * 2 + int(extended))
+    dataset = random_dataset(rng, size=rng.randint(15, 32))
+    query = random_query(rng, extended=extended)
+    try:
+        expected = oracle.execute(query, dataset)
+    except oracle.OracleBlowup:
+        pytest.skip("cartesian blowup (deterministic circuit breaker)")
+    store = TripleStore.from_dataset(dataset)
+    for engine_name in ENGINES:
+        engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full")
+        result = engine.execute(query)
+        check_equivalent(
+            query, expected, result, f"seed={seed} extended={extended} engine={engine_name}"
+        )
+    _executed["count"] += 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_differential_paper_fragment(seed):
+    """BGP / UNION / OPTIONAL queries (PR 1 pipeline revalidation)."""
+    _run_differential(seed, extended=False)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_differential_extended_fragment(seed):
+    """FILTER + DISTINCT/ORDER BY/LIMIT/OFFSET queries."""
+    _run_differential(seed, extended=True)
+
+
+def test_differential_volume():
+    """≥200 random queries must actually have executed (not skipped).
+
+    Only meaningful when the whole suite ran in this process; under a
+    selective run (``-k``, ``--lf``) or a sharded one (xdist workers
+    each see a fraction of the seeds) the counter is partial, so the
+    volume assertion is skipped rather than failing spuriously.
+    """
+    total = 2 * len(SEEDS)
+    if _executed["attempted"] < total:
+        pytest.skip(f"partial run: {_executed['attempted']}/{total} seeds attempted")
+    assert _executed["count"] >= 200, _executed["count"]

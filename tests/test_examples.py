@@ -40,6 +40,19 @@ def test_incomplete_profiles():
     assert full_rows < base_rows
 
 
+def test_filter_limit():
+    out = run_example("filter_limit.py")
+    assert "FILTER + ORDER BY + LIMIT 5" in out
+    assert "UndergraduateStudent0" in out
+    assert "FILTER REGEX" in out  # the filter shows up in the plan
+    # LIMIT early termination materializes strictly fewer BGP rows.
+    push_line = next(l for l in out.splitlines() if l.strip().startswith("pushdown:"))
+    post_line = next(l for l in out.splitlines() if l.strip().startswith("post-filter:"))
+    push_rows = int(push_line.split("results,")[1].split("BGP rows")[0].strip())
+    post_rows = int(post_line.split("results,")[1].split("BGP rows")[0].strip())
+    assert push_rows < post_rows
+
+
 @pytest.mark.slow
 def test_knowledge_fusion():
     out = run_example("knowledge_fusion.py")

@@ -1,0 +1,193 @@
+"""Unit tests for the FILTER / ORDER BY expression semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import IRI, Literal
+from repro.sparql.bags import UNBOUND
+from repro.sparql.expressions import (
+    Arithmetic,
+    BoundCall,
+    Comparison,
+    ConstantTerm,
+    ExprError,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    RegexCall,
+    UnaryMinus,
+    VariableRef,
+    effective_boolean_value,
+    evaluate_expression,
+    expression_variables,
+    filter_passes,
+    order_sort_key,
+    term_value,
+)
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+def num(value) -> Literal:
+    text = str(value)
+    return Literal(text, datatype=XSD + ("decimal" if "." in text else "integer"))
+
+
+def const(term) -> ConstantTerm:
+    return ConstantTerm(term)
+
+
+class TestTermValue:
+    def test_numeric_literals(self):
+        assert term_value(num(5)) == 5
+        assert term_value(num(2.5)) == 2.5
+        assert term_value(Literal("3", datatype=XSD + "double")) == 3.0
+
+    def test_boolean_literals(self):
+        assert term_value(Literal("true", datatype=XSD + "boolean")) is True
+        assert term_value(Literal("false", datatype=XSD + "boolean")) is False
+
+    def test_plain_string(self):
+        assert term_value(Literal("hi")) == "hi"
+
+    def test_iri_stays_term(self):
+        iri = IRI("http://x/")
+        assert term_value(iri) is iri
+
+    def test_lang_literal_stays_term(self):
+        lit = Literal("hi", language="en")
+        assert term_value(lit) is lit
+
+    def test_malformed_number_errors(self):
+        with pytest.raises(ExprError):
+            term_value(Literal("abc", datatype=XSD + "integer"))
+
+
+class TestEvaluation:
+    def test_numeric_comparison_and_arithmetic(self):
+        expr = Comparison("<", Arithmetic("+", VariableRef("x"), const(num(1))), const(num(5)))
+        assert evaluate_expression(expr, {"x": num(3)}) is True
+        assert evaluate_expression(expr, {"x": num(4)}) is False
+
+    def test_int_decimal_cross_comparison(self):
+        expr = Comparison("=", VariableRef("x"), const(num(2.0)))
+        assert evaluate_expression(expr, {"x": num(2)}) is True
+
+    def test_string_comparison(self):
+        expr = Comparison("<", VariableRef("x"), const(Literal("b")))
+        assert evaluate_expression(expr, {"x": Literal("a")}) is True
+
+    def test_iri_equality_total(self):
+        expr = Comparison("=", VariableRef("x"), const(IRI("http://x/a")))
+        assert evaluate_expression(expr, {"x": IRI("http://x/a")}) is True
+        assert evaluate_expression(expr, {"x": IRI("http://x/b")}) is False
+        # mixed kinds are unequal, not an error
+        assert evaluate_expression(expr, {"x": num(1)}) is False
+
+    def test_iri_ordering_errors(self):
+        expr = Comparison("<", VariableRef("x"), const(num(1)))
+        with pytest.raises(ExprError):
+            evaluate_expression(expr, {"x": IRI("http://x/a")})
+
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExprError):
+            evaluate_expression(VariableRef("missing"), {})
+
+    def test_division_by_zero_errors(self):
+        expr = Arithmetic("/", const(num(1)), const(num(0)))
+        with pytest.raises(ExprError):
+            evaluate_expression(expr, {})
+
+    def test_unary_minus(self):
+        assert evaluate_expression(UnaryMinus(const(num(3))), {}) == -3
+
+    def test_bound(self):
+        assert evaluate_expression(BoundCall("x"), {"x": num(1)}) is True
+        assert evaluate_expression(BoundCall("x"), {}) is False
+
+    def test_regex(self):
+        expr = RegexCall(VariableRef("s"), const(Literal("^ab")), None)
+        assert evaluate_expression(expr, {"s": Literal("abc")}) is True
+        assert evaluate_expression(expr, {"s": Literal("xabc")}) is False
+
+    def test_regex_case_insensitive_flag(self):
+        expr = RegexCall(VariableRef("s"), const(Literal("^AB")), const(Literal("i")))
+        assert evaluate_expression(expr, {"s": Literal("abc")}) is True
+
+    def test_regex_on_iri_errors(self):
+        expr = RegexCall(VariableRef("s"), const(Literal("a")), None)
+        with pytest.raises(ExprError):
+            evaluate_expression(expr, {"s": IRI("http://a/")})
+
+    def test_invalid_regex_pattern_errors(self):
+        expr = RegexCall(const(Literal("a")), const(Literal("[")), None)
+        with pytest.raises(ExprError):
+            evaluate_expression(expr, {})
+
+
+class TestThreeValuedLogic:
+    ERR = Comparison("<", VariableRef("missing"), const(num(1)))
+    TRUE = Comparison("=", const(num(1)), const(num(1)))
+    FALSE = Comparison("=", const(num(0)), const(num(1)))
+
+    def test_error_or_true_is_true(self):
+        assert evaluate_expression(LogicalOr(self.ERR, self.TRUE), {}) is True
+        assert evaluate_expression(LogicalOr(self.TRUE, self.ERR), {}) is True
+
+    def test_error_or_false_propagates(self):
+        with pytest.raises(ExprError):
+            evaluate_expression(LogicalOr(self.ERR, self.FALSE), {})
+
+    def test_error_and_false_is_false(self):
+        assert evaluate_expression(LogicalAnd(self.ERR, self.FALSE), {}) is False
+        assert evaluate_expression(LogicalAnd(self.FALSE, self.ERR), {}) is False
+
+    def test_error_and_true_propagates(self):
+        with pytest.raises(ExprError):
+            evaluate_expression(LogicalAnd(self.ERR, self.TRUE), {})
+
+    def test_filter_passes_treats_error_as_false(self):
+        assert filter_passes(self.ERR, {}) is False
+        assert filter_passes(LogicalNot(self.FALSE), {}) is True
+
+
+class TestEffectiveBooleanValue:
+    def test_values(self):
+        assert effective_boolean_value(True) is True
+        assert effective_boolean_value(0) is False
+        assert effective_boolean_value(2.5) is True
+        assert effective_boolean_value("") is False
+        assert effective_boolean_value("x") is True
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExprError):
+            effective_boolean_value(IRI("http://x/"))
+
+
+class TestOrderSortKey:
+    def test_global_ranking(self):
+        keys = [
+            order_sort_key(UNBOUND),
+            order_sort_key(ExprError("boom")),
+            order_sort_key(IRI("http://a/")),
+            order_sort_key(3),
+            order_sort_key("zzz"),
+        ]
+        assert keys == sorted(keys)
+
+    def test_numbers_order_by_value_across_types(self):
+        assert order_sort_key(2) < order_sort_key(10)
+        assert order_sort_key(2.5) < order_sort_key(num(3))  # literal parses numeric
+
+    def test_unbound_before_everything(self):
+        assert order_sort_key(UNBOUND) < order_sort_key(IRI("http://a/"))
+        assert order_sort_key(None) == order_sort_key(UNBOUND)
+
+
+def test_expression_variables():
+    expr = LogicalAnd(
+        Comparison("<", VariableRef("a"), VariableRef("b")),
+        LogicalOr(BoundCall("c"), RegexCall(VariableRef("d"), const(Literal("x")), None)),
+    )
+    assert expression_variables(expr) == frozenset("abcd")

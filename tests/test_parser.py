@@ -143,16 +143,40 @@ class TestErrors:
     @pytest.mark.parametrize(
         "query",
         [
-            "SELECT DISTINCT ?x WHERE { ?x ?p ?y }",
             "ASK { ?x ?p ?y }",
-            "SELECT * WHERE { ?x ?p ?y FILTER(?y) }",
-            "SELECT * WHERE { ?x ?p ?y } LIMIT 10",
             "CONSTRUCT { ?x ?p ?y } WHERE { ?x ?p ?y }",
+            "DESCRIBE <http://example.org/x>",
+            "SELECT * WHERE { ?x ?p ?y } GROUP BY ?x",
         ],
     )
     def test_unsupported_features(self, query):
         with pytest.raises(UnsupportedFeatureError):
             parse_query(query)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT DISTINCT ?x WHERE { ?x ?p ?y }",
+            "SELECT REDUCED ?x WHERE { ?x ?p ?y }",
+            "SELECT * WHERE { ?x ?p ?y FILTER(?y) }",
+            "SELECT * WHERE { ?x ?p ?y FILTER(?y > 3) }",
+            "SELECT * WHERE { ?x ?p ?y FILTER BOUND(?y) }",
+            "SELECT * WHERE { ?x ?p ?y } LIMIT 10",
+            "SELECT * WHERE { ?x ?p ?y } OFFSET 5 LIMIT 10",
+            "SELECT * WHERE { ?x ?p ?y } ORDER BY DESC(?y) ?x LIMIT 3",
+        ],
+    )
+    def test_extended_fragment_now_parses(self, query):
+        # These were rejected in the paper-fragment-only parser; the
+        # FILTER / solution-modifier extension accepts them.
+        parse_query(query)
+
+    def test_unspaced_less_than_is_not_an_iri(self):
+        # '<?y&&?y>' must lex as comparison operators, not an IRI —
+        # absolute IRIs always carry a scheme prefix (BASE is rejected).
+        spaced = parse_query("SELECT * WHERE { ?x ?p ?y FILTER(?x < ?y && ?y > 2) }")
+        unspaced = parse_query("SELECT * WHERE { ?x ?p ?y FILTER(?x<?y&&?y>2) }")
+        assert unspaced == spaced
 
 
 class TestRoundTrip:
