@@ -7,11 +7,18 @@ are anchored on University0 and stay constant).
 
 Repro scale uses the same generator knob (the university count) at
 2 / 4 / 6 / 8 universities — the paper's 4-point sweep, scaled down.
+``FIG12_SCALES`` (comma-separated university counts) overrides the
+sweep — CI's smoke job runs ``FIG12_SCALES=1,2`` against prewarmed tiny
+snapshots so the whole job finishes in seconds.
 
-``python benchmarks/bench_fig12_scalability.py`` prints the series.
+``python benchmarks/bench_fig12_scalability.py`` prints the series and
+exits non-zero when a query errors or an anchored query comes back
+empty (the smoke-failure mode a bare print would swallow).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -40,7 +47,11 @@ except ImportError:
         record,
     )
 
-SCALES = (2, 4, 6, 8)
+SCALES = tuple(
+    int(value)
+    for value in os.environ.get("FIG12_SCALES", "2,4,6,8").split(",")
+    if value.strip()
+)
 
 
 def run_cell(universities: int, name: str, bgp_engine: str = "wco"):
@@ -85,16 +96,22 @@ def test_fig12_time_growth_is_subquadratic():
     assert total_large < total_small * 16
 
 
+#: Queries anchored on University0 individuals: non-empty at any scale.
+ANCHORED = ("q1.3", "q1.4", "q1.5", "q1.6")
+
 if __name__ == "__main__":
     import sys
 
     records = []
+    empty_anchored = []
     for bgp_engine in BGP_ENGINES:
         rows = []
         for name in GROUP1:
             row = [name]
             for universities in SCALES:
                 result = run_cell(universities, name, bgp_engine)
+                if name in ANCHORED and len(result) == 0:
+                    empty_anchored.append((bgp_engine, name, universities))
                 row.append(f"{result.execute_seconds * 1000:.1f}ms/{len(result)}")
                 records.append(
                     bench_record(
@@ -116,5 +133,12 @@ if __name__ == "__main__":
         print(f"Figure 12: full on growing LUBM, engine={bgp_engine} (time / result count)")
         print(format_table(headers, rows))
         print()
+    if empty_anchored:
+        for bgp_engine, name, universities in empty_anchored:
+            print(
+                f"FAIL: anchored query {name} empty on engine={bgp_engine} "
+                f"at {universities} universities"
+            )
+        sys.exit(1)
     if "--emit" in sys.argv:
         print("wrote", emit_bench_json("fig12", records))

@@ -15,9 +15,11 @@ Two comparisons on the LUBM store, each across both BGP engines:
    (``trace.bgp_result_sizes``), a deterministic metric independent of
    machine noise; wall time rides along.
 
-``python benchmarks/bench_filter_pushdown.py`` prints the tables and
-writes ``BENCH_pr2.json``.  Exits non-zero if LIMIT early termination
-does not produce strictly fewer rows than full evaluation.
+``python benchmarks/bench_filter_pushdown.py`` prints the tables;
+``--emit`` writes the records to ``BENCH_filter_pushdown.json``
+(``BENCH_pr2.json`` is the committed PR-2 baseline these are gated
+against by ``check_regression.py``).  Exits non-zero if LIMIT early
+termination does not produce strictly fewer rows than full evaluation.
 """
 
 from __future__ import annotations
@@ -103,7 +105,7 @@ def main() -> int:
                     results=len(push_result), bgp_rows=bgp_rows(push_result),
                     postfilter_wall_ms=round(post_ms, 3),
                     postfilter_bgp_rows=bgp_rows(post_result),
-                    speedup=round(speedup, 2), variant="pr2",
+                    speedup=round(speedup, 2), variant="pr3",
                 )
             )
     print(format_table(
@@ -129,7 +131,7 @@ def main() -> int:
                 results=len(limited), bgp_rows=limited_rows,
                 full_wall_ms=round(full_ms, 3), full_results=len(full),
                 full_bgp_rows=full_rows,
-                work_ratio=round(full_rows / max(limited_rows, 1), 1), variant="pr2",
+                work_ratio=round(full_rows / max(limited_rows, 1), 1), variant="pr3",
             )
         )
         if limited_rows >= full_rows:
@@ -141,8 +143,9 @@ def main() -> int:
         ["engine", "limit results", "full results", "limit bgp rows",
          "full bgp rows", "limit ms", "full ms"], rows))
 
-    path = emit_bench_json("pr2", records)
-    print(f"\nwrote {path}")
+    if "--emit" in sys.argv:
+        path = emit_bench_json("filter_pushdown", records)
+        print(f"\nwrote {path}")
     for failure in failures:
         print("FAIL:", failure, file=sys.stderr)
     return 1 if failures else 0

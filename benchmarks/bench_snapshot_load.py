@@ -1,0 +1,165 @@
+"""Microbenchmark — snapshot load vs N-Triples re-ingest.
+
+The paper's benchmarks re-parse their datasets on every process start;
+snapshots make startup ``read()``-bound instead.  This bench builds the
+LUBM benchmark dataset once, writes both representations and races the
+four start-up paths:
+
+- ``reingest``        parse .nt text → Dataset → TripleStore (the seed path)
+- ``bulkload``        streaming bulk loader (no per-row Triple objects)
+- ``snapshot_eager``  TripleStore.load(lazy=False): everything materialized
+- ``snapshot_lazy``   TripleStore.load() + one anchored query end-to-end
+
+Each path ends in the same observable state: a store that has answered
+q1.3 (so lazy paths cannot cheat by deferring work out of the timed
+region), with result counts asserted equal across paths.
+
+``python benchmarks/bench_snapshot_load.py`` prints the table and
+enforces the acceptance bar (snapshot_eager ≥ SNAPSHOT_MIN_SPEEDUP ×
+faster than reingest, default 5).  ``--emit`` writes the records to
+``BENCH_snapshot_load.json``.  (``BENCH_pr3.json`` is the committed
+PR-3 baseline snapshot of these records, tagged ``variant: pr3``.)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from typing import Callable, List, Tuple
+
+from repro.core import SparqlUOEngine
+from repro.datasets import LUBM_QUERIES, generate_lubm
+from repro.rdf.ntriples import dump_ntriples, load_ntriples
+from repro.storage import TripleStore
+
+try:
+    from .common import bench_record, emit_bench_json, format_table
+except ImportError:
+    from common import bench_record, emit_bench_json, format_table
+
+#: Scale knob: matches the q1.x-anchored structure; override for quick
+#: local runs with SNAPSHOT_BENCH_UNIVERSITIES.
+UNIVERSITIES = int(os.environ.get("SNAPSHOT_BENCH_UNIVERSITIES", "8"))
+QUERY = LUBM_QUERIES["q1.3"]
+
+
+def _finish(store: TripleStore) -> int:
+    """Drive the store to the common end state: q1.3 answered."""
+    engine = SparqlUOEngine(store, bgp_engine="wco", mode="full")
+    return len(engine.execute(QUERY))
+
+
+def _best_of(repeats: int, thunk: Callable[[], int]) -> Tuple[float, int]:
+    best = float("inf")
+    result = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_bench(repeats: int = 3) -> List[dict]:
+    with tempfile.TemporaryDirectory(prefix="repro-snapbench-") as workdir:
+        nt_path = os.path.join(workdir, "lubm.nt")
+        snap_path = os.path.join(workdir, "lubm.snap")
+        dataset = generate_lubm(universities=UNIVERSITIES)
+        dump_ntriples(dataset, nt_path)
+        triples = len(dataset)
+
+        def reingest() -> int:
+            store = TripleStore.from_dataset(load_ntriples(nt_path))
+            return _finish(store)
+
+        def bulkload() -> int:
+            return _finish(TripleStore.bulk_load(nt_path))
+
+        def snapshot_eager() -> int:
+            return _finish(TripleStore.load(snap_path, lazy=False))
+
+        def snapshot_lazy() -> int:
+            return _finish(TripleStore.load(snap_path))
+
+        variant = "pr3"
+        # Same best-of-N for every path: the baseline gets warm page
+        # caches too, so the speedups measure the format, not cache
+        # warmth.
+        reingest_seconds, expected_rows = _best_of(repeats, reingest)
+        producer = TripleStore.from_dataset(dataset)
+        save_start = time.perf_counter()
+        producer.save(snap_path)
+        save_seconds = time.perf_counter() - save_start
+
+        records = []
+        baseline_ms = reingest_seconds * 1000
+        records.append(
+            bench_record(
+                bench="snapshot_load",
+                query="reingest",
+                engine="store",
+                mode="startup",
+                wall_ms=baseline_ms,
+                speedup=1.0,
+                results=expected_rows,
+                triples=triples,
+                universities=UNIVERSITIES,
+                variant=variant,
+            )
+        )
+        for name, thunk in (
+            ("bulkload", bulkload),
+            ("snapshot_eager", snapshot_eager),
+            ("snapshot_lazy", snapshot_lazy),
+        ):
+            seconds, rows = _best_of(repeats, thunk)
+            assert rows == expected_rows, (name, rows, expected_rows)
+            records.append(
+                bench_record(
+                    bench="snapshot_load",
+                    query=name,
+                    engine="store",
+                    mode="startup",
+                    wall_ms=seconds * 1000,
+                    speedup=round(reingest_seconds / seconds, 2),
+                    results=rows,
+                    triples=triples,
+                    universities=UNIVERSITIES,
+                    variant=variant,
+                )
+            )
+        records.append(
+            bench_record(
+                bench="snapshot_load",
+                query="snapshot_save",
+                engine="store",
+                mode="startup",
+                wall_ms=save_seconds * 1000,
+                results=expected_rows,
+                triples=triples,
+                universities=UNIVERSITIES,
+                variant=variant,
+            )
+        )
+        return records
+
+
+if __name__ == "__main__":
+    records = run_bench()
+    rows = [
+        [r["query"], f"{r['wall_ms']:.1f}", f"{r.get('speedup', '-')}"]
+        for r in records
+    ]
+    print(
+        f"Store startup paths on LUBM u{UNIVERSITIES} "
+        f"({records[0]['triples']} triples), best-of-3"
+    )
+    print(format_table(["path", "ms", "speedup vs reingest"], rows))
+    eager = next(r for r in records if r["query"] == "snapshot_eager")
+    bar = float(os.environ.get("SNAPSHOT_MIN_SPEEDUP", "5.0"))
+    if eager["speedup"] < bar:
+        print(f"FAIL: snapshot load speedup {eager['speedup']}x below the {bar}x bar")
+        sys.exit(1)
+    if "--emit" in sys.argv:
+        print("wrote", emit_bench_json("snapshot_load", records))

@@ -1,22 +1,25 @@
 """Shared infrastructure for the benchmark harness.
 
-Stores are built once per process (module-level caches) at "repro
-scale": the paper's datasets hold 0.5–2 G triples on a 256 GB server;
-ours hold tens of thousands on a laptop.  Absolute numbers therefore
-differ by construction — the benches exist to reproduce the *shapes*:
-which strategy wins per query, by roughly what factor, and how times
-scale (see EXPERIMENTS.md).
+Stores are built once per process (module-level caches) and snapshot-
+cached across processes (``benchmarks/.snapshots/``, see
+``repro.datasets.cached_store``), at "repro scale": the paper's
+datasets hold 0.5–2 G triples on a 256 GB server; ours hold tens of
+thousands on a laptop.  Absolute numbers therefore differ by
+construction — the benches exist to reproduce the *shapes*: which
+strategy wins per query, by roughly what factor, and how times scale
+(see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List
 
 from repro.core import ExecutionMode, QueryResult, SparqlUOEngine
-from repro.datasets import generate_dbpedia, generate_lubm
+from repro.datasets import SNAPSHOT_DIR_ENV, cached_store
 from repro.storage import TripleStore
 
 __all__ = [
@@ -48,15 +51,28 @@ GROUP2 = ["q2.1", "q2.2", "q2.3", "q2.4", "q2.5", "q2.6"]
 LUBM_UNIVERSITIES = 13
 DBPEDIA_ARTICLES = 1500
 
+#: Where benches cache store snapshots across processes.  Every bench
+#: in a run (and every run on a machine / CI job) reuses the same
+#: prebuilt snapshot instead of regenerating and re-encoding the
+#: dataset; override with $REPRO_SNAPSHOT_DIR, point it at an empty
+#: directory to force a rebuild.
+SNAPSHOT_DIR = Path(
+    os.environ.get(SNAPSHOT_DIR_ENV) or Path(__file__).resolve().parent / ".snapshots"
+)
+
 
 @lru_cache(maxsize=None)
 def lubm_store(universities: int = LUBM_UNIVERSITIES) -> TripleStore:
-    return TripleStore.from_dataset(generate_lubm(universities=universities))
+    # lazy=False: benches time queries against a fully materialized
+    # store, not first-touch index builds.
+    return cached_store(
+        "lubm", SNAPSHOT_DIR, universities=universities, lazy=False
+    )
 
 
 @lru_cache(maxsize=None)
 def dbpedia_store(articles: int = DBPEDIA_ARTICLES) -> TripleStore:
-    return TripleStore.from_dataset(generate_dbpedia(articles=articles))
+    return cached_store("dbpedia", SNAPSHOT_DIR, articles=articles, lazy=False)
 
 
 def store_for(dataset: str) -> TripleStore:

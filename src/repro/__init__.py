@@ -58,7 +58,7 @@ from .sparql import (
     execute_query,
     parse_query,
 )
-from .storage import TripleStore
+from .storage import SnapshotError, SnapshotReader, TripleStore, bulk_load_ntriples
 
 __version__ = "1.0.0"
 
@@ -80,6 +80,9 @@ __all__ = [
     "load_ntriples",
     # storage
     "TripleStore",
+    "SnapshotError",
+    "SnapshotReader",
+    "bulk_load_ntriples",
     # sparql
     "parse_query",
     "execute_query",

@@ -1,16 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
-``query``     run a SPARQL-UO query over an N-Triples file::
+``query``     run a SPARQL-UO query over an N-Triples file or a binary
+              store snapshot (detected by magic, so ``data.snap`` and
+              ``data.nt`` are interchangeable here)::
 
                   python -m repro query data.nt "SELECT ?x WHERE { … }"
-                  python -m repro query data.nt -f query.rq --mode base --explain
+                  python -m repro query data.snap -f query.rq --mode base
 
-``generate``  write a synthetic benchmark dataset::
+``generate``  write a synthetic benchmark dataset (optionally also as a
+              snapshot)::
 
                   python -m repro generate lubm out.nt --universities 2
-                  python -m repro generate dbpedia out.nt --articles 1000
+                  python -m repro generate dbpedia out.nt --articles 1000 --snapshot out.snap
+
+``snapshot``  build and inspect persistent binary store snapshots::
+
+                  python -m repro snapshot build data.nt data.snap
+                  python -m repro snapshot info data.snap --verify
 
 ``stats``     print Table-2-style statistics for an N-Triples file.
 """
@@ -25,12 +33,33 @@ from typing import List, Optional
 from .core.engine import SparqlUOEngine
 from .datasets.dbpedia import generate_dbpedia
 from .datasets.lubm import generate_lubm
-from .rdf.dataset import Dataset
 from .rdf.ntriples import dump_ntriples, load_ntriples
 from .sparql.errors import SparqlError
+from .storage.snapshot import MAGIC, SnapshotError, SnapshotReader
 from .storage.store import TripleStore
 
 __all__ = ["main", "build_parser"]
+
+
+def _is_snapshot(path: str) -> bool:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def _load_store(path: str) -> TripleStore:
+    """A queryable store from either a snapshot or an N-Triples file.
+
+    Snapshots are checksummed up front (``verify=True``): the CLI has
+    no rebuild path, so payload corruption must surface here as the
+    handled ``error: ...`` exit, not as a traceback from a lazy first
+    touch mid-query.
+    """
+    if _is_snapshot(path):
+        return TripleStore.load(path, verify=True)
+    return TripleStore.from_dataset(load_ntriples(path))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--universities", type=int, default=1, help="LUBM scale knob")
     generate.add_argument("--articles", type=int, default=1000, help="DBpedia scale knob")
     generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        help="also write a binary store snapshot of the generated data",
+    )
+
+    snapshot = sub.add_parser("snapshot", help="build / inspect binary store snapshots")
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    build = snapshot_sub.add_parser(
+        "build", help="bulk-load an N-Triples file into a snapshot"
+    )
+    build.add_argument("data", help="input .nt file")
+    build.add_argument("output", help="output snapshot path")
+
+    info = snapshot_sub.add_parser("info", help="print snapshot header metadata")
+    info.add_argument("snapshot", help="snapshot file")
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally checksum every section",
+    )
 
     stats = sub.add_parser("stats", help="print dataset statistics (Table 2 shape)")
     stats.add_argument("data", help="N-Triples file")
@@ -90,8 +141,11 @@ def _read_query(args) -> str:
 
 def _command_query(args, out) -> int:
     load_start = time.perf_counter()
-    dataset = load_ntriples(args.data)
-    store = TripleStore.from_dataset(dataset)
+    try:
+        store = _load_store(args.data)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     load_seconds = time.perf_counter() - load_start
 
     engine = SparqlUOEngine(
@@ -143,6 +197,43 @@ def _command_generate(args, out) -> int:
     dump_ntriples(dataset, args.output)
     stats = dataset.statistics()
     print(f"wrote {stats['triples']} triples to {args.output}", file=out)
+    if args.snapshot:
+        TripleStore.from_dataset(dataset).save(args.snapshot)
+        print(f"wrote snapshot to {args.snapshot}", file=out)
+    return 0
+
+
+def _command_snapshot(args, out) -> int:
+    if args.snapshot_command == "build":
+        start = time.perf_counter()
+        store = TripleStore.bulk_load(args.data)
+        store.save(args.output)
+        elapsed = time.perf_counter() - start
+        print(
+            f"wrote snapshot of {len(store)} triples "
+            f"({len(store.dictionary)} terms) to {args.output} "
+            f"in {elapsed * 1000:.1f} ms",
+            file=out,
+        )
+        return 0
+    try:
+        with SnapshotReader(args.snapshot) as reader:
+            info = reader.info()
+            if args.verify:
+                reader.verify()
+            print(f"path          {info['path']}", file=out)
+            print(f"format        v{info['format_version']}", file=out)
+            print(f"generation    {info['generation']}", file=out)
+            print(f"triples       {info['triples']}", file=out)
+            print(f"terms         {info['terms']}", file=out)
+            print(f"file bytes    {info['file_bytes']}", file=out)
+            for name, offset, length in info["sections"]:
+                print(f"section {name}  offset={offset}  bytes={length}", file=out)
+            if args.verify:
+                print("checksums     OK", file=out)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -161,6 +252,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _command_query(args, out)
     if args.command == "generate":
         return _command_generate(args, out)
+    if args.command == "snapshot":
+        return _command_snapshot(args, out)
     if args.command == "stats":
         return _command_stats(args, out)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -147,13 +147,27 @@ class SparqlUOEngine:
         self.pushdown = pushdown
         self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy, pushdown=pushdown)
         #: parsed-query → BE-tree plan cache, keyed on query text and
-        #: invalidated by the store's write generation.  Complements the
-        #: BGP engines' estimate caches: repeated executions of the same
-        #: query text skip parsing AND the cost-driven transformation.
-        self._plan_cache: "OrderedDict[str, Tuple[int, SelectQuery, BETree, Opt[TransformReport]]]" = (
+        #: invalidated by the store's plan token (write generation plus
+        #: cheap content counts, see :meth:`_plan_token`).  Complements
+        #: the BGP engines' estimate caches: repeated executions of the
+        #: same query text skip parsing AND the cost-driven
+        #: transformation.
+        self._plan_cache: "OrderedDict[str, Tuple[tuple, SelectQuery, BETree, Opt[TransformReport]]]" = (
             OrderedDict()
         )
         self._plan_cache_size = 128
+
+    def _plan_token(self) -> tuple:
+        """The store state cached plans are valid for.
+
+        The write generation alone is not store-unique (two stores
+        bulk-loaded from different files both sit at generation 1), so
+        the token adds the triple and term counts — both O(1) even on
+        lazily loaded snapshots.  Swapping in an unrelated store via
+        :meth:`reload_store` therefore invalidates the cache, while
+        reloading the snapshot this store was saved at still hits.
+        """
+        return (self.store.generation, len(self.store), len(self.store.dictionary))
 
     @classmethod
     def for_dataset(
@@ -168,6 +182,38 @@ class SparqlUOEngine:
         return cls(
             TripleStore.from_dataset(dataset), bgp_engine, mode, fixed_fraction, pushdown
         )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str,
+        bgp_engine: U[str, BGPEngine] = "wco",
+        mode: U[str, ExecutionMode] = ExecutionMode.FULL,
+        fixed_fraction: float = 0.01,
+        pushdown: bool = True,
+        lazy: bool = True,
+    ) -> "SparqlUOEngine":
+        """Start hot: wrap an engine around a persisted store snapshot."""
+        return cls(
+            TripleStore.load(path, lazy=lazy), bgp_engine, mode, fixed_fraction, pushdown
+        )
+
+    def reload_store(self, store: TripleStore) -> None:
+        """Swap the backing store, keeping the plan cache.
+
+        Rebinds the BGP engine, cost model and evaluator to the new
+        store.  Cached plans are keyed on the store's plan token
+        (generation + content counts), and snapshots persist the
+        generation — so reloading the snapshot this store was saved at
+        (``TripleStore.load``) hits the existing plan cache, and query
+        texts skip parsing and the cost-driven transformation entirely
+        on the first post-reload execution; swapping in an unrelated
+        store invalidates it instead.
+        """
+        self.store = store
+        self.bgp_engine = type(self.bgp_engine)(store)
+        self.cost_model = CostModel(self.bgp_engine)
+        self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy, pushdown=self.pushdown)
 
     def _make_policy(self, fixed_fraction: float) -> CandidatePolicy:
         if self.mode is ExecutionMode.CP:
@@ -190,8 +236,8 @@ class SparqlUOEngine:
         if cache_key is not None:
             cached = self._plan_cache.get(cache_key)
             if cached is not None:
-                generation, parsed, tree, report = cached
-                if generation == self.store.generation:
+                token, parsed, tree, report = cached
+                if token == self._plan_token():
                     self._plan_cache.move_to_end(cache_key)
                     return parsed, tree, report, 0.0, 0.0
                 del self._plan_cache[cache_key]
@@ -213,7 +259,7 @@ class SparqlUOEngine:
         transform_seconds = time.perf_counter() - transform_start
 
         if cache_key is not None:
-            self._plan_cache[cache_key] = (self.store.generation, query, tree, report)
+            self._plan_cache[cache_key] = (self._plan_token(), query, tree, report)
             if len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
         return query, tree, report, parse_seconds, transform_seconds

@@ -1,6 +1,7 @@
 """Synthetic workloads: LUBM-like and DBpedia-like generators + the
 paper's benchmark queries."""
 
+from .cache import SNAPSHOT_DIR_ENV, cached_store, snapshot_path
 from .dbpedia import ANCHORS, DBpediaGenerator, generate_dbpedia
 from .lubm import LUBMGenerator, generate_lubm
 from .queries import (
@@ -16,6 +17,9 @@ from .queries import (
 __all__ = [
     "LUBMGenerator",
     "generate_lubm",
+    "cached_store",
+    "snapshot_path",
+    "SNAPSHOT_DIR_ENV",
     "DBpediaGenerator",
     "generate_dbpedia",
     "ANCHORS",

@@ -1,0 +1,97 @@
+"""Snapshot caching for the synthetic benchmark datasets.
+
+Generating LUBM / DBpedia and re-encoding the dictionary on every
+process start caps benchmarks (and CI smoke runs) at toy sizes.
+:func:`cached_store` gives every consumer — the benchmark harness, the
+CLI, tests — the same contract: the first build of a (flavor, scale,
+seed) combination writes a binary snapshot next to the others in the
+cache directory, and every later process starts hot from that file.
+
+The cache directory resolves, in order: the ``directory`` argument, the
+``REPRO_SNAPSHOT_DIR`` environment variable, else no caching (the store
+is simply built in memory).  Snapshots found invalid — truncated,
+corrupt, written by another format version — are rebuilt in place, so a
+stale cache can slow a run down but never break it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..storage.snapshot import SnapshotError
+from ..storage.store import TripleStore
+from .dbpedia import generate_dbpedia
+from .lubm import generate_lubm
+
+__all__ = ["SNAPSHOT_DIR_ENV", "cached_store", "snapshot_path"]
+
+SNAPSHOT_DIR_ENV = "REPRO_SNAPSHOT_DIR"
+
+
+def _resolve_dir(directory: Union[str, Path, None]) -> Optional[Path]:
+    if directory is not None:
+        return Path(directory)
+    from_env = os.environ.get(SNAPSHOT_DIR_ENV)
+    return Path(from_env) if from_env else None
+
+
+def snapshot_path(
+    flavor: str,
+    directory: Union[str, Path],
+    seed: int = 42,
+    universities: int = 1,
+    articles: int = 1000,
+) -> Path:
+    """The cache file a (flavor, scale, seed) combination maps to."""
+    if flavor == "lubm":
+        name = f"lubm_u{universities}_s{seed}.snap"
+    elif flavor == "dbpedia":
+        name = f"dbpedia_a{articles}_s{seed}.snap"
+    else:
+        raise ValueError(f"unknown dataset flavor {flavor!r}")
+    return Path(directory) / name
+
+
+def _generate(flavor: str, seed: int, universities: int, articles: int) -> TripleStore:
+    if flavor == "lubm":
+        dataset = generate_lubm(universities=universities, seed=seed)
+    elif flavor == "dbpedia":
+        dataset = generate_dbpedia(articles=articles, seed=seed)
+    else:
+        raise ValueError(f"unknown dataset flavor {flavor!r}")
+    return TripleStore.from_dataset(dataset)
+
+
+def cached_store(
+    flavor: str,
+    directory: Union[str, Path, None] = None,
+    seed: int = 42,
+    universities: int = 1,
+    articles: int = 1000,
+    lazy: bool = True,
+    refresh: bool = False,
+) -> TripleStore:
+    """A store for the given dataset, snapshot-cached when possible.
+
+    ``lazy`` is forwarded to :meth:`TripleStore.load`; benchmark
+    harnesses that will touch the whole store anyway pass ``False`` so
+    the timed region starts from a fully materialized store.
+    """
+    resolved = _resolve_dir(directory)
+    if resolved is None:
+        return _generate(flavor, seed, universities, articles)
+    path = snapshot_path(flavor, resolved, seed, universities, articles)
+    if path.exists() and not refresh:
+        try:
+            # verify=True: payload corruption must surface here, where
+            # the rebuild path below can repair it — not on a later
+            # lazy first touch with nothing catching it.
+            return TripleStore.load(str(path), lazy=lazy, verify=True)
+        except SnapshotError:
+            pass  # stale / corrupt cache entry: rebuild below
+    store = _generate(flavor, seed, universities, articles)
+    resolved.mkdir(parents=True, exist_ok=True)
+    store.save(str(path))
+    return store

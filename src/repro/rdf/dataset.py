@@ -9,9 +9,9 @@ with :meth:`repro.storage.store.TripleStore.from_dataset`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Set
+from typing import Iterable, Iterator, Set
 
-from .terms import BlankNode, IRI, Literal, Term, Variable
+from .terms import BlankNode, IRI, Literal, Term
 from .triple import Triple, TriplePattern
 
 __all__ = ["Dataset"]

@@ -12,7 +12,7 @@ its sorted permutation indexes.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 __all__ = [
     "Term",
@@ -165,7 +165,12 @@ class Literal(Term):
     __slots__ = ("lexical", "language", "datatype")
     kind = _KIND_LITERAL
 
-    def __init__(self, lexical: str, language: str = None, datatype: str = None):
+    def __init__(
+        self,
+        lexical: str,
+        language: Optional[str] = None,
+        datatype: Optional[str] = None,
+    ):
         if not isinstance(lexical, str):
             raise ValueError(f"Literal lexical form must be str, got {lexical!r}")
         if language is not None and datatype is not None:

@@ -1,6 +1,16 @@
-"""Storage substrate: permutation indexes, statistics, store facade."""
+"""Storage substrate: permutation indexes, statistics, store facade,
+binary snapshots and the streaming bulk loader."""
 
+from .bulkload import BulkLoader, bulk_load_ntriples
 from .indexes import TripleIndexes
+from .snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    LazyTermDictionary,
+    SnapshotError,
+    SnapshotReader,
+    write_snapshot,
+)
 from .stats import PredicateStatistics, StoreStatistics
 from .store import EncodedPattern, MISSING_ID, TripleStore
 
@@ -11,4 +21,12 @@ __all__ = [
     "TripleStore",
     "EncodedPattern",
     "MISSING_ID",
+    "SnapshotError",
+    "SnapshotReader",
+    "LazyTermDictionary",
+    "write_snapshot",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "BulkLoader",
+    "bulk_load_ntriples",
 ]

@@ -1,0 +1,155 @@
+"""Streaming N-Triples bulk loader.
+
+``rdf.ntriples`` + ``TripleStore.from_dataset`` is the correctness
+path: every line becomes three :class:`~repro.rdf.terms.Term` objects
+and a :class:`~repro.rdf.triple.Triple`, each term is re-hashed into
+the dictionary at every occurrence, and the whole dataset transits a
+Python set first.  At benchmark scale that object churn dominates load
+time.
+
+The bulk loader goes straight from text to encoded columns:
+
+- a compiled regex splits each line into its three *token strings*
+  (C-speed; lines the regex cannot prove well-formed fall back to the
+  reference parser, so accepted inputs are exactly the same);
+- tokens are interned in a ``str -> id`` map, so a term is parsed into
+  a Term object **once per distinct term**, not once per occurrence —
+  no per-row ``Triple`` is ever built;
+- duplicate triples are dropped through an id-tuple set, mirroring
+  :class:`~repro.rdf.dataset.Dataset`'s set semantics.
+
+The result (dictionary + s/p/o id columns) feeds either
+:meth:`TripleStore.load`-style lazy assembly or a snapshot write.
+"""
+
+from __future__ import annotations
+
+import re
+from array import array
+from typing import IO, Dict, Iterable, Optional, Set, Tuple, Union
+
+from ..rdf.dictionary import TermDictionary
+from ..rdf.ntriples import NTriplesParseError, _LineScanner, _parse_line
+from ..rdf.terms import BlankNode, GroundTerm, IRI
+
+__all__ = ["BulkLoader", "bulk_load_ntriples"]
+
+#: One N-Triples statement: subject, predicate and object token, dot
+#: terminator, optional trailing comment.  Character classes mirror the
+#: reference scanner; anything it cannot prove well-formed (unicode
+#: blank-node labels, stray control characters, ...) falls back to
+#: ``_parse_line`` for an identical accept/reject decision.
+_STATEMENT = re.compile(
+    r"[ \t]*"
+    r"(<[^>]+>|_:[A-Za-z0-9\-_.]+)"  # subject: IRI or blank node
+    r"[ \t]+"
+    r"(<[^>]+>)"  # predicate: IRI
+    r"[ \t]+"
+    r'(<[^>]+>|_:[A-Za-z0-9\-_.]+|"(?:[^"\\]|\\.)*"(?:@[A-Za-z0-9\-]+|\^\^<[^>]+>)?)'
+    r"[ \t]*\.[ \t]*(?:#.*)?$"
+)
+
+
+class BulkLoader:
+    """Accumulates encoded triple columns from streamed N-Triples text."""
+
+    def __init__(self, dictionary: Optional[TermDictionary] = None):
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self.subjects: array = array("Q")
+        self.predicates: array = array("Q")
+        self.objects: array = array("Q")
+        self._token_ids: Dict[str, int] = {}
+        self._seen: Set[Tuple[int, int, int]] = set()
+        self.lines_read = 0
+        self.duplicates = 0
+
+    def __len__(self) -> int:
+        return len(self.subjects)
+
+    @property
+    def columns(self) -> Tuple[array, array, array]:
+        return (self.subjects, self.predicates, self.objects)
+
+    # ------------------------------------------------------------------
+    # token → id
+    # ------------------------------------------------------------------
+    def _term_of_token(self, token: str, line: str, line_number: int) -> GroundTerm:
+        if token.startswith("<"):
+            return IRI(token[1:-1])
+        if token.startswith("_:"):
+            return BlankNode(token[2:])
+        scanner = _LineScanner(token, line_number)
+        literal = scanner.read_literal()
+        if not scanner.at_end():
+            raise NTriplesParseError("trailing content in literal", line_number, line)
+        return literal
+
+    def _id_of_token(self, token: str, line: str, line_number: int) -> int:
+        term_id = self._token_ids.get(token)
+        if term_id is None:
+            term_id = self.dictionary.encode(self._term_of_token(token, line, line_number))
+            self._token_ids[token] = term_id
+        return term_id
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def add_lines(self, lines: Iterable[str]) -> int:
+        """Ingest N-Triples lines; returns the number of triples added."""
+        added = 0
+        match = _STATEMENT.match
+        id_of = self._id_of_token
+        seen = self._seen
+        subjects, predicates, objects = self.subjects, self.predicates, self.objects
+        for line_number, raw in enumerate(lines, start=self.lines_read + 1):
+            line = raw.strip()
+            self.lines_read += 1
+            if not line or line.startswith("#"):
+                continue
+            found = match(line)
+            if found is not None:
+                row = (
+                    id_of(found.group(1), line, line_number),
+                    id_of(found.group(2), line, line_number),
+                    id_of(found.group(3), line, line_number),
+                )
+            else:
+                # Slow path: the reference parser decides accept/reject.
+                triple = _parse_line(line, line_number)
+                row = (
+                    self.dictionary.encode(triple.subject),
+                    self.dictionary.encode(triple.predicate),
+                    self.dictionary.encode(triple.object),
+                )
+            if row in seen:
+                self.duplicates += 1
+                continue
+            seen.add(row)
+            subjects.append(row[0])
+            predicates.append(row[1])
+            objects.append(row[2])
+            added += 1
+        return added
+
+
+def bulk_load_ntriples(
+    source: Union[str, IO[str], Iterable[str]],
+    dictionary: Optional[TermDictionary] = None,
+) -> BulkLoader:
+    """Bulk-load N-Triples from a path, file object or line iterable."""
+    loader = BulkLoader(dictionary)
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            loader.add_lines(handle)
+    else:
+        loader.add_lines(source)
+    return loader
+
+
+def iter_tokens(line: str) -> Optional[Tuple[str, str, str]]:
+    """Split one statement line into its three tokens (None if the fast
+    path cannot prove it well-formed).  Exposed for tests."""
+    found = _STATEMENT.match(line)
+    if found is None:
+        return None
+    return (found.group(1), found.group(2), found.group(3))

@@ -24,11 +24,17 @@ seek plus result-proportional enumeration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.dictionary import EncodedTriple
 
-__all__ = ["TripleIndexes"]
+__all__ = ["TripleIndexes", "FrozenTripleIndexes", "PACK_SHIFT"]
+
+#: Pair keys in the frozen permutations pack two 32-bit ids into one
+#: 64-bit integer: ``(first << PACK_SHIFT) | second``.
+PACK_SHIFT = 32
+_PACK_MASK = (1 << PACK_SHIFT) - 1
 
 
 class TripleIndexes:
@@ -47,6 +53,38 @@ class TripleIndexes:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        subjects: Iterable[int],
+        predicates: Iterable[int],
+        objects: Iterable[int],
+    ) -> "TripleIndexes":
+        """Build all indexes from pre-deduplicated s/p/o id columns.
+
+        This is the snapshot / bulk-load path: one tight loop with the
+        per-call overhead and duplicate checks of :meth:`insert` hoisted
+        out (columns written by :mod:`repro.storage.snapshot` hold one
+        row per distinct triple by construction).
+        """
+        self = cls()
+        all_ = self._all
+        sp_o, po_s, so_p = self._sp_o, self._po_s, self._so_p
+        s_po, p_so, o_sp = self._s_po, self._p_so, self._o_sp
+        for triple in zip(subjects, predicates, objects):
+            s, p, o = triple
+            all_.append(triple)
+            sp_o.setdefault((s, p), []).append(o)
+            po_s.setdefault((p, o), []).append(s)
+            so_p.setdefault((s, o), []).append(p)
+            s_po.setdefault(s, []).append((p, o))
+            p_so.setdefault(p, []).append((s, o))
+            o_sp.setdefault(o, []).append((s, p))
+        self._spo = set(all_)
+        if len(self._spo) != len(all_):
+            raise ValueError("duplicate rows in triple columns")
+        return self
+
     def insert(self, triple: EncodedTriple) -> bool:
         """Insert an encoded triple; returns False on duplicates."""
         if triple in self._spo:
@@ -170,3 +208,230 @@ class TripleIndexes:
     def objects_of_predicate(self, p: int) -> Set[int]:
         """Distinct objects appearing with predicate ``p``."""
         return {o for _, o in self._p_so.get(p, ())}
+
+
+class FrozenTripleIndexes:
+    """Read-only permutation indexes over sorted, packed id arrays.
+
+    The RDF-3X shape proper: three sorted triple permutations — SPO,
+    POS and OSP — each held as a packed 64-bit pair-key array plus the
+    third-position column.  Every access pattern of
+    :class:`TripleIndexes` is answered by binary search for the key
+    range followed by a result-proportional slice, so *constructing*
+    this class from snapshot sections is pure ``array.frombytes`` — no
+    per-row Python work, which is what makes snapshot loads
+    ``read()``-bound.
+
+    Duck-type compatible with :class:`TripleIndexes` for every read
+    path the engines use.  Mutation is not supported; the store thaws
+    a frozen index into a classic one on the first write.
+    """
+
+    __slots__ = (
+        "_count",
+        "_spo_key", "_spo_o",
+        "_pos_key", "_pos_s",
+        "_osp_key", "_osp_p",
+        "_all",
+    )
+
+    def __init__(
+        self,
+        spo_key: Sequence[int], spo_o: Sequence[int],
+        pos_key: Sequence[int], pos_s: Sequence[int],
+        osp_key: Sequence[int], osp_p: Sequence[int],
+    ):
+        self._count = len(spo_o)
+        if not (
+            len(spo_key) == len(pos_key) == len(pos_s)
+            == len(osp_key) == len(osp_p) == self._count
+        ):
+            raise ValueError("permutation arrays must have equal length")
+        self._spo_key, self._spo_o = spo_key, spo_o
+        self._pos_key, self._pos_s = pos_key, pos_s
+        self._osp_key, self._osp_p = osp_key, osp_p
+        self._all: Optional[List[EncodedTriple]] = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        subjects: Sequence[int],
+        predicates: Sequence[int],
+        objects: Sequence[int],
+    ) -> "FrozenTripleIndexes":
+        """Sort plain s/p/o columns into the three packed permutations."""
+        shift = PACK_SHIFT
+        spo = sorted(((s << shift) | p, o) for s, p, o in zip(subjects, predicates, objects))
+        pos = sorted(((p << shift) | o, s) for s, p, o in zip(subjects, predicates, objects))
+        osp = sorted(((o << shift) | s, p) for s, p, o in zip(subjects, predicates, objects))
+        from array import array
+
+        def unzip(pairs: List[Tuple[int, int]]) -> Tuple[Sequence[int], Sequence[int]]:
+            if not pairs:
+                return array("Q"), array("Q")
+            keys, thirds = zip(*pairs)
+            return array("Q", keys), array("Q", thirds)
+
+        return cls(*unzip(spo), *unzip(pos), *unzip(osp))
+
+    def permutation_arrays(self) -> Tuple[Sequence[int], ...]:
+        """The six backing arrays, in constructor order (for snapshots)."""
+        return (
+            self._spo_key, self._spo_o,
+            self._pos_key, self._pos_s,
+            self._osp_key, self._osp_p,
+        )
+
+    def thaw(self) -> TripleIndexes:
+        """A mutable :class:`TripleIndexes` with the same contents."""
+        triples = self.all_triples()
+        if not triples:
+            return TripleIndexes()
+        s_col, p_col, o_col = zip(*triples)
+        return TripleIndexes.from_columns(s_col, p_col, o_col)
+
+    # ------------------------------------------------------------------
+    # range machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pair_range(keys: Sequence[int], first: int, second: int) -> Tuple[int, int]:
+        key = (first << PACK_SHIFT) | second
+        lo = bisect_left(keys, key)
+        return lo, bisect_left(keys, key + 1, lo)
+
+    @staticmethod
+    def _prefix_range(keys: Sequence[int], first: int) -> Tuple[int, int]:
+        lo = bisect_left(keys, first << PACK_SHIFT)
+        return lo, bisect_left(keys, (first + 1) << PACK_SHIFT, lo)
+
+    # ------------------------------------------------------------------
+    # the TripleIndexes read interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, triple: EncodedTriple) -> bool:
+        s, p, o = triple
+        lo, hi = self._pair_range(self._spo_key, s, p)
+        spo_o = self._spo_o
+        return any(spo_o[i] == o for i in range(lo, hi))
+
+    def objects_for_sp(self, s: int, p: int) -> List[int]:
+        lo, hi = self._pair_range(self._spo_key, s, p)
+        return list(self._spo_o[lo:hi])
+
+    def subjects_for_po(self, p: int, o: int) -> List[int]:
+        lo, hi = self._pair_range(self._pos_key, p, o)
+        return list(self._pos_s[lo:hi])
+
+    def predicates_for_so(self, s: int, o: int) -> List[int]:
+        lo, hi = self._pair_range(self._osp_key, o, s)
+        return list(self._osp_p[lo:hi])
+
+    def po_for_s(self, s: int) -> List[Tuple[int, int]]:
+        lo, hi = self._prefix_range(self._spo_key, s)
+        keys, thirds = self._spo_key, self._spo_o
+        return [(keys[i] & _PACK_MASK, thirds[i]) for i in range(lo, hi)]
+
+    def so_for_p(self, p: int) -> List[Tuple[int, int]]:
+        lo, hi = self._prefix_range(self._pos_key, p)
+        keys, thirds = self._pos_key, self._pos_s
+        return [(thirds[i], keys[i] & _PACK_MASK) for i in range(lo, hi)]
+
+    def sp_for_o(self, o: int) -> List[Tuple[int, int]]:
+        lo, hi = self._prefix_range(self._osp_key, o)
+        keys, thirds = self._osp_key, self._osp_p
+        return [(keys[i] & _PACK_MASK, thirds[i]) for i in range(lo, hi)]
+
+    def all_triples(self) -> List[EncodedTriple]:
+        if self._all is None:
+            keys, thirds = self._spo_key, self._spo_o
+            self._all = [
+                (keys[i] >> PACK_SHIFT, keys[i] & _PACK_MASK, thirds[i])
+                for i in range(self._count)
+            ]
+        return self._all
+
+    def scan(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self:
+                yield (s, p, o)
+            return
+        if s is not None and p is not None:
+            lo, hi = self._pair_range(self._spo_key, s, p)
+            for i in range(lo, hi):
+                yield (s, p, self._spo_o[i])
+            return
+        if p is not None and o is not None:
+            lo, hi = self._pair_range(self._pos_key, p, o)
+            for i in range(lo, hi):
+                yield (self._pos_s[i], p, o)
+            return
+        if s is not None and o is not None:
+            lo, hi = self._pair_range(self._osp_key, o, s)
+            for i in range(lo, hi):
+                yield (s, self._osp_p[i], o)
+            return
+        if s is not None:
+            lo, hi = self._prefix_range(self._spo_key, s)
+            keys = self._spo_key
+            for i in range(lo, hi):
+                yield (s, keys[i] & _PACK_MASK, self._spo_o[i])
+            return
+        if p is not None:
+            lo, hi = self._prefix_range(self._pos_key, p)
+            keys = self._pos_key
+            for i in range(lo, hi):
+                yield (self._pos_s[i], p, keys[i] & _PACK_MASK)
+            return
+        if o is not None:
+            lo, hi = self._prefix_range(self._osp_key, o)
+            keys = self._osp_key
+            for i in range(lo, hi):
+                yield (keys[i] & _PACK_MASK, self._osp_p[i], o)
+            return
+        yield from self.all_triples()
+
+    def count(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> int:
+        if s is not None and p is not None and o is not None:
+            return 1 if (s, p, o) in self else 0
+        if s is not None and p is not None:
+            lo, hi = self._pair_range(self._spo_key, s, p)
+        elif p is not None and o is not None:
+            lo, hi = self._pair_range(self._pos_key, p, o)
+        elif s is not None and o is not None:
+            lo, hi = self._pair_range(self._osp_key, o, s)
+        elif s is not None:
+            lo, hi = self._prefix_range(self._spo_key, s)
+        elif p is not None:
+            lo, hi = self._prefix_range(self._pos_key, p)
+        elif o is not None:
+            lo, hi = self._prefix_range(self._osp_key, o)
+        else:
+            return self._count
+        return hi - lo
+
+    def subjects_of_predicate(self, p: int) -> Set[int]:
+        lo, hi = self._prefix_range(self._pos_key, p)
+        return set(self._pos_s[lo:hi])
+
+    def objects_of_predicate(self, p: int) -> Set[int]:
+        lo, hi = self._prefix_range(self._pos_key, p)
+        keys = self._pos_key
+        return {keys[i] & _PACK_MASK for i in range(lo, hi)}
+
+    def insert(self, triple: EncodedTriple) -> bool:
+        raise TypeError(
+            "FrozenTripleIndexes is read-only; the store thaws it into a "
+            "mutable TripleIndexes before writes"
+        )

@@ -9,7 +9,7 @@ exactly what a production store would keep in its statistics catalog.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable
 
 from .indexes import TripleIndexes
 
@@ -67,6 +67,34 @@ class StoreStatistics:
             )
         return cls(total_triples=len(indexes), per_predicate=per_predicate)
 
+    @classmethod
+    def from_columns(
+        cls,
+        subjects: Iterable[int],
+        predicates: Iterable[int],
+        objects: Iterable[int],
+    ) -> "StoreStatistics":
+        """One columnar pass — for stores that never built indexes
+        (bulk-loaded columns headed straight into a snapshot)."""
+        counts: Dict[int, int] = {}
+        subject_sets: Dict[int, set] = {}
+        object_sets: Dict[int, set] = {}
+        total = 0
+        for s, p, o in zip(subjects, predicates, objects):
+            total += 1
+            counts[p] = counts.get(p, 0) + 1
+            subject_sets.setdefault(p, set()).add(s)
+            object_sets.setdefault(p, set()).add(o)
+        per_predicate = {
+            p: PredicateStatistics(
+                triples=counts[p],
+                distinct_subjects=len(subject_sets[p]),
+                distinct_objects=len(object_sets[p]),
+            )
+            for p in counts
+        }
+        return cls(total_triples=total, per_predicate=per_predicate)
+
     def for_predicate(self, p: int) -> PredicateStatistics:
         """Statistics for predicate id ``p`` (zeros if absent)."""
         stats = self._per_predicate.get(p)
@@ -89,6 +117,10 @@ class StoreStatistics:
 
     def predicate_count(self) -> int:
         return len(self._per_predicate)
+
+    def predicates(self) -> Iterable[int]:
+        """The predicate ids the catalog has rows for."""
+        return self._per_predicate.keys()
 
     def __repr__(self) -> str:
         return (

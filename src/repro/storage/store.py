@@ -3,17 +3,27 @@
 Combines the term dictionary, the permutation indexes and the statistics
 catalog.  Both BGP engines, the optimizer's cost model and the LBR
 baseline operate exclusively through this class.
+
+A store can start *cold* (built triple by triple from a
+:class:`~repro.rdf.dataset.Dataset`) or *hot* from a persistent binary
+snapshot (:meth:`save` / :meth:`load`): loading maps the file, keeps
+the dictionary lazy (terms decode on first touch, constants resolve by
+binary search over the snapshot's sorted term section) and defers the
+permutation-index build to the first index access, so startup cost is
+proportional to what a query actually touches.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from array import array
+from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from ..rdf.dataset import Dataset
 from ..rdf.dictionary import EncodedTriple, TermDictionary
 from ..rdf.terms import GroundTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
-from .indexes import TripleIndexes
+from .indexes import FrozenTripleIndexes, TripleIndexes
+from .snapshot import LazyTermDictionary, SnapshotReader, write_snapshot
 from .stats import StoreStatistics
 
 __all__ = ["TripleStore", "EncodedPattern"]
@@ -31,10 +41,40 @@ class TripleStore:
     """Dictionary-encoded, fully indexed, statistics-bearing triple store."""
 
     def __init__(self):
-        self.dictionary = TermDictionary()
-        self.indexes = TripleIndexes()
+        self._dictionary: TermDictionary = TermDictionary()
+        self._indexes: Optional[AnyIndexes] = TripleIndexes()
+        #: Deferred index supplier while ``_indexes`` is None.
+        self._indexes_loader: Optional[Callable[[], "AnyIndexes"]] = None
+        #: Raw (s, p, o) column supplier, valid while the store has not
+        #: been written to; lets :meth:`save` skip the index build.
+        self._columns_source: Optional[Callable[[], Tuple]] = None
+        self._triple_count = 0
         self._stats: Optional[StoreStatistics] = None
+        self._stats_loader: Optional[Callable[[], Optional[StoreStatistics]]] = None
         self._generation = 0
+        self._snapshot: Optional[SnapshotReader] = None
+
+    # ------------------------------------------------------------------
+    # components (lazy when snapshot-backed)
+    # ------------------------------------------------------------------
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._dictionary
+
+    @property
+    def indexes(self) -> "AnyIndexes":
+        if self._indexes is None:
+            assert self._indexes_loader is not None
+            self._indexes = self._indexes_loader()
+            self._indexes_loader = None
+        return self._indexes
+
+    def _mutable_indexes(self) -> TripleIndexes:
+        """The indexes, thawed into their insertable form if frozen."""
+        indexes = self.indexes
+        if isinstance(indexes, FrozenTripleIndexes):
+            indexes = self._indexes = indexes.thaw()
+        return indexes
 
     # ------------------------------------------------------------------
     # loading
@@ -51,26 +91,173 @@ class TripleStore:
         store.add_all(triples)
         return store
 
+    @classmethod
+    def bulk_load(cls, source) -> "TripleStore":
+        """Stream an N-Triples path / file / line iterable into a store.
+
+        Uses the columnar bulk loader (no per-row ``Triple`` objects,
+        one term parse per *distinct* term); the permutation indexes
+        are built lazily on first access.
+        """
+        from .bulkload import bulk_load_ntriples
+
+        loader = bulk_load_ntriples(source)
+        store = cls()
+        store._dictionary = loader.dictionary
+        store._indexes = None
+        columns = loader.columns
+
+        def build_indexes() -> TripleIndexes:
+            return TripleIndexes.from_columns(*columns)
+
+        def raw_columns() -> Tuple:
+            return columns
+
+        store._indexes_loader = build_indexes
+        store._columns_source = raw_columns
+        store._triple_count = len(loader)
+        store._generation = 1 if len(loader) else 0
+        return store
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write a binary snapshot of the store (see ``storage.snapshot``).
+
+        The snapshot captures the dictionary, the triple columns, the
+        statistics catalog and the write generation; :meth:`load` (or a
+        later process) restores an equivalent store from it without
+        re-parsing text.
+        """
+        if self._indexes is None and self._columns_source is not None:
+            # Bulk-loaded or snapshot-backed and never written to: the
+            # raw columns exist already, no index build needed — stats,
+            # if absent, come from one columnar pass.
+            columns = self._columns_source()
+            reader = self._snapshot
+            frozen = reader.frozen_indexes() if reader is not None else None
+            if self._stats is None and self._stats_loader is None:
+                self._stats = StoreStatistics.from_columns(*columns)
+        else:
+            indexes = self.indexes
+            typecode = "I" if len(self.dictionary) < (1 << 32) else "Q"
+            s_col, p_col, o_col = array(typecode), array(typecode), array(typecode)
+            for s, p, o in indexes.all_triples():
+                s_col.append(s)
+                p_col.append(p)
+                o_col.append(o)
+            columns = (s_col, p_col, o_col)
+            frozen = indexes if isinstance(indexes, FrozenTripleIndexes) else None
+        dictionary = self._dictionary
+        if isinstance(dictionary, LazyTermDictionary):
+            dictionary = dictionary.materialize()
+        # A frozen index already holds the three sorted permutations in
+        # serialized form; hand them through so re-saving a loaded or
+        # bulk-built store skips re-sorting.
+        permutations = frozen.permutation_arrays() if frozen is not None else None
+        write_snapshot(
+            path,
+            dictionary,
+            columns,
+            generation=self._generation,
+            statistics=self.statistics,
+            permutations=permutations,
+        )
+
+    @classmethod
+    def load(cls, path: str, lazy: bool = True, verify: bool = False) -> "TripleStore":
+        """Restore a store from a snapshot file.
+
+        With ``lazy=True`` (the default) the snapshot stays mapped:
+        terms decode on first touch, constant lookups binary-search the
+        sorted term section, statistics come straight from the ``STAT``
+        section and the permutation indexes are built on first index
+        access.  ``lazy=False`` materializes everything up front and
+        closes the file — right for long-lived benchmark processes that
+        will touch all of it anyway.
+
+        ``verify=True`` checksums every section up front, so payload
+        corruption surfaces here as :class:`SnapshotError` rather than
+        on a later lazy first touch — callers with a rebuild path (the
+        dataset snapshot cache) use this to keep "stale cache never
+        breaks a run" true for lazy loads too.
+        """
+        reader = SnapshotReader(path)
+        if verify:
+            try:
+                reader.verify()
+            except Exception:
+                reader.close()
+                raise
+        store = cls()
+        store._generation = reader.generation
+        store._triple_count = reader.triple_count
+        if lazy:
+            store._snapshot = reader
+            store._dictionary = LazyTermDictionary(reader)
+            store._indexes = None
+
+            def load_indexes() -> "AnyIndexes":
+                return _indexes_from_reader(reader)
+
+            store._indexes_loader = load_indexes
+            store._columns_source = reader.columns
+            store._stats_loader = reader.statistics
+        else:
+            try:
+                dictionary = TermDictionary()
+                for term_id in range(reader.term_count):
+                    dictionary.encode(reader.term(term_id))
+                store._dictionary = dictionary
+                store._indexes = _indexes_from_reader(reader)
+                store._stats = reader.statistics()
+            finally:
+                reader.close()
+        return store
+
+    def close(self) -> None:
+        """Release the snapshot mapping of a lazily loaded store."""
+        if self._snapshot is not None:
+            if self._indexes is None:
+                self.indexes  # noqa: B018 — force build before unmapping
+            if isinstance(self._dictionary, LazyTermDictionary):
+                self._dictionary = self._dictionary.materialize()
+            if self._stats is None and self._stats_loader is not None:
+                self._stats = self._stats_loader()
+            self._stats_loader = None
+            self._snapshot.close()
+            self._snapshot = None
+
     def add(self, triple: Triple) -> bool:
         """Insert one triple; returns False for duplicates."""
         self._stats = None
+        self._stats_loader = None
+        self._columns_source = None
         self._generation += 1
-        return self.indexes.insert(self.dictionary.encode_triple(triple))
+        added = self._mutable_indexes().insert(self.dictionary.encode_triple(triple))
+        self._triple_count = len(self.indexes)
+        return added
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns the number actually added."""
         self._stats = None
+        self._stats_loader = None
+        self._columns_source = None
         self._generation += 1
         encode = self.dictionary.encode_triple
-        insert = self.indexes.insert
+        insert = self._mutable_indexes().insert
         added = 0
         for triple in triples:
             if insert(encode(triple)):
                 added += 1
+        self._triple_count = len(self.indexes)
         return added
 
     def __len__(self) -> int:
-        return len(self.indexes)
+        if self._indexes is None:
+            return self._triple_count  # snapshot-backed: no index build
+        return len(self._indexes)
 
     @property
     def generation(self) -> int:
@@ -87,7 +274,11 @@ class TripleStore:
     @property
     def statistics(self) -> StoreStatistics:
         if self._stats is None:
-            self._stats = StoreStatistics.from_indexes(self.indexes)
+            if self._stats_loader is not None:
+                self._stats = self._stats_loader()  # persisted STAT section
+                self._stats_loader = None
+            if self._stats is None:
+                self._stats = StoreStatistics.from_indexes(self.indexes)
         return self._stats
 
     # ------------------------------------------------------------------
@@ -175,3 +366,15 @@ class TripleStore:
 
     def __repr__(self) -> str:
         return f"TripleStore({len(self)} triples, {len(self.dictionary)} terms)"
+
+
+#: Either index implementation satisfies the read interface the engines use.
+AnyIndexes = Union[TripleIndexes, FrozenTripleIndexes]
+
+
+def _indexes_from_reader(reader: SnapshotReader) -> AnyIndexes:
+    """Persisted permutations when present, else a classic rebuild."""
+    frozen = reader.frozen_indexes()
+    if frozen is not None:
+        return frozen
+    return TripleIndexes.from_columns(*reader.columns())

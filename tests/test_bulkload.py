@@ -1,0 +1,141 @@
+"""Bulk loader: equivalence with the reference N-Triples path."""
+
+import io
+
+import pytest
+
+from repro.rdf import (
+    Dataset,
+    IRI,
+    Literal,
+    NTriplesParseError,
+    load_ntriples,
+    parse_ntriples_string,
+)
+from repro.rdf.ntriples import dump_ntriples, serialize_ntriples
+from repro.storage import TripleStore, bulk_load_ntriples
+from repro.storage.bulkload import iter_tokens
+
+TRICKY = "\n".join(
+    [
+        "# a comment line",
+        "",
+        "<http://x/s1> <http://x/p> <http://x/o1> .",
+        '<http://x/s1> <http://x/name> "plain" .',
+        '<http://x/s2> <http://x/name> "hallo"@de .',
+        '<http://x/s2> <http://x/age> "7"^^<http://www.w3.org/2001/XMLSchema#int> .',
+        '_:b1 <http://x/p> _:b2 .',
+        '<http://x/s3> <http://x/says> "esc \\"q\\" and \\\\ and \\n dot. inside" .',
+        '<http://x/s.with.dots> <http://x/p> <http://x/o#frag> .',
+        "<http://x/s1> <http://x/p> <http://x/o1> .  # duplicate + comment",
+        '<http://x/s4> <http://x/says> "tab\\tsep" . # trailing comment',
+    ]
+)
+
+
+def store_triples(store: TripleStore):
+    return {store.dictionary.decode_triple(t) for t in store.indexes.all_triples()}
+
+
+class TestEquivalence:
+    def test_matches_reference_parser(self):
+        reference = TripleStore.from_dataset(Dataset(parse_ntriples_string(TRICKY)))
+        bulk = TripleStore.bulk_load(io.StringIO(TRICKY))
+        assert len(bulk) == len(reference)
+        assert store_triples(bulk) == store_triples(reference)
+
+    def test_file_path_source(self, tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text(TRICKY, encoding="utf-8")
+        bulk = TripleStore.bulk_load(str(path))
+        reference = TripleStore.from_dataset(load_ntriples(str(path)))
+        assert store_triples(bulk) == store_triples(reference)
+
+    def test_duplicates_counted_not_stored(self):
+        loader = bulk_load_ntriples(io.StringIO(TRICKY))
+        assert loader.duplicates == 1
+        assert len(loader) == 8
+
+    def test_generated_dataset_roundtrip(self):
+        from repro.datasets import generate_lubm
+
+        dataset = generate_lubm(universities=1)
+        text = serialize_ntriples(dataset)
+        bulk = TripleStore.bulk_load(io.StringIO(text))
+        assert len(bulk) == len(dataset)
+        assert store_triples(bulk) == set(dataset)
+
+    def test_queryable_end_to_end(self, tmp_path):
+        from repro.core import SparqlUOEngine
+
+        path = tmp_path / "data.nt"
+        path.write_text(TRICKY, encoding="utf-8")
+        engine = SparqlUOEngine(TripleStore.bulk_load(str(path)))
+        result = engine.execute("SELECT ?s WHERE { ?s <http://x/p> ?o }")
+        assert len(result) == 3
+
+
+class TestTokenFastPath:
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            (
+                "<http://x/s> <http://x/p> <http://x/o> .",
+                ("<http://x/s>", "<http://x/p>", "<http://x/o>"),
+            ),
+            (
+                '_:b1 <http://x/p> "lit"@en .',
+                ("_:b1", "<http://x/p>", '"lit"@en'),
+            ),
+            (
+                '<http://x/s> <http://x/p> "x"^^<http://x/dt> . # c',
+                ("<http://x/s>", "<http://x/p>", '"x"^^<http://x/dt>'),
+            ),
+        ],
+    )
+    def test_accepts(self, line, expected):
+        assert iter_tokens(line) == expected
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<http://x/s> <http://x/p> <http://x/o>",  # missing dot
+            "<http://x/s> <http://x/p> .",  # missing object
+            '<http://x/s> "lit" <http://x/o> .',  # literal predicate
+            "just garbage",
+        ],
+    )
+    def test_rejects_malformed(self, line):
+        assert iter_tokens(line) is None
+
+    def test_slow_path_still_rejects(self):
+        with pytest.raises(NTriplesParseError):
+            bulk_load_ntriples(io.StringIO("<http://x/s> <http://x/p> .\n"))
+
+    def test_slow_path_handles_unicode_blank_labels(self):
+        # isalnum() accepts unicode labels the fast-path regex does not;
+        # both loaders must agree.
+        line = "_:bé <http://x/p> <http://x/o> ."
+        assert iter_tokens(line) is None  # falls back...
+        bulk = TripleStore.bulk_load(io.StringIO(line))
+        assert len(bulk) == 1  # ...and the slow path accepts it
+
+    def test_error_reports_line_number(self):
+        lines = io.StringIO("<http://x/s> <http://x/p> <http://x/o> .\nbroken\n")
+        with pytest.raises(NTriplesParseError) as excinfo:
+            bulk_load_ntriples(lines)
+        assert excinfo.value.line_number == 2
+
+
+class TestBulkIntoSnapshot:
+    def test_bulk_load_then_save_then_load(self, tmp_path):
+        nt_path = tmp_path / "data.nt"
+        d = Dataset()
+        for i in range(50):
+            d.add_spo(IRI(f"http://x/s{i % 7}"), IRI("http://x/p"), Literal(f"v{i}"))
+        dump_ntriples(d, str(nt_path))
+        snap_path = tmp_path / "data.snap"
+        store = TripleStore.bulk_load(str(nt_path))
+        store.save(str(snap_path))
+        loaded = TripleStore.load(str(snap_path))
+        assert store_triples(loaded) == set(d)

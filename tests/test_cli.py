@@ -127,6 +127,44 @@ class TestGenerate:
         assert output.count("\n") > 1
 
 
+class TestSnapshot:
+    def test_build_and_info(self, data_file, tmp_path):
+        snap = str(tmp_path / "data.snap")
+        code, output = run(["snapshot", "build", data_file, snap])
+        assert code == 0
+        assert "wrote snapshot of 20 triples" in output
+        code, output = run(["snapshot", "info", snap, "--verify"])
+        assert code == 0
+        assert "triples       20" in output
+        assert "checksums     OK" in output
+        assert "section META" in output
+
+    def test_query_runs_on_snapshot(self, data_file, tmp_path):
+        snap = str(tmp_path / "data.snap")
+        run(["snapshot", "build", data_file, snap])
+        query = "SELECT ?x WHERE { ?x <http://x/p> <http://x/o0> }"
+        code_nt, out_nt = run(["query", data_file, query])
+        code_snap, out_snap = run(["query", snap, query])
+        assert code_nt == code_snap == 0
+        assert sorted(out_nt.splitlines()) == sorted(out_snap.splitlines())
+
+    def test_info_rejects_non_snapshot(self, data_file):
+        code, _ = run(["snapshot", "info", data_file])
+        assert code == 2
+
+    def test_generate_with_snapshot(self, tmp_path):
+        nt = str(tmp_path / "lubm.nt")
+        snap = str(tmp_path / "lubm.snap")
+        code, output = run(
+            ["generate", "lubm", nt, "--universities", "1", "--snapshot", snap]
+        )
+        assert code == 0
+        assert "wrote snapshot" in output
+        code, output = run(["snapshot", "info", snap])
+        assert code == 0
+        assert "generation" in output
+
+
 class TestStats:
     def test_stats_output(self, data_file):
         code, output = run(["stats", data_file])
