@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""End-to-end smoke of ``repro serve`` as a real subprocess.
+
+Builds a tiny LUBM snapshot, starts the server the way an operator
+would (``python -m repro serve``), then drives the SPARQL protocol
+with urllib only:
+
+1. ``GET /sparql`` returning JSON byte-identical to single-process
+   ``repro query --format json``;
+2. ``POST`` (urlencoded) with CSV content negotiation, and ``POST``
+   with a direct ``application/sparql-query`` body;
+3. a pathological query that must trip the per-query timeout (504)
+   without taking the server down;
+4. ``/healthz`` and ``/metrics`` sanity;
+5. SIGINT → orderly shutdown with exit code 0.
+
+Any failure exits non-zero; CI runs this as the server smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+QUERY = f"SELECT ?x ?y WHERE {{ ?x <{UB}headOf> ?y }}"
+SLOW_QUERY = "SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        check=False,
+    )
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def http(url: str, data=None, headers=None, timeout=60):
+    request = urllib.request.Request(url, data=data, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-")
+    nt_path = os.path.join(tmp, "lubm.nt")
+    snap_path = os.path.join(tmp, "lubm.snap")
+
+    generated = run_cli(
+        "generate", "lubm", nt_path, "--universities", "1", "--snapshot", snap_path
+    )
+    check(generated.returncode == 0, "snapshot generated")
+
+    reference = run_cli("query", snap_path, QUERY, "--format", "json")
+    check(reference.returncode == 0, "reference CLI query ran")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", snap_path,
+            "--port", "0", "--workers", "2", "--timeout", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        assert server.stdout is not None
+        banner = server.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)/sparql", banner)
+        check(match is not None, f"server banner announces the endpoint: {banner!r}")
+        base = f"http://127.0.0.1:{match.group(1)}"  # type: ignore[union-attr]
+
+        deadline = time.time() + 60
+        ready = False
+        while time.time() < deadline and not ready:
+            try:
+                status, _, _ = http(base + "/healthz", timeout=5)
+                ready = status == 200
+            except (urllib.error.URLError, ConnectionError):
+                time.sleep(0.2)
+        check(ready, "healthz became ready in time")
+
+        # 1. GET, byte-identical to the single-process CLI.
+        url = base + "/sparql?" + urllib.parse.urlencode({"query": QUERY})
+        status, headers, body = http(url)
+        check(status == 200, "GET /sparql returns 200")
+        check(
+            headers["Content-Type"] == "application/sparql-results+json",
+            "JSON content type negotiated",
+        )
+        check(
+            body.decode() + "\n" == reference.stdout,
+            "server JSON byte-identical to `repro query --format json`",
+        )
+        rows = len(json.loads(body)["results"]["bindings"])
+        check(rows > 0, f"query returned rows ({rows})")
+
+        # 2a. POST urlencoded + Accept: text/csv.
+        status, headers, body = http(
+            base + "/sparql",
+            data=urllib.parse.urlencode({"query": QUERY}).encode(),
+            headers={
+                "Content-Type": "application/x-www-form-urlencoded",
+                "Accept": "text/csv",
+            },
+        )
+        check(status == 200 and headers["Content-Type"].startswith("text/csv"),
+              "POST urlencoded negotiates CSV")
+        check(body.decode().splitlines()[0] == "x,y", "CSV header row present")
+
+        # 2b. POST direct application/sparql-query.
+        status, _, body = http(
+            base + "/sparql?format=tsv",
+            data=QUERY.encode(),
+            headers={"Content-Type": "application/sparql-query"},
+        )
+        check(status == 200 and body.decode().splitlines()[0] == "?x\t?y",
+              "POST direct body negotiates TSV")
+
+        # 3. Timeout path: the cartesian monster must 504 quickly and
+        #    leave the server serving.
+        slow_url = base + "/sparql?" + urllib.parse.urlencode({"query": SLOW_QUERY})
+        started = time.time()
+        try:
+            http(slow_url, timeout=120)
+            check(False, "slow query should not succeed")
+        except urllib.error.HTTPError as exc:
+            check(exc.code == 504, f"slow query returns 504 (got {exc.code})")
+            check(time.time() - started < 30, "timeout fired promptly")
+        status, _, _ = http(url)
+        check(status == 200, "server keeps serving after a timeout")
+
+        # 4. Metrics.
+        status, _, body = http(base + "/metrics")
+        text = body.decode()
+        check(status == 200 and 'repro_requests_total{status="200"}' in text,
+              "metrics exposition renders")
+        check("repro_timeouts_total 1" in text, "timeout counted in metrics")
+
+        # 5. Orderly shutdown.
+        server.send_signal(signal.SIGINT)
+        stdout, stderr = server.communicate(timeout=60)
+        check(server.returncode == 0, f"clean exit (code {server.returncode})")
+        check("shutdown complete" in (banner + stdout),
+              "shutdown message printed")
+        print("\nserver smoke: all checks passed")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,7 @@ from .rdf import (
 )
 from .sparql import (
     Bag,
+    QueryTimeoutError,
     SelectQuery,
     SparqlSyntaxError,
     UnsupportedFeatureError,
@@ -89,6 +90,7 @@ __all__ = [
     "SelectQuery",
     "Bag",
     "SparqlSyntaxError",
+    "QueryTimeoutError",
     "UnsupportedFeatureError",
     # bgp
     "BGPEngine",

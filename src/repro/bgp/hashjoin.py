@@ -21,14 +21,14 @@ driven from the candidates instead of the full index range.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..rdf.triple import TriplePattern
 from ..sparql.bags import Bag, Row, join, join_output_schema, join_streamed
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .filters import combine_predicates as _combine
-from .interface import BGPEngine, Candidates, PlanEstimate
+from .interface import BGPEngine, Candidates, PlanEstimate, ticked_rows
 from .plans import greedy_pattern_order
 
 __all__ = ["HashJoinEngine", "binary_join_cost"]
@@ -58,6 +58,7 @@ class HashJoinEngine(BGPEngine):
         candidates: Optional[Candidates] = None,
         filters=None,
         limit: Optional[int] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> Bag:
         if not patterns:
             return Bag.identity()
@@ -75,7 +76,14 @@ class HashJoinEngine(BGPEngine):
         result: Optional[Bag] = None
         last = len(ordered) - 1
         for index, pattern in enumerate(ordered):
+            if checkpoint is not None:
+                checkpoint()
             schema, rows = self._scan_rows(pattern, candidates)
+            if checkpoint is not None:
+                # Amortized cancellation inside the streaming scan: the
+                # deadline can abort a long probe mid-pattern instead of
+                # only between patterns.
+                rows = ticked_rows(rows, checkpoint, mask=1023)
             if remaining:
                 # Pushdown stage 1: filters covered by this one scan run
                 # inside the streaming scan, before any join sees the rows.
@@ -105,14 +113,18 @@ class HashJoinEngine(BGPEngine):
                 # join a LIMIT stops the probe once enough (post-filter)
                 # rows exist.
                 keep = _combine(join_filters, out_schema) if join_filters else None
-                result = join_streamed(result, schema, rows, keep=keep, stop_at=stop)
+                result = join_streamed(
+                    result, schema, rows, keep=keep, stop_at=stop, checkpoint=checkpoint
+                )
             elif self._scan_estimate(pattern, counts[pattern], candidates) < len(result):
                 # The scan is the smaller relation: materialize it and
                 # let join() hash-build on it (Equation 9 builds on the
                 # cheaper side) instead of on the accumulated result.
-                result = join(result, Bag.from_rows(schema, list(rows)))
+                result = join(
+                    result, Bag.from_rows(schema, list(rows)), checkpoint=checkpoint
+                )
             else:
-                result = join_streamed(result, schema, rows)
+                result = join_streamed(result, schema, rows, checkpoint=checkpoint)
             if not result:
                 return Bag.empty()
         for compiled in remaining:  # safety net; unreachable when the

@@ -21,7 +21,7 @@ mappings at projection time.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
@@ -34,15 +34,37 @@ __all__ = [
     "BGPEngine",
     "decode_bag",
     "ground_pattern_present",
+    "ticked_rows",
 ]
 
 
-def decode_bag(store: TripleStore, bag: Bag) -> Bag:
+def ticked_rows(rows: Iterable, checkpoint: Callable[[], None], mask: int = 4095) -> Iterator:
+    """Wrap a row stream so ``checkpoint`` fires every ``mask + 1`` rows.
+
+    The amortized form of the cooperative-cancellation contract: a scan
+    that streams millions of rows re-enters the hook often enough for a
+    deadline to abort it with bounded latency, while the per-row cost
+    stays one increment and one masked branch.  ``mask`` must be
+    ``2**k - 1``.
+    """
+    tick = 0
+    for row in rows:
+        tick += 1
+        if not (tick & mask):
+            checkpoint()
+        yield row
+
+
+def decode_bag(
+    store: TripleStore, bag: Bag, checkpoint: Optional[Callable[[], None]] = None
+) -> Bag:
     """Convert an id-level bag to a term-level bag.
 
     Works column-wise on the bag's rows, memoizing each distinct id so
     the dictionary is consulted once per value, not once per occurrence.
     Shared by every engine and baseline that decodes at the boundary.
+    ``checkpoint`` fires amortized per decoded row, so the deadline
+    machinery also bounds the decode of a huge result.
     """
     decode = store.decode
     cache: Dict[int, object] = {}
@@ -55,9 +77,8 @@ def decode_bag(store: TripleStore, bag: Bag) -> Bag:
             term = cache[value] = decode(value)
         return term
 
-    return Bag.from_rows(
-        bag.schema, [tuple(decoded(v) for v in row) for row in bag.rows]
-    )
+    source = bag.rows if checkpoint is None else ticked_rows(bag.rows, checkpoint)
+    return Bag.from_rows(bag.schema, [tuple(decoded(v) for v in row) for row in source])
 
 #: Candidate restriction: variable name → set of permitted term ids.
 Candidates = Dict[str, Set[int]]
@@ -99,6 +120,7 @@ class BGPEngine:
         candidates: Optional[Candidates] = None,
         filters=None,
         limit: Optional[int] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> Bag:
         """Evaluate the BGP, returning a bag of id-level mappings.
 
@@ -113,6 +135,13 @@ class BGPEngine:
         returning (pushing them into scans/joins is their optimization
         choice).  ``limit`` permits — but does not require — stopping
         production after that many (post-filter) result rows.
+
+        ``checkpoint`` is a cooperative-cancellation hook: when given,
+        engines must invoke it at least once per pattern step and are
+        expected to invoke it amortized (every few thousand rows)
+        inside scan loops, so a raise from it — the deadline mechanism
+        of :meth:`repro.core.engine.SparqlUOEngine.execute` — aborts
+        a running BGP with bounded latency.
         """
         raise NotImplementedError
 
@@ -127,9 +156,9 @@ class BGPEngine:
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
-    def decode_bag(self, bag: Bag) -> Bag:
+    def decode_bag(self, bag: Bag, checkpoint: Optional[Callable[[], None]] = None) -> Bag:
         """Convert id-level mappings to term-level mappings."""
-        return decode_bag(self.store, bag)
+        return decode_bag(self.store, bag, checkpoint)
 
     def encode_candidates_from_bag(
         self, bag: Bag, variables: Iterable[str]

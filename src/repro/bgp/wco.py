@@ -23,7 +23,7 @@ incident adjacency list at least once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
@@ -31,7 +31,7 @@ from ..sparql.bags import Bag, Row
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .filters import combine_predicates as _combine
-from .interface import BGPEngine, Candidates, PlanEstimate
+from .interface import BGPEngine, Candidates, PlanEstimate, ticked_rows
 from .plans import greedy_pattern_order
 
 __all__ = ["WCOJoinEngine"]
@@ -94,6 +94,7 @@ class WCOJoinEngine(BGPEngine):
         candidates: Optional[Candidates] = None,
         filters=None,
         limit: Optional[int] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> Bag:
         if not patterns:
             return Bag.identity()
@@ -109,6 +110,8 @@ class WCOJoinEngine(BGPEngine):
         rows: List[Row] = [()]
         last = len(ordered) - 1
         for index, pattern in enumerate(ordered):
+            if checkpoint is not None:
+                checkpoint()
             edge = _Edge(self.store, pattern)
             rows = self._extend(
                 schema,
@@ -118,6 +121,7 @@ class WCOJoinEngine(BGPEngine):
                 candidates,
                 filters=remaining or None,
                 stop_at=limit if index == last else None,
+                checkpoint=checkpoint,
             )
             if not rows:
                 return Bag.empty()
@@ -140,6 +144,7 @@ class WCOJoinEngine(BGPEngine):
         candidates: Optional[Candidates],
         filters=None,
         stop_at: Optional[int] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> List[Row]:
         """Extend every partial tuple through one edge.
 
@@ -204,8 +209,22 @@ class WCOJoinEngine(BGPEngine):
             stop_at = None  # uncovered filters could still drop rows
 
         scan = self.store.indexes.scan
+        if checkpoint is not None:
+            # Cancellation armed: tick amortized inside each adjacency
+            # scan via a wrapper, so the hot timeout-less path below
+            # carries no per-triple branch at all.
+            raw_scan = scan
+
+            def scan(s, p, o, _raw=raw_scan, _check=checkpoint):
+                return ticked_rows(_raw(s, p, o), _check)
+
         out: List[Row] = []
+        tick = 0  # outer-loop tick: empty scans must still hit the hook
         for row in rows:
+            if checkpoint is not None:
+                tick += 1
+                if not (tick & 4095):
+                    checkpoint()
             s = cs[1] if cs[0] == "const" else (row[cs[1]] if cs[0] == "slot" else None)
             p = cp[1] if cp[0] == "const" else (row[cp[1]] if cp[0] == "slot" else None)
             o = co[1] if co[0] == "const" else (row[co[1]] if co[0] == "slot" else None)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``query``     run a SPARQL-UO query over an N-Triples file or a binary
               store snapshot (detected by magic, so ``data.snap`` and
@@ -8,6 +8,12 @@ Four subcommands cover the common workflows:
 
                   python -m repro query data.nt "SELECT ?x WHERE { … }"
                   python -m repro query data.snap -f query.rq --mode base
+                  python -m repro query data.snap -f query.rq --format json
+
+``serve``     expose a snapshot as a SPARQL 1.1 Protocol HTTP endpoint
+              backed by a pool of worker processes::
+
+                  python -m repro serve data.snap --workers 4 --timeout 10
 
 ``generate``  write a synthetic benchmark dataset (optionally also as a
               snapshot)::
@@ -39,6 +45,13 @@ from .storage.snapshot import MAGIC, SnapshotError, SnapshotReader
 from .storage.store import TripleStore
 
 __all__ = ["main", "build_parser"]
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return number
 
 
 def _is_snapshot(path: str) -> bool:
@@ -93,7 +106,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--explain", action="store_true", help="print the BE-tree plan")
     query.add_argument("--stats", action="store_true", help="print execution statistics")
-    query.add_argument("--limit", type=int, default=None, help="print at most N rows")
+    query.add_argument(
+        "--limit", type=_non_negative_int, default=None, help="print at most N rows"
+    )
+    query.add_argument(
+        "--format",
+        choices=["table", "json", "csv", "tsv"],
+        default="table",
+        help="result rendering: human-readable table (default) or the "
+        "W3C SPARQL 1.1 results formats",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a snapshot as a SPARQL 1.1 Protocol endpoint"
+    )
+    serve.add_argument("data", help="store snapshot (.snap; .nt accepted but slower)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=2, help="worker processes")
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, help="per-query budget in seconds"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="concurrent queries admitted (0: one per worker)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=0,
+        help="requests allowed to wait for a slot before 503 (0: 2x in-flight)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="result-cache capacity in entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="result-cache capacity in payload bytes",
+    )
+    serve.add_argument(
+        "--engine", choices=["wco", "hashjoin"], default="wco", help="worker BGP engine"
+    )
+    serve.add_argument(
+        "--mode", choices=["base", "tt", "cp", "full"], default="full"
+    )
+    serve.add_argument(
+        "--log-requests", action="store_true", help="log every request to stderr"
+    )
 
     generate = sub.add_parser("generate", help="write a synthetic benchmark dataset")
     generate.add_argument("flavor", choices=["lubm", "dbpedia"])
@@ -166,13 +232,26 @@ def _command_query(args, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print("\t".join(f"?{v}" for v in result.variables), file=out)
-    for index, row in enumerate(result):
-        if args.limit is not None and index >= args.limit:
-            print(f"… ({len(result) - args.limit} more rows)", file=out)
-            break
-        cells = [row[v].n3() if v in row else "" for v in result.variables]
-        print("\t".join(cells), file=out)
+    if args.format != "table":
+        from itertools import islice
+
+        from .sparql.results import WRITERS
+
+        solutions = result.solutions
+        if args.limit is not None:
+            solutions = islice(iter(solutions), args.limit)
+        # Streamed row by row: no second in-memory copy of the payload.
+        WRITERS[args.format](out, result.variables, solutions)
+        if args.format == "json":
+            out.write("\n")
+    else:
+        print("\t".join(f"?{v}" for v in result.variables), file=out)
+        for index, row in enumerate(result):
+            if args.limit is not None and index >= args.limit:
+                print(f"… ({len(result) - args.limit} more rows)", file=out)
+                break
+            cells = [row[v].n3() if v in row else "" for v in result.variables]
+            print("\t".join(cells), file=out)
 
     if args.stats:
         report = result.transform_report
@@ -184,9 +263,31 @@ def _command_query(args, out) -> int:
             f"join space {result.join_space:.3g} | "
             f"transformations {report.transformations if report else 0} | "
             f"pruned BGP evals {result.trace.pruned_evaluations}",
-            file=out,
+            # Stats must not corrupt a machine-readable payload: with
+            # --format json/csv/tsv they go to stderr instead.
+            file=out if args.format == "table" else sys.stderr,
         )
     return 0
+
+
+def _command_serve(args, out) -> int:
+    from .server import ServerConfig, serve as run_server
+
+    config = ServerConfig(
+        data=args.data,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        timeout=args.timeout,
+        max_inflight=args.max_inflight,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        engine=args.engine,
+        mode=args.mode,
+        log_requests=args.log_requests,
+    )
+    return run_server(config, out=out)
 
 
 def _command_generate(args, out) -> int:
@@ -250,6 +351,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "query":
         return _command_query(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
     if args.command == "generate":
         return _command_generate(args, out)
     if args.command == "snapshot":

@@ -26,13 +26,14 @@ from __future__ import annotations
 import enum
 import time
 from collections import OrderedDict
-from typing import Iterator, List, Optional as Opt, Tuple, Union as U
+from typing import Callable, Iterator, List, Optional as Opt, Tuple, Union as U
 
 from ..bgp.hashjoin import HashJoinEngine
 from ..bgp.interface import BGPEngine
 from ..bgp.wco import WCOJoinEngine
 from ..rdf.dataset import Dataset
 from ..sparql.algebra import SelectQuery, pattern_variables
+from ..sparql.errors import QueryTimeoutError
 from ..sparql.bags import Bag, Mapping
 from ..sparql.parser import parse_query
 from ..sparql.semantics import distinct_bag, order_bag, slice_bag
@@ -264,7 +265,12 @@ class SparqlUOEngine:
                 self._plan_cache.popitem(last=False)
         return query, tree, report, parse_seconds, transform_seconds
 
-    def execute(self, query: U[str, SelectQuery]) -> QueryResult:
+    def execute(
+        self,
+        query: U[str, SelectQuery],
+        timeout: Opt[float] = None,
+        checkpoint: Opt[Callable[[], None]] = None,
+    ) -> QueryResult:
         """Run the full pipeline on a query text or parsed query.
 
         Solution modifiers follow SPARQL 1.1's pipeline (ORDER BY →
@@ -277,8 +283,24 @@ class SparqlUOEngine:
           the dictionary is bijective, so id-row equality is term-row
           equality — and only the surviving page is decoded;
         - FILTERs are pushed into scans / joins by the evaluator.
+
+        ``timeout`` (seconds) arms a cooperative deadline: the
+        evaluator and the BGP engines' scan loops re-enter a checkpoint
+        hook that raises :class:`~repro.sparql.errors.QueryTimeoutError`
+        once the wall-clock budget is exhausted.  Cancellation is
+        cooperative — it fires at the next checkpoint, not instantly —
+        so callers that must bound a query *hard* (the protocol
+        server's worker pool) keep a kill-based backstop.  ``checkpoint``
+        composes an additional caller-supplied hook (e.g. "client
+        disconnected") into the same mechanism.
         """
+        # Arm the deadline before planning, so parse/transform time
+        # counts against the budget; the check right after fires when
+        # planning alone used it up.
+        check = self._make_checkpoint(timeout, checkpoint)
         parsed, tree, report, parse_seconds, transform_seconds = self.prepare(query)
+        if check is not None:
+            check()
 
         execute_start = time.perf_counter()
         trace = EvaluationTrace()
@@ -290,14 +312,25 @@ class SparqlUOEngine:
             and not parsed.deduplicates
         ):
             limit_hint = parsed.offset + parsed.limit
-        solutions = self.evaluator.evaluate(tree, trace, limit_hint=limit_hint)
+        solutions = self.evaluator.evaluate(
+            tree, trace, limit_hint=limit_hint, checkpoint=check
+        )
+        if check is not None:
+            check()  # once more before the decode/modifier phases
         names = parsed.projection_names()
         if names is None:
             names = sorted(pattern_variables(parsed.where))
         if parsed.order_by:
             # Ordering precedes projection (keys may use non-projected
-            # variables), so the full bag is decoded first.
-            decoded = order_bag(self.bgp_engine.decode_bag(solutions), parsed.order_by)
+            # variables), so the full bag is decoded first.  The decode
+            # loop re-enters the checkpoint; the modifier stages check
+            # once in between, so the deadline also bounds the
+            # post-evaluation pipeline rather than only the BGP phase.
+            decoded = order_bag(
+                self.bgp_engine.decode_bag(solutions, checkpoint=check), parsed.order_by
+            )
+            if check is not None:
+                check()
             projected = decoded.project(names)
             if parsed.deduplicates:
                 projected = distinct_bag(projected)
@@ -306,10 +339,16 @@ class SparqlUOEngine:
             page = solutions.project(names)
             if parsed.deduplicates:
                 page = distinct_bag(page)  # on encoded rows, pre-decode
+                if check is not None:
+                    check()
             page = slice_bag(page, parsed.offset, parsed.limit)
-            projected = self.bgp_engine.decode_bag(page)
+            projected = self.bgp_engine.decode_bag(page, checkpoint=check)
         else:
-            projected = self.bgp_engine.decode_bag(solutions).project(names)
+            projected = self.bgp_engine.decode_bag(solutions, checkpoint=check).project(
+                names
+            )
+            if check is not None:
+                check()
             if parsed.deduplicates:
                 projected = distinct_bag(projected)
             projected = slice_bag(projected, parsed.offset, parsed.limit)
@@ -325,6 +364,44 @@ class SparqlUOEngine:
             transform_seconds=transform_seconds,
             execute_seconds=execute_seconds,
         )
+
+    @classmethod
+    def deadline_checkpoint(cls, timeout: float) -> Callable[[], None]:
+        """A standalone deadline hook, armed now for ``timeout`` seconds.
+
+        The same closure :meth:`execute`'s ``timeout=`` arms
+        internally, exposed for callers that need one budget to span
+        *more* than the execute call — the protocol server's workers
+        pass it both to ``execute(checkpoint=...)`` and to their
+        result-serialization loop.
+        """
+        check = cls._make_checkpoint(timeout, None)
+        assert check is not None  # timeout is not None ⇒ a hook exists
+        return check
+
+    @staticmethod
+    def _make_checkpoint(
+        timeout: Opt[float], extra: Opt[Callable[[], None]]
+    ) -> Opt[Callable[[], None]]:
+        """Compose the deadline hook and a caller-supplied hook."""
+        if timeout is None:
+            return extra
+        expires = time.monotonic() + timeout
+
+        if extra is None:
+
+            def check() -> None:
+                if time.monotonic() > expires:
+                    raise QueryTimeoutError(timeout)
+
+        else:
+
+            def check() -> None:
+                if time.monotonic() > expires:
+                    raise QueryTimeoutError(timeout)
+                extra()
+
+        return check
 
     def explain(self, query: U[str, SelectQuery]) -> str:
         """The (transformed) BE-tree plan as indented text."""

@@ -16,9 +16,14 @@ Candidate pruning follows the paper's modification of Algorithm 1: the
 *current* results flow into nested structures as candidates, while BGP
 children are restricted by the candidates passed in from the enclosing
 context.  When the current results are still the identity (nothing
-evaluated yet at this level) the incoming candidates are forwarded, so
-pruning crosses levels — the behaviour §6 highlights for nested
-OPTIONALs.
+evaluated yet at this level) the incoming candidates are forwarded to
+BGP / group / UNION children, so pruning crosses levels — the
+behaviour §6 highlights for nested OPTIONALs.  OPTIONAL children are
+the exception: an OPTIONAL left-joining against the identity must see
+its full optional side (pruning could flip it from nonempty — rows
+that merely fail to join later — to empty, and ⟕ would then wrongly
+keep the bare left row), so they receive candidates only from actual
+current results.
 
 FILTER pushdown (with ``pushdown=True``, the default):
 
@@ -43,7 +48,7 @@ Figure 11) is computed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional as Opt, Sequence
+from typing import Callable, Dict, List, Optional as Opt, Sequence
 
 from ..bgp.filters import CompiledFilter
 from ..bgp.interface import BGPEngine
@@ -107,16 +112,25 @@ class BGPBasedEvaluator:
         tree: BETree,
         trace: Opt[EvaluationTrace] = None,
         limit_hint: Opt[int] = None,
+        checkpoint: Opt[Callable[[], None]] = None,
     ) -> Bag:
         """Evaluate the whole tree; returns an id-level solution bag.
 
         ``limit_hint`` (offset+limit of a modifier-free LIMIT query)
         allows the root group to stop producing solutions early; it is
         only forwarded where truncating is sound.
+
+        ``checkpoint`` is the cooperative cancellation hook: a zero-arg
+        callable invoked between operator evaluations and, amortized,
+        inside the BGP engines' scan loops.  Raising from it (the
+        deadline hook raises :class:`~repro.sparql.errors.QueryTimeoutError`)
+        aborts the evaluation at the next check.
         """
         if not self.pushdown:
             limit_hint = None
-        return self.evaluate_group(tree.root, None, trace, limit_hint=limit_hint)
+        return self.evaluate_group(
+            tree.root, None, trace, limit_hint=limit_hint, checkpoint=checkpoint
+        )
 
     def evaluate_group(
         self,
@@ -124,6 +138,7 @@ class BGPBasedEvaluator:
         cand: Opt[Bag],
         trace: Opt[EvaluationTrace] = None,
         limit_hint: Opt[int] = None,
+        checkpoint: Opt[Callable[[], None]] = None,
     ) -> Bag:
         """BGPBasedEvaluation(D, T(group), cand) — Algorithm 1."""
         store = self.engine.store
@@ -135,6 +150,8 @@ class BGPBasedEvaluator:
         operators = [c for c in group.children if not isinstance(c, FilterNode)]
         r: Opt[Bag] = None  # None ⇔ the join identity (nothing yet)
         for position, child in enumerate(operators):
+            if checkpoint is not None:
+                checkpoint()
             # Nested structures receive the *current* results as
             # candidates (the paper's Lines 7/9/15/19); BGP children
             # receive the candidates passed in from the enclosing
@@ -159,24 +176,42 @@ class BGPBasedEvaluator:
                     # every group filter runs inside it, so its output
                     # rows are final — production can stop at the hint.
                     bgp_limit = limit_hint
-                evaluated = self._evaluate_bgp(child, cand, trace, pushed, bgp_limit)
+                evaluated = self._evaluate_bgp(
+                    child, cand, trace, pushed, bgp_limit, checkpoint
+                )
                 if pushed:
                     pending = [f for f in pending if f not in pushed]
                     if trace is not None:
                         trace.pushed_filters += len(pushed)
-                r = evaluated if r is None else join(r, evaluated)
+                r = evaluated if r is None else join(r, evaluated, checkpoint=checkpoint)
             elif isinstance(child, GroupNode):
-                evaluated = self.evaluate_group(child, child_cand, trace)
-                r = evaluated if r is None else join(r, evaluated)
+                evaluated = self.evaluate_group(
+                    child, child_cand, trace, checkpoint=checkpoint
+                )
+                r = evaluated if r is None else join(r, evaluated, checkpoint=checkpoint)
             elif isinstance(child, UnionNode):
                 u = Bag.empty()
                 for branch in child.branches:
-                    u = union(u, self.evaluate_group(branch, child_cand, trace))
-                r = u if r is None else join(r, u)
+                    u = union(
+                        u,
+                        self.evaluate_group(
+                            branch, child_cand, trace, checkpoint=checkpoint
+                        ),
+                    )
+                r = u if r is None else join(r, u, checkpoint=checkpoint)
             elif isinstance(child, OptionalNode):
-                o = self.evaluate_group(child.group, child_cand, trace)
+                # Candidates are forwarded only when actual left rows
+                # exist at this level (r, not child_cand): an OPTIONAL
+                # left-joining against the *identity* must see its full
+                # optional side.  Pruning it with the enclosing
+                # context's candidates can flip a nonempty side — whose
+                # rows merely fail to join *later* — into an empty one,
+                # and ⟕ then wrongly keeps the bare left row ("no
+                # partner" and "no compatible partner" differ exactly
+                # when the left row is the empty mapping).
+                o = self.evaluate_group(child.group, r, trace, checkpoint=checkpoint)
                 left = r if r is not None else Bag.identity()
-                r = left_join(left, o)
+                r = left_join(left, o, checkpoint=checkpoint)
             else:  # pragma: no cover - tree constructor validates
                 raise TypeError(f"not a BE-tree node: {child!r}")
             if pending and r is not None and self.pushdown:
@@ -220,13 +255,18 @@ class BGPBasedEvaluator:
         trace: Opt[EvaluationTrace],
         filters: Sequence[CompiledFilter] = (),
         limit: Opt[int] = None,
+        checkpoint: Opt[Callable[[], None]] = None,
     ) -> Bag:
         if node.is_empty():
             return Bag.identity()
         candidates = self.policy.candidates_for(self.engine, node.patterns, cand)
-        if filters or limit is not None:
+        if filters or limit is not None or checkpoint is not None:
             result = self.engine.evaluate(
-                node.patterns, candidates, filters=filters or None, limit=limit
+                node.patterns,
+                candidates,
+                filters=filters or None,
+                limit=limit,
+                checkpoint=checkpoint,
             )
         else:
             # Keyword-free call keeps minimal BGPEngine implementations

@@ -1,0 +1,46 @@
+"""SPARQL 1.1 Protocol server over snapshot-backed worker processes.
+
+The subsystem that turns the single-process engine into a query
+*service*: an HTTP endpoint (``GET``/``POST /sparql`` with content
+negotiation, plus ``/healthz`` and ``/metrics``) fronting a pool of
+worker processes that each open the same ``.snap`` snapshot mmap-lazily
+— a cold fleet shares page cache and reaches its first answer fast —
+wrapped in the production controls a public endpoint needs:
+
+- **admission control** (:mod:`.app`): a bounded in-flight limit and a
+  bounded wait queue; excess load is shed immediately with ``503``;
+- **per-query timeouts** (:mod:`.pool`): a cooperative engine deadline
+  first, and a hard kill-and-respawn of the worker as the backstop;
+- **a generation-keyed result cache** (:mod:`.cache`): entries are
+  keyed on the snapshot's persisted store generation, so invalidation
+  across data versions is structural rather than scheduled;
+- **per-query metrics** (:mod:`.metrics`): latency quantiles, row and
+  join-space counters, aggregated into a Prometheus-style ``/metrics``.
+"""
+
+from .app import SparqlServer, serve
+from .cache import CachedResult, ResultCache
+from .config import ServerConfig
+from .metrics import ServerMetrics
+from .pool import WorkerPool, WorkerReply
+from .protocol import (
+    FORMAT_MEDIA_TYPES,
+    ProtocolError,
+    negotiate_format,
+    parse_sparql_request,
+)
+
+__all__ = [
+    "SparqlServer",
+    "serve",
+    "ServerConfig",
+    "ResultCache",
+    "CachedResult",
+    "ServerMetrics",
+    "WorkerPool",
+    "WorkerReply",
+    "ProtocolError",
+    "FORMAT_MEDIA_TYPES",
+    "negotiate_format",
+    "parse_sparql_request",
+]

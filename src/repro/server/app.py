@@ -1,0 +1,404 @@
+"""The HTTP front end: admission control, caching, routing, lifecycle.
+
+``SparqlServer`` wires a threaded HTTP listener to the worker pool:
+each connection is handled on its own thread, which (1) parses the
+protocol request, (2) passes admission control — a bounded in-flight
+limit plus a bounded wait queue, everything beyond which is shed with
+an immediate 503 — (3) consults the generation-keyed result cache, and
+only then (4) leases a worker.  Cache hits therefore cost no worker,
+no engine and no serializer; sheds cost almost nothing at all, which
+is what keeps an overloaded endpoint responsive.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Optional, Tuple
+
+from .cache import CachedResult, ResultCache
+from .config import ServerConfig
+from .metrics import ServerMetrics
+from .pool import PoolError, WorkerPool, WorkerReply
+from .protocol import FORMAT_MEDIA_TYPES, ProtocolError, parse_sparql_request
+
+__all__ = ["AdmissionController", "SparqlServer", "serve"]
+
+#: WorkerReply.kind → HTTP status for non-ok outcomes.
+_REPLY_STATUS = {
+    "timeout": 504,
+    "syntax": 400,
+    "unsupported": 400,
+    "error": 500,
+    "shed": 503,
+}
+
+
+class AdmissionController:
+    """Bounded concurrency with a bounded, time-limited wait queue.
+
+    ``max_inflight`` permits execute concurrently; up to ``queue_size``
+    further requests wait (at most ``queue_wait`` seconds) for a slot;
+    everything beyond that is refused instantly — load past the cliff
+    costs a constant-time 503, not a thread parked on a lock.
+    """
+
+    def __init__(self, max_inflight: int, queue_size: int, queue_wait: float):
+        self._slots = threading.Semaphore(max_inflight)
+        self._queue_size = queue_size
+        self._queue_wait = queue_wait
+        self._lock = threading.Lock()
+        self._waiting = 0
+
+    def acquire(self) -> bool:
+        if self._slots.acquire(blocking=False):
+            return True
+        with self._lock:
+            if self._waiting >= self._queue_size:
+                return False
+            self._waiting += 1
+        try:
+            return self._slots.acquire(timeout=self._queue_wait)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        self._slots.release()
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.server`` is the :class:`_HTTPServer` below."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-sparql"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> "SparqlServer":
+        return self.server.state  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        # Arm the per-connection socket timeout before any read: slow
+        # or stalled clients get disconnected instead of parking this
+        # handler thread (and its fd) forever — admission control only
+        # guards execution, this guards ingestion.
+        self.timeout = self.state.config.socket_timeout
+        super().setup()
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if self.state.config.log_requests:
+            sys.stderr.write(
+                "%s - - [%s] %s\n" % (self.address_string(), self.log_date_time_string(), fmt % args)
+            )
+
+    def _respond(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        extra: Optional[Tuple[Tuple[str, str], ...]] = None,
+    ) -> None:
+        # wfile is unbuffered, so even the status line hits the socket:
+        # the whole emission is guarded against clients that hung up
+        # mid-query (no stderr traceback, metrics still recorded).
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in extra or ():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:  # client went away
+            self.close_connection = True
+        self.state.metrics.record_response(status)
+
+    def _respond_error(self, status: int, message: str) -> None:
+        body = json.dumps({"error": message}) + "\n"
+        extra = (("Retry-After", "1"),) if status == 503 else None
+        self._respond(status, "application/json", body.encode("utf-8"), extra)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        if self.headers.get("Content-Length") not in (None, "0") or self.headers.get(
+            "Transfer-Encoding"
+        ):
+            # A GET body would sit unread in the keep-alive stream and
+            # be parsed as the next request line — reject it outright.
+            self._respond_error(400, "GET requests must not carry a body")
+            self.close_connection = True
+            return
+        path, _, query_string = self.path.partition("?")
+        if path == "/sparql":
+            self._handle_sparql("GET", query_string, b"")
+        elif path == "/healthz":
+            self._handle_healthz()
+        elif path == "/metrics":
+            self._handle_metrics()
+        else:
+            self._respond_error(404, f"no route for {path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _, query_string = self.path.partition("?")
+        if path != "/sparql":
+            self._respond_error(404, f"no route for {path}")
+            return
+        if self.headers.get("Transfer-Encoding"):
+            # Bodies are only read by Content-Length; leaving chunked
+            # framing unconsumed would desync the keep-alive stream.
+            self._respond_error(411, "chunked transfer encoding not supported")
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._respond_error(400, "bad Content-Length")
+            self.close_connection = True
+            return
+        if length < 0:
+            # read(-1) would block on the open socket until the client
+            # hangs up — refuse instead.
+            self._respond_error(400, "bad Content-Length")
+            self.close_connection = True
+            return
+        if length > self.state.config.max_body_bytes:
+            # Refuse before buffering: admission control guards query
+            # *execution*; this guards request *ingestion*.
+            self._respond_error(413, "request body too large")
+            self.close_connection = True
+            return
+        try:
+            body = self.rfile.read(length) if length else b""
+        except socket.timeout:
+            # Promised body never arrived within the socket timeout.
+            self.close_connection = True
+            return
+        self._handle_sparql("POST", query_string, body)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _handle_sparql(self, method: str, query_string: str, body: bytes) -> None:
+        state = self.state
+        try:
+            request = parse_sparql_request(
+                method, query_string, self.headers, body, state.config.formats
+            )
+        except ProtocolError as exc:
+            self._respond_error(exc.status, str(exc))
+            return
+
+        started = perf_counter()
+        # The cache is consulted *before* admission control: a hit
+        # costs microseconds and no worker, so popular queries keep
+        # answering precisely when the execution slots are saturated.
+        if not state.generation_mixed:
+            cached = state.cache.get(state.generation, request.format, request.query)
+            if cached is not None:
+                self._respond(200, cached.content_type, cached.payload)
+                state.metrics.record_query(
+                    "hit", perf_counter() - started, cached.row_count, cached.join_space
+                )
+                return
+        if not state.admission.acquire():
+            state.metrics.record_shed()
+            self._respond_error(503, "server saturated; request shed")
+            return
+        state.metrics.enter()
+        try:
+            reply = state.pool.execute(request.query, request.format)
+            self._finish_executed(request, reply, started)
+        finally:
+            state.metrics.leave()
+            state.admission.release()
+
+    def _finish_executed(self, request, reply: WorkerReply, started: float) -> None:
+        state = self.state
+        if reply.kind != "ok":
+            if reply.kind == "timeout":
+                state.metrics.record_timeout()
+            if reply.kind == "shed":
+                state.metrics.record_shed()
+            self._respond_error(_REPLY_STATUS.get(reply.kind, 500), reply.message)
+            return
+        content_type = FORMAT_MEDIA_TYPES[request.format]
+        rows = int(reply.meta.get("rows", 0))  # type: ignore[arg-type]
+        join_space = float(reply.meta.get("join_space", 0.0))  # type: ignore[arg-type]
+        # Cache under the generation the worker *actually served* (a
+        # respawned worker may have reopened a rebuilt snapshot); once
+        # drift is detected the cache is disabled entirely, so mixed
+        # data versions are never served from it.
+        served_generation = int(reply.meta.get("generation", state.generation))  # type: ignore[arg-type]
+        if not state.generation_mixed:
+            state.cache.put(
+                served_generation,
+                request.format,
+                request.query,
+                CachedResult(reply.payload, content_type, rows, join_space),
+            )
+        self._respond(200, content_type, reply.payload)
+        state.metrics.record_query("miss", perf_counter() - started, rows, join_space)
+
+    def _handle_healthz(self) -> None:
+        state = self.state
+        alive = state.pool.alive
+        healthy = alive > 0
+        document = {
+            "status": "ok" if healthy else "degraded",
+            "workers": state.pool.size,
+            "alive": alive,
+            "generation": state.generation,
+            "generation_mixed": state.generation_mixed,
+            "inflight": state.metrics.inflight,
+            "cache": state.cache.stats(),
+        }
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self._respond(200 if healthy else 503, "application/json", body)
+
+    def _handle_metrics(self) -> None:
+        state = self.state
+        text = state.metrics.render(state.generation, state.pool.alive, state.cache.stats())
+        self._respond(200, "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8"))
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    state: "SparqlServer"
+
+
+class SparqlServer:
+    """The assembled service: pool + cache + metrics + HTTP listener."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.metrics = ServerMetrics()
+        self.cache = ResultCache(config.cache_entries, config.cache_bytes)
+        # Bind the listener *before* spawning workers: a bind failure
+        # (EADDRINUSE, privileged port) must not leave N freshly
+        # spawned processes parked on their pipes.
+        self._httpd = _HTTPServer((config.host, config.port), _Handler)
+        #: Set when a respawned worker reports a different snapshot
+        #: generation than the fleet started on (in-place rebuild):
+        #: results from different data versions now coexist, so the
+        #: result cache is cleared and bypassed — correctness degrades
+        #: to miss-through, never to stale hits.
+        self.generation_mixed = False
+        try:
+            self.pool = WorkerPool(
+                config,
+                on_restart=self.metrics.record_worker_restart,
+                on_generation_drift=self._on_generation_drift,
+            )
+        except BaseException:
+            self._httpd.server_close()
+            raise
+        self.generation = self.pool.generation
+        self.admission = AdmissionController(
+            config.effective_max_inflight,
+            config.effective_queue_size,
+            config.effective_queue_wait,
+        )
+        self._httpd.state = self
+        self._thread: Optional[threading.Thread] = None
+
+    def _on_generation_drift(self, new_generation: int) -> None:
+        self.generation_mixed = True
+        self.cache.disable()  # atomic clear-and-refuse under the cache lock
+        sys.stderr.write(
+            f"warning: worker respawned against generation {new_generation} "
+            f"(fleet started at {self.generation}); result cache disabled — "
+            f"restart the server to serve one consistent snapshot\n"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS's pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve on a background thread (tests, benchmarks)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-sparql-http", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting connections, then stop the workers.
+
+        Handler threads are daemonic, so shutdown never blocks on a
+        stuck client; a handler racing the worker-pool close gets a
+        clean "server shutting down" error reply rather than a torn
+        pipe (see :meth:`WorkerPool.execute`).
+        """
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "SparqlServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve(config: ServerConfig, out=None) -> int:
+    """The blocking ``repro serve`` entry point with signal handling."""
+    out = out if out is not None else sys.stdout
+    try:
+        server = SparqlServer(config)
+    except (PoolError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {config.data} at {server.url}/sparql "
+        f"(workers={server.pool.size} timeout={config.timeout:g}s "
+        f"generation={server.generation})",
+        file=out,
+        flush=True,
+    )
+
+    def _signal_handler(signum, frame) -> None:
+        # shutdown() must run off the serve_forever thread; the full
+        # cleanup happens once serve_forever returns, below.
+        threading.Thread(target=server._httpd.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _signal_handler)
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()  # idempotent with the handler's shutdown()
+    print("shutdown complete", file=out, flush=True)
+    return 0

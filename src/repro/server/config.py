@@ -1,0 +1,78 @@
+"""Server configuration: one frozen object shared by every component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` needs, with production-lean defaults.
+
+    The zero values of ``max_inflight`` / ``queue_size`` / ``queue_wait``
+    mean "derive from the worker count / timeout" — see the
+    ``effective_*`` properties, which every consumer reads instead of
+    the raw fields.
+    """
+
+    #: Path to the dataset: a ``.snap`` snapshot (recommended — workers
+    #: map it lazily and share page cache) or an N-Triples file (each
+    #: worker parses it at startup).
+    data: str
+    host: str = "127.0.0.1"
+    #: TCP port; 0 lets the OS pick (tests and benchmarks use this).
+    port: int = 8080
+    #: Worker processes; each runs one query at a time.
+    workers: int = 2
+    #: Per-query wall-clock budget in seconds.  Enforced cooperatively
+    #: inside the engine first; a worker that overruns the budget plus
+    #: :attr:`grace` is killed and respawned.
+    timeout: float = 30.0
+    #: Extra seconds past ``timeout`` before the hard kill.
+    grace: float = 2.0
+    #: Queries executing concurrently; 0 → ``workers``.
+    max_inflight: int = 0
+    #: Requests allowed to wait for an execution slot; beyond this the
+    #: request is shed with 503 immediately.  0 → ``2 * max_inflight``.
+    queue_size: int = 0
+    #: Longest a queued request waits for a slot before 503; 0 → ``timeout``.
+    queue_wait: float = 0.0
+    #: Result-cache capacity; 0 entries disables caching.
+    cache_entries: int = 256
+    cache_bytes: int = 64 * 1024 * 1024
+    #: Largest POST body accepted (413 beyond); queries are small, so
+    #: this guards request *ingestion* the way admission control
+    #: guards execution.
+    max_body_bytes: int = 2 * 1024 * 1024
+    #: Per-connection socket timeout: a client that trickles headers or
+    #: never sends its promised body cannot park a handler thread
+    #: forever.
+    socket_timeout: float = 60.0
+    #: Engine wiring, forwarded to every worker's SparqlUOEngine.
+    engine: str = "wco"
+    mode: str = "full"
+    #: Log one line per request to stderr (quiet by default).
+    log_requests: bool = False
+    #: Result formats served; first entry is the negotiation default.
+    formats: List[str] = field(default_factory=lambda: ["json", "csv", "tsv"])
+
+    @property
+    def effective_max_inflight(self) -> int:
+        return self.max_inflight if self.max_inflight > 0 else max(self.workers, 1)
+
+    @property
+    def effective_queue_size(self) -> int:
+        return self.queue_size if self.queue_size > 0 else 2 * self.effective_max_inflight
+
+    @property
+    def effective_queue_wait(self) -> float:
+        return self.queue_wait if self.queue_wait > 0 else self.timeout
+
+    @property
+    def hard_timeout(self) -> float:
+        """Seconds after which a worker is killed rather than trusted."""
+        return self.timeout + max(self.grace, 0.1)
+
+    def with_port(self, port: int) -> "ServerConfig":
+        return replace(self, port=port)

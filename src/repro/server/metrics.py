@@ -1,0 +1,188 @@
+"""Per-query server metrics, rendered in Prometheus exposition format.
+
+Deliberately concrete — one registry class with named fields rather
+than a generic metrics framework — because ``/metrics`` is the whole
+consumer.  Latency quantiles come from a bounded sliding window (the
+most recent observations), which is what a scrape-based monitor wants
+anyway; counters and sums are exact over the server's lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["LatencySummary", "ServerMetrics"]
+
+
+class LatencySummary:
+    """Exact count/sum plus sliding-window quantiles for one label set."""
+
+    __slots__ = ("count", "total", "_window")
+
+    def __init__(self, window: int = 4096):
+        self.count = 0
+        self.total = 0.0
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self._window.append(seconds)
+
+    def quantile(self, q: float) -> Optional[float]:
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class ServerMetrics:
+    """The server's aggregate view of every query it has handled."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        #: HTTP status code → responses sent.
+        self.requests_by_status: Counter = Counter()
+        self.shed_total = 0
+        self.timeouts_total = 0
+        self.worker_restarts_total = 0
+        self.inflight = 0
+        self.rows_total = 0
+        self.join_space_total = 0.0
+        #: Outcome label → latency summary; "hit" vs "miss" is the
+        #: cache dimension the benchmark's acceptance criterion reads.
+        self.latency: Dict[str, LatencySummary] = {
+            "hit": LatencySummary(),
+            "miss": LatencySummary(),
+        }
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_response(self, status: int) -> None:
+        with self._lock:
+            self.requests_by_status[status] += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed_total += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts_total += 1
+
+    def record_worker_restart(self) -> None:
+        with self._lock:
+            self.worker_restarts_total += 1
+
+    def record_query(
+        self, outcome: str, seconds: float, rows: int, join_space: float
+    ) -> None:
+        """One completed query: ``outcome`` is ``hit`` or ``miss``."""
+        with self._lock:
+            summary = self.latency.setdefault(outcome, LatencySummary())
+            summary.observe(seconds)
+            self.rows_total += rows
+            self.join_space_total += join_space
+
+    def enter(self) -> None:
+        with self._lock:
+            self.inflight += 1
+
+    def leave(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, generation: int, workers: int, cache_stats: Dict[str, int]) -> str:
+        """The ``/metrics`` document (Prometheus text exposition v0)."""
+        with self._lock:
+            lines: List[str] = []
+
+            def emit(name: str, value, help_text: str, kind: str = "counter", labels: str = ""):
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {kind}")
+                suffix = f"{{{labels}}}" if labels else ""
+                lines.append(f"{name}{suffix} {value}")
+
+            lines.append("# HELP repro_requests_total HTTP responses by status code.")
+            lines.append("# TYPE repro_requests_total counter")
+            for status in sorted(self.requests_by_status):
+                lines.append(
+                    f'repro_requests_total{{status="{status}"}} '
+                    f"{self.requests_by_status[status]}"
+                )
+            emit("repro_shed_total", self.shed_total, "Requests shed by admission control.")
+            emit("repro_timeouts_total", self.timeouts_total, "Queries past their deadline.")
+            emit(
+                "repro_worker_restarts_total",
+                self.worker_restarts_total,
+                "Workers killed and respawned.",
+            )
+            emit("repro_inflight_queries", self.inflight, "Queries executing now.", "gauge")
+            emit("repro_workers", workers, "Worker processes in the pool.", "gauge")
+            emit(
+                "repro_store_generation",
+                generation,
+                "Store generation served (result-cache key).",
+                "gauge",
+            )
+            emit("repro_rows_total", self.rows_total, "Result rows produced.")
+            emit(
+                "repro_join_space_total",
+                f"{self.join_space_total:.6g}",
+                "Summed join-space metric (paper Fig. 11) across queries.",
+            )
+            emit(
+                "repro_cache_hits_total", cache_stats.get("hits", 0), "Result-cache hits."
+            )
+            emit(
+                "repro_cache_misses_total",
+                cache_stats.get("misses", 0),
+                "Result-cache misses.",
+            )
+            emit(
+                "repro_cache_entries",
+                cache_stats.get("entries", 0),
+                "Result-cache entries resident.",
+                "gauge",
+            )
+            emit(
+                "repro_cache_bytes",
+                cache_stats.get("bytes", 0),
+                "Result-cache payload bytes resident.",
+                "gauge",
+            )
+            lines.append(
+                "# HELP repro_query_latency_seconds Query latency by cache outcome."
+            )
+            lines.append("# TYPE repro_query_latency_seconds summary")
+            for outcome, summary in sorted(self.latency.items()):
+                for q in (0.5, 0.9, 0.99):
+                    value = summary.quantile(q)
+                    if value is not None:
+                        lines.append(
+                            f'repro_query_latency_seconds{{cache="{outcome}",quantile="{q}"}} '
+                            f"{value:.6f}"
+                        )
+                lines.append(
+                    f'repro_query_latency_seconds_count{{cache="{outcome}"}} {summary.count}'
+                )
+                lines.append(
+                    f'repro_query_latency_seconds_sum{{cache="{outcome}"}} '
+                    f"{summary.total:.6f}"
+                )
+            emit(
+                "repro_uptime_seconds",
+                f"{time.time() - self.started_at:.3f}",
+                "Seconds since server start.",
+                "gauge",
+            )
+            return "\n".join(lines) + "\n"

@@ -1,0 +1,435 @@
+"""The worker-process pool: snapshot-backed query execution with
+per-query timeouts and kill-and-respawn recovery.
+
+Each worker is a separate process that opens the *same* snapshot file
+mmap-lazily (``TripleStore.load(lazy=True)``), so a cold fleet of N
+workers shares the page cache — the bytes one worker faults in are
+warm for the others — and reaches its first answer without any eager
+index build.  Workers use the ``spawn`` start method: the parent runs
+a threaded HTTP server, and forking a multi-threaded process risks
+inheriting held locks.
+
+Timeout discipline is two-layered:
+
+1. the worker arms one cooperative deadline checkpoint
+   (:meth:`SparqlUOEngine.deadline_checkpoint`) covering evaluation
+   *and* result serialization; a raise aborts at the next checkpoint
+   and reports a clean ``timeout`` reply — the worker survives and
+   keeps its warm caches;
+2. the parent polls the reply pipe for ``timeout + grace`` seconds; a
+   worker that blows through that (stuck outside any checkpoint, or
+   dead) is killed and a fresh worker is spawned in its place.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from .config import ServerConfig
+
+__all__ = ["PoolError", "WorkerPool", "WorkerReply"]
+
+#: Wall-clock budget for a worker to open the store and report ready.
+_STARTUP_TIMEOUT = 120.0
+
+
+class PoolError(Exception):
+    """The pool could not be brought up (bad snapshot, spawn failure)."""
+
+
+class WorkerReply:
+    """What one query execution came back with (or failed as)."""
+
+    __slots__ = ("kind", "payload", "meta", "message")
+
+    def __init__(
+        self,
+        kind: str,
+        payload: bytes = b"",
+        meta: Optional[Dict[str, object]] = None,
+        message: str = "",
+    ):
+        #: "ok" | "timeout" | "syntax" | "unsupported" | "error" | "shed"
+        self.kind = kind
+        self.payload = payload
+        self.meta = meta or {}
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"WorkerReply({self.kind!r}, {len(self.payload)} bytes)"
+
+
+def _open_store(path: str):
+    from ..rdf.ntriples import load_ntriples
+    from ..storage.snapshot import MAGIC
+    from ..storage.store import TripleStore
+
+    try:
+        with open(path, "rb") as handle:
+            is_snapshot = handle.read(len(MAGIC)) == MAGIC
+    except OSError as exc:
+        raise PoolError(f"cannot read {path!r}: {exc}") from exc
+    if is_snapshot:
+        # Lazy: the mmap stays shared with every sibling worker and
+        # terms/indexes materialize on first touch.
+        return TripleStore.load(path, lazy=True)
+    return TripleStore.from_dataset(load_ntriples(path))
+
+
+def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
+    """Child-process entry point: open the store, then serve queries.
+
+    Replies are small tuples (tag first) rather than rich objects so
+    the pipe traffic stays cheap to pickle.  The serialized result
+    payload is produced *in the worker* — the parent relays bytes and
+    never re-serializes, which also makes responses byte-identical to
+    the single-process CLI path (both call the same serializers).
+    """
+    import signal
+
+    from ..core.engine import SparqlUOEngine
+    from ..sparql.errors import (
+        QueryTimeoutError,
+        SparqlError,
+        SparqlSyntaxError,
+        UnsupportedFeatureError,
+    )
+
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group, workers included; shutdown is the parent's job (sentinel,
+    # then kill), so the workers ignore the signal rather than each
+    # dumping a KeyboardInterrupt traceback mid-recv.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from ..sparql.results import SERIALIZERS as serializers
+
+    try:
+        store = _open_store(data_path)
+        uo_engine = SparqlUOEngine(store, bgp_engine=engine, mode=mode)
+    except BaseException as exc:  # noqa: B036 — report, then die
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+
+    from ..bgp.interface import ticked_rows
+
+    conn.send(("ready", store.generation))
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        if request is None:  # orderly shutdown
+            break
+        query, fmt, timeout = request
+        started = time.perf_counter()
+        # One checkpoint spans both phases — evaluation and result
+        # serialization — so the whole request shares one budget.
+        check = SparqlUOEngine.deadline_checkpoint(timeout)
+        try:
+            result = uo_engine.execute(query, checkpoint=check)
+            payload = serializers[fmt](
+                result.variables, ticked_rows(iter(result.solutions), check)
+            ).encode("utf-8")
+            meta = {
+                "rows": len(result),
+                "parse_ms": round(result.parse_seconds * 1000, 3),
+                "execute_ms": round(result.execute_seconds * 1000, 3),
+                "total_ms": round((time.perf_counter() - started) * 1000, 3),
+                "join_space": result.join_space,
+                # The generation this worker actually served: a worker
+                # respawned after the snapshot was rebuilt in place may
+                # drift from the pool's startup generation, and cache
+                # writes must be keyed on the data that produced them.
+                "generation": store.generation,
+            }
+            conn.send(("ok", payload, meta))
+        except QueryTimeoutError as exc:
+            conn.send(("timeout", str(exc)))
+        except SparqlSyntaxError as exc:
+            conn.send(("syntax", str(exc)))
+        except UnsupportedFeatureError as exc:
+            conn.send(("unsupported", str(exc)))
+        except SparqlError as exc:
+            conn.send(("error", str(exc)))
+        except MemoryError:
+            # "crashed" tells the parent this worker is exiting, so it
+            # is replaced as part of this request rather than handed to
+            # the next client as a dead pipe.
+            conn.send(("crashed", "worker out of memory"))
+            break  # restart with a clean heap
+        except Exception as exc:  # noqa: BLE001 — the pipe is the error channel
+            conn.send(("error", f"internal error: {type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("index", "proc", "conn", "generation")
+
+    def __init__(self, ctx, index: int, config: ServerConfig):
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, config.data, config.engine, config.mode),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.generation: Optional[int] = None
+
+    def wait_ready(self, timeout: float) -> None:
+        if not self.conn.poll(timeout):
+            self.kill()
+            raise PoolError(f"worker {self.index} did not become ready in {timeout:.0f}s")
+        try:
+            message = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            self.kill()
+            raise PoolError(f"worker {self.index} died during startup") from exc
+        if message[0] != "ready":
+            self.kill()
+            raise PoolError(f"worker {self.index} failed to start: {message[1]}")
+        self.generation = message[1]
+
+    def shutdown(self, join_seconds: float = 2.0) -> None:
+        """Orderly stop: sentinel, join, then escalate to kill."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.proc.join(join_seconds)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):  # pragma: no cover - already gone
+            pass
+        self.proc.join(5.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class WorkerPool:
+    """N workers behind an idle queue, with kill-and-respawn recovery."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        on_restart: Optional[Callable[[], None]] = None,
+        on_generation_drift: Optional[Callable[[int], None]] = None,
+    ):
+        self.config = config
+        self._on_restart = on_restart
+        self._on_generation_drift = on_generation_drift
+        self._ctx = multiprocessing.get_context("spawn")
+        # RLock: _replace holds it across the closed-check *and* the
+        # nested _spawn, so close() cannot interleave between them.
+        self._spawn_lock = threading.RLock()
+        self._next_index = 0
+        self._closed = False
+        #: Workers lost to failed respawns, owed a retry (see _try_heal).
+        self._deficit = 0
+        self._idle: "queue.Queue[_Worker]" = queue.Queue()
+        self._workers: List[_Worker] = []
+        started: List[_Worker] = []
+        try:
+            # Start everyone first, then collect handshakes: workers
+            # import and open the snapshot concurrently, so a cold
+            # N-worker fleet starts in ~one worker's startup time.
+            for _ in range(max(config.workers, 1)):
+                started.append(self._spawn())
+            for worker in started:
+                worker.wait_ready(_STARTUP_TIMEOUT)
+            generations = {worker.generation for worker in started}
+            if len(generations) > 1:
+                # The data file changed while the fleet was starting:
+                # refuse to serve two data versions from one endpoint.
+                raise PoolError(
+                    "workers observed mixed snapshot generations "
+                    f"{sorted(g for g in generations if g is not None)}; "
+                    "retry once the data file is stable"
+                )
+            for worker in started:
+                self._idle.put(worker)
+        except BaseException:
+            # Any startup failure — PoolError, OSError from a spawn at
+            # the fd/process limit, KeyboardInterrupt mid-handshake —
+            # must not leave already-started workers running.
+            for worker in started:
+                worker.kill()
+            raise
+        self.generation: int = started[0].generation or 0
+        self.size = len(started)
+
+    def _spawn(self) -> _Worker:
+        with self._spawn_lock:
+            index = self._next_index
+            self._next_index += 1
+            worker = _Worker(self._ctx, index, self.config)
+            self._workers.append(worker)
+            return worker
+
+    def _replace(self, dead: _Worker) -> None:
+        """Kill ``dead`` and bring a fresh worker into the idle queue.
+
+        Runs on a background thread (see :meth:`execute`): the respawn
+        blocks on a full worker startup — snapshot open, or a complete
+        re-parse for N-Triples data — and the failing request's 504
+        must not wait on it, nor keep its admission slot held.
+        """
+        dead.kill()
+        with self._spawn_lock:
+            if dead in self._workers:
+                self._workers.remove(dead)
+        if self._on_restart is not None:
+            self._on_restart()
+        self._respawn_into_idle()
+
+    def _respawn_into_idle(self) -> None:
+        """Spawn one worker into the idle queue; on failure, record a
+        deficit that :meth:`execute` retries later."""
+        try:
+            with self._spawn_lock:
+                # Atomic with close(): either the pool is already closed
+                # (no spawn), or the replacement lands in _workers before
+                # close() snapshots the list — never an untracked process.
+                if self._closed:
+                    return
+                replacement = self._spawn()
+        except OSError:
+            # Pipe/process creation failed (fd or process pressure) on
+            # this daemon thread: note the deficit rather than let the
+            # exception escape as a stderr traceback.
+            with self._spawn_lock:
+                self._deficit += 1
+            return
+        try:
+            replacement.wait_ready(_STARTUP_TIMEOUT)
+        except PoolError:
+            # Startup worked once, so a respawn failure is transient
+            # (e.g. fd pressure): remove the dead handle from the
+            # roster and leave a deficit for the retry path.
+            with self._spawn_lock:
+                if replacement in self._workers:
+                    self._workers.remove(replacement)
+                self._deficit += 1
+            return
+        if (
+            replacement.generation is not None
+            and replacement.generation != self.generation
+            and self._on_generation_drift is not None
+        ):
+            # The snapshot was rebuilt in place: this worker now serves
+            # different data than its still-running siblings.  Surface
+            # it so the server can stop trusting generation-keyed
+            # caching (full consistency needs a rolling restart).
+            self._on_generation_drift(replacement.generation)
+        self._idle.put(replacement)
+
+    def _try_heal(self) -> None:
+        """Retry one failed respawn, if any are owed (non-blocking)."""
+        with self._spawn_lock:
+            if self._closed or self._deficit <= 0:
+                return
+            self._deficit -= 1
+        threading.Thread(target=self._respawn_into_idle, daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # the one request-path entry point
+    # ------------------------------------------------------------------
+    def execute(self, query: str, fmt: str) -> WorkerReply:
+        """Run one query on a leased worker; always returns a reply.
+
+        Hard-timeout and dead-worker paths return their error
+        immediately and heal (kill + respawn) on a background thread,
+        so the failing request costs no respawn wait.  An *admitted*
+        request can still wait here for an idle worker while a
+        replacement is starting up — bounded by ``queue_wait`` on top
+        of the admission wait, after which it is shed.
+        """
+        self._try_heal()  # repair any respawn failure from earlier load
+        try:
+            worker = self._idle.get(timeout=self.config.effective_queue_wait)
+        except queue.Empty:
+            return WorkerReply(
+                "shed", message="no worker available within the queue wait"
+            )
+        broken = False
+        try:
+            try:
+                worker.conn.send((query, fmt, self.config.timeout))
+            except (OSError, ValueError):
+                broken = True
+                return WorkerReply("error", message="worker unavailable; please retry")
+            try:
+                responded = worker.conn.poll(self.config.hard_timeout)
+            except (OSError, ValueError):
+                # The pipe was closed under us (e.g. pool.close() racing
+                # a daemonic handler thread at shutdown): answer rather
+                # than let the exception escape the handler.
+                broken = True
+                return WorkerReply("error", message="server shutting down; please retry")
+            if not responded:
+                broken = True
+                return WorkerReply(
+                    "timeout",
+                    message=(
+                        f"query exceeded the hard deadline of "
+                        f"{self.config.hard_timeout:.1f}s; worker killed"
+                    ),
+                )
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                broken = True
+                return WorkerReply("error", message="worker died mid-query; please retry")
+            tag = message[0]
+            if tag == "ok":
+                return WorkerReply("ok", payload=message[1], meta=message[2])
+            if tag == "crashed":
+                # The worker announced it is exiting (e.g. MemoryError):
+                # replace it now instead of handing the next client a
+                # dead pipe.
+                broken = True
+                return WorkerReply("error", message=message[1])
+            return WorkerReply(tag, message=message[1])
+        finally:
+            if broken:
+                threading.Thread(
+                    target=self._replace, args=(worker,), daemon=True
+                ).start()
+            else:
+                self._idle.put(worker)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> int:
+        with self._spawn_lock:
+            return sum(1 for worker in self._workers if worker.proc.is_alive())
+
+    def close(self) -> None:
+        """Stop every worker; called after the HTTP server has drained."""
+        with self._spawn_lock:
+            self._closed = True
+            workers = list(self._workers)
+            self._workers.clear()
+        for worker in workers:
+            worker.shutdown()

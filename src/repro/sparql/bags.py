@@ -352,17 +352,38 @@ class _StopJoin(Exception):
     """Internal signal: a stop_at row budget has been reached."""
 
 
-def join(bag1: Bag, bag2: Bag) -> Bag:
+def _ticked_append(append, checkpoint, mask: int = 2047):
+    """Wrap an emission callable so ``checkpoint`` fires every
+    ``mask + 1`` calls (cooperative cancellation inside join loops)."""
+    tick = 0
+
+    def ticked(row):
+        nonlocal tick
+        tick += 1
+        if not (tick & mask):
+            checkpoint()
+        append(row)
+
+    return ticked
+
+
+def join(bag1: Bag, bag2: Bag, checkpoint=None) -> Bag:
     """Ω1 ⋈ Ω2 with a hash join on the shared schema columns.
 
     Rows that leave a shared variable unbound (possible after OPTIONAL)
     cannot be hashed to a single key, so they are routed through a
     nested-loop fallback against the other side — this keeps the
     operator exactly faithful to the compatibility definition.
+
+    ``checkpoint`` (a zero-arg callable) is invoked amortized per
+    emitted row; raising from it aborts the join — the cooperative
+    cancellation hook of the deadline machinery.  Output size is
+    exactly where a join explodes (cartesian products in particular),
+    so ticking on emission is the bound that matters.
     """
     if len(bag2) < len(bag1):
         bag1, bag2 = bag2, bag1
-    return _hash_join(bag1, bag2._schema, bag2._rows)
+    return _hash_join(bag1, bag2._schema, bag2._rows, checkpoint=checkpoint)
 
 
 def join_streamed(
@@ -371,6 +392,7 @@ def join_streamed(
     rows2: Iterable[Row],
     keep=None,
     stop_at: Optional[int] = None,
+    checkpoint=None,
 ) -> Bag:
     """Ω1 ⋈ Ω2 where Ω2 arrives as a row stream (pipelined scans).
 
@@ -380,9 +402,12 @@ def join_streamed(
     ``keep`` (a predicate over output rows) drops rows before they are
     emitted, and ``stop_at`` aborts the probe once that many rows have
     been produced — the hooks FILTER pushdown and LIMIT short-circuit
-    use to terminate pipelined production early.
+    use to terminate pipelined production early.  ``checkpoint`` is the
+    cooperative-cancellation hook (see :func:`join`).
     """
-    return _hash_join(bag1, tuple(schema2), rows2, keep=keep, stop_at=stop_at)
+    return _hash_join(
+        bag1, tuple(schema2), rows2, keep=keep, stop_at=stop_at, checkpoint=checkpoint
+    )
 
 
 def _hash_join(
@@ -391,12 +416,14 @@ def _hash_join(
     probe_rows: Iterable[Row],
     keep=None,
     stop_at: Optional[int] = None,
+    checkpoint=None,
 ) -> Bag:
     out_schema, right_only, shared_pairs = _join_layout(build, probe_schema)
     build_rows = build._rows
     out: List[Row] = []
     append = out.append
     tail_of = _tail_getter(right_only)
+    wrapped = False
 
     if keep is not None or stop_at is not None:
         # Guarded emission replaces the plain append on the (rare)
@@ -411,6 +438,17 @@ def _hash_join(
                 _raw(row)
                 if stop_at is not None and len(out) >= stop_at:
                     raise _StopJoin
+
+        wrapped = True
+
+    if checkpoint is not None:
+        # The tick wrapper goes *outside* the keep/stop guard so the
+        # cancellation hook fires per produced row even when a filter
+        # drops every one of them.
+        append = _ticked_append(append, checkpoint)
+        wrapped = True
+
+    if wrapped:
         try:
             return _hash_join_loops(
                 build_rows, probe_rows, out_schema, out, append, tail_of, shared_pairs
@@ -580,13 +618,14 @@ def minus(bag1: Bag, bag2: Bag) -> Bag:
     return Bag.from_rows(bag1._schema, out)
 
 
-def left_join(bag1: Bag, bag2: Bag) -> Bag:
+def left_join(bag1: Bag, bag2: Bag, checkpoint=None) -> Bag:
     """Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2) — Definition 7's d|><|.
 
     Implemented in one pass: for each μ1 we emit its joins if any exist,
     otherwise μ1 itself (padded with UNBOUND for Ω2's columns).  This is
     equivalent to the two-operator form but avoids re-scanning Ω2 for
-    the minus part.
+    the minus part.  ``checkpoint`` is the cooperative-cancellation
+    hook (see :func:`join`).
     """
     out_schema, right_only, shared_pairs = _join_layout(bag1, bag2._schema)
     pad = (UNBOUND,) * len(right_only)
@@ -595,6 +634,8 @@ def left_join(bag1: Bag, bag2: Bag) -> Bag:
 
     out: List[Row] = []
     append = out.append
+    if checkpoint is not None:
+        append = _ticked_append(append, checkpoint)
     tail_of = _tail_getter(right_only)
     if not shared_pairs:  # cartesian extension
         tails = [tail_of(row2) for row2 in bag2._rows]

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-__all__ = ["SparqlError", "SparqlSyntaxError", "UnsupportedFeatureError"]
+__all__ = [
+    "SparqlError",
+    "SparqlSyntaxError",
+    "UnsupportedFeatureError",
+    "QueryTimeoutError",
+]
 
 
 class SparqlError(Exception):
@@ -32,3 +37,17 @@ class UnsupportedFeatureError(SparqlError):
     over BGP / AND / UNION / OPTIONAL; FILTER, ASK, CONSTRUCT, property
     paths, aggregates etc. raise this rather than silently misparsing.
     """
+
+
+class QueryTimeoutError(SparqlError):
+    """A query exceeded its cooperative execution deadline.
+
+    Raised from the evaluator's checkpoint hook (see
+    :meth:`repro.core.engine.SparqlUOEngine.execute` with ``timeout=``)
+    so callers — the protocol server's workers in particular — get a
+    clean, catchable signal instead of an unbounded evaluation.
+    """
+
+    def __init__(self, seconds: float):
+        super().__init__(f"query exceeded its {seconds:.3f} s deadline")
+        self.seconds = seconds

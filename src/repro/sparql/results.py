@@ -1,4 +1,4 @@
-"""SELECT-result serialization: SPARQL 1.1 JSON and CSV formats.
+"""SELECT-result serialization: SPARQL 1.1 JSON, CSV and TSV formats.
 
 Downstream consumers of a SPARQL engine almost always want results in
 the W3C interchange formats rather than Python objects; this module
@@ -6,23 +6,44 @@ renders a solution bag (term-level, as produced by
 :meth:`repro.core.engine.SparqlUOEngine.execute`) in:
 
 - the *SPARQL 1.1 Query Results JSON Format* (``application/sparql-results+json``),
-- the *SPARQL 1.1 Query Results CSV Format* (``text/csv``).
+- the *SPARQL 1.1 Query Results CSV Format* (``text/csv``),
+- the *SPARQL 1.1 Query Results TSV Format* (``text/tab-separated-values``).
 
-Both follow the specs' term-rendering rules: IRIs as ``uri`` bindings,
+All follow the specs' term-rendering rules: IRIs as ``uri`` bindings,
 literals with ``xml:lang`` / ``datatype`` where present, blank nodes as
-``bnode``; unbound variables are simply absent (JSON) or empty (CSV).
+``bnode``; unbound variables are simply absent (JSON) or empty (CSV /
+TSV).  CSV renders bare lexical values (lossy by design); TSV renders
+full N-Triples term syntax, so terms survive a round trip.
+
+Each format has an incremental writer (``write_json`` / ``write_csv``
+/ ``write_tsv``) that renders row by row into any ``.write()``-able
+object, plus a ``to_*`` convenience wrapper that collects the same
+output into a string — the form the CLI and the protocol server's
+workers consume via :data:`SERIALIZERS` (the server ships whole
+payload strings over the worker pipe so they can be cached and
+relayed verbatim).
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..rdf.terms import BlankNode, GroundTerm, IRI, Literal, XSD_STRING
 from .bags import Bag, Mapping, UNBOUND
 
-__all__ = ["to_json", "to_json_dict", "to_csv"]
+__all__ = [
+    "to_json",
+    "to_json_dict",
+    "to_csv",
+    "to_tsv",
+    "write_json",
+    "write_csv",
+    "write_tsv",
+    "SERIALIZERS",
+    "WRITERS",
+]
 
 
 def _iter_bindings(variables: Sequence[str], solutions: Iterable[Mapping]):
@@ -76,9 +97,47 @@ def to_json_dict(variables: Sequence[str], solutions: Iterable[Mapping]) -> dict
     }
 
 
-def to_json(variables: Sequence[str], solutions: Iterable[Mapping], indent: int = None) -> str:
+def write_json(
+    out,
+    variables: Sequence[str],
+    solutions: Iterable[Mapping],
+    indent: Optional[int] = None,
+) -> None:
+    """Stream SPARQL 1.1 Query Results JSON into ``out``.
+
+    With ``indent=None`` (the streaming default) the head is written
+    first and each binding object is serialized and flushed as its row
+    is consumed, so the whole document never has to exist at once.
+    Indented output delegates to :func:`to_json_dict` for exact
+    ``json.dumps`` formatting.
+    """
+    if indent is not None:
+        out.write(
+            json.dumps(to_json_dict(variables, solutions), indent=indent, ensure_ascii=False)
+        )
+        return
+    head = json.dumps({"head": {"vars": list(variables)}}, ensure_ascii=False)
+    out.write(head[:-1])  # reopen the document: strip the closing brace
+    out.write(', "results": {"bindings": [')
+    first = True
+    for triples in _iter_bindings(variables, solutions):
+        if not first:
+            out.write(", ")
+        first = False
+        binding = {var: _encode_term(term) for _, var, term in triples}
+        out.write(json.dumps(binding, ensure_ascii=False))
+    out.write("]}}")
+
+
+def to_json(
+    variables: Sequence[str], solutions: Iterable[Mapping], indent: Optional[int] = None
+) -> str:
     """SPARQL 1.1 Query Results JSON text."""
-    return json.dumps(to_json_dict(variables, solutions), indent=indent, ensure_ascii=False)
+    if indent is not None:
+        return json.dumps(to_json_dict(variables, solutions), indent=indent, ensure_ascii=False)
+    buffer = io.StringIO()
+    write_json(buffer, variables, solutions)
+    return buffer.getvalue()
 
 
 def _csv_cell(term: GroundTerm) -> str:
@@ -99,9 +158,8 @@ def _csv_escape(cell: str) -> str:
     return cell
 
 
-def to_csv(variables: Sequence[str], solutions: Iterable[Mapping]) -> str:
-    """SPARQL 1.1 Query Results CSV text (CRLF line endings per spec)."""
-    out = io.StringIO()
+def write_csv(out, variables: Sequence[str], solutions: Iterable[Mapping]) -> None:
+    """Stream SPARQL 1.1 Query Results CSV into ``out`` (CRLF per spec)."""
     out.write(",".join(variables) + "\r\n")
     width = len(variables)
     for triples in _iter_bindings(variables, solutions):
@@ -109,4 +167,50 @@ def to_csv(variables: Sequence[str], solutions: Iterable[Mapping]) -> str:
         for position, _, term in triples:
             cells[position] = _csv_escape(_csv_cell(term))
         out.write(",".join(cells) + "\r\n")
-    return out.getvalue()
+
+
+def to_csv(variables: Sequence[str], solutions: Iterable[Mapping]) -> str:
+    """SPARQL 1.1 Query Results CSV text (CRLF line endings per spec)."""
+    buffer = io.StringIO()
+    write_csv(buffer, variables, solutions)
+    return buffer.getvalue()
+
+
+def _tsv_cell(term: GroundTerm) -> str:
+    if isinstance(term, (IRI, BlankNode, Literal)):
+        return term.n3()
+    raise TypeError(f"cannot serialize {term!r} as a TSV cell")
+
+
+def write_tsv(out, variables: Sequence[str], solutions: Iterable[Mapping]) -> None:
+    """Stream SPARQL 1.1 Query Results TSV into ``out``.
+
+    Unlike CSV's bare values, the TSV format renders each term in full
+    N-Triples syntax — ``<iri>``, ``"literal"@lang``,
+    ``"5"^^<…#integer>``, ``_:bnode`` — and the header carries the
+    ``?``-prefixed variable names.  N-Triples escaping (``\\t``,
+    ``\\n``, …) is what keeps embedded delimiters unambiguous, so no
+    additional quoting layer exists; terms round-trip losslessly.
+    """
+    out.write("\t".join(f"?{var}" for var in variables) + "\n")
+    width = len(variables)
+    for triples in _iter_bindings(variables, solutions):
+        cells = [""] * width
+        for position, _, term in triples:
+            cells[position] = _tsv_cell(term)
+        out.write("\t".join(cells) + "\n")
+
+
+def to_tsv(variables: Sequence[str], solutions: Iterable[Mapping]) -> str:
+    """SPARQL 1.1 Query Results TSV text."""
+    buffer = io.StringIO()
+    write_tsv(buffer, variables, solutions)
+    return buffer.getvalue()
+
+
+#: Format key → string serializer (the protocol server's workers ship
+#: whole payload strings over the worker pipe) and format key →
+#: incremental writer (the CLI streams straight to its output); media
+#: types live in ``repro.server.protocol.FORMAT_MEDIA_TYPES``.
+SERIALIZERS = {"json": to_json, "csv": to_csv, "tsv": to_tsv}
+WRITERS = {"json": write_json, "csv": write_csv, "tsv": write_tsv}

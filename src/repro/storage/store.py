@@ -15,6 +15,7 @@ proportional to what a query actually touches.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
@@ -53,6 +54,12 @@ class TripleStore:
         self._stats_loader: Optional[Callable[[], Optional[StoreStatistics]]] = None
         self._generation = 0
         self._snapshot: Optional[SnapshotReader] = None
+        #: Serializes the index state *transitions* (lazy build, thaw):
+        #: each transition builds the replacement structure fully and
+        #: only then publishes it with a single attribute store, so
+        #: concurrent readers always observe either the old complete
+        #: index or the new complete index, never a partial one.
+        self._index_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # components (lazy when snapshot-backed)
@@ -63,18 +70,37 @@ class TripleStore:
 
     @property
     def indexes(self) -> "AnyIndexes":
-        if self._indexes is None:
-            assert self._indexes_loader is not None
-            self._indexes = self._indexes_loader()
-            self._indexes_loader = None
-        return self._indexes
+        indexes = self._indexes
+        if indexes is None:
+            with self._index_lock:
+                # Re-check under the lock: another thread may have
+                # finished the deferred build while we waited, and the
+                # loader is consumed exactly once.
+                indexes = self._indexes
+                if indexes is None:
+                    assert self._indexes_loader is not None
+                    indexes = self._indexes_loader()
+                    self._indexes = indexes  # publish only when complete
+                    self._indexes_loader = None
+        return indexes
 
     def _mutable_indexes(self) -> TripleIndexes:
-        """The indexes, thawed into their insertable form if frozen."""
-        indexes = self.indexes
-        if isinstance(indexes, FrozenTripleIndexes):
-            indexes = self._indexes = indexes.thaw()
-        return indexes
+        """The indexes, thawed into their insertable form if frozen.
+
+        The thaw is atomic with respect to concurrent readers: the
+        mutable :class:`TripleIndexes` is built *fully* from the frozen
+        permutations before the single publishing store to
+        ``self._indexes``, so a reader mid-query keeps the frozen index
+        it already grabbed (or picks up the complete thawed one) — it
+        can never observe a half-built structure.
+        """
+        with self._index_lock:
+            indexes = self.indexes
+            if isinstance(indexes, FrozenTripleIndexes):
+                thawed = indexes.thaw()  # build fully …
+                self._indexes = thawed  # … then publish
+                indexes = thawed
+            return indexes
 
     # ------------------------------------------------------------------
     # loading

@@ -97,6 +97,72 @@ class TestQuery:
             run(["query", data_file])
 
 
+class TestQueryFormats:
+    QUERY = "SELECT ?x ?n WHERE { ?x <http://x/name> ?n }"
+
+    def test_format_json(self, data_file):
+        import json
+
+        code, output = run(["query", data_file, self.QUERY, "--format", "json"])
+        assert code == 0
+        document = json.loads(output)
+        assert document["head"]["vars"] == ["x", "n"]
+        assert len(document["results"]["bindings"]) == 10
+        binding = document["results"]["bindings"][0]
+        assert binding["x"]["type"] == "uri"
+        assert binding["n"]["type"] == "literal"
+
+    def test_format_csv(self, data_file):
+        code, output = run(["query", data_file, self.QUERY, "--format", "csv"])
+        assert code == 0
+        lines = output.split("\r\n")
+        assert lines[0] == "x,n"
+        assert len([line for line in lines if line]) == 11  # header + 10
+
+    def test_format_tsv_renders_ntriples_terms(self, data_file):
+        code, output = run(["query", data_file, self.QUERY, "--format", "tsv"])
+        assert code == 0
+        lines = output.rstrip("\n").split("\n")
+        assert lines[0] == "?x\t?n"
+        iri_cell, literal_cell = lines[1].split("\t")
+        assert iri_cell.startswith("<http://x/") and iri_cell.endswith(">")
+        assert literal_cell.startswith('"') and literal_cell.endswith('"')
+
+    def test_format_with_limit(self, data_file):
+        import json
+
+        code, output = run(
+            ["query", data_file, self.QUERY, "--format", "json", "--limit", "3"]
+        )
+        assert code == 0
+        assert len(json.loads(output)["results"]["bindings"]) == 3
+
+    def test_stats_do_not_corrupt_formatted_output(self, data_file, capsys):
+        import json
+
+        code, output = run(["query", data_file, self.QUERY, "--format", "json", "--stats"])
+        assert code == 0
+        json.loads(output)  # payload stays machine-readable …
+        assert "join space" in capsys.readouterr().err  # … stats went to stderr
+
+    def test_format_matches_library_serializers(self, data_file):
+        from repro.core import SparqlUOEngine
+        from repro.rdf import load_ntriples
+        from repro.sparql.results import to_csv, to_json, to_tsv
+
+        engine = SparqlUOEngine.for_dataset(load_ntriples(data_file))
+        result = engine.execute(self.QUERY)
+        expected = {
+            "json": to_json(result.variables, result.solutions) + "\n",
+            "csv": to_csv(result.variables, result.solutions),
+            "tsv": to_tsv(result.variables, result.solutions),
+        }
+        for fmt, text in expected.items():
+            code, output = run(["query", data_file, self.QUERY, "--format", fmt])
+            assert code == 0
+            assert output == text
+
+
 class TestGenerate:
     def test_generate_lubm(self, tmp_path):
         out_path = tmp_path / "lubm.nt"

@@ -104,6 +104,49 @@ class TestLBROnDBpedia:
         assert lbr.solutions == full.solutions, name
 
 
+class TestOptionalFirstGroupPruning:
+    """Regression: candidates must not prune an OPTIONAL that
+    left-joins against the identity (a nested group *starting* with
+    OPTIONAL).  Pruning with the enclosing context's candidates could
+    flip the optional side from nonempty — rows that merely fail to
+    join later — to empty, and ⟕ then wrongly kept the bare row
+    (found by the differential property tests on mode=full)."""
+
+    QUERY = (
+        "SELECT * WHERE { ?v1 ?v0 ?v1 . "
+        "{ OPTIONAL { ?v0 ?v1 ?v2 } OPTIONAL { ?v0 ?v0 ?v0 } } }"
+    )
+
+    @pytest.fixture
+    def tiny_dataset(self):
+        d = Dataset()
+        d.add_spo(IRI("http://x.test/s0"), IRI("http://x.test/p0"), IRI("http://x.test/s0"))
+        d.add_spo(IRI("http://x.test/s1"), IRI("http://x.test/p1"), IRI("http://x.test/o1"))
+        return d
+
+    @pytest.mark.parametrize("bgp_engine", ["wco", "hashjoin"])
+    @pytest.mark.parametrize("mode", ["base", "tt", "cp", "full"])
+    def test_matches_reference_in_every_mode(self, tiny_dataset, bgp_engine, mode):
+        reference = execute_query(parse_query(self.QUERY), tiny_dataset)
+        engine = SparqlUOEngine.for_dataset(tiny_dataset, bgp_engine=bgp_engine, mode=mode)
+        assert engine.execute(self.QUERY).solutions == reference
+
+    def test_pruning_still_fires_with_real_left_rows(
+        self, university_store, university_dataset
+    ):
+        # The fix must not disable §6's pruning where it is sound: an
+        # OPTIONAL evaluated after actual left rows still receives
+        # candidates from them.
+        engine = SparqlUOEngine(university_store, bgp_engine="wco", mode="full")
+        query = (
+            f"SELECT * WHERE {{ <{EX}prof0_0> <{EX}teacherOf> ?y "
+            f"OPTIONAL {{ ?z <{EX}takesCourse> ?y . ?z <{EX}name> ?n }} }}"
+        )
+        result = engine.execute(query)
+        reference = execute_query(parse_query(query), university_dataset)
+        assert result.solutions == reference
+
+
 class TestDegenerateQueries:
     def test_single_ground_triple_query(self, university_store):
         engine = SparqlUOEngine(university_store, mode="full")

@@ -94,6 +94,56 @@ class TestQueryResult:
         assert len(result) == 5
 
 
+class TestTimeout:
+    #: Cartesian triple product: far too large to finish, so any
+    #: sub-second deadline must fire through the checkpoint hooks.
+    SLOW_QUERY = "SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }"
+
+    @pytest.mark.parametrize("bgp_engine", ALL_ENGINES)
+    def test_deadline_aborts_runaway_query(self, presidents_store, bgp_engine):
+        import time
+
+        from repro.sparql.errors import QueryTimeoutError
+
+        engine = SparqlUOEngine(presidents_store, bgp_engine=bgp_engine, mode="full")
+        started = time.perf_counter()
+        with pytest.raises(QueryTimeoutError):
+            engine.execute(self.SLOW_QUERY, timeout=0.2)
+        # Cooperative, so not instant — but it must fire within a small
+        # multiple of the budget, not run the query to completion.
+        assert time.perf_counter() - started < 5.0
+
+    @pytest.mark.parametrize("bgp_engine", ALL_ENGINES)
+    def test_generous_deadline_changes_nothing(self, presidents_store, bgp_engine):
+        engine = SparqlUOEngine(presidents_store, bgp_engine=bgp_engine, mode="full")
+        timed = engine.execute(PREZ_QUERY, timeout=60.0)
+        plain = engine.execute(PREZ_QUERY)
+        assert timed.solutions == plain.solutions
+
+    def test_caller_checkpoint_cancels(self, presidents_store):
+        class Cancelled(Exception):
+            pass
+
+        calls = {"n": 0}
+
+        def cancel_after_two():
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise Cancelled
+
+        engine = SparqlUOEngine(presidents_store, mode="full")
+        with pytest.raises(Cancelled):
+            engine.execute(PREZ_QUERY, checkpoint=cancel_after_two)
+
+    def test_timeout_error_is_catchable_as_sparql_error(self, presidents_store):
+        from repro.sparql.errors import QueryTimeoutError, SparqlError
+
+        assert issubclass(QueryTimeoutError, SparqlError)
+        engine = SparqlUOEngine(presidents_store, mode="base")
+        with pytest.raises(SparqlError):
+            engine.execute(self.SLOW_QUERY, timeout=0.05)
+
+
 class TestExplain:
     def test_explain_shows_plan(self, presidents_store):
         engine = SparqlUOEngine(presidents_store, mode="tt")

@@ -1,11 +1,14 @@
-"""Unit tests for SPARQL results serialization (JSON + CSV)."""
+"""Unit tests for SPARQL results serialization (JSON + CSV + TSV)."""
 
+import csv
+import io
 import json
 
 import pytest
 
 from repro.rdf import BlankNode, IRI, Literal
-from repro.sparql.results import to_csv, to_json, to_json_dict
+from repro.rdf.terms import RDF_LANG_STRING, XSD_STRING
+from repro.sparql.results import to_csv, to_json, to_json_dict, to_tsv
 
 
 ROWS = [
@@ -81,6 +84,125 @@ class TestCsv:
 
     def test_crlf_terminated(self):
         assert to_csv(["x"], []).endswith("\r\n")
+
+
+class TestTsv:
+    def test_header_has_question_marks(self):
+        text = to_tsv(["x", "name"], ROWS)
+        assert text.split("\n")[0] == "?x\t?name"
+
+    def test_terms_render_in_ntriples_syntax(self):
+        lines = to_tsv(["x", "name"], ROWS).split("\n")
+        assert lines[1] == '<http://x/a>\t"Alice"@en'
+        assert lines[3] == '_:b0\t"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_unbound_is_empty_cell(self):
+        lines = to_tsv(["x", "name"], ROWS).split("\n")
+        assert lines[2] == "<http://x/b>\t"
+
+    def test_embedded_delimiters_are_escaped_not_quoted(self):
+        # N-Triples escaping keeps tabs/newlines out of the raw cell,
+        # so the line/column structure survives any literal content.
+        rows = [{"v": Literal("tab\there\nand newline")}]
+        lines = to_tsv(["v"], rows).split("\n")
+        assert lines[1] == '"tab\\there\\nand newline"'
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            to_tsv(["x"], [{"x": object()}])
+
+
+def _json_term(binding):
+    """Reconstruct a term from its JSON results encoding."""
+    if binding["type"] == "uri":
+        return IRI(binding["value"])
+    if binding["type"] == "bnode":
+        return BlankNode(binding["value"])
+    return Literal(
+        binding["value"],
+        language=binding.get("xml:lang"),
+        datatype=binding.get("datatype"),
+    )
+
+
+class TestRoundTrips:
+    TERMS = [
+        Literal("plain"),
+        Literal("Grüße, 世界"),
+        Literal("bonjour", language="fr"),
+        Literal("hello", language="en-us"),
+        Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer"),
+        Literal("1.5e3", datatype="http://www.w3.org/2001/XMLSchema#double"),
+        Literal('quoted "inner" text', language="en"),
+        Literal("comma, semicolon; pipe|"),
+        Literal("line\nbreak and\r\nCRLF"),
+        Literal("trailing space "),
+        Literal(""),
+        IRI("http://example.org/resource?a=1&b=2"),
+        BlankNode("node0"),
+    ]
+
+    def test_typed_and_tagged_literals_round_trip_through_json(self):
+        rows = [{"v": term} for term in self.TERMS]
+        document = json.loads(to_json(["v"], rows))
+        restored = [_json_term(b["v"]) for b in document["results"]["bindings"]]
+        assert restored == self.TERMS
+
+    def test_language_and_datatype_are_mutually_exclusive_in_json(self):
+        rows = [{"v": Literal("x", language="en")}]
+        binding = to_json_dict(["v"], rows)["results"]["bindings"][0]["v"]
+        assert binding["xml:lang"] == "en"
+        assert "datatype" not in binding  # rdf:langString is implied
+        assert Literal("x", language="en").datatype == RDF_LANG_STRING
+
+    def test_plain_literal_datatype_is_implicit_everywhere(self):
+        rows = [{"v": Literal("x")}]
+        assert Literal("x").datatype == XSD_STRING
+        assert to_json_dict(["v"], rows)["results"]["bindings"][0]["v"] == {
+            "type": "literal",
+            "value": "x",
+        }
+
+    def test_lexical_values_round_trip_through_csv(self):
+        # CSV is lossy on type information by design, but the lexical
+        # forms must survive quoting/escaping exactly.
+        literals = [term for term in self.TERMS if isinstance(term, Literal)]
+        rows = [{"v": term} for term in literals]
+        parsed = list(csv.reader(io.StringIO(to_csv(["v"], rows))))
+        assert parsed[0] == ["v"]
+        # Quoting protects every byte of the lexical form, embedded
+        # CR/LF included.  csv.reader yields [] for a fully empty row —
+        # CSV cannot tell an empty-string literal from an unbound cell,
+        # which is exactly the lossiness TSV exists to avoid.
+        expected = [term.lexical for term in literals]
+        assert [row[0] if row else "" for row in parsed[1:]] == expected
+
+    def test_csv_quoting_edge_cases(self):
+        cases = {
+            'say "hi", ok': '"say ""hi"", ok"',
+            "a,b": '"a,b"',
+            "nl\nin cell": '"nl\nin cell"',
+            "cr\rin cell": '"cr\rin cell"',
+            "plain": "plain",
+        }
+        for lexical, expected in cases.items():
+            text = to_csv(["v"], [{"v": Literal(lexical)}])
+            body = text[len("v\r\n"):]
+            assert body == expected + "\r\n"
+
+    def test_tsv_round_trips_terms_exactly(self):
+        # TSV cells are full N-Triples terms: parse each cell back with
+        # the N-Triples term parser and compare term equality.
+        from repro.rdf.ntriples import parse_ntriples_string
+
+        rows = [{"v": term} for term in self.TERMS if not isinstance(term, BlankNode)]
+        lines = to_tsv(["v"], rows).rstrip("\n").split("\n")[1:]
+        restored = []
+        for cell in lines:
+            statement = f"<http://x/s> <http://x/p> {cell} ."
+            [triple] = list(parse_ntriples_string(statement))
+            restored.append(triple.object)
+        assert restored == [row["v"] for row in rows]
 
 
 class TestEndToEnd:

@@ -1,0 +1,528 @@
+"""Tests for the SPARQL protocol server subsystem.
+
+Unit tests exercise the protocol parser, the generation-keyed cache,
+admission control and metrics without a socket; the HTTP tests run a
+real :class:`~repro.server.app.SparqlServer` (spawned worker processes,
+ephemeral port) and drive it with urllib, including the timeout,
+worker-death and shedding paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.core import SparqlUOEngine
+from repro.datasets.lubm import generate_lubm
+from repro.server import (
+    ResultCache,
+    ServerConfig,
+    SparqlServer,
+    negotiate_format,
+    parse_sparql_request,
+)
+from repro.server.app import AdmissionController
+from repro.server.cache import CachedResult
+from repro.server.metrics import LatencySummary, ServerMetrics
+from repro.server.pool import WorkerPool
+from repro.server.protocol import ProtocolError
+from repro.sparql.results import to_csv, to_json, to_tsv
+from repro.storage import TripleStore
+
+UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+QUERY_HEADOF = f"SELECT ?x ?y WHERE {{ ?x <{UB}headOf> ?y }}"
+QUERY_OPTIONAL = (
+    f"SELECT ?x ?dept ?mail WHERE {{ ?x <{UB}worksFor> ?dept "
+    f"OPTIONAL {{ ?x <{UB}emailAddress> ?mail }} }}"
+)
+QUERY_UNION = (
+    f"SELECT ?p WHERE {{ {{ ?p <{UB}headOf> ?o }} UNION {{ ?p <{UB}teacherOf> ?o }} }}"
+)
+#: Triple cartesian product — astronomically large, guaranteed to hit
+#: any sub-second deadline long before completing.
+QUERY_SLOW = "SELECT * WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }"
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("server") / "lubm.snap"
+    TripleStore.from_dataset(generate_lubm(universities=1, seed=42)).save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def server(snapshot_path):
+    config = ServerConfig(
+        data=snapshot_path, port=0, workers=2, timeout=10.0, cache_entries=32
+    )
+    instance = SparqlServer(config)
+    instance.start()
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture(scope="module")
+def local_engine(snapshot_path):
+    return SparqlUOEngine(TripleStore.load(snapshot_path), bgp_engine="wco", mode="full")
+
+
+def http_get(url: str, accept=None, timeout=60):
+    request = urllib.request.Request(url, headers={"Accept": accept} if accept else {})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def sparql_get(server, query, accept=None, extra_params=None, timeout=60):
+    params = {"query": query}
+    params.update(extra_params or {})
+    url = server.url + "/sparql?" + urllib.parse.urlencode(params)
+    return http_get(url, accept=accept, timeout=timeout)
+
+
+# ----------------------------------------------------------------------
+# protocol unit tests (no socket)
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_default_is_json(self):
+        assert negotiate_format(None) == "json"
+        assert negotiate_format("") == "json"
+        assert negotiate_format("*/*") == "json"
+
+    def test_exact_media_types(self):
+        assert negotiate_format("application/sparql-results+json") == "json"
+        assert negotiate_format("text/csv") == "csv"
+        assert negotiate_format("text/tab-separated-values") == "tsv"
+        assert negotiate_format("application/json") == "json"
+
+    def test_q_values_rank(self):
+        accept = "text/csv;q=0.3, text/tab-separated-values;q=0.9"
+        assert negotiate_format(accept) == "tsv"
+
+    def test_zero_q_is_ignored(self):
+        assert negotiate_format("text/csv;q=0, */*") == "json"
+
+    def test_wildcard_subtype(self):
+        assert negotiate_format("text/*") == "csv"  # first text/ offering
+
+    def test_explicit_format_wins(self):
+        assert negotiate_format("text/csv", explicit="tsv") == "tsv"
+
+    def test_unknown_explicit_format(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            negotiate_format(None, explicit="xml")
+        assert excinfo.value.status == 400
+
+    def test_not_acceptable(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            negotiate_format("application/xml")
+        assert excinfo.value.status == 406
+
+
+class TestParseRequest:
+    def test_get(self):
+        qs = urllib.parse.urlencode({"query": "SELECT * WHERE { ?s ?p ?o }"})
+        request = parse_sparql_request("GET", qs, {}, b"")
+        assert request.query == "SELECT * WHERE { ?s ?p ?o }"
+        assert request.format == "json"
+
+    def test_get_missing_query(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_sparql_request("GET", "", {}, b"")
+        assert excinfo.value.status == 400
+
+    def test_get_repeated_query(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_sparql_request("GET", "query=a&query=b", {}, b"")
+        assert excinfo.value.status == 400
+
+    def test_post_form(self):
+        body = urllib.parse.urlencode({"query": "SELECT * WHERE { ?s ?p ?o }"}).encode()
+        request = parse_sparql_request(
+            "POST", "", {"Content-Type": "application/x-www-form-urlencoded"}, body
+        )
+        assert "SELECT" in request.query
+
+    def test_post_direct(self):
+        request = parse_sparql_request(
+            "POST",
+            "format=csv",
+            {"Content-Type": "application/sparql-query; charset=utf-8"},
+            b"SELECT * WHERE { ?s ?p ?o }",
+        )
+        assert request.format == "csv"
+
+    def test_post_unsupported_media_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_sparql_request("POST", "", {"Content-Type": "text/plain"}, b"x")
+        assert excinfo.value.status == 415
+
+    def test_post_form_format_parameter(self):
+        body = urllib.parse.urlencode({"query": "SELECT * {?s ?p ?o}", "format": "tsv"})
+        request = parse_sparql_request(
+            "POST", "", {"Content-Type": "application/x-www-form-urlencoded"}, body.encode()
+        )
+        assert request.format == "tsv"
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_sparql_request("GET", "query=%20", {}, b"")
+        assert excinfo.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# cache unit tests
+# ----------------------------------------------------------------------
+def _entry(payload: bytes = b"x") -> CachedResult:
+    return CachedResult(payload, "application/json", 1, 0.0)
+
+
+class TestResultCache:
+    def test_round_trip(self):
+        cache = ResultCache(max_entries=4)
+        cache.put(7, "json", "SELECT 1", _entry(b"payload"))
+        hit = cache.get(7, "json", "SELECT 1")
+        assert hit is not None and hit.payload == b"payload"
+
+    def test_generation_keys_invalidate(self):
+        cache = ResultCache(max_entries=4)
+        cache.put(1, "json", "q", _entry())
+        assert cache.get(2, "json", "q") is None  # newer data, different key
+        assert cache.get(1, "json", "q") is not None
+
+    def test_format_is_part_of_key(self):
+        cache = ResultCache(max_entries=4)
+        cache.put(1, "json", "q", _entry())
+        assert cache.get(1, "csv", "q") is None
+
+    def test_lru_eviction_by_entries(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(1, "json", "a", _entry())
+        cache.put(1, "json", "b", _entry())
+        cache.get(1, "json", "a")  # refresh a
+        cache.put(1, "json", "c", _entry())
+        assert cache.get(1, "json", "b") is None  # LRU victim
+        assert cache.get(1, "json", "a") is not None
+        assert cache.evictions == 1
+
+    def test_eviction_by_bytes(self):
+        cache = ResultCache(max_entries=10, max_bytes=100)
+        cache.put(1, "json", "a", _entry(b"x" * 60))
+        cache.put(1, "json", "b", _entry(b"y" * 60))
+        assert cache.get(1, "json", "a") is None
+        assert cache.payload_bytes <= 100
+
+    def test_oversized_entry_refused(self):
+        cache = ResultCache(max_entries=10, max_bytes=10)
+        assert not cache.put(1, "json", "a", _entry(b"z" * 11))
+        assert len(cache) == 0
+
+    def test_disabled_cache(self):
+        cache = ResultCache(max_entries=0)
+        assert not cache.put(1, "json", "a", _entry())
+        assert cache.get(1, "json", "a") is None
+
+
+# ----------------------------------------------------------------------
+# admission + metrics unit tests
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_in_flight_limit_and_release(self):
+        admission = AdmissionController(2, 0, queue_wait=0.05)
+        assert admission.acquire() and admission.acquire()
+        assert not admission.acquire()  # full, no queue
+        admission.release()
+        assert admission.acquire()
+
+    def test_queue_admits_after_release(self):
+        admission = AdmissionController(1, 1, queue_wait=5.0)
+        assert admission.acquire()
+        results = []
+        waiter = threading.Thread(target=lambda: results.append(admission.acquire()))
+        waiter.start()
+        time.sleep(0.05)
+        admission.release()
+        waiter.join(2.0)
+        assert results == [True]
+
+    def test_queue_overflow_sheds_instantly(self):
+        admission = AdmissionController(1, 0, queue_wait=30.0)
+        assert admission.acquire()
+        started = time.perf_counter()
+        assert not admission.acquire()
+        assert time.perf_counter() - started < 1.0  # no 30 s park
+
+
+class TestMetrics:
+    def test_latency_quantiles(self):
+        summary = LatencySummary()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            summary.observe(value)
+        assert summary.quantile(0.5) == 3.0
+        assert summary.count == 5 and summary.total == 15.0
+        assert LatencySummary().quantile(0.5) is None
+
+    def test_render_contains_core_series(self):
+        metrics = ServerMetrics()
+        metrics.record_response(200)
+        metrics.record_query("miss", 0.01, 5, 2.5)
+        text = metrics.render(3, 2, {"hits": 1, "misses": 2, "entries": 1, "bytes": 10})
+        assert 'repro_requests_total{status="200"} 1' in text
+        assert "repro_store_generation 3" in text
+        assert 'repro_query_latency_seconds_count{cache="miss"} 1' in text
+        assert "repro_cache_hits_total 1" in text
+
+
+# ----------------------------------------------------------------------
+# HTTP end-to-end
+# ----------------------------------------------------------------------
+class TestHttpEndpoint:
+    def test_get_json(self, server, local_engine):
+        status, headers, body = sparql_get(server, QUERY_HEADOF)
+        assert status == 200
+        assert headers["Content-Type"] == "application/sparql-results+json"
+        document = json.loads(body)
+        assert document["head"]["vars"] == ["x", "y"]
+        assert len(document["results"]["bindings"]) == len(
+            local_engine.execute(QUERY_HEADOF)
+        )
+
+    def test_payloads_byte_identical_to_local(self, server, local_engine):
+        for query in (QUERY_HEADOF, QUERY_OPTIONAL, QUERY_UNION):
+            result = local_engine.execute(query)
+            expectations = {
+                None: to_json(result.variables, result.solutions).encode(),
+                "text/csv": to_csv(result.variables, result.solutions).encode(),
+                "text/tab-separated-values": to_tsv(
+                    result.variables, result.solutions
+                ).encode(),
+            }
+            for accept, expected in expectations.items():
+                _, _, body = sparql_get(server, query, accept=accept)
+                assert body == expected
+
+    def test_post_form_urlencoded(self, server):
+        data = urllib.parse.urlencode({"query": QUERY_HEADOF}).encode()
+        request = urllib.request.Request(
+            server.url + "/sparql",
+            data=data,
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.status == 200
+            assert json.loads(response.read())["head"]["vars"] == ["x", "y"]
+
+    def test_post_direct_query(self, server):
+        request = urllib.request.Request(
+            server.url + "/sparql?format=tsv",
+            data=QUERY_HEADOF.encode(),
+            headers={"Content-Type": "application/sparql-query"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/tab-separated-values"
+            )
+            assert response.read().decode().splitlines()[0] == "?x\t?y"
+
+    def test_syntax_error_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            sparql_get(server, "SELECT WHERE {")
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_missing_query_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(server.url + "/sparql")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_not_acceptable_is_406(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            sparql_get(server, QUERY_HEADOF, accept="application/xml")
+        assert excinfo.value.code == 406
+
+    def test_healthz(self, server):
+        status, _, body = http_get(server.url + "/healthz")
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "ok"
+        assert document["workers"] == 2
+        assert document["generation"] == server.generation
+
+    def test_metrics_exposition(self, server):
+        sparql_get(server, QUERY_HEADOF)
+        status, headers, body = http_get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert 'repro_requests_total{status="200"}' in text
+        assert "repro_store_generation" in text
+        assert "repro_workers 2" in text
+
+    def test_cache_hit_returns_identical_bytes(self, server):
+        query = QUERY_UNION + "  # cache-probe"
+        _, _, first = sparql_get(server, query)
+        before = server.cache.stats()["hits"]
+        _, _, second = sparql_get(server, query)
+        assert second == first
+        assert server.cache.stats()["hits"] == before + 1
+
+    def test_concurrent_mixed_queries_byte_identical(self, server, local_engine):
+        queries = [QUERY_HEADOF, QUERY_OPTIONAL, QUERY_UNION] * 3
+        expected = {}
+        for query in set(queries):
+            result = local_engine.execute(query)
+            expected[query] = to_json(result.variables, result.solutions).encode()
+        failures = []
+
+        def issue(query: str) -> None:
+            try:
+                _, _, body = sparql_get(server, query)
+                if body != expected[query]:
+                    failures.append(f"mismatch for {query!r}")
+            except Exception as exc:  # noqa: BLE001 — collected for the assert
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=issue, args=(q,)) for q in queries]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not failures
+
+
+class TestTimeoutAndShedding:
+    @pytest.fixture(scope="class")
+    def strict_server(self, snapshot_path):
+        config = ServerConfig(
+            data=snapshot_path,
+            port=0,
+            workers=1,
+            timeout=0.75,
+            queue_wait=0.2,
+            cache_entries=0,
+        )
+        instance = SparqlServer(config)
+        instance.start()
+        yield instance
+        instance.shutdown()
+
+    def test_slow_query_times_out_and_server_recovers(self, strict_server):
+        started = time.perf_counter()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            sparql_get(strict_server, QUERY_SLOW, timeout=30)
+        assert excinfo.value.code == 504
+        assert time.perf_counter() - started < 10
+        # The worker survived (cooperative cancel) or was respawned —
+        # either way the endpoint keeps answering.
+        status, _, _ = sparql_get(strict_server, QUERY_HEADOF, timeout=60)
+        assert status == 200
+        assert strict_server.metrics.timeouts_total >= 1
+
+    def test_overload_sheds_with_503(self, strict_server):
+        statuses = []
+        lock = threading.Lock()
+
+        def issue() -> None:
+            try:
+                status, _, _ = sparql_get(strict_server, QUERY_SLOW, timeout=30)
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=issue) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        # 1 in flight + 2 queued; of 6 slow requests at least one must
+        # be refused outright.
+        assert 503 in statuses
+        assert all(status in (503, 504) for status in statuses)
+        # And the endpoint is alive afterwards.
+        status, _, _ = sparql_get(strict_server, QUERY_HEADOF, timeout=60)
+        assert status == 200
+
+
+class TestIngestionGuards:
+    def test_oversized_post_body_is_413(self, snapshot_path):
+        config = ServerConfig(
+            data=snapshot_path, port=0, workers=1, max_body_bytes=64
+        )
+        with SparqlServer(config) as instance:
+            request = urllib.request.Request(
+                instance.url + "/sparql",
+                data=b"query=" + b"#" * 200,
+                headers={"Content-Type": "application/x-www-form-urlencoded"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 413
+            # Small bodies still work on the same server.
+            status, _, _ = sparql_get(instance, QUERY_HEADOF)
+            assert status == 200
+
+    def test_bind_failure_raises_cleanly(self, server):
+        # The listener binds before any worker spawns, so a taken port
+        # surfaces as OSError from the constructor (and `repro serve`
+        # turns it into `error: …` + exit 2) with no leaked processes.
+        with pytest.raises(OSError):
+            SparqlServer(server.config.with_port(server.port))
+
+
+class TestGenerationDrift:
+    def test_drift_clears_and_bypasses_cache(self, snapshot_path):
+        """After a respawned worker reports a different generation the
+        cache is cleared and bypassed — stale hits become impossible,
+        at the price of caching (correct-by-construction degradation)."""
+        config = ServerConfig(data=snapshot_path, port=0, workers=1)
+        with SparqlServer(config) as instance:
+            sparql_get(instance, QUERY_HEADOF)
+            assert len(instance.cache) == 1
+            instance._on_generation_drift(instance.generation + 7)
+            assert instance.generation_mixed
+            assert len(instance.cache) == 0
+            status, _, _ = sparql_get(instance, QUERY_HEADOF)  # still serves
+            assert status == 200
+            assert len(instance.cache) == 0  # and never re-populates
+            _, _, body = http_get(instance.url + "/healthz")
+            assert json.loads(body)["generation_mixed"] is True
+
+
+class TestWorkerRecovery:
+    def test_killed_worker_is_respawned(self, snapshot_path):
+        config = ServerConfig(data=snapshot_path, port=0, workers=1, timeout=5.0)
+        restarts = []
+        pool = WorkerPool(config, on_restart=lambda: restarts.append(1))
+        try:
+            first = pool.execute(QUERY_HEADOF, "json")
+            assert first.kind == "ok"
+            # Simulate a crashed worker under the pool's feet.
+            victim = pool._workers[0]
+            victim.proc.kill()
+            victim.proc.join(10)
+            reply = pool.execute(QUERY_HEADOF, "json")
+            # The dead worker is detected and replaced as part of the
+            # failing call; the next call runs on the fresh worker.
+            assert reply.kind in ("ok", "error")
+            healed = pool.execute(QUERY_HEADOF, "json")
+            assert healed.kind == "ok"
+            assert restarts, "restart callback never fired"
+            assert pool.alive == 1
+        finally:
+            pool.close()
