@@ -21,6 +21,13 @@ order of preference, the most machine-independent observable available:
 ``join_space``  the paper's deterministic plan-quality metric — fails
                 when ``fresh > baseline * js_tolerance`` (tight band:
                 it should be bit-stable).
+``rows_materialized`` / ``probe_count``
+                deterministic physical-execution counters (rows emitted
+                into result bags, galloping probes performed) — fail
+                when ``fresh > baseline * counter_tolerance``; a growth
+                here means an execution path silently degraded (e.g.
+                merge joins falling back to hash joins) even if wall
+                time on the CI host looks fine.
 ``wall_ms``     raw wall time — only meaningful when baseline and fresh
                 come from comparable hosts, so it is gated behind
                 ``--wall-tolerance`` and skipped otherwise (CI runners
@@ -88,6 +95,8 @@ def merge_baselines(records: List[Dict]) -> Dict[Key, Dict]:
             ("speedup", max),
             ("join_space", min),
             ("wall_ms", min),
+            ("rows_materialized", min),
+            ("probe_count", min),
         ):
             if field in record:
                 value = record[field]
@@ -103,6 +112,7 @@ def check(
     tolerance: float,
     js_tolerance: float,
     wall_tolerance: Optional[float],
+    counter_tolerance: float = 1.1,
 ) -> Tuple[List[str], List[str], int]:
     failures: List[str] = []
     notes: List[str] = []
@@ -144,6 +154,18 @@ def check(
                     f"{ceiling:.4g} (baseline {base['join_space']:.4g} * "
                     f"tolerance {js_tolerance:g})"
                 )
+        for field in ("rows_materialized", "probe_count"):
+            if field in record and field in base:
+                compared += 1
+                checked_any = True
+                ceiling = base[field] * counter_tolerance
+                if record[field] > ceiling:
+                    failures.append(
+                        f"{label}: {field} {record[field]} above "
+                        f"{ceiling:.0f} (baseline {base[field]} * "
+                        f"tolerance {counter_tolerance:g} — an execution "
+                        f"path degraded)"
+                    )
         if wall_tolerance is not None and "wall_ms" in record and "wall_ms" in base:
             compared += 1
             checked_any = True
@@ -197,6 +219,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default: baselines were recorded on different hardware)",
     )
     parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=1.1,
+        help="allowed growth factor for deterministic execution counters "
+        "(rows_materialized, probe_count; default 1.1)",
+    )
+    parser.add_argument(
         "--require-coverage",
         action="store_true",
         help="fail if any baseline record has no fresh counterpart",
@@ -208,7 +237,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     baselines = merge_baselines(load_records(args.baseline))
     fresh = load_records(args.fresh)
     failures, notes, compared = check(
-        baselines, fresh, args.tolerance, args.js_tolerance, args.wall_tolerance
+        baselines,
+        fresh,
+        args.tolerance,
+        args.js_tolerance,
+        args.wall_tolerance,
+        args.counter_tolerance,
     )
 
     for note in notes:

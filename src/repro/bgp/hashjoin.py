@@ -1,21 +1,39 @@
-"""Jena-style BGP engine: streaming scans + binary hash joins.
+"""Jena-style BGP engine: streaming scans + binary hash/merge joins.
 
 Each triple pattern is scanned into columnar rows, and relations are
-combined pairwise with hash joins in a selectivity-greedy order.  Scans
-are generators: the accumulated result is the hash-build side and each
-new pattern's rows stream through as probes (``join_streamed``), so a
-scanned pattern is never materialized as its own bag.  The cost model is
-Equation 9 of the paper:
+combined pairwise in a selectivity-greedy order.  Scans are generators:
+the accumulated result is the build side and each new pattern's rows
+stream through as probes (``join_streamed``), so a scanned pattern is
+never materialized as its own bag.  The hash cost model is Equation 9
+of the paper:
 
     cost(BinaryJoin(V1, V2)) = 2·min(card(V1), card(V2)) + max(card(V1), card(V2))
 
 (2× the build side plus 1× the probe side).
 
-This engine's characteristic behaviour — running every pattern's full
-scan through a join before any later pattern restricts it — is what
-makes low-selectivity patterns expensive, and is exactly the behaviour
-the paper's candidate pruning attacks: with candidate sets the scan is
-driven from the candidates instead of the full index range.
+Over a *frozen* store (sorted permutation arrays,
+:class:`~repro.storage.indexes.FrozenTripleIndexes`) the engine
+additionally exploits scan order end-to-end:
+
+- a scan whose binding combination makes the chosen permutation emit a
+  variable in ascending order is tagged with that sort variable
+  (:func:`~repro.bgp.plans.scan_sort_variable`);
+- when the accumulated result and the next scan are both sorted on
+  their single shared variable, the step becomes a **merge join**
+  (:func:`~repro.sparql.bags.merge_join_streamed`) with galloping
+  advance — cost ``card(V1) + card(V2)`` instead of Equation 9, which
+  the cost model mirrors so plan-time Δ-costs match the executed path;
+- a single-variable scan is served as a zero-copy sorted run; when it
+  is the larger join side the merge degenerates to a **galloping
+  semi-join** that skips most of the run entirely, and when the
+  variable carries a sorted candidate set the run is *intersected*
+  with it by range restriction instead of per-element membership
+  tests (§6's candidate pruning, realized on sorted arrays).
+
+Every order-exploiting path falls back to the classic hash/set path
+when its preconditions fail, and ``sorted_runs=False`` disables the
+whole layer — the differential suite runs both configurations against
+each other.
 """
 
 from __future__ import annotations
@@ -24,14 +42,24 @@ from itertools import islice
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..rdf.triple import TriplePattern
-from ..sparql.bags import Bag, Row, join, join_output_schema, join_streamed
+from ..sparql.bags import (
+    Bag,
+    Row,
+    UNBOUND,
+    join,
+    join_output_schema,
+    join_streamed,
+    merge_join_streamed,
+)
+from ..storage.indexes import FrozenTripleIndexes
+from ..storage.runs import SortedIdSet, as_span, gallop_left
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .filters import combine_predicates as _combine
 from .interface import BGPEngine, Candidates, PlanEstimate, ticked_rows
-from .plans import greedy_pattern_order
+from .plans import greedy_pattern_order, scan_sort_variable
 
-__all__ = ["HashJoinEngine", "binary_join_cost"]
+__all__ = ["HashJoinEngine", "binary_join_cost", "merge_join_cost"]
 
 
 def binary_join_cost(card1: float, card2: float) -> float:
@@ -39,15 +67,49 @@ def binary_join_cost(card1: float, card2: float) -> float:
     return 2.0 * min(card1, card2) + max(card1, card2)
 
 
+def merge_join_cost(card1: float, card2: float) -> float:
+    """Merge-join step cost: one ordered pass over each side.
+
+    Always ≤ Equation 9 (it drops the extra build pass), so whenever a
+    merge is *possible* the planner prices the step cheaper — galloping
+    can only reduce the realized cost further on skew.
+    """
+    return card1 + card2
+
+
+def _exec_counters():
+    # Imported lazily: repro.core imports this module during package
+    # initialization, so a top-level import would be circular.
+    from ..core.metrics import EXEC_COUNTERS
+
+    return EXEC_COUNTERS
+
+
 class HashJoinEngine(BGPEngine):
-    """Scan-and-hash-join BGP engine (Jena/TDB-like)."""
+    """Scan-and-hash/merge-join BGP engine (Jena/TDB-like)."""
 
     name = "hashjoin"
 
-    def __init__(self, store: TripleStore, estimator: Optional[CardinalityEstimator] = None):
+    def __init__(
+        self,
+        store: TripleStore,
+        estimator: Optional[CardinalityEstimator] = None,
+        sorted_runs: bool = True,
+    ):
         super().__init__(store)
         self.estimator = estimator or CardinalityEstimator(store)
+        #: Exploit frozen-permutation order (merge joins, galloping
+        #: candidate pruning).  False pins the classic hash/set paths —
+        #: the differential baseline configuration.
+        self.sorted_runs = sorted_runs
         self._estimate_cache: Dict[tuple, PlanEstimate] = {}
+
+    def _frozen(self) -> Optional[FrozenTripleIndexes]:
+        """The frozen indexes when order can be exploited, else None."""
+        if not self.sorted_runs:
+            return None
+        indexes = self.store.indexes
+        return indexes if isinstance(indexes, FrozenTripleIndexes) else None
 
     # ------------------------------------------------------------------
     # evaluation
@@ -64,6 +126,7 @@ class HashJoinEngine(BGPEngine):
             return Bag.identity()
         if limit is not None and limit <= 0:
             return Bag.empty()
+        counters = _exec_counters()
         # Counted once: count_pattern enumerates for repeated-variable
         # patterns, and both the ordering and the build-side choice
         # below consume the same numbers.
@@ -74,11 +137,14 @@ class HashJoinEngine(BGPEngine):
         ordered = greedy_pattern_order(patterns, counts.__getitem__)
         remaining = list(filters) if filters else []
         result: Optional[Bag] = None
+        #: Variable the accumulated result's rows are ascending on (the
+        #: carrier of merge-join eligibility), or None when unordered.
+        acc_sorted: Optional[str] = None
         last = len(ordered) - 1
         for index, pattern in enumerate(ordered):
             if checkpoint is not None:
                 checkpoint()
-            schema, rows = self._scan_rows(pattern, candidates)
+            schema, rows, sort_var, run_values = self._scan_rows(pattern, candidates)
             if checkpoint is not None:
                 # Amortized cancellation inside the streaming scan: the
                 # deadline can abort a long probe mid-pattern instead of
@@ -91,10 +157,12 @@ class HashJoinEngine(BGPEngine):
                 scan_filters = [f for f in remaining if f.variables <= scan_covered]
                 if scan_filters:
                     remaining = [f for f in remaining if f not in scan_filters]
-                    keep = _combine(scan_filters, schema)
-                    rows = (row for row in rows if keep(row))
+                    keep_scan = _combine(scan_filters, schema)
+                    rows = (row for row in rows if keep_scan(row))
+                    run_values = None  # rows may drop; the raw run is stale
             join_filters: List = []
             stop: Optional[int] = None
+            out_schema: Optional[Tuple[str, ...]] = None
             if result is not None and (remaining or (index == last and limit is not None)):
                 out_schema = join_output_schema(result.schema, schema)
                 join_filters = [
@@ -107,29 +175,130 @@ class HashJoinEngine(BGPEngine):
                 if index == last and not remaining and limit is not None:
                     rows = islice(rows, limit)
                 result = Bag.from_rows(schema, list(rows))
-            elif join_filters or stop is not None:
-                # Pushdown stage 2: filters completed by this join run on
-                # its output rows as they are produced, and on the last
-                # join a LIMIT stops the probe once enough (post-filter)
-                # rows exist.
-                keep = _combine(join_filters, out_schema) if join_filters else None
-                result = join_streamed(
-                    result, schema, rows, keep=keep, stop_at=stop, checkpoint=checkpoint
-                )
-            elif self._scan_estimate(pattern, counts[pattern], candidates) < len(result):
-                # The scan is the smaller relation: materialize it and
-                # let join() hash-build on it (Equation 9 builds on the
-                # cheaper side) instead of on the accumulated result.
-                result = join(
-                    result, Bag.from_rows(schema, list(rows)), checkpoint=checkpoint
-                )
+                acc_sorted = sort_var
             else:
-                result = join_streamed(result, schema, rows, checkpoint=checkpoint)
+                shared = [v for v in schema if result.slot(v) is not None]
+                mergeable = (
+                    sort_var is not None
+                    and len(shared) == 1
+                    and shared[0] == sort_var
+                )
+                keep = None
+                if join_filters:
+                    if out_schema is None:
+                        out_schema = join_output_schema(result.schema, schema)
+                    keep = _combine(join_filters, out_schema)
+                if mergeable and acc_sorted == sort_var:
+                    counters.merge_joins += 1
+                    if (
+                        run_values is not None
+                        and checkpoint is None
+                        and len(run_values) > len(result)
+                    ):
+                        # The scan is a plain sorted run larger than the
+                        # accumulated side: gallop *into* the run from
+                        # the small side instead of streaming it —
+                        # O(|result|·log|run|), skipping most of the run.
+                        # (With a checkpoint armed, stream instead so
+                        # cancellation keeps its amortized-tick bound.)
+                        result = self._gallop_semi_join(
+                            result, sort_var, run_values, keep, stop, counters
+                        )
+                    else:
+                        result = merge_join_streamed(
+                            result,
+                            schema,
+                            rows,
+                            keep=keep,
+                            stop_at=stop,
+                            checkpoint=checkpoint,
+                            stats=counters,
+                        )
+                    # Merge output stays ascending on the join variable.
+                elif keep is not None or stop is not None:
+                    # Pushdown stage 2: filters completed by this join run
+                    # on its output rows as they are produced, and on the
+                    # last join a LIMIT stops the probe once enough
+                    # (post-filter) rows exist.
+                    counters.hash_joins += 1
+                    result = join_streamed(
+                        result, schema, rows, keep=keep, stop_at=stop, checkpoint=checkpoint
+                    )
+                    acc_sorted = sort_var if mergeable else None
+                elif self._scan_estimate(pattern, counts[pattern], candidates) < len(result):
+                    # The scan is the smaller relation: materialize it and
+                    # let join() hash-build on it (Equation 9 builds on the
+                    # cheaper side) instead of on the accumulated result.
+                    counters.hash_joins += 1
+                    result = join(
+                        result, Bag.from_rows(schema, list(rows)), checkpoint=checkpoint
+                    )
+                    acc_sorted = None  # output follows the probe (result) order
+                else:
+                    counters.hash_joins += 1
+                    result = join_streamed(result, schema, rows, checkpoint=checkpoint)
+                    # A sorted probe drives emission in key order, so a
+                    # single-shared-variable hash join preserves the
+                    # probe's order even off the merge path.
+                    acc_sorted = sort_var if mergeable else None
+            counters.rows_materialized += len(result)
             if not result:
                 return Bag.empty()
         for compiled in remaining:  # safety net; unreachable when the
             result = compiled.apply(result)  # caller covers vars correctly
         return result if result is not None else Bag.identity()
+
+    @staticmethod
+    def _gallop_semi_join(
+        build: Bag,
+        variable: str,
+        values: Sequence[int],
+        keep,
+        stop_at: Optional[int],
+        counters,
+    ) -> Bag:
+        """``build ⋉ values``: keep build rows whose ``variable`` is in
+        the sorted ``values`` sequence, galloping both frontiers.
+
+        The probe side contributes no columns (a single-variable scan
+        shares its only variable), so the join degenerates to a filter
+        over the build rows — emitted in build order, preserving the
+        sort that made the merge eligible.
+        """
+        slot = build.slot(variable)
+        assert slot is not None
+        out: List[Row] = []
+        append = out.append
+        seq, frontier, n = as_span(values)
+        last_key: object = None
+        present = False
+        probes = 0
+        for row in build.rows:
+            key = row[slot]
+            if key is UNBOUND:
+                # Unreachable from the engine's own accumulation (scans
+                # bind every schema slot), handled for exactness: an
+                # unbound slot is compatible with every probe value.
+                for value in values:
+                    merged = row[:slot] + (value,) + row[slot + 1 :]
+                    if keep is None or keep(merged):
+                        append(merged)
+                        if stop_at is not None and len(out) >= stop_at:
+                            return Bag.from_rows(build.schema, out)
+                continue
+            if key != last_key:
+                last_key = key
+                frontier = gallop_left(seq, key, frontier, n)
+                probes += 1
+                present = frontier < n and seq[frontier] == key
+            if present:
+                if keep is None or keep(row):
+                    append(row)
+                    if stop_at is not None and len(out) >= stop_at:
+                        break
+        counters.gallop_probes += probes
+        counters.gallop_advances += probes
+        return Bag.from_rows(build.schema, out)
 
     def scan_pattern(
         self,
@@ -137,37 +306,96 @@ class HashJoinEngine(BGPEngine):
         candidates: Optional[Candidates] = None,
     ) -> Bag:
         """Materialize one pattern's matches as an id-level bag."""
-        schema, rows = self._scan_rows(pattern, candidates)
+        schema, rows, _, _ = self._scan_rows(pattern, candidates)
         return Bag.from_rows(schema, list(rows))
 
     def _scan_rows(
         self,
         pattern: TriplePattern,
         candidates: Optional[Candidates] = None,
-    ) -> Tuple[Tuple[str, ...], Iterator[Row]]:
-        """One pattern's matches as (schema, streaming columnar rows).
+    ) -> Tuple[Tuple[str, ...], Iterator[Row], Optional[str], Optional[Sequence[int]]]:
+        """One pattern's matches as a streaming row source plus order tags.
+
+        Returns ``(schema, rows, sort_var, run_values)``:
+
+        - ``sort_var`` — the variable the rows are ascending on, or
+          None when no order can be promised (thawed store, unsorted
+          candidate driver, ``sorted_runs=False``);
+        - ``run_values`` — for single-variable scans served straight
+          off a frozen permutation (possibly candidate-intersected),
+          the sorted value sequence itself, enabling the galloping
+          semi-join without re-materializing.
 
         When a variable position carries a candidate set smaller than
         the unrestricted scan, the scan is *driven* from the candidates
         (one indexed probe per candidate id) — the mechanics of §6's
-        candidate pruning inside the BGP engine.
+        candidate pruning inside the BGP engine.  Sorted candidate sets
+        iterate ascending, so a driven scan is itself a sorted run on
+        the driver variable.
         """
         encoded = self.store.encode_pattern(pattern)
         if any(x == -1 for x in encoded):
-            return (), iter(())
+            return (), iter(()), None, None
         schema, positions = pattern.layout()
         if not schema:  # ground pattern: existence filter
             if self.store.count_pattern(encoded) > 0:
-                return (), iter([()])
-            return (), iter(())
+                return (), iter([()]), None, None
+            return (), iter(()), None, None
+
+        frozen = self._frozen()
+        if (
+            frozen is not None
+            and len(schema) == 1
+            and sum(1 for term in encoded if isinstance(term, str)) == 1
+        ):
+            return self._rows_single_run(frozen, encoded, schema, candidates)
 
         driver = self._choose_candidate_driver(encoded, candidates)
         if driver is not None:
-            return schema, self._rows_driven(
-                encoded, schema, positions, driver, candidates
+            name = driver[1]
+            sort_var = (
+                name if isinstance(candidates[name], SortedIdSet) else None
+            )
+            return (
+                schema,
+                self._rows_driven(encoded, schema, positions, driver, candidates),
+                sort_var,
+                None,
             )
         filters = self._slot_filters(schema, candidates)
-        return schema, self._rows_plain(encoded, positions, filters)
+        sort_var = scan_sort_variable(encoded) if frozen is not None else None
+        return schema, self._rows_plain(encoded, positions, filters), sort_var, None
+
+    def _rows_single_run(
+        self,
+        frozen: FrozenTripleIndexes,
+        encoded,
+        schema: Tuple[str, ...],
+        candidates: Optional[Candidates],
+    ) -> Tuple[Tuple[str, ...], Iterator[Row], Optional[str], Optional[Sequence[int]]]:
+        """A one-free-variable pattern as a zero-copy sorted run.
+
+        The matching values are exactly one contiguous permutation
+        range.  A sorted candidate set on the variable is applied by
+        galloping range intersection — the §6 pruning step priced as
+        O(min·log max) instead of a per-element membership test per row.
+        """
+        variable = schema[0]
+        s, p, o = (term if isinstance(term, int) else None for term in encoded)
+        run = frozen.single_variable_run(s, p, o)
+        assert run is not None  # exactly one free position by construction
+        values: Sequence[int] = run
+        cand = candidates.get(variable) if candidates else None
+        if cand is not None:
+            if isinstance(cand, SortedIdSet):
+                counters = _exec_counters()
+                counters.candidate_intersections += 1
+                counters.candidate_intersection_in += len(run) + len(cand)
+                values = cand.intersect_run(run.values, run.start, run.stop, counters)
+                counters.candidate_intersection_out += len(values)
+            else:  # legacy set candidates: filter, order still ascending
+                values = [value for value in run if value in cand]
+        return schema, ((value,) for value in values), variable, values
 
     def _scan_estimate(
         self,
@@ -267,10 +495,17 @@ class HashJoinEngine(BGPEngine):
     ) -> List[Tuple[int, Set[int]]]:
         if not candidates:
             return []
+        # Slot filters probe membership once per scanned row: a plain
+        # set beats the sorted array's bisect there, so SortedIdSet
+        # candidates are converted once per scan.
         return [
-            (slot, candidates[name])
+            (
+                slot,
+                set(allowed.ids) if isinstance(allowed, SortedIdSet) else allowed,
+            )
             for slot, name in enumerate(schema)
             if name in candidates and name != skip
+            for allowed in (candidates[name],)
         ]
 
     # ------------------------------------------------------------------
@@ -286,8 +521,14 @@ class HashJoinEngine(BGPEngine):
         # Estimation is sampling-based and deterministic for a fixed
         # store, so the candidate-free case is memoized — both the
         # transformer's Δ-cost probing and the adaptive pruning
-        # threshold hit the same BGPs repeatedly.
-        key = (len(self.store), tuple(patterns)) if candidates is None else None
+        # threshold hit the same BGPs repeatedly.  The key carries the
+        # generation so a thaw/freeze (which flips merge eligibility,
+        # hence costs) cannot serve stale numbers.
+        key = (
+            (self.store.generation, len(self.store), tuple(patterns))
+            if candidates is None
+            else None
+        )
         if key is not None:
             cached = self._estimate_cache.get(key)
             if cached is not None:
@@ -298,9 +539,32 @@ class HashJoinEngine(BGPEngine):
         final_card, per_step = self.estimator.estimate_sequence(ordered)
         first_count = float(pattern_count(self.store, ordered[0], candidates))
         cost = first_count  # reading the first relation
+        # Mirror the executor's merge-eligibility tracking so the plan
+        # Δ-cost prices merge steps as merge steps (satisfying the
+        # "transparent cost model" contract of §4 for the new path).
+        frozen = self._frozen() is not None
+        encoded0 = self.store.encode_pattern(ordered[0])
+        acc_sorted = scan_sort_variable(encoded0) if frozen else None
+        seen_vars = {v.name for v in ordered[0].variables()}
         for index in range(1, len(ordered)):
-            right = float(pattern_count(self.store, ordered[index], candidates))
-            cost += binary_join_cost(per_step[index - 1], right)
+            pattern = ordered[index]
+            right = float(pattern_count(self.store, pattern, candidates))
+            pattern_vars = {v.name for v in pattern.variables()}
+            shared = pattern_vars & seen_vars
+            sort_var = (
+                scan_sort_variable(self.store.encode_pattern(pattern))
+                if frozen
+                else None
+            )
+            mergeable = (
+                sort_var is not None and len(shared) == 1 and sort_var in shared
+            )
+            if mergeable and acc_sorted == sort_var:
+                cost += merge_join_cost(per_step[index - 1], right)
+            else:
+                cost += binary_join_cost(per_step[index - 1], right)
+                acc_sorted = sort_var if mergeable else None
+            seen_vars |= pattern_vars
         estimate = PlanEstimate(cost, final_card)
         if key is not None:
             self._estimate_cache[key] = estimate

@@ -21,11 +21,22 @@ mappings at projection time.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
 from ..sparql.bags import Bag, UNBOUND
+from ..storage.runs import SortedIdSet
 from ..storage.store import TripleStore
 
 __all__ = [
@@ -58,30 +69,52 @@ def ticked_rows(rows: Iterable, checkpoint: Callable[[], None], mask: int = 4095
 def decode_bag(
     store: TripleStore, bag: Bag, checkpoint: Optional[Callable[[], None]] = None
 ) -> Bag:
-    """Convert an id-level bag to a term-level bag.
+    """Convert an id-level bag to a term-level bag, batch-decoding.
 
-    Works column-wise on the bag's rows, memoizing each distinct id so
-    the dictionary is consulted once per value, not once per occurrence.
-    Shared by every engine and baseline that decodes at the boundary.
-    ``checkpoint`` fires amortized per decoded row, so the deadline
-    machinery also bounds the decode of a huge result.
+    Collects the distinct ids across the whole bag first and decodes
+    them in **one** dictionary batch (``TripleStore.decode_many``):
+    each id is decoded once regardless of how many cells repeat it, and
+    snapshot-backed lazy dictionaries sweep their mapped term section
+    in sorted id order instead of seeking per cell.  Row translation is
+    then a plain dict lookup per cell.  Shared by every engine and
+    baseline that decodes at the boundary.  ``checkpoint`` fires
+    amortized per decoded row, so the deadline machinery also bounds
+    the decode of a huge result.
     """
-    decode = store.decode
-    cache: Dict[int, object] = {}
+    rows = bag.rows
+    if not rows or not bag.schema:
+        return Bag.from_rows(bag.schema, list(rows))
+    distinct: set = set()
+    for row in rows:
+        distinct.update(row)
+    distinct.discard(UNBOUND)
+    cache: Dict[object, object]
+    if checkpoint is None:
+        cache = store.decode_many(distinct)
+    else:
+        # Chunked batches keep the cooperative deadline's amortized-tick
+        # bound through the dictionary sweep (a huge result's decode must
+        # stay abortable, not just its row translation below).
+        ordered = sorted(distinct)
+        cache = {}
+        for start in range(0, len(ordered), 2048):
+            checkpoint()
+            cache.update(store.decode_many(ordered[start : start + 2048]))
+    cache[UNBOUND] = UNBOUND
+    from ..core.metrics import EXEC_COUNTERS  # lazy: core imports this module
 
-    def decoded(value):
-        if value is UNBOUND:
-            return UNBOUND
-        term = cache.get(value)
-        if term is None:
-            term = cache[value] = decode(value)
-        return term
+    EXEC_COUNTERS.batch_decoded_ids += len(distinct)
+    EXEC_COUNTERS.decoded_cells += len(rows) * len(bag.schema)
+    source = rows if checkpoint is None else ticked_rows(rows, checkpoint)
+    return Bag.from_rows(bag.schema, [tuple(cache[v] for v in row) for row in source])
 
-    source = bag.rows if checkpoint is None else ticked_rows(bag.rows, checkpoint)
-    return Bag.from_rows(bag.schema, [tuple(decoded(v) for v in row) for row in source])
-
-#: Candidate restriction: variable name → set of permitted term ids.
-Candidates = Dict[str, Set[int]]
+#: Candidate restriction: variable name → permitted term ids, either a
+#: plain ``set`` (legacy) or a :class:`~repro.storage.runs.SortedIdSet`
+#: (sorted array with bisect membership and galloping intersection —
+#: what :class:`~repro.core.candidates.CandidatePolicy` produces).
+#: Engines rely only on ``in`` / ``len`` / ascending-or-arbitrary
+#: iteration, and opportunistically fast-path the sorted form.
+Candidates = Dict[str, Union["SortedIdSet", Set[int]]]
 
 
 class PlanEstimate:

@@ -10,12 +10,41 @@ components.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Set
+from typing import Callable, List, Optional, Sequence, Set
 
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
+from ..storage.indexes import sorted_scan_position
 
-__all__ = ["pattern_join_vars", "connected_components", "greedy_pattern_order"]
+__all__ = [
+    "pattern_join_vars",
+    "connected_components",
+    "greedy_pattern_order",
+    "scan_sort_variable",
+]
+
+
+def scan_sort_variable(encoded) -> Optional[str]:
+    """The variable a *frozen* plain scan of ``encoded`` emits sorted.
+
+    ``encoded`` is an :data:`~repro.storage.store.EncodedPattern`
+    (ints for constants, name strings for variables).  The frozen
+    permutation chosen for the binding combination enumerates its
+    primary free column in ascending order; post-filters (repeated
+    variables, candidate slot filters) only drop rows, so the order
+    survives to the emitted rows.  Returns ``None`` for fully ground
+    patterns.  Both the executor (merge-join eligibility) and the cost
+    model (merge vs hash step costs) call this, which is what keeps
+    plan-time predictions aligned with run-time path choice.
+    """
+    s, p, o = encoded
+    position = sorted_scan_position(
+        isinstance(s, int), isinstance(p, int), isinstance(o, int)
+    )
+    if position is None:
+        return None
+    name = encoded[position]
+    return name if isinstance(name, str) else None
 
 
 def pattern_join_vars(pattern: TriplePattern) -> Set[str]:

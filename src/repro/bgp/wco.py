@@ -13,6 +13,17 @@ variable) plus plain tuples, so extending a partial is tuple
 concatenation instead of a dict copy, and the final bag is emitted in
 columnar form without conversion.
 
+Over a *frozen* store the per-vertex extension runs as a true
+**leapfrog intersection**: every not-yet-processed edge whose only free
+variable is the vertex being extended contributes its adjacency range
+as a zero-copy sorted run, and the new vertex's values are the
+multi-way galloping intersection of all those runs — plus, when the
+vertex carries a sorted candidate set, the candidate array itself
+(§6's pruning as one more leapfrog operand).  The verifier edges are
+consumed by the intersection, so they never run their own
+one-partial-at-a-time verification scans.  ``sorted_runs=False`` (or a
+thawed store) falls back to the classic per-edge extension loop.
+
 Cost model (paper §5.1.2):
 
     cost(WCOJoin({v1…vk-1}, vk)) = card({v1…vk-1}) × min_i average_size(vi, p)
@@ -28,6 +39,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
 from ..sparql.bags import Bag, Row
+from ..storage.indexes import FrozenTripleIndexes
+from ..storage.runs import SortedIdSet, leapfrog_spans
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .filters import combine_predicates as _combine
@@ -35,6 +48,13 @@ from .interface import BGPEngine, Candidates, PlanEstimate, ticked_rows
 from .plans import greedy_pattern_order
 
 __all__ = ["WCOJoinEngine"]
+
+
+def _exec_counters():
+    # Lazy: repro.core imports this module during package init.
+    from ..core.metrics import EXEC_COUNTERS
+
+    return EXEC_COUNTERS
 
 
 class _Edge:
@@ -75,15 +95,48 @@ class _Edge:
         return ("const", -1) in (self.s, self.p, self.o)
 
 
+class _Verifier:
+    """A consumed lookahead edge: its only free variable is the vertex
+    currently being extended, so it contributes one sorted adjacency run
+    per partial tuple to the leapfrog intersection.
+
+    ``anchor`` is the non-vertex endpoint — ``('const', id)`` or
+    ``('slot', index)`` — and ``vertex_is_object`` says which pair
+    range to take (SPO when the vertex is the object, POS when it is
+    the subject).
+    """
+
+    __slots__ = ("predicate", "anchor", "vertex_is_object")
+
+    def __init__(self, predicate: int, anchor: Tuple[str, object], vertex_is_object: bool):
+        self.predicate = predicate
+        self.anchor = anchor
+        self.vertex_is_object = vertex_is_object
+
+
 class WCOJoinEngine(BGPEngine):
     """Vertex-at-a-time worst-case-optimal join engine (gStore-like)."""
 
     name = "wco"
 
-    def __init__(self, store: TripleStore, estimator: Optional[CardinalityEstimator] = None):
+    def __init__(
+        self,
+        store: TripleStore,
+        estimator: Optional[CardinalityEstimator] = None,
+        sorted_runs: bool = True,
+    ):
         super().__init__(store)
         self.estimator = estimator or CardinalityEstimator(store)
+        #: Exploit frozen-permutation order (leapfrog extension,
+        #: galloping candidate pruning); False pins the classic loops.
+        self.sorted_runs = sorted_runs
         self._estimate_cache: Dict[tuple, PlanEstimate] = {}
+
+    def _frozen(self) -> Optional[FrozenTripleIndexes]:
+        if not self.sorted_runs:
+            return None
+        indexes = self.store.indexes
+        return indexes if isinstance(indexes, FrozenTripleIndexes) else None
 
     # ------------------------------------------------------------------
     # evaluation
@@ -103,16 +156,31 @@ class WCOJoinEngine(BGPEngine):
         edges = [_Edge(self.store, p) for p in patterns]
         if any(edge.impossible() for edge in edges):
             return Bag.empty()
+        counters = _exec_counters()
+        frozen = self._frozen()
         ordered = self._order_edges(patterns)
+        ordered_edges = [_Edge(self.store, p) for p in ordered]
         remaining = list(filters) if filters else []
         schema: List[str] = []
         slots: Dict[str, int] = {}
         rows: List[Row] = [()]
+        consumed: Set[int] = set()
         last = len(ordered) - 1
-        for index, pattern in enumerate(ordered):
+        for index, edge in enumerate(ordered_edges):
+            if index in consumed:
+                continue
             if checkpoint is not None:
                 checkpoint()
-            edge = _Edge(self.store, pattern)
+            verifiers: List[_Verifier] = []
+            if frozen is not None:
+                vertex = self._extension_vertex(edge, slots)
+                if vertex is not None:
+                    verifiers = self._collect_verifiers(
+                        ordered_edges, index + 1, consumed, slots, vertex
+                    )
+            stop_at = limit if all(
+                j in consumed for j in range(index + 1, last + 1)
+            ) else None
             rows = self._extend(
                 schema,
                 slots,
@@ -120,9 +188,13 @@ class WCOJoinEngine(BGPEngine):
                 edge,
                 candidates,
                 filters=remaining or None,
-                stop_at=limit if index == last else None,
+                stop_at=stop_at,
                 checkpoint=checkpoint,
+                frozen=frozen,
+                verifiers=verifiers,
+                counters=counters,
             )
+            counters.rows_materialized += len(rows)
             if not rows:
                 return Bag.empty()
         result = Bag.from_rows(tuple(schema), rows)
@@ -135,6 +207,70 @@ class WCOJoinEngine(BGPEngine):
             patterns, lambda p: self.store.count_pattern(self.store.encode_pattern(p))
         )
 
+    @staticmethod
+    def _extension_vertex(edge: _Edge, slots: Dict[str, int]) -> Optional[str]:
+        """The single new endpoint variable this edge would bind, if the
+        edge is a plain vertex extension (constant/bound predicate, no
+        repeated free variable) — the leapfrog-eligible shape."""
+        if edge.p[0] == "var" and edge.p[1] not in slots:
+            return None
+        s_kind, s_value = edge.s
+        o_kind, o_value = edge.o
+        s_new = s_kind == "var" and s_value not in slots
+        o_new = o_kind == "var" and o_value not in slots
+        if s_new == o_new:  # zero or two new endpoints
+            return None
+        new_name = s_value if s_new else o_value
+        if edge.p[0] == "var" and edge.p[1] == new_name:
+            return None
+        other = o_value if s_new else s_value
+        if (o_kind if s_new else s_kind) == "var" and other == new_name:
+            return None  # repeated new variable (?v p ?v)
+        return str(new_name)
+
+    def _collect_verifiers(
+        self,
+        ordered_edges: List[_Edge],
+        start: int,
+        consumed: Set[int],
+        slots: Dict[str, int],
+        vertex: str,
+    ) -> List[_Verifier]:
+        """Consume later edges whose only free variable is ``vertex``.
+
+        Each such edge, once the current edge binds the vertex, would
+        degenerate into a per-partial membership probe; intersecting
+        its adjacency run instead verifies *all* partials' extensions
+        in one leapfrog pass and the edge never executes on its own.
+        """
+        verifiers: List[_Verifier] = []
+        for j in range(start, len(ordered_edges)):
+            if j in consumed:
+                continue
+            edge = ordered_edges[j]
+            if edge.p[0] != "const":
+                continue
+            sides = (edge.s, edge.o)
+            vertex_occurrences = sum(
+                1 for kind, value in sides if kind == "var" and value == vertex
+            )
+            if vertex_occurrences != 1:
+                continue
+            vertex_is_object = edge.o[0] == "var" and edge.o[1] == vertex
+            anchor_kind, anchor_value = edge.s if vertex_is_object else edge.o
+            if anchor_kind == "var":
+                slot = slots.get(str(anchor_value))
+                if slot is None:
+                    continue  # anchor not bound yet: not a pure verifier
+                anchor: Tuple[str, object] = ("slot", slot)
+            else:
+                anchor = ("const", anchor_value)
+            verifiers.append(
+                _Verifier(int(edge.p[1]), anchor, vertex_is_object)  # type: ignore[arg-type]
+            )
+            consumed.add(j)
+        return verifiers
+
     def _extend(
         self,
         schema: List[str],
@@ -145,6 +281,9 @@ class WCOJoinEngine(BGPEngine):
         filters=None,
         stop_at: Optional[int] = None,
         checkpoint: Optional[Callable[[], None]] = None,
+        frozen: Optional[FrozenTripleIndexes] = None,
+        verifiers: Sequence[_Verifier] = (),
+        counters=None,
     ) -> List[Row]:
         """Extend every partial tuple through one edge.
 
@@ -161,6 +300,11 @@ class WCOJoinEngine(BGPEngine):
         aborts extension once that many (post-filter) tuples exist; it
         is ignored while uncovered filters remain, since rows could
         still be dropped later.
+
+        Over frozen indexes a single-new-vertex extension with
+        ``verifiers`` and/or a sorted candidate set runs as a leapfrog
+        intersection of sorted runs (see module docstring) instead of
+        scan-then-filter.
         """
         def classify(position: Tuple[str, object]):
             kind, value = position
@@ -207,6 +351,44 @@ class WCOJoinEngine(BGPEngine):
                     filters.remove(compiled)
         if stop_at is not None and filters:
             stop_at = None  # uncovered filters could still drop rows
+
+        # ------------------------------------------------------------------
+        # leapfrog fast path: one new endpoint vertex, runs to intersect
+        # ------------------------------------------------------------------
+        if frozen is not None and pvar is None and not (same_so or same_sp or same_po):
+            vertex_is_object = ovar is not None and svar is None
+            vertex_is_subject = svar is not None and ovar is None
+            if vertex_is_object or vertex_is_subject:
+                allowed = allowed_o if vertex_is_object else allowed_s
+                sorted_cand = allowed.ids if isinstance(allowed, SortedIdSet) else None
+                if verifiers or sorted_cand is not None:
+                    return self._extend_leapfrog(
+                        rows,
+                        cs,
+                        cp,
+                        co,
+                        vertex_is_object,
+                        allowed,
+                        sorted_cand,
+                        verifiers,
+                        frozen,
+                        keep,
+                        stop_at,
+                        checkpoint,
+                        counters,
+                    )
+        assert not verifiers  # verifiers are only collected for the fast path
+
+        # The generic loop probes membership per scanned triple; a
+        # plain set beats bisect there, so sorted candidate arrays are
+        # converted once per edge (they stay sorted where it matters —
+        # the leapfrog path above and the hash engine's intersections).
+        if isinstance(allowed_s, SortedIdSet):
+            allowed_s = set(allowed_s.ids)
+        if isinstance(allowed_p, SortedIdSet):
+            allowed_p = set(allowed_p.ids)
+        if isinstance(allowed_o, SortedIdSet):
+            allowed_o = set(allowed_o.ids)
 
         scan = self.store.indexes.scan
         if checkpoint is not None:
@@ -258,6 +440,116 @@ class WCOJoinEngine(BGPEngine):
                     return out
         return out
 
+    def _extend_leapfrog(
+        self,
+        rows: List[Row],
+        cs,
+        cp,
+        co,
+        vertex_is_object: bool,
+        allowed,
+        sorted_cand,
+        verifiers: Sequence[_Verifier],
+        frozen: FrozenTripleIndexes,
+        keep,
+        stop_at: Optional[int],
+        checkpoint: Optional[Callable[[], None]],
+        counters,
+    ) -> List[Row]:
+        """Per-partial leapfrog: vertex values = ∩ of all incident spans.
+
+        For each partial tuple the base edge's adjacency range, every
+        verifier edge's adjacency range and (when sorted) the vertex's
+        candidate array are intersected with multi-way galloping —
+        O(smallest · Σ log) per tuple instead of scanning the base run
+        and probing sets/edges per element.  Everything runs on raw
+        ``(backing, lo, hi)`` spans: no per-partial view allocation,
+        and the bisects index C arrays directly.
+        """
+        object_span = frozen.object_span
+        subject_span = frozen.subject_span
+        verifier_specs = [
+            (
+                verifier.predicate,
+                verifier.anchor[0] == "const",
+                verifier.anchor[1],
+                verifier.vertex_is_object,
+            )
+            for verifier in verifiers
+        ]
+        cand_span = (
+            (sorted_cand, 0, len(sorted_cand)) if sorted_cand is not None else None
+        )
+        unsorted_allowed = (
+            set(allowed.ids if isinstance(allowed, SortedIdSet) else allowed)
+            if allowed is not None and sorted_cand is None
+            else None
+        )
+        out: List[Row] = []
+        append = out.append
+        intersections = 0
+        in_total = 0
+        out_total = 0
+        tick = 0
+        for row in rows:
+            if checkpoint is not None:
+                tick += 1
+                if not (tick & 1023):
+                    checkpoint()
+            if vertex_is_object:
+                s = cs[1] if cs[0] == "const" else row[cs[1]]
+                p = cp[1] if cp[0] == "const" else row[cp[1]]
+                base = object_span(s, p)
+            else:
+                p = cp[1] if cp[0] == "const" else row[cp[1]]
+                o = co[1] if co[0] == "const" else row[co[1]]
+                base = subject_span(p, o)
+            if base[1] >= base[2]:
+                continue
+            spans = [base]
+            empty = False
+            for predicate, is_const, anchor, v_is_object in verifier_specs:
+                value = anchor if is_const else row[anchor]
+                span = (
+                    object_span(value, predicate)
+                    if v_is_object
+                    else subject_span(predicate, value)
+                )
+                if span[1] >= span[2]:
+                    empty = True
+                    break
+                spans.append(span)
+            if empty:
+                continue
+            if cand_span is not None:
+                spans.append(cand_span)
+            if len(spans) == 1:
+                arr, lo, hi = base
+                values: Sequence[int] = arr[lo:hi]
+            else:
+                values = leapfrog_spans(spans, counters)
+                intersections += 1
+                in_total += sum(span[2] - span[1] for span in spans)
+                out_total += len(values)
+            for value in values:
+                if unsorted_allowed is not None and value not in unsorted_allowed:
+                    continue
+                extended = row + (value,)
+                if keep is not None and not keep(extended):
+                    continue
+                append(extended)
+                if stop_at is not None and len(out) >= stop_at:
+                    if counters is not None:
+                        counters.candidate_intersections += intersections
+                        counters.candidate_intersection_in += in_total
+                        counters.candidate_intersection_out += out_total
+                    return out
+        if counters is not None:
+            counters.candidate_intersections += intersections
+            counters.candidate_intersection_in += in_total
+            counters.candidate_intersection_out += out_total
+        return out
+
     # ------------------------------------------------------------------
     # estimation
     # ------------------------------------------------------------------
@@ -272,7 +564,11 @@ class WCOJoinEngine(BGPEngine):
         # Memoize the (deterministic) candidate-free case: Δ-cost
         # probing and the adaptive pruning threshold hit the same BGPs
         # many times per query.
-        key = (len(self.store), tuple(patterns)) if candidates is None else None
+        key = (
+            (self.store.generation, len(self.store), tuple(patterns))
+            if candidates is None
+            else None
+        )
         if key is not None:
             cached = self._estimate_cache.get(key)
             if cached is not None:

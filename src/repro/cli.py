@@ -255,6 +255,9 @@ def _command_query(args, out) -> int:
 
     if args.stats:
         report = result.transform_report
+        # Stats must not corrupt a machine-readable payload: with
+        # --format json/csv/tsv they go to stderr instead.
+        stats_out = out if args.format == "table" else sys.stderr
         print(
             f"# {len(result)} rows | load {load_seconds * 1000:.1f} ms | "
             f"parse {result.parse_seconds * 1000:.1f} ms | "
@@ -263,9 +266,13 @@ def _command_query(args, out) -> int:
             f"join space {result.join_space:.3g} | "
             f"transformations {report.transformations if report else 0} | "
             f"pruned BGP evals {result.trace.pruned_evaluations}",
-            # Stats must not corrupt a machine-readable payload: with
-            # --format json/csv/tsv they go to stderr instead.
-            file=out if args.format == "table" else sys.stderr,
+            file=stats_out,
+        )
+        counters = result.exec_counters
+        print(
+            "# exec: "
+            + " | ".join(f"{name} {value}" for name, value in counters.items()),
+            file=stats_out,
         )
     return 0
 
@@ -320,8 +327,14 @@ def _command_snapshot(args, out) -> int:
     try:
         with SnapshotReader(args.snapshot) as reader:
             info = reader.info()
+            permutations_ok = None
             if args.verify:
                 reader.verify()
+                # Beyond checksums: the merge-join / galloping paths
+                # assume the persisted permutations are sorted; validate
+                # that invariant at inspection time instead of letting a
+                # bad snapshot silently degrade (or corrupt) execution.
+                permutations_ok = reader.verify_permutations()
             print(f"path          {info['path']}", file=out)
             print(f"format        v{info['format_version']}", file=out)
             print(f"generation    {info['generation']}", file=out)
@@ -332,6 +345,10 @@ def _command_snapshot(args, out) -> int:
                 print(f"section {name}  offset={offset}  bytes={length}", file=out)
             if args.verify:
                 print("checksums     OK", file=out)
+                if permutations_ok:
+                    print("permutations  OK (sorted pair-keys, run boundaries)", file=out)
+                else:
+                    print("permutations  absent (indexes rebuild on load)", file=out)
     except SnapshotError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

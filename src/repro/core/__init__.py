@@ -7,7 +7,13 @@ from .cost import CostModel, f_and, f_optional, f_union
 from .engine import ExecutionMode, QueryResult, SparqlUOEngine
 from .evaluator import BGPBasedEvaluator, EvaluationTrace
 from .joinspace import join_space
-from .metrics import count_bgp, depth, query_statistics
+from .metrics import (
+    EXEC_COUNTERS,
+    ExecutionCounters,
+    count_bgp,
+    depth,
+    query_statistics,
+)
 from .validation import InvalidBETreeError, validate_node, validate_tree
 from .transform import (
     TransformReport,
@@ -43,6 +49,8 @@ __all__ = [
     "count_bgp",
     "depth",
     "query_statistics",
+    "ExecutionCounters",
+    "EXEC_COUNTERS",
     "TransformReport",
     "can_merge",
     "can_inject",

@@ -43,6 +43,7 @@ from .candidates import CandidatePolicy, ThresholdMode
 from .cost import CostModel
 from .evaluator import BGPBasedEvaluator, EvaluationTrace
 from .joinspace import join_space
+from .metrics import EXEC_COUNTERS
 from .transform import TransformReport, multi_level_transform
 
 __all__ = ["ExecutionMode", "QueryResult", "SparqlUOEngine"]
@@ -85,6 +86,7 @@ class QueryResult:
         parse_seconds: float,
         transform_seconds: float,
         execute_seconds: float,
+        exec_counters: Opt[dict] = None,
     ):
         self.solutions = solutions
         self.variables = variables
@@ -94,6 +96,10 @@ class QueryResult:
         self.parse_seconds = parse_seconds
         self.transform_seconds = transform_seconds
         self.execute_seconds = execute_seconds
+        #: Physical execution-path counters accumulated by this query
+        #: (merge vs hash joins, galloping, candidate intersections —
+        #: see :data:`repro.core.metrics.EXEC_COUNTER_FIELDS`).
+        self.exec_counters: dict = exec_counters or {}
 
     def __len__(self) -> int:
         return len(self.solutions)
@@ -127,11 +133,17 @@ class SparqlUOEngine:
         mode: U[str, ExecutionMode] = ExecutionMode.FULL,
         fixed_fraction: float = 0.01,
         pushdown: bool = True,
+        sorted_runs: bool = True,
     ):
         self.store = store
+        #: ``sorted_runs=False`` pins the classic hash-join / set-
+        #: candidate execution paths even over frozen stores — the
+        #: reference configuration the sorted-run differential tests
+        #: and ``bench_merge_join.py`` compare against.
+        self.sorted_runs = sorted_runs
         if isinstance(bgp_engine, str):
             try:
-                bgp_engine = _BGP_ENGINES[bgp_engine](store)
+                bgp_engine = _BGP_ENGINES[bgp_engine](store, sorted_runs=sorted_runs)
             except KeyError:
                 raise ValueError(
                     f"unknown BGP engine {bgp_engine!r}; "
@@ -178,10 +190,16 @@ class SparqlUOEngine:
         mode: U[str, ExecutionMode] = ExecutionMode.FULL,
         fixed_fraction: float = 0.01,
         pushdown: bool = True,
+        sorted_runs: bool = True,
     ) -> "SparqlUOEngine":
         """Build a store from a plain dataset and wrap an engine around it."""
         return cls(
-            TripleStore.from_dataset(dataset), bgp_engine, mode, fixed_fraction, pushdown
+            TripleStore.from_dataset(dataset),
+            bgp_engine,
+            mode,
+            fixed_fraction,
+            pushdown,
+            sorted_runs,
         )
 
     @classmethod
@@ -193,10 +211,16 @@ class SparqlUOEngine:
         fixed_fraction: float = 0.01,
         pushdown: bool = True,
         lazy: bool = True,
+        sorted_runs: bool = True,
     ) -> "SparqlUOEngine":
         """Start hot: wrap an engine around a persisted store snapshot."""
         return cls(
-            TripleStore.load(path, lazy=lazy), bgp_engine, mode, fixed_fraction, pushdown
+            TripleStore.load(path, lazy=lazy),
+            bgp_engine,
+            mode,
+            fixed_fraction,
+            pushdown,
+            sorted_runs,
         )
 
     def reload_store(self, store: TripleStore) -> None:
@@ -212,16 +236,23 @@ class SparqlUOEngine:
         store invalidates it instead.
         """
         self.store = store
-        self.bgp_engine = type(self.bgp_engine)(store)
+        if isinstance(self.bgp_engine, (HashJoinEngine, WCOJoinEngine)):
+            self.bgp_engine = type(self.bgp_engine)(store, sorted_runs=self.sorted_runs)
+        else:
+            self.bgp_engine = type(self.bgp_engine)(store)
         self.cost_model = CostModel(self.bgp_engine)
         self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy, pushdown=self.pushdown)
 
     def _make_policy(self, fixed_fraction: float) -> CandidatePolicy:
         if self.mode is ExecutionMode.CP:
-            return CandidatePolicy(ThresholdMode.FIXED, fixed_fraction)
+            return CandidatePolicy(
+                ThresholdMode.FIXED, fixed_fraction, sorted_sets=self.sorted_runs
+            )
         if self.mode is ExecutionMode.FULL:
-            return CandidatePolicy(ThresholdMode.ADAPTIVE, fixed_fraction)
-        return CandidatePolicy(ThresholdMode.OFF)
+            return CandidatePolicy(
+                ThresholdMode.ADAPTIVE, fixed_fraction, sorted_sets=self.sorted_runs
+            )
+        return CandidatePolicy(ThresholdMode.OFF, sorted_sets=self.sorted_runs)
 
     # ------------------------------------------------------------------
     # pipeline
@@ -302,6 +333,7 @@ class SparqlUOEngine:
         if check is not None:
             check()
 
+        counters_before = EXEC_COUNTERS.snapshot()
         execute_start = time.perf_counter()
         trace = EvaluationTrace()
         limit_hint = None
@@ -363,6 +395,9 @@ class SparqlUOEngine:
             parse_seconds=parse_seconds,
             transform_seconds=transform_seconds,
             execute_seconds=execute_seconds,
+            # Advisory (process-global counters): concurrent executions
+            # in one process may bleed into each other's deltas.
+            exec_counters=EXEC_COUNTERS.delta_since(counters_before),
         )
 
     @classmethod

@@ -1,4 +1,4 @@
-"""Query-complexity metrics Count_BGP and Depth (§7.1, Tables 3–4).
+"""Query metrics: Count_BGP / Depth (§7.1) and execution counters.
 
 ``Count_BGP`` counts the BGP nodes of the (untransformed) BE-tree —
 i.e. maximal coalesced BGPs, matching the paper's recursive definition
@@ -7,9 +7,23 @@ once triple patterns have been grouped.
 ``Depth`` is the maximum nesting depth of group graph patterns, per the
 paper's recursive definition (each brace level adds one, the outermost
 WHERE group included).
+
+:class:`ExecutionCounters` is the process-wide tally of which physical
+execution paths actually ran — merge-join vs hash-join picks, galloping
+vs linear advances, candidate-intersection sizes, batch-decode reuse.
+The engines bump the :data:`EXEC_COUNTERS` singleton;
+:meth:`~repro.core.engine.SparqlUOEngine.execute` snapshots it around
+each query and attaches the delta to the
+:class:`~repro.core.engine.QueryResult`, the CLI prints it under
+``--stats``, and the protocol server aggregates worker deltas into
+``/metrics`` — so a plan-path regression (merge joins silently falling
+back to hash joins, pruning no longer galloping) is observable rather
+than just slow.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 from ..rdf.triple import TriplePattern
 from ..sparql.algebra import (
@@ -20,7 +34,78 @@ from ..sparql.algebra import (
 )
 from .betree import BETree
 
-__all__ = ["count_bgp", "depth", "query_statistics"]
+__all__ = [
+    "count_bgp",
+    "depth",
+    "query_statistics",
+    "ExecutionCounters",
+    "EXEC_COUNTERS",
+]
+
+
+#: The counter names, in display order.  One place to add a counter:
+#: the class, the CLI line, the Prometheus exposition and the worker
+#: meta dict all iterate this tuple.
+EXEC_COUNTER_FIELDS = (
+    "merge_joins",       # merge-join steps taken (incl. run semi-joins)
+    "hash_joins",        # hash-join steps taken (the fallback path)
+    "gallop_advances",   # galloping (exponential+bisect) pointer moves
+    "linear_advances",   # linear pointer moves inside merge loops
+    "gallop_probes",     # individual galloping searches performed
+    "candidate_intersections",     # sorted candidate ∩ run operations
+    "candidate_intersection_in",   # ids entering those intersections
+    "candidate_intersection_out",  # ids surviving them
+    "rows_materialized", # rows emitted into result bags by BGP engines
+    "batch_decoded_ids", # distinct ids decoded by batch result decode
+    "decoded_cells",     # result cells filled from those ids
+)
+
+
+class ExecutionCounters:
+    """Mutable tally of physical execution-path choices.
+
+    Plain unsynchronized ints: increments happen on the query hot path
+    and the numbers are observability, not accounting — a torn update
+    under free threading would skew a metric, never a result.
+    """
+
+    __slots__ = EXEC_COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in EXEC_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in EXEC_COUNTER_FIELDS}
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Per-query view: counters accumulated since ``before``."""
+        return {
+            name: getattr(self, name) - before.get(name, 0)
+            for name in EXEC_COUNTER_FIELDS
+        }
+
+    def add(self, delta: Dict[str, int]) -> None:
+        """Fold another process's delta in (server-side aggregation)."""
+        for name in EXEC_COUNTER_FIELDS:
+            value = delta.get(name)
+            if value:
+                setattr(self, name, getattr(self, name) + int(value))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in EXEC_COUNTER_FIELDS
+            if getattr(self, name)
+        )
+        return f"ExecutionCounters({parts})"
+
+
+#: The process-wide counters instance the engines record into.
+EXEC_COUNTERS = ExecutionCounters()
 
 
 def count_bgp(source) -> int:

@@ -62,6 +62,17 @@ class TermDictionary:
         except IndexError:
             raise KeyError(f"unknown term id {term_id}") from None
 
+    def decode_many(self, term_ids: Iterable[int]) -> Dict[int, GroundTerm]:
+        """Decode a batch of (distinct) ids into an id → term map.
+
+        The in-memory dictionary is a list lookup either way; lazy
+        snapshot-backed dictionaries override this to decode in sorted
+        id order, which turns random record touches into a sequential
+        sweep over the mapped term section (batch result decode).
+        """
+        decode = self.decode
+        return {term_id: decode(term_id) for term_id in term_ids}
+
     def encode_triple(self, triple: Triple) -> EncodedTriple:
         return (
             self.encode(triple.subject),

@@ -252,7 +252,14 @@ class _Handler(BaseHTTPRequestHandler):
                 CachedResult(reply.payload, content_type, rows, join_space),
             )
         self._respond(200, content_type, reply.payload)
-        state.metrics.record_query("miss", perf_counter() - started, rows, join_space)
+        exec_counters = reply.meta.get("exec")
+        state.metrics.record_query(
+            "miss",
+            perf_counter() - started,
+            rows,
+            join_space,
+            exec_counters if isinstance(exec_counters, dict) else None,
+        )
 
     def _handle_healthz(self) -> None:
         state = self.state

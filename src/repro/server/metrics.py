@@ -12,7 +12,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Mapping, Optional
+
+from ..core.metrics import EXEC_COUNTER_FIELDS
 
 __all__ = ["LatencySummary", "ServerMetrics"]
 
@@ -54,6 +56,9 @@ class ServerMetrics:
         self.inflight = 0
         self.rows_total = 0
         self.join_space_total = 0.0
+        #: Execution-path counters aggregated across worker queries
+        #: (merge vs hash joins, galloping, candidate intersections).
+        self.exec_totals: Counter = Counter()
         #: Outcome label → latency summary; "hit" vs "miss" is the
         #: cache dimension the benchmark's acceptance criterion reads.
         self.latency: Dict[str, LatencySummary] = {
@@ -81,7 +86,12 @@ class ServerMetrics:
             self.worker_restarts_total += 1
 
     def record_query(
-        self, outcome: str, seconds: float, rows: int, join_space: float
+        self,
+        outcome: str,
+        seconds: float,
+        rows: int,
+        join_space: float,
+        exec_counters: Optional[Mapping[str, int]] = None,
     ) -> None:
         """One completed query: ``outcome`` is ``hit`` or ``miss``."""
         with self._lock:
@@ -89,6 +99,11 @@ class ServerMetrics:
             summary.observe(seconds)
             self.rows_total += rows
             self.join_space_total += join_space
+            if exec_counters:
+                for name in EXEC_COUNTER_FIELDS:
+                    value = exec_counters.get(name)
+                    if value:
+                        self.exec_totals[name] += int(value)
 
     def enter(self) -> None:
         with self._lock:
@@ -140,6 +155,16 @@ class ServerMetrics:
                 f"{self.join_space_total:.6g}",
                 "Summed join-space metric (paper Fig. 11) across queries.",
             )
+            lines.append(
+                "# HELP repro_exec_path_total Execution-path counters "
+                "(merge vs hash joins, galloping, candidate intersections)."
+            )
+            lines.append("# TYPE repro_exec_path_total counter")
+            for name in EXEC_COUNTER_FIELDS:
+                lines.append(
+                    f'repro_exec_path_total{{counter="{name}"}} '
+                    f"{self.exec_totals.get(name, 0)}"
+                )
             emit(
                 "repro_cache_hits_total", cache_stats.get("hits", 0), "Result-cache hits."
             )

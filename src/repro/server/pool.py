@@ -142,6 +142,10 @@ def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
                 "execute_ms": round(result.execute_seconds * 1000, 3),
                 "total_ms": round((time.perf_counter() - started) * 1000, 3),
                 "join_space": result.join_space,
+                # Physical-path counters for this query (merge vs hash
+                # joins, galloping, candidate intersections); the parent
+                # aggregates them into /metrics.
+                "exec": result.exec_counters,
                 # The generation this worker actually served: a worker
                 # respawned after the snapshot was rebuilt in place may
                 # drift from the pool's startup generation, and cache

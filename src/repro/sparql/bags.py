@@ -50,6 +50,7 @@ __all__ = [
     "merge_mappings",
     "join",
     "join_streamed",
+    "merge_join_streamed",
     "join_output_schema",
     "union",
     "minus",
@@ -367,6 +368,25 @@ def _ticked_append(append, checkpoint, mask: int = 2047):
     return ticked
 
 
+def _emit_guard(out: List[Row], keep, stop_at: Optional[int], checkpoint):
+    """The shared emission wrapper: ``keep`` filtering, ``stop_at``
+    budget (raises :class:`_StopJoin`) and amortized checkpoint ticks,
+    layered over a plain ``list.append``."""
+    append = out.append
+    if keep is not None or stop_at is not None:
+        raw_append = append
+
+        def append(row, _raw=raw_append):
+            if keep is None or keep(row):
+                _raw(row)
+                if stop_at is not None and len(out) >= stop_at:
+                    raise _StopJoin
+
+    if checkpoint is not None:
+        append = _ticked_append(append, checkpoint)
+    return append
+
+
 def join(bag1: Bag, bag2: Bag, checkpoint=None) -> Bag:
     """Ω1 ⋈ Ω2 with a hash join on the shared schema columns.
 
@@ -384,6 +404,108 @@ def join(bag1: Bag, bag2: Bag, checkpoint=None) -> Bag:
     if len(bag2) < len(bag1):
         bag1, bag2 = bag2, bag1
     return _hash_join(bag1, bag2._schema, bag2._rows, checkpoint=checkpoint)
+
+
+def merge_join_streamed(
+    bag1: Bag,
+    schema2: Sequence[str],
+    rows2: Iterable[Row],
+    keep=None,
+    stop_at: Optional[int] = None,
+    checkpoint=None,
+    stats=None,
+) -> Bag:
+    """Ω1 ⋈ Ω2 as a *merge join* on the single shared variable.
+
+    Preconditions (the planner's job, checked where cheap):
+
+    - exactly one schema variable is shared (``ValueError`` otherwise);
+    - ``bag1``'s rows are ascending on the shared slot (rows with
+      UNBOUND there may appear anywhere — they are split out and
+      handled with the nested-loop compatibility semantics of
+      :func:`join`);
+    - ``rows2`` arrives in ascending shared-key order (sorted runs off
+      the frozen permutations, or the output of a previous merge join).
+
+    The probe stream drives; the build side advances by *galloping*
+    (exponential probe + bisect, :func:`repro.storage.runs.gallop_left`)
+    so a skewed probe that skips most build keys costs O(log gap) per
+    group instead of a linear walk.  Output rows come out ascending on
+    the shared key, which is what lets a chain of merge joins on the
+    same variable stay on the merge path.  Should a probe key ever
+    arrive out of order the frontier restarts at zero — the result is
+    still exact, only slower, so a planner misprediction can never
+    corrupt results.
+
+    ``keep`` / ``stop_at`` / ``checkpoint`` behave as in
+    :func:`join_streamed`; ``stats`` (an
+    :class:`~repro.core.metrics.ExecutionCounters`-shaped object)
+    receives gallop/linear advance tallies.
+    """
+    from ..storage.runs import gallop_left, gallop_right
+
+    out_schema, right_only, shared_pairs = _join_layout(bag1, tuple(schema2))
+    if len(shared_pairs) != 1:
+        raise ValueError(
+            f"merge join needs exactly one shared variable, got {len(shared_pairs)}"
+        )
+    i0, j0 = shared_pairs[0]
+    keys: List[int] = []
+    rows: List[Row] = []
+    loose_build: List[Row] = []
+    for row1 in bag1._rows:
+        key = row1[i0]
+        if key is UNBOUND:
+            loose_build.append(row1)
+        else:
+            keys.append(key)
+            rows.append(row1)
+
+    out: List[Row] = []
+    if stop_at is not None and stop_at <= 0:
+        return Bag.from_rows(out_schema, out)
+    append = _emit_guard(out, keep, stop_at, checkpoint)
+    tail_of = _tail_getter(right_only)
+    n = len(keys)
+    frontier = 0
+    last_key: object = _MISSING
+    lo = hi = 0
+    gallops = linears = 0
+    try:
+        for row2 in rows2:
+            key = row2[j0]
+            if key is UNBOUND:
+                # Loose probe: compatible with every build row.
+                tail = tail_of(row2)
+                for row1 in rows:
+                    append(_merge_rows(row1, row2, shared_pairs, tail))
+                for row1 in loose_build:
+                    append(_merge_rows(row1, row2, shared_pairs, tail))
+                continue
+            if key != last_key:
+                start = frontier if last_key is _MISSING or key > last_key else 0
+                lo = gallop_left(keys, key, start, n)
+                if lo - start > 1:
+                    gallops += 1
+                else:
+                    linears += 1
+                hi = gallop_right(keys, key, lo, n) if lo < n and keys[lo] == key else lo
+                frontier = hi
+                last_key = key
+            if lo < hi:
+                tail = tail_of(row2)
+                for index in range(lo, hi):
+                    append(rows[index] + tail)
+            if loose_build:
+                tail = tail_of(row2)
+                for row1 in loose_build:
+                    append(_merge_rows(row1, row2, shared_pairs, tail))
+    except _StopJoin:
+        pass
+    if stats is not None:
+        stats.gallop_advances += gallops
+        stats.linear_advances += linears
+    return Bag.from_rows(out_schema, out)
 
 
 def join_streamed(

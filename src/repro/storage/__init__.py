@@ -2,7 +2,14 @@
 binary snapshots and the streaming bulk loader."""
 
 from .bulkload import BulkLoader, bulk_load_ntriples
-from .indexes import TripleIndexes
+from .indexes import FrozenTripleIndexes, TripleIndexes, sorted_scan_position
+from .runs import (
+    SortedIdSet,
+    SortedRun,
+    gallop_intersect,
+    gallop_left,
+    leapfrog_intersect,
+)
 from .snapshot import (
     FORMAT_VERSION,
     MAGIC,
@@ -16,6 +23,13 @@ from .store import EncodedPattern, MISSING_ID, TripleStore
 
 __all__ = [
     "TripleIndexes",
+    "FrozenTripleIndexes",
+    "sorted_scan_position",
+    "SortedRun",
+    "SortedIdSet",
+    "gallop_left",
+    "gallop_intersect",
+    "leapfrog_intersect",
     "PredicateStatistics",
     "StoreStatistics",
     "TripleStore",

@@ -25,11 +25,39 @@ seek plus result-proportional enumeration.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.dictionary import EncodedTriple
+from .runs import SortedIdSet, SortedRun
 
-__all__ = ["TripleIndexes", "FrozenTripleIndexes", "PACK_SHIFT"]
+__all__ = ["TripleIndexes", "FrozenTripleIndexes", "PACK_SHIFT", "sorted_scan_position"]
+
+
+def sorted_scan_position(
+    s_bound: bool, p_bound: bool, o_bound: bool
+) -> Optional[int]:
+    """The triple position a frozen scan enumerates in ascending order.
+
+    Mirrors the permutation :meth:`FrozenTripleIndexes.scan` picks for
+    each binding combination: the primary free column of that
+    permutation is emitted sorted.  Returns 0/1/2 (s/p/o) or ``None``
+    when every position is bound (nothing left to sort on).
+    """
+    if s_bound and p_bound and o_bound:
+        return None
+    if s_bound and p_bound:
+        return 2  # SPO pair range → objects ascending
+    if p_bound and o_bound:
+        return 0  # POS pair range → subjects ascending
+    if s_bound and o_bound:
+        return 1  # OSP pair range → predicates ascending
+    if s_bound:
+        return 1  # SPO prefix → (p, o) rows ascending on p
+    if p_bound:
+        return 2  # POS prefix → (o, s) rows ascending on o
+    if o_bound:
+        return 0  # OSP prefix → (s, p) rows ascending on s
+    return 0  # full SPO scan → ascending on s
 
 #: Pair keys in the frozen permutations pack two 32-bit ids into one
 #: 64-bit integer: ``(first << PACK_SHIFT) | second``.
@@ -42,13 +70,16 @@ class TripleIndexes:
 
     def __init__(self):
         self._all: List[EncodedTriple] = []
-        self._spo: Set[EncodedTriple] = set()
+        self._spo: set = set()
         self._sp_o: Dict[Tuple[int, int], List[int]] = {}
         self._po_s: Dict[Tuple[int, int], List[int]] = {}
         self._so_p: Dict[Tuple[int, int], List[int]] = {}
         self._s_po: Dict[int, List[Tuple[int, int]]] = {}
         self._p_so: Dict[int, List[Tuple[int, int]]] = {}
         self._o_sp: Dict[int, List[Tuple[int, int]]] = {}
+        #: p → (subjects, objects) as cached sorted id sets, invalidated
+        #: on insert (see :meth:`subjects_of_predicate`).
+        self._pred_sets: Dict[int, Tuple[SortedIdSet, SortedIdSet]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -90,6 +121,8 @@ class TripleIndexes:
         if triple in self._spo:
             return False
         s, p, o = triple
+        if self._pred_sets:
+            self._pred_sets.pop(p, None)
         self._spo.add(triple)
         self._all.append(triple)
         self._sp_o.setdefault((s, p), []).append(o)
@@ -201,13 +234,25 @@ class TripleIndexes:
             return len(self._o_sp.get(o, ()))
         return len(self._all)
 
-    def subjects_of_predicate(self, p: int) -> Set[int]:
-        """Distinct subjects appearing with predicate ``p``."""
-        return {s for s, _ in self._p_so.get(p, ())}
+    def _predicate_sets(self, p: int) -> Tuple[SortedIdSet, SortedIdSet]:
+        cached = self._pred_sets.get(p)
+        if cached is None:
+            pairs = self._p_so.get(p, ())
+            cached = (
+                SortedIdSet.from_ids(s for s, _ in pairs),
+                SortedIdSet.from_ids(o for _, o in pairs),
+            )
+            self._pred_sets[p] = cached
+        return cached
 
-    def objects_of_predicate(self, p: int) -> Set[int]:
-        """Distinct objects appearing with predicate ``p``."""
-        return {o for _, o in self._p_so.get(p, ())}
+    def subjects_of_predicate(self, p: int) -> SortedIdSet:
+        """Distinct subjects appearing with predicate ``p`` (cached,
+        sorted; invalidated when a triple with ``p`` is inserted)."""
+        return self._predicate_sets(p)[0]
+
+    def objects_of_predicate(self, p: int) -> SortedIdSet:
+        """Distinct objects appearing with predicate ``p`` (cached, sorted)."""
+        return self._predicate_sets(p)[1]
 
 
 class FrozenTripleIndexes:
@@ -233,6 +278,7 @@ class FrozenTripleIndexes:
         "_pos_key", "_pos_s",
         "_osp_key", "_osp_p",
         "_all",
+        "_pred_sets",
     )
 
     def __init__(
@@ -251,6 +297,7 @@ class FrozenTripleIndexes:
         self._pos_key, self._pos_s = pos_key, pos_s
         self._osp_key, self._osp_p = osp_key, osp_p
         self._all: Optional[List[EncodedTriple]] = None
+        self._pred_sets: Dict[int, Tuple[SortedIdSet, SortedIdSet]] = {}
 
     @classmethod
     def from_columns(
@@ -303,6 +350,82 @@ class FrozenTripleIndexes:
     def _prefix_range(keys: Sequence[int], first: int) -> Tuple[int, int]:
         lo = bisect_left(keys, first << PACK_SHIFT)
         return lo, bisect_left(keys, (first + 1) << PACK_SHIFT, lo)
+
+    # ------------------------------------------------------------------
+    # zero-copy sorted runs (the merge-join / leapfrog substrate)
+    # ------------------------------------------------------------------
+    def object_run(self, s: int, p: int) -> SortedRun:
+        """Objects of ``(s, p, ?)`` as a sorted zero-copy run."""
+        lo, hi = self._pair_range(self._spo_key, s, p)
+        return SortedRun(self._spo_o, lo, hi)
+
+    def subject_run(self, p: int, o: int) -> SortedRun:
+        """Subjects of ``(?, p, o)`` as a sorted zero-copy run."""
+        lo, hi = self._pair_range(self._pos_key, p, o)
+        return SortedRun(self._pos_s, lo, hi)
+
+    def object_span(self, s: int, p: int) -> Tuple[Sequence[int], int, int]:
+        """:meth:`object_run` as a raw ``(backing, lo, hi)`` span —
+        the allocation-free form per-partial hot loops consume."""
+        lo, hi = self._pair_range(self._spo_key, s, p)
+        return self._spo_o, lo, hi
+
+    def subject_span(self, p: int, o: int) -> Tuple[Sequence[int], int, int]:
+        """:meth:`subject_run` as a raw ``(backing, lo, hi)`` span."""
+        lo, hi = self._pair_range(self._pos_key, p, o)
+        return self._pos_s, lo, hi
+
+    def predicate_run(self, s: int, o: int) -> SortedRun:
+        """Predicates of ``(s, ?, o)`` as a sorted zero-copy run."""
+        lo, hi = self._pair_range(self._osp_key, o, s)
+        return SortedRun(self._osp_p, lo, hi)
+
+    def single_variable_run(
+        self,
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+    ) -> Optional[SortedRun]:
+        """The sorted run for a pattern with exactly one free position,
+        or None when the binding combination has zero or 2+ free slots."""
+        if s is None:
+            if p is not None and o is not None:
+                return self.subject_run(p, o)
+            return None
+        if p is None:
+            return self.predicate_run(s, o) if o is not None else None
+        if o is None:
+            return self.object_run(s, p)
+        return None
+
+    def validate_sorted(self) -> None:
+        """Check the permutation sort invariants the merge path relies on.
+
+        Each permutation must be strictly ascending on (pair-key,
+        third) — sorted pair-key runs with ascending, duplicate-free
+        third columns.  Raises ``ValueError`` naming the first
+        violation; used by ``snapshot info --verify`` so a corrupt or
+        hand-edited snapshot degrades loudly instead of silently
+        breaking merge-join preconditions.
+        """
+        for name, keys, thirds in (
+            ("SPO", self._spo_key, self._spo_o),
+            ("POS", self._pos_key, self._pos_s),
+            ("OSP", self._osp_key, self._osp_p),
+        ):
+            previous_key = -1
+            previous_third = -1
+            for index in range(self._count):
+                key = keys[index]
+                third = thirds[index]
+                if key < previous_key or (
+                    key == previous_key and third <= previous_third
+                ):
+                    raise ValueError(
+                        f"{name} permutation out of order at row {index}: "
+                        f"({previous_key}, {previous_third}) !< ({key}, {third})"
+                    )
+                previous_key, previous_third = key, third
 
     # ------------------------------------------------------------------
     # the TripleIndexes read interface
@@ -421,14 +544,35 @@ class FrozenTripleIndexes:
             return self._count
         return hi - lo
 
-    def subjects_of_predicate(self, p: int) -> Set[int]:
-        lo, hi = self._prefix_range(self._pos_key, p)
-        return set(self._pos_s[lo:hi])
+    def _predicate_sets(self, p: int) -> Tuple[SortedIdSet, SortedIdSet]:
+        cached = self._pred_sets.get(p)
+        if cached is None:
+            lo, hi = self._prefix_range(self._pos_key, p)
+            keys = self._pos_key
+            # The POS prefix is sorted on o, so the masked object column
+            # is already ascending — dedup in one pass, no sort.
+            objects: List[int] = []
+            previous = -1
+            for i in range(lo, hi):
+                o = keys[i] & _PACK_MASK
+                if o != previous:
+                    objects.append(o)
+                    previous = o
+            cached = (
+                SortedIdSet.from_ids(self._pos_s[lo:hi]),
+                SortedIdSet.from_sorted(objects),
+            )
+            self._pred_sets[p] = cached
+        return cached
 
-    def objects_of_predicate(self, p: int) -> Set[int]:
-        lo, hi = self._prefix_range(self._pos_key, p)
-        keys = self._pos_key
-        return {keys[i] & _PACK_MASK for i in range(lo, hi)}
+    def subjects_of_predicate(self, p: int) -> SortedIdSet:
+        """Distinct subjects with predicate ``p`` (cached sorted array —
+        no per-call ``set()`` rebuild)."""
+        return self._predicate_sets(p)[0]
+
+    def objects_of_predicate(self, p: int) -> SortedIdSet:
+        """Distinct objects with predicate ``p`` (cached sorted array)."""
+        return self._predicate_sets(p)[1]
 
     def insert(self, triple: EncodedTriple) -> bool:
         raise TypeError(

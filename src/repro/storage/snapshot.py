@@ -55,7 +55,7 @@ import struct
 import sys
 import zlib
 from array import array
-from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..rdf.dictionary import TermDictionary
 from ..rdf.terms import XSD_STRING, BlankNode, GroundTerm, IRI, Literal
@@ -375,6 +375,26 @@ class SnapshotReader:
         for tag in self._sections:
             self._section_bytes(tag)
 
+    def verify_permutations(self) -> bool:
+        """Validate the sort invariants of the permutation sections.
+
+        The merge-join / galloping execution paths assume every
+        persisted permutation is strictly ascending on (pair-key,
+        third-column); a snapshot violating that would silently return
+        wrong join results rather than crash.  Returns False when the
+        snapshot carries no permutation sections, True when they all
+        validate, and raises :class:`SnapshotError` naming the first
+        out-of-order row otherwise.
+        """
+        frozen = self.frozen_indexes()
+        if frozen is None:
+            return False
+        try:
+            frozen.validate_sorted()
+        except ValueError as exc:
+            raise SnapshotError(f"{self.path!r}: {exc}") from exc
+        return True
+
     def sections(self) -> List[Tuple[str, int, int]]:
         """(name, offset, length) per section, for ``snapshot info``."""
         return [
@@ -564,6 +584,35 @@ class LazyTermDictionary(TermDictionary):
             term = self._reader.term(term_id)
             self._id_to_term[term_id] = term
         return term
+
+    def decode_many(self, term_ids: Iterable[int]) -> Dict[int, GroundTerm]:
+        """Batch decode: undecoded ids are visited in ascending order.
+
+        Term records live contiguously in the mapped DICT section, so a
+        sorted sweep touches each page once instead of seeking per
+        occurrence — this is the lazy-dictionary half of batch result
+        decoding (each distinct id decoded once per query, in id order).
+        """
+        cache = self._id_to_term
+        out: Dict[int, GroundTerm] = {}
+        missing: List[int] = []
+        for term_id in term_ids:
+            if not 0 <= term_id < len(cache):
+                raise KeyError(f"unknown term id {term_id}")
+            term = cache[term_id]
+            if term is None:
+                missing.append(term_id)
+            else:
+                out[term_id] = term
+        if missing:
+            missing.sort()
+            read = self._reader.term
+            for term_id in missing:
+                term = cache[term_id]
+                if term is None:
+                    term = cache[term_id] = read(term_id)
+                out[term_id] = term
+        return out
 
     def lookup(self, term: GroundTerm) -> Optional[int]:
         if self._materialized:

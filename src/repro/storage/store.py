@@ -242,6 +242,34 @@ class TripleStore:
                 reader.close()
         return store
 
+    def freeze(self) -> "TripleStore":
+        """Re-index into the frozen sorted-permutation form, in place.
+
+        Loaded snapshots serve :class:`FrozenTripleIndexes` already;
+        this brings a cold-built store onto the same read-optimized
+        layout (sorted runs, merge joins, galloping pruning) without a
+        snapshot round trip — tests and benchmarks use it to put both
+        construction paths on the same footing.  Writes after freezing
+        thaw back to the mutable form as usual.
+
+        Freezing flips which execution paths (and therefore which cost
+        estimates) apply, so it bumps the generation like a write does:
+        generation-keyed caches (query plans, engine estimates) must
+        not serve numbers priced against the pre-freeze layout.
+        """
+        with self._index_lock:
+            indexes = self.indexes
+            if isinstance(indexes, FrozenTripleIndexes):
+                return self
+            triples = indexes.all_triples()
+            if triples:
+                s_col, p_col, o_col = zip(*triples)
+            else:
+                s_col, p_col, o_col = (), (), ()
+            self._indexes = FrozenTripleIndexes.from_columns(s_col, p_col, o_col)
+            self._generation += 1
+        return self
+
     def close(self) -> None:
         """Release the snapshot mapping of a lazily loaded store."""
         if self._snapshot is not None:
@@ -386,6 +414,11 @@ class TripleStore:
     # ------------------------------------------------------------------
     def decode(self, term_id: int) -> GroundTerm:
         return self.dictionary.decode(term_id)
+
+    def decode_many(self, term_ids: Iterable[int]) -> dict:
+        """id → term for a batch of ids (one dictionary pass, see
+        :meth:`~repro.rdf.dictionary.TermDictionary.decode_many`)."""
+        return self.dictionary.decode_many(term_ids)
 
     def lookup(self, term: GroundTerm) -> Optional[int]:
         return self.dictionary.lookup(term)

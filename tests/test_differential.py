@@ -7,6 +7,15 @@ decoded term rows, nested-loop joins) and with the full optimized stack
 pruning enabled (``mode="full"``), filter/modifier pushdown on — and
 asserts exact bag equality.
 
+The store is *frozen* (sorted permutation arrays), so the optimized
+runs exercise the sorted-run layer: merge joins, galloping semi-joins,
+leapfrog extension and sorted-array candidate pruning.  Each seed is
+additionally executed with ``sorted_runs=False`` — the classic
+hash-join / set-candidate paths over the same frozen store — and the
+two configurations are asserted row-set-identical, which is the
+merge ≡ hash / gallop ≡ set equivalence proof across both engines ×
+all 300 seeds.
+
 Result comparison is modifier-aware:
 
 - no LIMIT/OFFSET → exact multiset equality;
@@ -73,13 +82,25 @@ def _run_differential(seed: int, extended: bool) -> None:
         expected = oracle.execute(query, dataset)
     except oracle.OracleBlowup:
         pytest.skip("cartesian blowup (deterministic circuit breaker)")
-    store = TripleStore.from_dataset(dataset)
+    store = TripleStore.from_dataset(dataset).freeze()
     for engine_name in ENGINES:
         engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full")
         result = engine.execute(query)
-        check_equivalent(
-            query, expected, result, f"seed={seed} extended={extended} engine={engine_name}"
+        context = f"seed={seed} extended={extended} engine={engine_name}"
+        check_equivalent(query, expected, result, context)
+        # The sorted-run layer (merge joins, galloping pruning) must be
+        # row-set-identical to the classic hash/set paths on the same
+        # frozen store; modifier-free queries compare as exact bags,
+        # paged ones against the same oracle invariants (the chosen
+        # page is implementation-defined, so bags may legally differ).
+        baseline = SparqlUOEngine(
+            store, bgp_engine=engine_name, mode="full", sorted_runs=False
         )
+        base_result = baseline.execute(query)
+        if query.limit is None and not query.offset:
+            assert base_result.solutions == result.solutions, context
+        else:
+            check_equivalent(query, expected, base_result, context + " sorted_runs=False")
     _executed["count"] += 1
 
 
