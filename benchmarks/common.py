@@ -123,9 +123,18 @@ def emit_bench_json(name: str, records: List[Dict]) -> Path:
 
     Committing these files gives every PR a durable, diffable record of
     the perf trajectory (the paper's Figures 10–13 at repro scale).
+    Published atomically (the snapshot layer's tmp + fsync + rename
+    helper): an interrupted run can never leave a truncated baseline
+    for ``check_regression.py`` to choke on — the same discipline the
+    ``.snapshots/`` store cache gets from ``cached_store``.
     """
+    from repro.storage import atomic_overwrite
+
     path = REPO_ROOT / f"BENCH_{name}.json"
-    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    with atomic_overwrite(str(path)) as handle:
+        handle.write(
+            (json.dumps(records, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        )
     return path
 
 

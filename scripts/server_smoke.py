@@ -14,11 +14,19 @@ with urllib only:
 4. ``/healthz`` and ``/metrics`` sanity;
 5. SIGINT → orderly shutdown with exit code 0.
 
-Any failure exits non-zero; CI runs this as the server smoke job.
+``--chaos`` runs the operator-facing chaos smoke instead: the same
+server binary under a seeded ``--faults`` schedule (worker crashes plus
+probabilistic cache faults), a fixed workload where every response must
+be byte-identical-or-well-formed-5xx, fault/restart accounting visible
+in ``/metrics``, the roster healed to full strength afterwards, and a
+SIGTERM drain that still exits 0 with the shutdown banner.
+
+Any failure exits non-zero; CI runs both modes as separate jobs.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import re
@@ -65,33 +73,143 @@ def http(url: str, data=None, headers=None, timeout=60):
         return response.status, dict(response.headers), response.read()
 
 
-def main() -> int:
+def build_snapshot() -> str:
     tmp = tempfile.mkdtemp(prefix="repro-smoke-")
     nt_path = os.path.join(tmp, "lubm.nt")
     snap_path = os.path.join(tmp, "lubm.snap")
-
     generated = run_cli(
         "generate", "lubm", nt_path, "--universities", "1", "--snapshot", snap_path
     )
     check(generated.returncode == 0, "snapshot generated")
+    return snap_path
 
-    reference = run_cli("query", snap_path, QUERY, "--format", "json")
-    check(reference.returncode == 0, "reference CLI query ran")
 
+def spawn_server(snap_path: str, *extra: str) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    server = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve", snap_path,
-            "--port", "0", "--workers", "2", "--timeout", "1",
-        ],
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", snap_path, "--port", "0", *extra],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
         env=env,
     )
+
+
+def read_banner(server: subprocess.Popen) -> str:
+    assert server.stdout is not None
+    banner = server.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)/sparql", banner)
+    check(match is not None, f"server banner announces the endpoint: {banner!r}")
+    return f"http://127.0.0.1:{match.group(1)}"  # type: ignore[union-attr]
+
+
+def wait_healthy(base: str, want_status: str = "", deadline_seconds: float = 60) -> None:
+    deadline = time.time() + deadline_seconds
+    last = "never reached"
+    while time.time() < deadline:
+        try:
+            _, _, body = http(base + "/healthz", timeout=5)
+            document = json.loads(body)
+            last = document.get("status", "?")
+            if not want_status or last == want_status:
+                check(True, f"healthz reports {last!r}")
+                return
+        except (urllib.error.URLError, ConnectionError):
+            pass
+        time.sleep(0.2)
+    check(False, f"healthz never reached {want_status or 'any'!r} (last: {last})")
+
+
+def chaos_main() -> int:
+    snap_path = build_snapshot()
+    queries = [QUERY, f"SELECT ?p WHERE {{ ?s ?p <{UB.rstrip('#')}#FullProfessor> }}"]
+    references = {}
+    for query in queries:
+        reference = run_cli("query", snap_path, query, "--format", "json")
+        check(reference.returncode == 0, "reference CLI query ran")
+        references[query] = reference.stdout.rstrip("\n").encode()
+
+    # Seeded, deterministic schedule: each worker (and each respawned
+    # replacement) crashes on its 3rd query; every 5th-ish cache lookup
+    # fails in the parent.
+    spec = "worker.exec:crash@3;cache.get:io_error@0.2#seed=7"
+    server = spawn_server(
+        snap_path, "--workers", "2", "--timeout", "5", "--faults", spec, "--drain", "5"
+    )
+    try:
+        base = read_banner(server)
+        wait_healthy(base, "ok")
+
+        ok = errors = 0
+        for index in range(24):
+            query = queries[index % len(queries)]
+            url = base + "/sparql?" + urllib.parse.urlencode({"query": query})
+            started = time.time()
+            try:
+                status, _, body = http(url, timeout=30)
+                check(status == 200, f"request {index}: status {status}")
+                check(
+                    body == references[query],
+                    f"request {index}: 200 body byte-identical to the CLI",
+                )
+                ok += 1
+            except urllib.error.HTTPError as exc:
+                check(
+                    exc.code in (500, 503, 504),
+                    f"request {index}: well-formed failure status (got {exc.code})",
+                )
+                document = json.loads(exc.read())
+                check("error" in document, f"request {index}: JSON error document")
+                errors += 1
+            check(
+                time.time() - started < 25,
+                f"request {index}: bounded latency under faults",
+            )
+        print(f"ok: workload survived chaos ({ok} exact answers, {errors} clean 5xx)")
+        check(ok >= 12, f"most requests answered exactly ({ok}/24)")
+        check(errors >= 1, "the crash schedule actually fired")
+
+        # The damage is visible in /metrics …
+        _, _, body = http(base + "/metrics")
+        text = body.decode()
+        restarts = re.search(r"repro_worker_restarts_total (\d+)", text)
+        check(
+            restarts is not None and int(restarts.group(1)) >= 1,
+            "worker restarts counted in metrics",
+        )
+        check(
+            'repro_faults_injected_total{site="cache.get"}' in text,
+            "parent-side injections surfaced in metrics",
+        )
+        check("repro_snapshot_fallbacks_total 0" in text, "no snapshot fallbacks")
+        check("repro_degraded_state" in text, "degraded-state gauge exposed")
+
+        # … and temporary: the heal path restores the full roster.
+        wait_healthy(base, "ok")
+
+        # SIGTERM: drain and exit cleanly.
+        server.send_signal(signal.SIGTERM)
+        stdout, _ = server.communicate(timeout=60)
+        check(server.returncode == 0, f"clean SIGTERM exit (code {server.returncode})")
+        check("shutdown complete" in stdout, "shutdown message printed")
+        print("\nchaos smoke: all checks passed")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(30)
+
+
+def main() -> int:
+    snap_path = build_snapshot()
+
+    reference = run_cli("query", snap_path, QUERY, "--format", "json")
+    check(reference.returncode == 0, "reference CLI query ran")
+
+    server = spawn_server(snap_path, "--workers", "2", "--timeout", "1")
     try:
         assert server.stdout is not None
         banner = server.stdout.readline()
@@ -181,4 +299,11 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the fault-injection chaos smoke instead of the protocol smoke",
+    )
+    arguments = parser.parse_args()
+    raise SystemExit(chaos_main() if arguments.chaos else main())

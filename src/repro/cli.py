@@ -41,7 +41,13 @@ from .datasets.dbpedia import generate_dbpedia
 from .datasets.lubm import generate_lubm
 from .rdf.ntriples import dump_ntriples, load_ntriples
 from .sparql.errors import SparqlError
-from .storage.snapshot import MAGIC, SnapshotError, SnapshotReader
+from .storage.snapshot import (
+    MAGIC,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotReader,
+    SnapshotTornError,
+)
 from .storage.store import TripleStore
 
 __all__ = ["main", "build_parser"]
@@ -159,6 +165,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--log-requests", action="store_true", help="log every request to stderr"
+    )
+    serve.add_argument(
+        "--drain",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to this long for in-flight "
+        "queries to finish before closing the worker pool",
+    )
+    serve.add_argument(
+        "--stale-while-error",
+        action="store_true",
+        help="serve a cached result from any generation (tagged "
+        "X-Repro-Stale: 1) when execution fails, instead of a 5xx",
+    )
+    serve.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help="fault-injection spec for chaos testing, e.g. "
+        "'worker.exec:crash@3;cache.get:io_error@0.1#seed=7' "
+        "(see repro.faults; defaults to $REPRO_FAULTS)",
     )
 
     generate = sub.add_parser("generate", help="write a synthetic benchmark dataset")
@@ -278,6 +306,9 @@ def _command_query(args, out) -> int:
 
 
 def _command_serve(args, out) -> int:
+    import os
+
+    from . import faults
     from .server import ServerConfig, serve as run_server
 
     config = ServerConfig(
@@ -293,8 +324,17 @@ def _command_serve(args, out) -> int:
         engine=args.engine,
         mode=args.mode,
         log_requests=args.log_requests,
+        drain_seconds=args.drain,
+        stale_while_error=args.stale_while_error,
+        # One resolved spec drives the parent and every worker; the
+        # env var is the no-flag path chaos harnesses use.
+        faults=args.faults or os.environ.get(faults.ENV_VAR, ""),
     )
-    return run_server(config, out=out)
+    try:
+        return run_server(config, out=out)
+    except faults.FaultSpecError as exc:
+        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+        return 2
 
 
 def _command_generate(args, out) -> int:
@@ -349,6 +389,29 @@ def _command_snapshot(args, out) -> int:
                     print("permutations  OK (sorted pair-keys, run boundaries)", file=out)
                 else:
                     print("permutations  absent (indexes rebuild on load)", file=out)
+    except SnapshotCorruptError as exc:
+        # The file is structurally complete but its contents are wrong
+        # (checksum mismatch, malformed records): re-reading will not
+        # help; the snapshot must be rebuilt from source data.
+        print(f"error: corrupt snapshot: {exc}", file=sys.stderr)
+        print(
+            "hint: quarantine the file (mv to *.corrupt) and rebuild with "
+            "'repro snapshot build'; a running server keeps serving its "
+            "last-good generation meanwhile",
+            file=sys.stderr,
+        )
+        return 3
+    except SnapshotTornError as exc:
+        # Truncated or unreadable — typically an interrupted non-atomic
+        # copy, a partial download, or an underlying I/O error.
+        print(f"error: torn/unreadable snapshot: {exc}", file=sys.stderr)
+        print(
+            "hint: the file is incomplete — restore it from its source or "
+            "rebuild with 'repro snapshot build' (writes are atomic: an "
+            "interrupted build never leaves a torn file at the target path)",
+            file=sys.stderr,
+        )
+        return 2
     except SnapshotError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

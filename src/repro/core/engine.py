@@ -28,6 +28,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Iterator, List, Optional as Opt, Tuple, Union as U
 
+from .. import faults as _faults
 from ..bgp.hashjoin import HashJoinEngine
 from ..bgp.interface import BGPEngine
 from ..bgp.wco import WCOJoinEngine
@@ -418,7 +419,24 @@ class SparqlUOEngine:
     def _make_checkpoint(
         timeout: Opt[float], extra: Opt[Callable[[], None]]
     ) -> Opt[Callable[[], None]]:
-        """Compose the deadline hook and a caller-supplied hook."""
+        """Compose the deadline hook and a caller-supplied hook.
+
+        When a fault plan targeting ``engine.checkpoint`` is armed, the
+        plan fires on every checkpoint tick — the deterministic way to
+        fail a query *mid-evaluation* rather than at a request
+        boundary.  The decision is taken once, here: an unarmed process
+        builds exactly the same closures as before, so the hot ticks
+        carry zero injection overhead.
+        """
+        plan = _faults.ACTIVE
+        if plan is not None and plan.wants("engine.checkpoint"):
+            inner = extra
+
+            def extra() -> None:  # type: ignore[misc]
+                plan.fire("engine.checkpoint")
+                if inner is not None:
+                    inner()
+
         if timeout is None:
             return extra
         expires = time.monotonic() + timeout

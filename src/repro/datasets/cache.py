@@ -10,17 +10,22 @@ cache directory, and every later process starts hot from that file.
 The cache directory resolves, in order: the ``directory`` argument, the
 ``REPRO_SNAPSHOT_DIR`` environment variable, else no caching (the store
 is simply built in memory).  Snapshots found invalid — truncated,
-corrupt, written by another format version — are rebuilt in place, so a
-stale cache can slow a run down but never break it.
+corrupt, written by another format version — are quarantined
+(``*.snap.corrupt``, preserved for post-mortems) and rebuilt in place,
+so a stale cache can slow a run down but never break it.  Writes
+publish atomically (tmp + fsync + rename, the same helper every
+snapshot write uses), so an interrupted benchmark run cannot leave a
+truncated ``.snap`` behind for the next run to trip over mid-query.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 from typing import Optional, Union
 
-from ..storage.snapshot import SnapshotError
+from ..storage.snapshot import SnapshotError, quarantine_snapshot
 from ..storage.store import TripleStore
 from .dbpedia import generate_dbpedia
 from .lubm import generate_lubm
@@ -89,9 +94,16 @@ def cached_store(
             # the rebuild path below can repair it — not on a later
             # lazy first touch with nothing catching it.
             return TripleStore.load(str(path), lazy=lazy, verify=True)
-        except SnapshotError:
-            pass  # stale / corrupt cache entry: rebuild below
+        except SnapshotError as exc:
+            # Stale / torn / corrupt cache entry: move the evidence
+            # aside so nothing else can map the bad bytes, then rebuild.
+            quarantined = quarantine_snapshot(str(path))
+            sys.stderr.write(
+                f"warning: rebuilding invalid snapshot cache entry {path} ({exc})"
+                + (f"; quarantined as {quarantined}" if quarantined else "")
+                + "\n"
+            )
     store = _generate(flavor, seed, universities, articles)
     resolved.mkdir(parents=True, exist_ok=True)
-    store.save(str(path))
+    store.save(str(path))  # atomic publish via storage.snapshot.atomic_overwrite
     return store

@@ -22,7 +22,7 @@ from .app import SparqlServer, serve
 from .cache import CachedResult, ResultCache
 from .config import ServerConfig
 from .metrics import ServerMetrics
-from .pool import WorkerPool, WorkerReply
+from .pool import PoolError, WorkerPool, WorkerReply
 from .protocol import (
     FORMAT_MEDIA_TYPES,
     ProtocolError,
@@ -37,6 +37,7 @@ __all__ = [
     "ResultCache",
     "CachedResult",
     "ServerMetrics",
+    "PoolError",
     "WorkerPool",
     "WorkerReply",
     "ProtocolError",

@@ -17,10 +17,12 @@ import signal
 import socket
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Optional, Tuple
 
+from .. import faults as _faults
 from .cache import CachedResult, ResultCache
 from .config import ServerConfig
 from .metrics import ServerMetrics
@@ -115,6 +117,10 @@ class _Handler(BaseHTTPRequestHandler):
         # the whole emission is guarded against clients that hung up
         # mid-query (no stderr traceback, metrics still recorded).
         try:
+            if _faults.ACTIVE is not None:
+                # An injected io_error here stands in for the client
+                # hanging up mid-response — same handler below.
+                _faults.ACTIVE.fire("server.respond")
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
@@ -208,7 +214,16 @@ class _Handler(BaseHTTPRequestHandler):
         # costs microseconds and no worker, so popular queries keep
         # answering precisely when the execution slots are saturated.
         if not state.generation_mixed:
-            cached = state.cache.get(state.generation, request.format, request.query)
+            try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire("cache.get")
+                cached = state.cache.get(
+                    state.generation, request.format, request.query
+                )
+            except OSError:
+                # A failing cache lookup degrades to a miss — the cache
+                # is an accelerator, never a dependency.
+                cached = None
             if cached is not None:
                 self._respond(200, cached.content_type, cached.payload)
                 state.metrics.record_query(
@@ -234,6 +249,25 @@ class _Handler(BaseHTTPRequestHandler):
                 state.metrics.record_timeout()
             if reply.kind == "shed":
                 state.metrics.record_shed()
+            # Opt-in stale-while-error: when execution failed outright
+            # ("error": a dead/failing worker; "shed": no capacity), a
+            # previously cached answer — any generation — beats a 5xx.
+            # Timeouts are excluded: the query is too expensive, and
+            # stale data would mask that signal.
+            if state.config.stale_while_error and reply.kind in ("error", "shed"):
+                stale = state.cache.get_stale(request.format, request.query)
+                if stale is not None:
+                    self._respond(
+                        200,
+                        stale.content_type,
+                        stale.payload,
+                        (("X-Repro-Stale", "1"),),
+                    )
+                    state.metrics.record_stale_served()
+                    state.metrics.record_query(
+                        "stale", perf_counter() - started, stale.row_count, stale.join_space
+                    )
+                    return
             self._respond_error(_REPLY_STATUS.get(reply.kind, 500), reply.message)
             return
         content_type = FORMAT_MEDIA_TYPES[request.format]
@@ -245,13 +279,21 @@ class _Handler(BaseHTTPRequestHandler):
         # data versions are never served from it.
         served_generation = int(reply.meta.get("generation", state.generation))  # type: ignore[arg-type]
         if not state.generation_mixed:
-            state.cache.put(
-                served_generation,
-                request.format,
-                request.query,
-                CachedResult(reply.payload, content_type, rows, join_space),
-            )
+            try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire("cache.put")
+                state.cache.put(
+                    served_generation,
+                    request.format,
+                    request.query,
+                    CachedResult(reply.payload, content_type, rows, join_space),
+                )
+            except OSError:
+                pass  # a result that cannot be cached is still served
         self._respond(200, content_type, reply.payload)
+        fault_counts = reply.meta.get("faults")
+        if isinstance(fault_counts, dict) and fault_counts:
+            state.metrics.record_fault_injections(fault_counts)
         exec_counters = reply.meta.get("exec")
         state.metrics.record_query(
             "miss",
@@ -262,24 +304,42 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _handle_healthz(self) -> None:
+        """Three-state health: a short roster is *degraded but serving*.
+
+        ``ok`` (200) — full roster; ``degraded`` (200) — some workers
+        down, capacity reduced, but queries still answer, so load
+        balancers must NOT eject the instance; ``unavailable`` (503) —
+        no workers at all.
+        """
         state = self.state
-        alive = state.pool.alive
-        healthy = alive > 0
+        pool_stats = state.pool.stats()
+        alive = int(pool_stats["alive"])
+        target = int(pool_stats["target"])
+        if alive >= target:
+            status, http_status = "ok", 200
+        elif alive > 0:
+            status, http_status = "degraded", 200
+        else:
+            status, http_status = "unavailable", 503
         document = {
-            "status": "ok" if healthy else "degraded",
-            "workers": state.pool.size,
+            "status": status,
+            "workers": target,
             "alive": alive,
+            "respawn_backoff_seconds": pool_stats["backoff_seconds"],
+            "snapshot_fallbacks": pool_stats["snapshot_fallbacks"],
             "generation": state.generation,
             "generation_mixed": state.generation_mixed,
             "inflight": state.metrics.inflight,
             "cache": state.cache.stats(),
         }
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
-        self._respond(200 if healthy else 503, "application/json", body)
+        self._respond(http_status, "application/json", body)
 
     def _handle_metrics(self) -> None:
         state = self.state
-        text = state.metrics.render(state.generation, state.pool.alive, state.cache.stats())
+        text = state.metrics.render(
+            state.generation, state.pool.stats(), state.cache.stats()
+        )
         self._respond(200, "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8"))
 
 
@@ -296,6 +356,14 @@ class SparqlServer:
         self.config = config
         self.metrics = ServerMetrics()
         self.cache = ResultCache(config.cache_entries, config.cache_bytes)
+        # Arm fault injection before anything that hosts an injection
+        # point (the pool spawn below included).  Workers arm the same
+        # plan independently — it travels pickled through the spawn
+        # args — so one spec drives the whole process tree.
+        self._armed_faults = False
+        if config.faults:
+            _faults.arm(config.faults)  # FaultSpecError propagates: typos fail loudly
+            self._armed_faults = True
         # Bind the listener *before* spawning workers: a bind failure
         # (EADDRINUSE, privileged port) must not leave N freshly
         # spawned processes parked on their pipes.
@@ -311,6 +379,7 @@ class SparqlServer:
                 config,
                 on_restart=self.metrics.record_worker_restart,
                 on_generation_drift=self._on_generation_drift,
+                on_snapshot_fallback=self._on_snapshot_fallback,
             )
         except BaseException:
             self._httpd.server_close()
@@ -323,6 +392,18 @@ class SparqlServer:
         )
         self._httpd.state = self
         self._thread: Optional[threading.Thread] = None
+
+    def _on_snapshot_fallback(self) -> None:
+        # A respawned worker could not load the data file (rebuilt in
+        # place, torn, or vanished): the still-running workers keep
+        # serving the generation they have mapped while the pool's heal
+        # thread retries on its backoff schedule.  Counted in
+        # /metrics (repro_snapshot_fallbacks_total) via pool.stats().
+        sys.stderr.write(
+            f"warning: worker respawn could not load {self.config.data}; "
+            f"serving last-good generation {self.generation} at reduced "
+            f"capacity while the heal thread retries\n"
+        )
 
     def _on_generation_drift(self, new_generation: int) -> None:
         self.generation_mixed = True
@@ -358,16 +439,26 @@ class SparqlServer:
         """Stop accepting connections, then stop the workers.
 
         Handler threads are daemonic, so shutdown never blocks on a
-        stuck client; a handler racing the worker-pool close gets a
-        clean "server shutting down" error reply rather than a torn
-        pipe (see :meth:`WorkerPool.execute`).
+        stuck client; the drain below waits (up to ``drain_seconds``)
+        for in-flight queries to finish before the pool closes, so a
+        SIGTERM during live traffic completes the accepted work instead
+        of tearing worker pipes out from under it.  A handler racing
+        the worker-pool close anyway gets a clean "server shutting
+        down" error reply rather than a torn pipe (see
+        :meth:`WorkerPool.execute`).
         """
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(5.0)
             self._thread = None
+        deadline = time.monotonic() + max(self.config.drain_seconds, 0.0)
+        while self.metrics.inflight > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
         self.pool.close()
+        if self._armed_faults:
+            _faults.disarm()
+            self._armed_faults = False
 
     def __enter__(self) -> "SparqlServer":
         self.start()

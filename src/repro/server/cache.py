@@ -105,6 +105,27 @@ class ResultCache:
                 self.evictions += 1
         return True
 
+    def get_stale(self, fmt: str, query: str) -> Optional[CachedResult]:
+        """A last-resort lookup that ignores the generation key.
+
+        Backs the opt-in stale-while-error mode: when the pool cannot
+        answer, the most recently cached result for this (format,
+        query) — *whatever generation produced it* — beats a 5xx.
+        Scans newest-first so a multi-generation cache serves the
+        freshest answer it has.  Does not touch hit/miss accounting or
+        LRU order: stale serves are an emergency path, not a workload
+        signal.
+        """
+        if self.max_entries <= 0 or self._disabled:
+            return None
+        with self._lock:
+            if self._disabled:
+                return None
+            for (_, entry_fmt, entry_query), entry in reversed(self._entries.items()):
+                if entry_fmt == fmt and entry_query == query:
+                    return entry
+        return None
+
     def clear(self) -> None:
         """Drop every entry."""
         with self._lock:

@@ -56,6 +56,25 @@ class ServerConfig:
     log_requests: bool = False
     #: Result formats served; first entry is the negotiation default.
     formats: List[str] = field(default_factory=lambda: ["json", "csv", "tsv"])
+    #: Fault-injection spec (see :mod:`repro.faults`), armed in the
+    #: parent *and* every worker; "" means injection off.  The chaos
+    #: harness drives this via ``repro serve --faults``.
+    faults: str = ""
+    #: On shutdown, wait up to this long for in-flight requests to
+    #: finish before closing the worker pool (SIGTERM drain).
+    drain_seconds: float = 5.0
+    #: Serve an expired / prior-generation cache hit (tagged
+    #: ``X-Repro-Stale: 1``) when the pool cannot answer.  Off by
+    #: default: staleness must be an explicit operator choice.
+    stale_while_error: bool = False
+    #: Heal-path backoff: first retry delay after a failed respawn,
+    #: doubling per consecutive failure up to the cap (±20% jitter).
+    respawn_backoff_base: float = 0.5
+    respawn_backoff_cap: float = 30.0
+    #: Respawn-storm budget: at most this many respawn attempts per
+    #: rolling ``respawn_window`` seconds; excess attempts wait.
+    respawn_budget: int = 8
+    respawn_window: float = 30.0
 
     @property
     def effective_max_inflight(self) -> int:

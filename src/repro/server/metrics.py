@@ -14,6 +14,7 @@ import time
 from collections import Counter, deque
 from typing import Deque, Dict, List, Mapping, Optional
 
+from .. import faults as _faults
 from ..core.metrics import EXEC_COUNTER_FIELDS
 
 __all__ = ["LatencySummary", "ServerMetrics"]
@@ -53,6 +54,12 @@ class ServerMetrics:
         self.shed_total = 0
         self.timeouts_total = 0
         self.worker_restarts_total = 0
+        #: Stale cache entries served under stale-while-error.
+        self.stale_served_total = 0
+        #: Worker-side fault injections, by site: each successful reply
+        #: carries the *delta* of injections since the worker's previous
+        #: reply, so the aggregate is exact for surviving workers.
+        self.fault_injections: Counter = Counter()
         self.inflight = 0
         self.rows_total = 0
         self.join_space_total = 0.0
@@ -85,6 +92,17 @@ class ServerMetrics:
         with self._lock:
             self.worker_restarts_total += 1
 
+    def record_stale_served(self) -> None:
+        with self._lock:
+            self.stale_served_total += 1
+
+    def record_fault_injections(self, counts: Mapping[str, int]) -> None:
+        """Fold in per-site injection deltas reported by a worker."""
+        with self._lock:
+            for site, count in counts.items():
+                if count:
+                    self.fault_injections[site] += int(count)
+
     def record_query(
         self,
         outcome: str,
@@ -116,9 +134,32 @@ class ServerMetrics:
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
-    def render(self, generation: int, workers: int, cache_stats: Dict[str, int]) -> str:
-        """The ``/metrics`` document (Prometheus text exposition v0)."""
+    def render(
+        self,
+        generation: int,
+        pool_stats: Mapping[str, float],
+        cache_stats: Dict[str, int],
+    ) -> str:
+        """The ``/metrics`` document (Prometheus text exposition v0).
+
+        ``pool_stats`` is :meth:`WorkerPool.stats` — roster health
+        (alive vs target, heal backoff, snapshot fallbacks) sampled in
+        one lock hold so the exposed values are mutually consistent.
+        """
+        alive = int(pool_stats.get("alive", 0))
+        target = int(pool_stats.get("target", alive))
+        if alive >= target and target > 0:
+            degraded_state = 0  # full roster
+        elif alive > 0:
+            degraded_state = 1  # degraded: serving at reduced capacity
+        else:
+            degraded_state = 2  # unavailable: no workers at all
+        # Parent-side injections (send/recv/cache/respond sites) plus
+        # the worker-side deltas that rode home on replies.
+        active = _faults.ACTIVE
+        fault_counts = Counter(active.counts() if active is not None else {})
         with self._lock:
+            fault_counts.update(self.fault_injections)
             lines: List[str] = []
 
             def emit(name: str, value, help_text: str, kind: str = "counter", labels: str = ""):
@@ -142,7 +183,45 @@ class ServerMetrics:
                 "Workers killed and respawned.",
             )
             emit("repro_inflight_queries", self.inflight, "Queries executing now.", "gauge")
-            emit("repro_workers", workers, "Worker processes in the pool.", "gauge")
+            emit("repro_workers", alive, "Worker processes alive in the pool.", "gauge")
+            emit(
+                "repro_workers_target",
+                target,
+                "Configured worker roster size.",
+                "gauge",
+            )
+            emit(
+                "repro_degraded_state",
+                degraded_state,
+                "Capacity state: 0 full roster, 1 degraded, 2 no workers.",
+                "gauge",
+            )
+            emit(
+                "repro_respawn_backoff_seconds",
+                pool_stats.get("backoff_seconds", 0),
+                "Seconds until the heal path retries a failed respawn.",
+                "gauge",
+            )
+            emit(
+                "repro_snapshot_fallbacks_total",
+                int(pool_stats.get("snapshot_fallbacks", 0)),
+                "Respawns that failed to load the snapshot; survivors "
+                "keep serving the last-good generation.",
+            )
+            emit(
+                "repro_stale_served_total",
+                self.stale_served_total,
+                "Stale cache entries served under stale-while-error.",
+            )
+            lines.append(
+                "# HELP repro_faults_injected_total Injected faults by site "
+                "(zero series absent; parent and worker injections combined)."
+            )
+            lines.append("# TYPE repro_faults_injected_total counter")
+            for site in sorted(fault_counts):
+                lines.append(
+                    f'repro_faults_injected_total{{site="{site}"}} {fault_counts[site]}'
+                )
             emit(
                 "repro_store_generation",
                 generation,

@@ -19,16 +19,35 @@ Timeout discipline is two-layered:
 2. the parent polls the reply pipe for ``timeout + grace`` seconds; a
    worker that blows through that (stuck outside any checkpoint, or
    dead) is killed and a fresh worker is spawned in its place.
+
+Recovery discipline — degrade, don't die:
+
+- a dead worker's replacement is attempted at most once inline; every
+  further retry runs on the pool's own **heal thread** with
+  exponential backoff plus jitter, under a respawn *budget* (at most N
+  attempts per rolling window), so a snapshot that went bad on disk
+  produces a short roster and a degraded ``/healthz`` — never a
+  respawn storm and never a crash loop;
+- a respawn that fails because the *data* cannot be loaded (the
+  snapshot was rebuilt in place and is torn or corrupt) is counted as
+  a **snapshot fallback**: the surviving workers keep serving the
+  last-good generation from their still-open mmaps while the heal
+  thread retries in the background;
+- healing is timer-driven, not request-driven: an idle server heals
+  too.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue
+import random
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
+from .. import faults as _faults
 from .config import ServerConfig
 
 __all__ = ["PoolError", "WorkerPool", "WorkerReply"]
@@ -39,6 +58,13 @@ _STARTUP_TIMEOUT = 120.0
 
 class PoolError(Exception):
     """The pool could not be brought up (bad snapshot, spawn failure)."""
+
+    def __init__(self, message: str, data_load_failure: bool = False):
+        super().__init__(message)
+        #: True when a worker reported it could not *load the data*
+        #: (torn/corrupt snapshot, vanished file) — the failure class
+        #: the last-good-generation fallback counts and surfaces.
+        self.data_load_failure = data_load_failure
 
 
 class WorkerReply:
@@ -80,7 +106,9 @@ def _open_store(path: str):
     return TripleStore.from_dataset(load_ntriples(path))
 
 
-def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
+def _worker_main(
+    conn, data_path: str, engine: str, mode: str, fault_plan=None
+) -> None:
     """Child-process entry point: open the store, then serve queries.
 
     Replies are small tuples (tag first) rather than rich objects so
@@ -88,6 +116,12 @@ def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
     payload is produced *in the worker* — the parent relays bytes and
     never re-serializes, which also makes responses byte-identical to
     the single-process CLI path (both call the same serializers).
+
+    ``fault_plan`` is the parent's parsed :class:`~repro.faults.FaultPlan`
+    (pickled through the spawn args, fresh trigger state per worker) —
+    a respawned worker therefore arms the *same deterministic schedule*
+    its predecessor ran under.  Absent a plan, ``$REPRO_FAULTS`` is
+    honored, which the spawned child inherits from the parent anyway.
     """
     import signal
 
@@ -107,6 +141,10 @@ def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
     from ..sparql.results import SERIALIZERS as serializers
 
     try:
+        if fault_plan is not None:
+            _faults.arm(fault_plan)
+        else:
+            _faults.arm_from_env()
         store = _open_store(data_path)
         uo_engine = SparqlUOEngine(store, bgp_engine=engine, mode=mode)
     except BaseException as exc:  # noqa: B036 — report, then die
@@ -119,6 +157,21 @@ def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
     from ..bgp.interface import ticked_rows
 
     conn.send(("ready", store.generation))
+    fault_seen: Dict[str, int] = {}
+
+    def _fault_delta() -> Dict[str, int]:
+        """Worker-side injections since the last reply (cumulative counts
+        live on the plan; replies carry deltas so the parent can sum
+        them without double counting)."""
+        counts = _faults.injected_counts()
+        delta = {
+            site: count - fault_seen.get(site, 0)
+            for site, count in counts.items()
+            if count != fault_seen.get(site, 0)
+        }
+        fault_seen.update(counts)
+        return delta
+
     while True:
         try:
             request = conn.recv()
@@ -132,6 +185,13 @@ def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
         # serialization — so the whole request shares one budget.
         check = SparqlUOEngine.deadline_checkpoint(timeout)
         try:
+            # The injection point for "the worker fails on this
+            # request": crash exits without a reply (the parent sees a
+            # dead pipe), oom exercises the "crashed" tag below, delay
+            # stalls into the hard-kill window, io_error becomes an
+            # internal-error reply.
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("worker.exec")
             result = uo_engine.execute(query, checkpoint=check)
             payload = serializers[fmt](
                 result.variables, ticked_rows(iter(result.solutions), check)
@@ -151,6 +211,9 @@ def _worker_main(conn, data_path: str, engine: str, mode: str) -> None:
                 # drift from the pool's startup generation, and cache
                 # writes must be keyed on the data that produced them.
                 "generation": store.generation,
+                # Worker-side injections ride home with each reply so
+                # the parent can aggregate them into /metrics.
+                "faults": _fault_delta(),
             }
             conn.send(("ok", payload, meta))
         except QueryTimeoutError as exc:
@@ -177,12 +240,12 @@ class _Worker:
 
     __slots__ = ("index", "proc", "conn", "generation")
 
-    def __init__(self, ctx, index: int, config: ServerConfig):
+    def __init__(self, ctx, index: int, config: ServerConfig, fault_plan=None):
         self.index = index
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, config.data, config.engine, config.mode),
+            args=(child_conn, config.data, config.engine, config.mode, fault_plan),
             name=f"repro-worker-{index}",
             daemon=True,
         )
@@ -202,7 +265,13 @@ class _Worker:
             raise PoolError(f"worker {self.index} died during startup") from exc
         if message[0] != "ready":
             self.kill()
-            raise PoolError(f"worker {self.index} failed to start: {message[1]}")
+            # Every "fatal" handshake means the worker could not open
+            # the data / build its engine — the class of failure the
+            # last-good-generation fallback accounting watches for.
+            raise PoolError(
+                f"worker {self.index} failed to start: {message[1]}",
+                data_load_failure=True,
+            )
         self.generation = message[1]
 
     def shutdown(self, join_seconds: float = 2.0) -> None:
@@ -237,18 +306,26 @@ class WorkerPool:
         config: ServerConfig,
         on_restart: Optional[Callable[[], None]] = None,
         on_generation_drift: Optional[Callable[[int], None]] = None,
+        on_snapshot_fallback: Optional[Callable[[], None]] = None,
     ):
         self.config = config
         self._on_restart = on_restart
         self._on_generation_drift = on_generation_drift
+        self._on_snapshot_fallback = on_snapshot_fallback
         self._ctx = multiprocessing.get_context("spawn")
         # RLock: _replace holds it across the closed-check *and* the
         # nested _spawn, so close() cannot interleave between them.
         self._spawn_lock = threading.RLock()
         self._next_index = 0
         self._closed = False
-        #: Workers lost to failed respawns, owed a retry (see _try_heal).
+        #: Workers lost to failed respawns, owed a retry by the healer.
         self._deficit = 0
+        # ---- heal-path state (all guarded by _spawn_lock) ----
+        self._consecutive_failures = 0
+        self._backoff_until = 0.0  # monotonic deadline of the current backoff
+        self._respawn_attempts: Deque[float] = deque()  # budget window
+        self._snapshot_fallbacks = 0
+        self._heal_wake = threading.Event()
         self._idle: "queue.Queue[_Worker]" = queue.Queue()
         self._workers: List[_Worker] = []
         started: List[_Worker] = []
@@ -279,13 +356,24 @@ class WorkerPool:
                 worker.kill()
             raise
         self.generation: int = started[0].generation or 0
+        #: Target roster size; ``alive`` may run short of it while the
+        #: heal thread works a deficit off.
         self.size = len(started)
+        self._heal_thread = threading.Thread(
+            target=self._heal_loop, name="repro-pool-heal", daemon=True
+        )
+        self._heal_thread.start()
 
     def _spawn(self) -> _Worker:
         with self._spawn_lock:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("worker.spawn")
+            fault_plan = (
+                _faults.FaultPlan(self.config.faults) if self.config.faults else None
+            )
             index = self._next_index
             self._next_index += 1
-            worker = _Worker(self._ctx, index, self.config)
+            worker = _Worker(self._ctx, index, self.config, fault_plan)
             self._workers.append(worker)
             return worker
 
@@ -296,6 +384,12 @@ class WorkerPool:
         blocks on a full worker startup — snapshot open, or a complete
         re-parse for N-Triples data — and the failing request's 504
         must not wait on it, nor keep its admission slot held.
+
+        At most one respawn is attempted inline; when the heal path is
+        backing off (or the respawn budget is spent) the loss is
+        recorded as a deficit for the heal thread instead — that is
+        what turns "the snapshot went bad" into a degraded roster
+        rather than a respawn storm.
         """
         dead.kill()
         with self._spawn_lock:
@@ -303,11 +397,47 @@ class WorkerPool:
                 self._workers.remove(dead)
         if self._on_restart is not None:
             self._on_restart()
+        with self._spawn_lock:
+            if self._closed:
+                return
+            if not self._respawn_allowed(time.monotonic()):
+                self._deficit += 1
+                self._heal_wake.set()
+                return
+            self._respawn_attempts.append(time.monotonic())
         self._respawn_into_idle()
+
+    def _respawn_allowed(self, now: float) -> bool:
+        """Whether an attempt may run *now* (caller holds the lock)."""
+        window = max(self.config.respawn_window, 0.001)
+        attempts = self._respawn_attempts
+        while attempts and now - attempts[0] > window:
+            attempts.popleft()
+        if len(attempts) >= max(self.config.respawn_budget, 1):
+            return False
+        return now >= self._backoff_until
+
+    def _note_respawn_failure(self, data_load_failure: bool = False) -> None:
+        """Record a failed attempt: deficit, backoff, fallback count."""
+        with self._spawn_lock:
+            self._deficit += 1
+            self._consecutive_failures += 1
+            backoff = min(
+                max(self.config.respawn_backoff_cap, 0.0),
+                max(self.config.respawn_backoff_base, 0.001)
+                * (2 ** (self._consecutive_failures - 1)),
+            )
+            backoff *= 0.8 + 0.4 * random.random()  # ±20% jitter: no thundering herd
+            self._backoff_until = time.monotonic() + backoff
+            if data_load_failure:
+                self._snapshot_fallbacks += 1
+        if data_load_failure and self._on_snapshot_fallback is not None:
+            self._on_snapshot_fallback()
+        self._heal_wake.set()
 
     def _respawn_into_idle(self) -> None:
         """Spawn one worker into the idle queue; on failure, record a
-        deficit that :meth:`execute` retries later."""
+        deficit (with backoff) that the heal thread retries later."""
         try:
             with self._spawn_lock:
                 # Atomic with close(): either the pool is already closed
@@ -320,20 +450,24 @@ class WorkerPool:
             # Pipe/process creation failed (fd or process pressure) on
             # this daemon thread: note the deficit rather than let the
             # exception escape as a stderr traceback.
-            with self._spawn_lock:
-                self._deficit += 1
+            self._note_respawn_failure()
             return
         try:
             replacement.wait_ready(_STARTUP_TIMEOUT)
-        except PoolError:
-            # Startup worked once, so a respawn failure is transient
-            # (e.g. fd pressure): remove the dead handle from the
-            # roster and leave a deficit for the retry path.
+        except PoolError as exc:
+            # Startup worked once, so a respawn failure is either
+            # transient (fd pressure) or the data file went bad under
+            # us (rebuilt in place, torn write).  Either way the
+            # surviving workers keep serving the generation they have
+            # open; the heal thread retries on the backoff schedule.
             with self._spawn_lock:
                 if replacement in self._workers:
                     self._workers.remove(replacement)
-                self._deficit += 1
+            self._note_respawn_failure(data_load_failure=exc.data_load_failure)
             return
+        with self._spawn_lock:
+            self._consecutive_failures = 0
+            self._backoff_until = 0.0
         if (
             replacement.generation is not None
             and replacement.generation != self.generation
@@ -346,13 +480,30 @@ class WorkerPool:
             self._on_generation_drift(replacement.generation)
         self._idle.put(replacement)
 
-    def _try_heal(self) -> None:
-        """Retry one failed respawn, if any are owed (non-blocking)."""
-        with self._spawn_lock:
-            if self._closed or self._deficit <= 0:
-                return
-            self._deficit -= 1
-        threading.Thread(target=self._respawn_into_idle, daemon=True).start()
+    def _heal_loop(self) -> None:
+        """Background healer: repay the respawn deficit on a timer.
+
+        Replaces the old request-driven retry (``_try_heal`` in
+        ``execute``), which left an *idle* degraded server degraded
+        forever.  The loop sleeps in short slices so ``close()`` (via
+        the wake event) always exits it promptly, and re-evaluates the
+        backoff/budget gates on every wake.
+        """
+        while True:
+            with self._spawn_lock:
+                if self._closed:
+                    return
+                deficit = self._deficit
+                now = time.monotonic()
+                may_attempt = deficit > 0 and self._respawn_allowed(now)
+                if may_attempt:
+                    self._deficit -= 1
+                    self._respawn_attempts.append(now)
+            if may_attempt:
+                self._respawn_into_idle()
+                continue
+            self._heal_wake.wait(timeout=0.2 if deficit > 0 else 1.0)
+            self._heal_wake.clear()
 
     # ------------------------------------------------------------------
     # the one request-path entry point
@@ -367,7 +518,6 @@ class WorkerPool:
         replacement is starting up — bounded by ``queue_wait`` on top
         of the admission wait, after which it is shed.
         """
-        self._try_heal()  # repair any respawn failure from earlier load
         try:
             worker = self._idle.get(timeout=self.config.effective_queue_wait)
         except queue.Empty:
@@ -377,6 +527,8 @@ class WorkerPool:
         broken = False
         try:
             try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire("worker.send")
                 worker.conn.send((query, fmt, self.config.timeout))
             except (OSError, ValueError):
                 broken = True
@@ -399,6 +551,8 @@ class WorkerPool:
                     ),
                 )
             try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire("worker.recv")
                 message = worker.conn.recv()
             except (EOFError, OSError):
                 broken = True
@@ -424,10 +578,28 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # lifecycle / introspection
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_serving(worker: _Worker) -> bool:
+        # Ready workers only: a respawn candidate mid-handshake (which
+        # may yet fail) must not flicker /healthz back to "ok".
+        return worker.generation is not None and worker.proc.is_alive()
+
     @property
     def alive(self) -> int:
         with self._spawn_lock:
-            return sum(1 for worker in self._workers if worker.proc.is_alive())
+            return sum(1 for worker in self._workers if self._is_serving(worker))
+
+    def stats(self) -> Dict[str, float]:
+        """Roster health for /healthz and /metrics, in one lock hold."""
+        with self._spawn_lock:
+            now = time.monotonic()
+            return {
+                "alive": sum(1 for w in self._workers if self._is_serving(w)),
+                "target": self.size,
+                "deficit": self._deficit,
+                "backoff_seconds": round(max(0.0, self._backoff_until - now), 3),
+                "snapshot_fallbacks": self._snapshot_fallbacks,
+            }
 
     def close(self) -> None:
         """Stop every worker; called after the HTTP server has drained."""
@@ -435,5 +607,9 @@ class WorkerPool:
             self._closed = True
             workers = list(self._workers)
             self._workers.clear()
+        self._heal_wake.set()
         for worker in workers:
             worker.shutdown()
+        heal = getattr(self, "_heal_thread", None)
+        if heal is not None and heal.is_alive():
+            heal.join(2.0)

@@ -14,8 +14,12 @@ from .snapshot import (
     FORMAT_VERSION,
     MAGIC,
     LazyTermDictionary,
+    SnapshotCorruptError,
     SnapshotError,
     SnapshotReader,
+    SnapshotTornError,
+    atomic_overwrite,
+    quarantine_snapshot,
     write_snapshot,
 )
 from .stats import PredicateStatistics, StoreStatistics
@@ -36,8 +40,12 @@ __all__ = [
     "EncodedPattern",
     "MISSING_ID",
     "SnapshotError",
+    "SnapshotTornError",
+    "SnapshotCorruptError",
     "SnapshotReader",
     "LazyTermDictionary",
+    "atomic_overwrite",
+    "quarantine_snapshot",
     "write_snapshot",
     "MAGIC",
     "FORMAT_VERSION",

@@ -28,6 +28,7 @@ import re
 from array import array
 from typing import IO, Dict, Iterable, Optional, Set, Tuple, Union
 
+from .. import faults as _faults
 from ..rdf.dictionary import TermDictionary
 from ..rdf.ntriples import NTriplesParseError, _LineScanner, _parse_line
 from ..rdf.terms import BlankNode, GroundTerm, IRI
@@ -101,7 +102,12 @@ class BulkLoader:
         id_of = self._id_of_token
         seen = self._seen
         subjects, predicates, objects = self.subjects, self.predicates, self.objects
+        # Hoisted once per batch: when no plan is armed the per-line
+        # cost is a local-variable None test.
+        plan = _faults.ACTIVE
         for line_number, raw in enumerate(lines, start=self.lines_read + 1):
+            if plan is not None:
+                plan.fire("bulkload.line")
             line = raw.strip()
             self.lines_read += 1
             if not line or line.startswith("#"):

@@ -43,20 +43,27 @@ decoded.  Loading therefore touches only the bytes a query needs —
 ``snapshot info`` never checksums the dictionary blob, and a point
 query decodes only the terms it projects.
 
-Every failure mode (truncation, bad magic, version skew, checksum
-mismatch, malformed records) raises :class:`SnapshotError`.
+Every failure mode raises :class:`SnapshotError`, refined into two
+operationally distinct subclasses: :class:`SnapshotTornError` for
+truncation and I/O failures (an interrupted write or a sick disk — the
+file is *incomplete*) and :class:`SnapshotCorruptError` for checksum
+mismatches and malformed contents (the file is complete but *wrong*).
+``snapshot info --verify`` reports and exits differently per class;
+both inherit ``SnapshotError`` so every existing handler keeps working.
 """
 
 from __future__ import annotations
 
+import contextlib
 import mmap
 import os
 import struct
 import sys
 import zlib
 from array import array
-from typing import BinaryIO, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from ..rdf.dictionary import TermDictionary
 from ..rdf.terms import XSD_STRING, BlankNode, GroundTerm, IRI, Literal
 from .indexes import FrozenTripleIndexes
@@ -66,8 +73,12 @@ __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
     "SnapshotError",
+    "SnapshotTornError",
+    "SnapshotCorruptError",
     "SnapshotReader",
     "LazyTermDictionary",
+    "atomic_overwrite",
+    "quarantine_snapshot",
     "write_snapshot",
     "encode_term_record",
     "decode_term_record",
@@ -111,6 +122,80 @@ class SnapshotError(Exception):
     """A snapshot file is missing, malformed, corrupt or incompatible."""
 
 
+class SnapshotTornError(SnapshotError):
+    """The file is incomplete: truncated sections, short reads, I/O
+    errors mid-read — the signature of an interrupted (non-atomic)
+    write or failing storage, not of bit rot."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """The file is complete but its contents are wrong: checksum
+    mismatches, malformed term records, out-of-bounds offsets."""
+
+
+#: Appended to a bad snapshot's name when it is quarantined.
+QUARANTINE_SUFFIX = ".corrupt"
+
+
+def quarantine_snapshot(path: str) -> Optional[str]:
+    """Move a bad snapshot aside (``path`` → ``path.corrupt``).
+
+    Keeps the evidence for post-mortems while guaranteeing the next
+    reader cannot trip over the same bad bytes; an existing quarantine
+    file is overwritten (the newest corpse wins).  Returns the
+    quarantine path, or None when the rename itself failed (read-only
+    directory, file already gone) — callers treat that as "could not
+    quarantine" and proceed.
+    """
+    target = path + QUARANTINE_SUFFIX
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+def _fsync_directory(directory: str) -> None:
+    """Persist a directory entry (the rename half of atomic publish)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # platform without directory fds (e.g. Windows)
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_overwrite(path: str) -> Iterator[BinaryIO]:
+    """Crash-safe file publication: tmp file, fsync, ``os.replace``.
+
+    The target either keeps its previous content or atomically becomes
+    the complete new content — a crash (or injected fault) at any point
+    can leave a stale ``*.tmp.<pid>`` behind but never a torn file
+    under the final name.  Used for snapshots and for every other
+    artifact whose partial write could poison a cache directory.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        if _faults.ACTIVE is not None:
+            # Fires *between* the durable tmp write and the publishing
+            # rename: the exact window a crash-mid-publish occupies.
+            _faults.ACTIVE.fire("snapshot.write")
+        os.replace(tmp_path, path)
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
 # ----------------------------------------------------------------------
 # term records
 # ----------------------------------------------------------------------
@@ -140,7 +225,7 @@ def encode_term_record(term: GroundTerm) -> bytes:
 def decode_term_record(record: bytes) -> GroundTerm:
     """Inverse of :func:`encode_term_record`."""
     if not record:
-        raise SnapshotError("empty term record")
+        raise SnapshotCorruptError("empty term record")
     kind = record[0]
     try:
         if kind == _KIND_IRI:
@@ -151,11 +236,11 @@ def decode_term_record(record: bytes) -> GroundTerm:
             return Literal(record[1:].decode("utf-8"))
         if kind in (_KIND_LITERAL_LANG, _KIND_LITERAL_TYPED):
             if len(record) < 5:
-                raise SnapshotError("truncated literal record")
+                raise SnapshotCorruptError("truncated literal record")
             (lexical_length,) = _U32.unpack_from(record, 1)
             body = record[5:]
             if lexical_length > len(body):
-                raise SnapshotError("literal record length prefix out of bounds")
+                raise SnapshotCorruptError("literal record length prefix out of bounds")
             lexical = body[:lexical_length].decode("utf-8")
             tail = body[lexical_length:].decode("utf-8")
             if kind == _KIND_LITERAL_LANG:
@@ -164,8 +249,8 @@ def decode_term_record(record: bytes) -> GroundTerm:
     except SnapshotError:
         raise
     except (UnicodeDecodeError, ValueError) as exc:
-        raise SnapshotError(f"malformed term record: {exc}") from None
-    raise SnapshotError(f"unknown term record kind {kind}")
+        raise SnapshotCorruptError(f"malformed term record: {exc}") from None
+    raise SnapshotCorruptError(f"unknown term record kind {kind}")
 
 
 def _id_array(typecode: str, count: int, raw: bytes) -> array:
@@ -264,17 +349,11 @@ def write_snapshot(
         MAGIC, FORMAT_VERSION, 0, len(sections), zlib.crc32(bytes(table))
     )
 
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp_path, "wb") as handle:
-            handle.write(header)
-            handle.write(table)
-            for _, payload in sections:
-                handle.write(payload)
-        os.replace(tmp_path, path)
-    finally:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
+    with atomic_overwrite(path) as handle:
+        handle.write(header)
+        handle.write(table)
+        for _, payload in sections:
+            handle.write(payload)
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +371,8 @@ class SnapshotReader:
     def __init__(self, path: str):
         self.path = path
         try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("snapshot.open")
             self._file: BinaryIO = open(path, "rb")
         except OSError as exc:
             raise SnapshotError(f"cannot open snapshot {path!r}: {exc}") from None
@@ -305,7 +386,7 @@ class SnapshotReader:
         file_size = os.fstat(self._file.fileno()).st_size
         head = self._file.read(_HEADER.size)
         if len(head) < _HEADER.size:
-            raise SnapshotError(f"{self.path!r}: file too short to be a snapshot")
+            raise SnapshotTornError(f"{self.path!r}: file too short to be a snapshot")
         magic, version, flags, section_count, table_crc = _HEADER.unpack(head)
         if magic != MAGIC:
             raise SnapshotError(f"{self.path!r}: bad magic {magic!r} (not a snapshot)")
@@ -318,9 +399,9 @@ class SnapshotReader:
             raise SnapshotError(f"{self.path!r}: unknown snapshot flags {flags:#x}")
         table_bytes = self._file.read(_SECTION.size * section_count)
         if len(table_bytes) < _SECTION.size * section_count:
-            raise SnapshotError(f"{self.path!r}: truncated section table")
+            raise SnapshotTornError(f"{self.path!r}: truncated section table")
         if zlib.crc32(table_bytes) != table_crc:
-            raise SnapshotError(f"{self.path!r}: section table checksum mismatch")
+            raise SnapshotCorruptError(f"{self.path!r}: section table checksum mismatch")
 
         self._sections: Dict[bytes, Tuple[int, int, int]] = {}
         for index in range(section_count):
@@ -328,7 +409,7 @@ class SnapshotReader:
                 table_bytes, index * _SECTION.size
             )
             if offset + length > file_size:
-                raise SnapshotError(
+                raise SnapshotTornError(
                     f"{self.path!r}: section {tag!r} extends past end of file "
                     f"(truncated snapshot?)"
                 )
@@ -342,10 +423,10 @@ class SnapshotReader:
 
         meta = self._section_bytes(SEC_META)
         if len(meta) != _META.size:
-            raise SnapshotError(f"{self.path!r}: malformed META section")
+            raise SnapshotCorruptError(f"{self.path!r}: malformed META section")
         self.generation, self.triple_count, self.term_count = _META.unpack(meta)
         if self.triple_count < 0 or self.term_count < 0:
-            raise SnapshotError(f"{self.path!r}: negative counts in META section")
+            raise SnapshotCorruptError(f"{self.path!r}: negative counts in META section")
 
         self._dict_offsets: Optional[array] = None
         self._term_sort: Optional[array] = None
@@ -359,11 +440,22 @@ class SnapshotReader:
             offset, length, crc = self._sections[tag]
         except KeyError:
             raise SnapshotError(f"{self.path!r}: no section {tag!r}") from None
-        view = memoryview(self._map)[offset : offset + length]
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("snapshot.read_section")
+            view = memoryview(self._map)[offset : offset + length]
+        except OSError as exc:
+            # A real (or injected) I/O error on the mapped bytes: the
+            # file is unreadable, which upper layers handle exactly
+            # like a torn write — quarantine / rebuild / fall back.
+            raise SnapshotTornError(
+                f"{self.path!r}: I/O error reading section "
+                f"{tag.decode('ascii', 'replace')!r}: {exc}"
+            ) from exc
         if not self._verified.get(tag):
             if zlib.crc32(view) != crc:
                 view.release()
-                raise SnapshotError(
+                raise SnapshotCorruptError(
                     f"{self.path!r}: checksum mismatch in section "
                     f"{tag.decode('ascii', 'replace')!r} (corrupt snapshot)"
                 )
@@ -412,7 +504,7 @@ class SnapshotReader:
             raw = self._section_bytes(SEC_DICT_OFFSETS)
             expected = (self.term_count + 1) * 8
             if len(raw) < expected:
-                raise SnapshotError(f"{self.path!r}: dictionary offsets truncated")
+                raise SnapshotTornError(f"{self.path!r}: dictionary offsets truncated")
             self._dict_offsets = _id_array("Q", self.term_count + 1, bytes(raw))
         return self._dict_offsets
 
@@ -423,7 +515,7 @@ class SnapshotReader:
         blob = self._section_bytes(SEC_DICT)
         start, end = offsets[term_id], offsets[term_id + 1]
         if end < start or end > len(blob):
-            raise SnapshotError(f"{self.path!r}: dictionary offsets out of bounds")
+            raise SnapshotCorruptError(f"{self.path!r}: dictionary offsets out of bounds")
         return bytes(blob[start:end])
 
     def term(self, term_id: int) -> GroundTerm:
@@ -443,7 +535,7 @@ class SnapshotReader:
             typecode = "I" if self.term_count < (1 << 32) else "Q"
             expected = self.term_count * array(typecode).itemsize
             if len(raw) < expected:
-                raise SnapshotError(f"{self.path!r}: sorted term section truncated")
+                raise SnapshotTornError(f"{self.path!r}: sorted term section truncated")
             self._term_sort = _id_array(typecode, self.term_count, bytes(raw))
         target = encode_term_record(term)
         order = self._term_sort
@@ -467,17 +559,17 @@ class SnapshotReader:
         if self._columns is None:
             raw = bytes(self._section_bytes(SEC_COLUMNS))
             if len(raw) < 8:
-                raise SnapshotError(f"{self.path!r}: malformed COLS section")
+                raise SnapshotCorruptError(f"{self.path!r}: malformed COLS section")
             width = raw[0]
             if width == 4:
                 typecode = "I"
             elif width == 8:
                 typecode = "Q"
             else:
-                raise SnapshotError(f"{self.path!r}: unsupported id width {width}")
+                raise SnapshotCorruptError(f"{self.path!r}: unsupported id width {width}")
             stride = self.triple_count * width
             if len(raw) < 8 + 3 * stride:
-                raise SnapshotError(f"{self.path!r}: triple columns truncated")
+                raise SnapshotTornError(f"{self.path!r}: triple columns truncated")
             body = raw[8:]
             self._columns = (
                 _id_array(typecode, self.triple_count, body[:stride]),
@@ -501,7 +593,7 @@ class SnapshotReader:
         for tag in _PERM_SECTIONS:
             raw = bytes(self._section_bytes(tag))
             if len(raw) < 16 * n:
-                raise SnapshotError(f"{self.path!r}: permutation section {tag!r} truncated")
+                raise SnapshotTornError(f"{self.path!r}: permutation section {tag!r} truncated")
             arrays.append(_id_array("Q", n, raw[: 8 * n]))
             arrays.append(_id_array("Q", n, raw[8 * n : 16 * n]))
         return FrozenTripleIndexes(*arrays)
@@ -512,7 +604,7 @@ class SnapshotReader:
             return None
         raw = self._section_bytes(SEC_STATS)
         if len(raw) % _STAT_ROW.size:
-            raise SnapshotError(f"{self.path!r}: malformed STAT section")
+            raise SnapshotCorruptError(f"{self.path!r}: malformed STAT section")
         per_predicate: Dict[int, PredicateStatistics] = {}
         for base in range(0, len(raw), _STAT_ROW.size):
             p, triples, subjects, objects = _STAT_ROW.unpack_from(raw, base)

@@ -1,0 +1,322 @@
+"""Chaos suite: a real server under seeded fault schedules.
+
+Each scenario boots a full :class:`~repro.server.app.SparqlServer`
+(spawned workers, ephemeral port) with a deterministic fault schedule
+armed via ``ServerConfig.faults``, drives a fixed workload through
+HTTP, and holds the failure-model contract:
+
+1. every response is either **byte-identical** to the in-process
+   engine's answer or a **well-formed 5xx/4xx** (JSON error document);
+2. no request hangs past the hard deadline plus a scheduling margin;
+3. the worker roster is **back to full strength** by the end — faults
+   consume capacity temporarily, never permanently;
+4. shutdown is clean.
+
+The storage-site schedules (snapshot.read_section, snapshot.write,
+bulkload.line) fire during *startup* in a server context and are
+covered as unit tests in ``test_faults.py`` instead.  The centerpiece
+here is the last-good-generation test: the snapshot goes bad on disk
+while the server runs, a worker dies, and the survivors keep serving
+while the heal thread retries — the crash-loop that motivated the
+whole subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.core import SparqlUOEngine
+from repro.datasets.lubm import generate_lubm
+from repro.server import ServerConfig, SparqlServer
+from repro.sparql.results import to_json
+from repro.storage import TripleStore
+
+UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+QUERY_HEADOF = f"SELECT ?x ?y WHERE {{ ?x <{UB}headOf> ?y }}"
+QUERY_OPTIONAL = (
+    f"SELECT ?x ?dept ?mail WHERE {{ ?x <{UB}worksFor> ?dept "
+    f"OPTIONAL {{ ?x <{UB}emailAddress> ?mail }} }}"
+)
+QUERY_UNION = (
+    f"SELECT ?p WHERE {{ {{ ?p <{UB}headOf> ?o }} UNION {{ ?p <{UB}teacherOf> ?o }} }}"
+)
+WORKLOAD = [QUERY_HEADOF, QUERY_UNION, QUERY_OPTIONAL] * 4
+
+
+@pytest.fixture(scope="module")
+def snap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaos") / "lubm.snap"
+    TripleStore.from_dataset(generate_lubm(universities=1, seed=42)).save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def expected(snap):
+    """Ground truth straight from the in-process engine: the bytes any
+    200 response must equal, regardless of what faults fired."""
+    engine = SparqlUOEngine(TripleStore.load(snap), bgp_engine="wco", mode="full")
+    answers = {}
+    for query in set(WORKLOAD):
+        result = engine.execute(query)
+        answers[query] = to_json(result.variables, result.solutions).encode()
+    return answers
+
+
+def chaos_config(snap, spec, **overrides):
+    defaults = dict(
+        data=snap,
+        port=0,
+        workers=2,
+        timeout=10.0,
+        cache_entries=32,
+        faults=spec,
+        respawn_backoff_base=0.05,
+        respawn_backoff_cap=0.2,
+        respawn_window=5.0,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+def sparql_get(server, query, timeout=60):
+    url = server.url + "/sparql?" + urllib.parse.urlencode({"query": query})
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def wait_for(predicate, deadline=20.0, interval=0.05):
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def drive_workload(server, expected, allow_drop=False):
+    """Issue the fixed workload; enforce contract points 1 and 2."""
+    outcomes = []
+    budget = server.config.hard_timeout + 10.0  # margin for respawn waits
+    for query in WORKLOAD:
+        started = time.perf_counter()
+        try:
+            status, _, body = sparql_get(server, query, timeout=budget)
+            assert status == 200
+            assert body == expected[query], f"non-identical 200 for {query!r}"
+        except urllib.error.HTTPError as exc:
+            # Failure is allowed; a malformed failure is not.
+            assert exc.code in (500, 503, 504), f"unexpected status {exc.code}"
+            document = json.loads(exc.read())
+            assert "error" in document
+            status = exc.code
+        except (urllib.error.URLError, ConnectionError, OSError):
+            # A dropped connection is only acceptable for schedules
+            # that sabotage response serialization itself.
+            if not allow_drop:
+                raise
+            status = -1
+        assert time.perf_counter() - started < budget + 5.0, "request overran deadline"
+        outcomes.append(status)
+    return outcomes
+
+
+def assert_roster_heals(server):
+    assert wait_for(
+        lambda: server.pool.stats()["alive"] == server.pool.stats()["target"]
+    ), f"roster never healed: {server.pool.stats()}"
+
+
+# ----------------------------------------------------------------------
+# the chaos matrix
+# ----------------------------------------------------------------------
+class TestChaosMatrix:
+    @pytest.mark.parametrize(
+        ("spec", "min_ok"),
+        [
+            # Every *replacement* worker arms the same schedule, so a
+            # crash on each worker's 2nd exec keeps recurring: at worst
+            # every worker lifetime yields 1 ok + 1 error.
+            ("worker.exec:crash@2", 5),  # hard process death mid-request
+            ("worker.exec:oom@2", 5),  # MemoryError → announced crash path
+            # Parent-side rules count hits process-globally: @2 fires once.
+            ("worker.send:io_error@2", 10),  # request pipe breaks
+            ("worker.recv:io_error@2", 10),  # reply pipe breaks
+            # Fires once per worker (each arms fresh counters).
+            ("engine.checkpoint:io_error@1", 9),  # engine-internal I/O failure
+            ("cache.get:io_error@1+", 12),  # cache lookup always failing
+            ("cache.put:io_error@1+", 12),  # cache admission always failing
+        ],
+    )
+    def test_schedule_holds_contract(self, snap, expected, spec, min_ok):
+        with SparqlServer(chaos_config(snap, spec)) as server:
+            outcomes = drive_workload(server, expected)
+            # The workload must not be wiped out: most answers arrive.
+            assert outcomes.count(200) >= min_ok
+            if spec.startswith("cache."):
+                # A failing cache is invisible: every answer correct,
+                # and the injections are visible in /metrics.
+                assert outcomes.count(200) == len(WORKLOAD)
+                with urllib.request.urlopen(server.url + "/metrics", timeout=30) as r:
+                    text = r.read().decode()
+                site = spec.split(":")[0]
+                assert f'repro_faults_injected_total{{site="{site}"}}' in text
+            assert_roster_heals(server)
+
+    def test_response_serialization_fault_drops_connection_only(
+        self, snap, expected
+    ):
+        # The 3rd response write aborts: that one client loses its
+        # connection (exactly what a mid-response hangup looks like),
+        # everyone else is answered correctly.
+        with SparqlServer(chaos_config(snap, "server.respond:io_error@3")) as server:
+            outcomes = drive_workload(server, expected, allow_drop=True)
+            assert outcomes.count(-1) <= 1
+            assert outcomes.count(200) >= len(WORKLOAD) - 1
+            assert_roster_heals(server)
+
+    def test_no_injection_when_disarmed(self, snap, expected):
+        with SparqlServer(chaos_config(snap, "")) as server:
+            assert all(s == 200 for s in drive_workload(server, expected))
+            with urllib.request.urlopen(server.url + "/metrics", timeout=30) as r:
+                text = r.read().decode()
+            # The family is declared but no site ever fired a sample.
+            assert "# TYPE repro_faults_injected_total counter" in text
+            assert "repro_faults_injected_total{" not in text
+            assert "repro_degraded_state 0" in text
+
+
+# ----------------------------------------------------------------------
+# stale-while-error (opt-in)
+# ----------------------------------------------------------------------
+class TestStaleWhileError:
+    def test_stale_serving_end_to_end(self, snap, expected):
+        config = chaos_config(snap, "", workers=1, stale_while_error=True)
+        with SparqlServer(config) as server:
+            _, _, first = sparql_get(server, QUERY_HEADOF)
+            assert first == expected[QUERY_HEADOF]
+            # Kill the only worker; the dead-pipe error reply triggers
+            # the stale path for the cached query.  The *cache hit*
+            # would normally answer first — bypass it by disabling
+            # generation-keyed gets while keeping entries resident.
+            victim = server.pool._workers[0]
+            victim.proc.kill()
+            victim.proc.join(10)
+            server.generation_mixed = True  # skip the fresh-hit fast path
+            status, headers, body = sparql_get(server, QUERY_HEADOF)
+            assert status == 200
+            assert headers.get("X-Repro-Stale") == "1"
+            assert body == first
+            assert server.metrics.stale_served_total >= 1
+            server.generation_mixed = False
+            assert_roster_heals(server)
+
+    def test_stale_is_off_by_default(self, snap):
+        config = chaos_config(snap, "", workers=1)
+        with SparqlServer(config) as server:
+            sparql_get(server, QUERY_HEADOF)
+            victim = server.pool._workers[0]
+            victim.proc.kill()
+            victim.proc.join(10)
+            server.generation_mixed = True
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                sparql_get(server, QUERY_HEADOF)
+            assert excinfo.value.code == 500
+            server.generation_mixed = False
+            assert_roster_heals(server)
+
+
+# ----------------------------------------------------------------------
+# the centerpiece: in-place snapshot corruption does not take the
+# server down (acceptance criterion: last-good-generation fallback)
+# ----------------------------------------------------------------------
+class TestLastGoodGeneration:
+    def test_corrupt_rebuild_keeps_serving_last_good_generation(
+        self, snap, expected, tmp_path
+    ):
+        live = tmp_path / "live.snap"
+        good_bytes = open(snap, "rb").read()
+        live.write_bytes(good_bytes)
+        config = chaos_config(str(live), "", workers=2, queue_wait=15.0)
+        with SparqlServer(config) as server:
+            assert sparql_get(server, QUERY_HEADOF)[2] == expected[QUERY_HEADOF]
+
+            # The snapshot is "rebuilt in place" and the rebuild tears:
+            # the path now holds truncated garbage.  Replaced via
+            # rename — a new inode, the way any rebuild (including our
+            # own atomic_overwrite) lands — so running workers keep
+            # serving their mmap of the *old* inode.  (Truncating the
+            # same inode would SIGBUS every mapped reader; that is
+            # precisely the failure atomic publishing exists to
+            # prevent.)
+            torn = tmp_path / "torn.tmp"
+            torn.write_bytes(good_bytes[: len(good_bytes) // 3])
+            os.replace(torn, live)
+
+            # One worker dies mid-flight.  Its replacement cannot load
+            # the torn file — that is a snapshot fallback, not a crash
+            # loop.
+            victim = server.pool._workers[0]
+            victim.proc.kill()
+            victim.proc.join(10)
+
+            # Touch the pool until the dead worker is discovered (the
+            # idle queue round-robins, so at most a few requests), while
+            # every response stays within the contract.
+            saw_error = False
+            for query in [QUERY_HEADOF, QUERY_UNION, QUERY_OPTIONAL] * 2:
+                try:
+                    status, _, body = sparql_get(server, query, timeout=60)
+                    assert body == expected[query]
+                except urllib.error.HTTPError as exc:
+                    assert exc.code in (500, 503, 504)
+                    saw_error = True
+            assert saw_error or server.pool.stats()["alive"] < 2
+
+            # The failed respawn is classified and counted; capacity is
+            # degraded — but the endpoint still answers.
+            assert wait_for(
+                lambda: server.pool.stats()["snapshot_fallbacks"] >= 1
+            ), f"no snapshot fallback recorded: {server.pool.stats()}"
+            with urllib.request.urlopen(server.url + "/healthz", timeout=30) as r:
+                health = json.loads(r.read())
+            assert health["status"] == "degraded"
+            assert health["alive"] == 1 and health["workers"] == 2
+            assert health["snapshot_fallbacks"] >= 1
+            with urllib.request.urlopen(server.url + "/metrics", timeout=30) as r:
+                text = r.read().decode()
+            assert "repro_degraded_state 1" in text
+            fallback_lines = [
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_snapshot_fallbacks_total")
+            ]
+            assert fallback_lines and int(fallback_lines[0].split()[-1]) >= 1
+
+            # The surviving worker keeps answering the last-good
+            # generation, byte-identical.
+            status, _, body = sparql_get(server, QUERY_HEADOF, timeout=60)
+            assert status == 200 and body == expected[QUERY_HEADOF]
+
+            # The operator restores the file; the heal thread (backoff,
+            # not request arrival — the server is idle now) repairs the
+            # roster on its own.
+            fresh = tmp_path / "fresh.tmp"
+            fresh.write_bytes(good_bytes)
+            os.replace(fresh, live)
+            assert wait_for(
+                lambda: server.pool.stats()["alive"] == 2, deadline=30.0
+            ), f"healer never recovered the roster: {server.pool.stats()}"
+            with urllib.request.urlopen(server.url + "/healthz", timeout=30) as r:
+                health = json.loads(r.read())
+            assert health["status"] == "ok"
+            # Same bytes restored → same generation → caching intact.
+            assert not server.generation_mixed
+            status, _, body = sparql_get(server, QUERY_HEADOF, timeout=60)
+            assert status == 200 and body == expected[QUERY_HEADOF]

@@ -275,7 +275,11 @@ class TestMetrics:
         metrics = ServerMetrics()
         metrics.record_response(200)
         metrics.record_query("miss", 0.01, 5, 2.5)
-        text = metrics.render(3, 2, {"hits": 1, "misses": 2, "entries": 1, "bytes": 10})
+        text = metrics.render(
+            3,
+            {"alive": 2, "target": 2, "backoff_seconds": 0.0, "snapshot_fallbacks": 0},
+            {"hits": 1, "misses": 2, "entries": 1, "bytes": 10},
+        )
         assert 'repro_requests_total{status="200"} 1' in text
         assert "repro_store_generation 3" in text
         assert 'repro_query_latency_seconds_count{cache="miss"} 1' in text

@@ -530,6 +530,11 @@ class TestCountersExposure:
             "miss", 0.01, 5, 1.0, {"merge_joins": 2, "gallop_probes": 40}
         )
         metrics.record_query("miss", 0.01, 5, 1.0, {"merge_joins": 1})
-        rendered = metrics.render(generation=1, workers=1, cache_stats={})
+        rendered = metrics.render(
+            generation=1,
+            pool_stats={"alive": 1, "target": 1, "backoff_seconds": 0.0,
+                        "snapshot_fallbacks": 0},
+            cache_stats={},
+        )
         assert 'repro_exec_path_total{counter="merge_joins"} 3' in rendered
         assert 'repro_exec_path_total{counter="gallop_probes"} 40' in rendered
