@@ -1,0 +1,177 @@
+"""Live-write benchmark: UPDATE ingest rate and reads over a delta.
+
+Four phases on a snapshot-backed (frozen) LUBM store:
+
+1. ``insert_batches`` — parse + apply a stream of ``INSERT DATA``
+   batches through the full UPDATE path (tokenizer → parser → engine →
+   delta overlay), measuring triples/second of live ingest;
+2. ``delete_batches`` — the same stream deleted again (tombstone path);
+3. ``read_under_delta`` — a join-heavy query executed while the delta
+   holds pending adds+tombstones: the no-thaw guarantee priced.  The
+   same query also runs after compaction and the same-host ratio is
+   recorded as ``speedup`` (compacted / overlay — how close overlay
+   reads stay to a clean snapshot, ~1.0 when the merge layer is cheap);
+4. ``compact`` — folding the delta into a fresh snapshot generation.
+
+All ``results`` fields are deterministic (seeded batch generation),
+so ``check_regression.py`` pins them exactly across PRs, and
+``rows_materialized`` rides along as the machine-independent execution
+observable for the read phases.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import bench_record, emit_bench_json, format_table  # noqa: E402
+
+from repro.core import SparqlUOEngine  # noqa: E402
+from repro.core.metrics import EXEC_COUNTERS  # noqa: E402
+from repro.datasets.lubm import generate_lubm  # noqa: E402
+from repro.storage import TripleStore  # noqa: E402
+
+UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+EX = "http://example.org/ingest#"
+
+BATCHES = 40
+BATCH_SIZE = 25
+
+READ_QUERY = (
+    f"SELECT ?x ?y WHERE {{ ?x <{UB}memberOf> ?y . "
+    f"?x <{UB}emailAddress> ?e }}"
+)
+
+
+def _insert_text(rng: random.Random, batch: int) -> str:
+    rows = []
+    for i in range(BATCH_SIZE):
+        s = f"<{EX}doc{batch}_{i}>"
+        rows.append(f"{s} <{EX}tag> <{EX}t{rng.randint(0, 7)}> .")
+        rows.append(f'{s} <{EX}size> "{rng.randint(1, 9999)}" .')
+    return "INSERT DATA { " + " ".join(rows) + " }"
+
+
+def _timed_read(engine: SparqlUOEngine) -> Dict:
+    before = EXEC_COUNTERS.snapshot()
+    started = time.perf_counter()
+    result = engine.execute(READ_QUERY)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    delta = EXEC_COUNTERS.delta_since(before)
+    return {
+        "wall_ms": wall_ms,
+        "results": len(result),
+        "rows_materialized": delta["rows_materialized"],
+    }
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="bench_update_")
+    path = os.path.join(workdir, "lubm.snap")
+    TripleStore.from_dataset(generate_lubm(universities=1, seed=42)).save(path)
+    store = TripleStore.load(path, lazy=False)
+    base_size = len(store)
+    engine = SparqlUOEngine(store, bgp_engine="hashjoin", mode="full")
+
+    rng = random.Random(7)
+    batches = [_insert_text(rng, b) for b in range(BATCHES)]
+
+    started = time.perf_counter()
+    added = sum(engine.update(text).added for text in batches)
+    insert_ms = (time.perf_counter() - started) * 1000.0
+
+    overlay_read = _timed_read(engine)
+
+    delete_batches = [
+        text.replace("INSERT DATA", "DELETE DATA", 1) for text in batches[: BATCHES // 2]
+    ]
+    started = time.perf_counter()
+    removed = sum(engine.update(text).removed for text in delete_batches)
+    delete_ms = (time.perf_counter() - started) * 1000.0
+
+    started = time.perf_counter()
+    store.compact(path)
+    compact_ms = (time.perf_counter() - started) * 1000.0
+    assert store.pending_delta == (0, 0)
+
+    compacted_read = _timed_read(engine)
+    assert compacted_read["results"] == overlay_read["results"], (
+        "overlay read diverged from compacted read"
+    )
+
+    records: List[Dict] = [
+        bench_record(
+            "update_ingest",
+            "insert_batches",
+            "uo",
+            "overlay",
+            insert_ms,
+            results=added,
+            triples_per_sec=round(added / (insert_ms / 1000.0), 1),
+            batches=BATCHES,
+            batch_size=BATCH_SIZE,
+        ),
+        bench_record(
+            "update_ingest",
+            "delete_batches",
+            "uo",
+            "overlay",
+            delete_ms,
+            results=removed,
+            triples_per_sec=round(removed / (delete_ms / 1000.0), 1),
+        ),
+        bench_record(
+            "update_ingest",
+            "read_under_delta",
+            "hashjoin",
+            "overlay",
+            overlay_read["wall_ms"],
+            results=overlay_read["results"],
+            rows_materialized=overlay_read["rows_materialized"],
+            # Same-host ratio: how close reads over pending writes stay
+            # to reads over a clean compacted snapshot.
+            speedup=round(compacted_read["wall_ms"] / overlay_read["wall_ms"], 3),
+        ),
+        bench_record(
+            "update_ingest",
+            "read_after_compact",
+            "hashjoin",
+            "compacted",
+            compacted_read["wall_ms"],
+            results=compacted_read["results"],
+            rows_materialized=compacted_read["rows_materialized"],
+        ),
+        bench_record(
+            "update_ingest",
+            "compact",
+            "uo",
+            "overlay",
+            compact_ms,
+            results=len(store),
+            base_size=base_size,
+        ),
+    ]
+
+    out = emit_bench_json("pr7", records)
+    print(
+        format_table(
+            ["phase", "wall_ms", "results", "extra"],
+            [
+                [r["query"], r["wall_ms"], r.get("results"),
+                 r.get("triples_per_sec") or r.get("speedup") or ""]
+                for r in records
+            ],
+        )
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from .core import (
     QueryResult,
     SparqlUOEngine,
     ThresholdMode,
+    UpdateResult,
     count_bgp,
     depth,
     join_space,
@@ -100,6 +101,7 @@ __all__ = [
     "PlanEstimate",
     # core
     "SparqlUOEngine",
+    "UpdateResult",
     "ExecutionMode",
     "QueryResult",
     "BETree",

@@ -188,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'worker.exec:crash@3;cache.get:io_error@0.1#seed=7' "
         "(see repro.faults; defaults to $REPRO_FAULTS)",
     )
+    serve.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=0,
+        metavar="TRIPLES",
+        help="fold the live-write delta into the data file (atomic "
+        "overwrite) once it holds this many pending adds+tombstones; "
+        "0 disables background compaction",
+    )
 
     generate = sub.add_parser("generate", help="write a synthetic benchmark dataset")
     generate.add_argument("flavor", choices=["lubm", "dbpedia"])
@@ -326,6 +335,7 @@ def _command_serve(args, out) -> int:
         log_requests=args.log_requests,
         drain_seconds=args.drain,
         stale_while_error=args.stale_while_error,
+        compact_threshold=args.compact_threshold,
         # One resolved spec drives the parent and every worker; the
         # env var is the no-flag path chaos harnesses use.
         faults=args.faults or os.environ.get(faults.ENV_VAR, ""),

@@ -4,7 +4,7 @@ candidate pruning, and the engine facade."""
 from .betree import BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 from .candidates import CandidatePolicy, ThresholdMode
 from .cost import CostModel, f_and, f_optional, f_union
-from .engine import ExecutionMode, QueryResult, SparqlUOEngine
+from .engine import ExecutionMode, QueryResult, SparqlUOEngine, UpdateResult
 from .evaluator import BGPBasedEvaluator, EvaluationTrace
 from .joinspace import join_space
 from .metrics import (
@@ -43,6 +43,7 @@ __all__ = [
     "ExecutionMode",
     "QueryResult",
     "SparqlUOEngine",
+    "UpdateResult",
     "BGPBasedEvaluator",
     "EvaluationTrace",
     "join_space",

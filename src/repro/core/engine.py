@@ -33,10 +33,19 @@ from ..bgp.hashjoin import HashJoinEngine
 from ..bgp.interface import BGPEngine
 from ..bgp.wco import WCOJoinEngine
 from ..rdf.dataset import Dataset
-from ..sparql.algebra import SelectQuery, pattern_variables
+from ..rdf.terms import Term, Variable
+from ..rdf.triple import Triple, TriplePattern
+from ..sparql.algebra import (
+    DeleteData,
+    InsertData,
+    ModifyUpdate,
+    SelectQuery,
+    UpdateRequest,
+    pattern_variables,
+)
 from ..sparql.errors import QueryTimeoutError
 from ..sparql.bags import Bag, Mapping
-from ..sparql.parser import parse_query
+from ..sparql.parser import parse_query, parse_update
 from ..sparql.semantics import distinct_bag, order_bag, slice_bag
 from ..storage.store import TripleStore
 from .betree import BETree
@@ -47,7 +56,7 @@ from .joinspace import join_space
 from .metrics import EXEC_COUNTERS
 from .transform import TransformReport, multi_level_transform
 
-__all__ = ["ExecutionMode", "QueryResult", "SparqlUOEngine"]
+__all__ = ["ExecutionMode", "QueryResult", "SparqlUOEngine", "UpdateResult"]
 
 _BGP_ENGINES = {
     "wco": WCOJoinEngine,
@@ -121,6 +130,48 @@ class QueryResult:
         return (
             f"QueryResult({len(self)} solutions in "
             f"{self.total_seconds * 1000:.1f} ms)"
+        )
+
+
+class UpdateResult:
+    """The outcome of one SPARQL 1.1 UPDATE request."""
+
+    __slots__ = (
+        "added",
+        "removed",
+        "operations",
+        "generation",
+        "parse_seconds",
+        "apply_seconds",
+    )
+
+    def __init__(
+        self,
+        added: int,
+        removed: int,
+        operations: int,
+        generation: int,
+        parse_seconds: float,
+        apply_seconds: float,
+    ):
+        #: Triples actually inserted (net of duplicates already present).
+        self.added = added
+        #: Triples actually removed (net of absent delete targets).
+        self.removed = removed
+        self.operations = operations
+        #: The store's write generation after the request committed.
+        self.generation = generation
+        self.parse_seconds = parse_seconds
+        self.apply_seconds = apply_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.apply_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateResult(+{self.added} -{self.removed} over "
+            f"{self.operations} op(s), generation={self.generation})"
         )
 
 
@@ -401,6 +452,92 @@ class SparqlUOEngine:
             exec_counters=EXEC_COUNTERS.delta_since(counters_before),
         )
 
+    # ------------------------------------------------------------------
+    # SPARQL 1.1 UPDATE
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        request: U[str, UpdateRequest],
+        timeout: Opt[float] = None,
+        checkpoint: Opt[Callable[[], None]] = None,
+    ) -> UpdateResult:
+        """Apply a SPARQL 1.1 UPDATE request to the backing store.
+
+        Operations run in request order and each sees the effects of
+        the previous ones (SPARQL 1.1 §3).  ``INSERT DATA`` / ``DELETE
+        DATA`` apply their ground triples directly.  ``DELETE/INSERT
+        ... WHERE`` evaluates the WHERE group as a select-all query
+        through the ordinary read pipeline — merge joins, candidate
+        pruning and the delta overlay all participate — then
+        instantiates the templates per solution, silently dropping
+        incomplete instantiations (unbound template variable) and
+        invalid ones (e.g. a literal bound into a subject position),
+        per §3.1.3.  Within one operation deletes apply before inserts.
+
+        Writes land in the store's sorted delta overlay: a frozen
+        store stays frozen, and the write generation only advances when
+        the request changed at least one triple — so generation-keyed
+        plan/result caches invalidate exactly when visible state does.
+        """
+        check = self._make_checkpoint(timeout, checkpoint)
+        parse_start = time.perf_counter()
+        if isinstance(request, str):
+            request = parse_update(request)
+        parse_seconds = time.perf_counter() - parse_start
+
+        added = removed = 0
+        apply_start = time.perf_counter()
+        for operation in request.operations:
+            if check is not None:
+                check()
+            if isinstance(operation, InsertData):
+                got, gone = self.store.apply_update(
+                    inserts=[_as_triple(t) for t in operation.triples]
+                )
+            elif isinstance(operation, DeleteData):
+                got, gone = self.store.apply_update(
+                    deletes=[_as_triple(t) for t in operation.triples]
+                )
+            else:
+                got, gone = self._apply_modify(operation, request.prefixes, check)
+            added += got
+            removed += gone
+        apply_seconds = time.perf_counter() - apply_start
+
+        return UpdateResult(
+            added=added,
+            removed=removed,
+            operations=len(request.operations),
+            generation=self.store.generation,
+            parse_seconds=parse_seconds,
+            apply_seconds=apply_seconds,
+        )
+
+    def _apply_modify(
+        self,
+        operation: ModifyUpdate,
+        prefixes: Opt[dict],
+        check: Opt[Callable[[], None]],
+    ) -> Tuple[int, int]:
+        """Evaluate one ``DELETE/INSERT ... WHERE`` against current state."""
+        where_query = SelectQuery(None, operation.where, prefixes)
+        solutions = self.execute(where_query, checkpoint=check)
+        deletes: List[Triple] = []
+        inserts: List[Triple] = []
+        for mapping in solutions:
+            binding = {Variable(name): term for name, term in mapping.items()}
+            for template in operation.delete_template:
+                ground = _instantiate(template, binding)
+                if ground is not None:
+                    deletes.append(ground)
+            for template in operation.insert_template:
+                ground = _instantiate(template, binding)
+                if ground is not None:
+                    inserts.append(ground)
+        if not deletes and not inserts:
+            return 0, 0
+        return self.store.apply_update(inserts=inserts, deletes=deletes)
+
     @classmethod
     def deadline_checkpoint(cls, timeout: float) -> Callable[[], None]:
         """A standalone deadline hook, armed now for ``timeout`` seconds.
@@ -469,3 +606,28 @@ class SparqlUOEngine:
             f"SparqlUOEngine(mode={self.mode.value}, "
             f"bgp_engine={self.bgp_engine.name}, store={self.store!r})"
         )
+
+
+def _as_triple(pattern: TriplePattern) -> Triple:
+    """A ground TriplePattern (validated by the AST) as a Triple."""
+    return Triple(pattern.subject, pattern.predicate, pattern.object)
+
+
+def _instantiate(
+    template: TriplePattern, binding: "dict[Variable, Term]"
+) -> Opt[Triple]:
+    """Instantiate an UPDATE template under one solution mapping.
+
+    Returns None — the instantiation is silently dropped, per SPARQL
+    1.1 §3.1.3 — when a template variable is unbound in the solution or
+    the substitution is not a valid RDF triple (literal subject, etc.).
+    """
+    try:
+        # substitute() re-validates pattern positions, so an invalid
+        # binding (literal subject, blank-node predicate) raises here.
+        ground = template.substitute(binding)
+        if ground.variables():
+            return None
+        return Triple(ground.subject, ground.predicate, ground.object)
+    except ValueError:
+        return None

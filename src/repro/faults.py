@@ -85,6 +85,8 @@ KNOWN_SITES = frozenset(
         "snapshot.read_section",  # lazy section read + CRC verify
         "snapshot.write",         # snapshot publish, between tmp write and rename
         "bulkload.line",          # bulk loader parse loop, per statement line
+        "delta.apply",            # write batch admission into the delta layer
+        "compact.publish",        # delta compaction, before the snapshot publish
         # worker pool
         "worker.spawn",           # parent-side process/pipe creation
         "worker.exec",            # worker-side, before executing each query

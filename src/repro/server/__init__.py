@@ -15,7 +15,12 @@ wrapped in the production controls a public endpoint needs:
   keyed on the snapshot's persisted store generation, so invalidation
   across data versions is structural rather than scheduled;
 - **per-query metrics** (:mod:`.metrics`): latency quantiles, row and
-  join-space counters, aggregated into a Prometheus-style ``/metrics``.
+  join-space counters, aggregated into a Prometheus-style ``/metrics``;
+- **live writes** (``POST /update``): SPARQL 1.1 UPDATE applied to the
+  parent's authoritative store, broadcast to every worker's sorted
+  delta overlay (no thaw, no snapshot rebuild), with background
+  compaction folding the delta into the data file once it crosses
+  ``--compact-threshold``.
 """
 
 from .app import SparqlServer, serve
@@ -28,6 +33,7 @@ from .protocol import (
     ProtocolError,
     negotiate_format,
     parse_sparql_request,
+    parse_update_request,
 )
 
 __all__ = [
@@ -44,4 +50,5 @@ __all__ = [
     "FORMAT_MEDIA_TYPES",
     "negotiate_format",
     "parse_sparql_request",
+    "parse_update_request",
 ]

@@ -23,11 +23,22 @@ from time import perf_counter
 from typing import Optional, Tuple
 
 from .. import faults as _faults
+from ..sparql.errors import (
+    QueryTimeoutError,
+    SparqlError,
+    SparqlSyntaxError,
+    UnsupportedFeatureError,
+)
 from .cache import CachedResult, ResultCache
 from .config import ServerConfig
 from .metrics import ServerMetrics
-from .pool import PoolError, WorkerPool, WorkerReply
-from .protocol import FORMAT_MEDIA_TYPES, ProtocolError, parse_sparql_request
+from .pool import PoolError, WorkerPool, WorkerReply, _open_store
+from .protocol import (
+    FORMAT_MEDIA_TYPES,
+    ProtocolError,
+    parse_sparql_request,
+    parse_update_request,
+)
 
 __all__ = ["AdmissionController", "SparqlServer", "serve"]
 
@@ -161,7 +172,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         path, _, query_string = self.path.partition("?")
-        if path != "/sparql":
+        if path not in ("/sparql", "/update"):
             self._respond_error(404, f"no route for {path}")
             return
         if self.headers.get("Transfer-Encoding"):
@@ -194,7 +205,10 @@ class _Handler(BaseHTTPRequestHandler):
             # Promised body never arrived within the socket timeout.
             self.close_connection = True
             return
-        self._handle_sparql("POST", query_string, body)
+        if path == "/update":
+            self._handle_update(body)
+        else:
+            self._handle_sparql("POST", query_string, body)
 
     # ------------------------------------------------------------------
     # endpoints
@@ -303,6 +317,37 @@ class _Handler(BaseHTTPRequestHandler):
             exec_counters if isinstance(exec_counters, dict) else None,
         )
 
+    def _handle_update(self, body: bytes) -> None:
+        """``POST /update`` — apply a SPARQL 1.1 UPDATE to the live fleet."""
+        state = self.state
+        try:
+            text = parse_update_request("POST", self.headers, body)
+        except ProtocolError as exc:
+            self._respond_error(exc.status, str(exc))
+            return
+        try:
+            document = state.apply_update(text)
+        except SparqlSyntaxError as exc:
+            self._respond_error(400, f"syntax error: {exc}")
+            return
+        except UnsupportedFeatureError as exc:
+            self._respond_error(400, str(exc))
+            return
+        except QueryTimeoutError as exc:
+            self._respond_error(504, str(exc))
+            return
+        except SparqlError as exc:
+            self._respond_error(400, str(exc))
+            return
+        except (OSError, PoolError) as exc:
+            # Includes injected delta.apply faults: the write-path site
+            # fires before any mutation, so the store is unchanged and
+            # the client may simply retry.
+            self._respond_error(500, f"update failed: {exc}")
+            return
+        body_bytes = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self._respond(200, "application/json", body_bytes)
+
     def _handle_healthz(self) -> None:
         """Three-state health: a short roster is *degraded but serving*.
 
@@ -330,6 +375,7 @@ class _Handler(BaseHTTPRequestHandler):
             "generation": state.generation,
             "generation_mixed": state.generation_mixed,
             "inflight": state.metrics.inflight,
+            "pending_updates": state.pool.pending_replay,
             "cache": state.cache.stats(),
         }
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
@@ -390,6 +436,15 @@ class SparqlServer:
             config.effective_queue_size,
             config.effective_queue_wait,
         )
+        # ---- live-write state ----
+        #: Serializes POST /update handling (and compaction) so writes
+        #: commit in a single total order: parent store first, then the
+        #: worker fleet, then the generation the cache keys on.
+        self._update_lock = threading.Lock()
+        #: The parent's own authoritative engine/store, loaded lazily on
+        #: the first update — read-only servers never pay for it.
+        self._writer_engine = None
+        self._compacting = False
         self._httpd.state = self
         self._thread: Optional[threading.Thread] = None
 
@@ -413,6 +468,94 @@ class SparqlServer:
             f"(fleet started at {self.generation}); result cache disabled — "
             f"restart the server to serve one consistent snapshot\n"
         )
+
+    # ------------------------------------------------------------------
+    # live writes
+    # ------------------------------------------------------------------
+    def _writer(self):
+        """The parent-side authoritative engine (lazily constructed)."""
+        if self._writer_engine is None:
+            from ..core.engine import SparqlUOEngine
+
+            store = _open_store(self.config.data)
+            self._writer_engine = SparqlUOEngine(
+                store, bgp_engine=self.config.engine, mode=self.config.mode
+            )
+        return self._writer_engine
+
+    def apply_update(self, text: str) -> dict:
+        """Apply one UPDATE request: parent store, then the fleet.
+
+        The parent's store is authoritative: the update is parsed and
+        applied there first, so a syntax error, an unsupported form or
+        an injected ``delta.apply`` fault rejects the request before
+        any worker has seen it.  Only a request that actually changed
+        at least one triple is broadcast — a no-op commits nothing,
+        bumps no generation, and therefore invalidates no caches
+        (the write-path invalidation fix this PR carries).
+        """
+        with self._update_lock:
+            engine = self._writer()
+            result = engine.update(text, timeout=self.config.timeout)
+            confirmed = 0
+            changed = bool(result.added or result.removed)
+            if changed:
+                confirmed = self.pool.broadcast_update(text, result.generation)
+                # Advance the cache key only after the fleet confirmed:
+                # queries racing the broadcast keep hitting the old
+                # generation's entries, which still describe the data
+                # their worker served.
+                self.generation = result.generation
+                self.metrics.record_update(result.added, result.removed)
+                self._maybe_compact()
+            pending = engine.store.pending_delta
+            return {
+                "added": result.added,
+                "removed": result.removed,
+                "operations": result.operations,
+                "generation": result.generation,
+                "changed": changed,
+                "workers_confirmed": confirmed,
+                "pending_delta": {"adds": pending[0], "tombstones": pending[1]},
+            }
+
+    def _maybe_compact(self) -> None:
+        """Kick background compaction once the delta outgrows the threshold."""
+        threshold = self.config.compact_threshold
+        if threshold <= 0 or self._compacting:
+            return
+        store = self._writer().store
+        if sum(store.pending_delta) < threshold:
+            return
+        self._compacting = True
+        threading.Thread(
+            target=self._compact, name="repro-compact", daemon=True
+        ).start()
+
+    def _compact(self) -> None:
+        """Fold the writer's delta into the data file (atomic overwrite).
+
+        Runs under the update lock so no update can land mid-write; the
+        ``compact.publish`` fault site fires before any bytes move, so
+        an injected failure leaves the delta intact for the next
+        attempt.  On success the pool truncates its replay log — future
+        respawns load the compacted snapshot directly.
+        """
+        try:
+            with self._update_lock:
+                store = self._writer().store
+                try:
+                    generation = store.compact(self.config.data)
+                except OSError as exc:
+                    sys.stderr.write(
+                        f"warning: delta compaction failed ({exc}); "
+                        f"retrying after the next update\n"
+                    )
+                    return
+                self.pool.note_snapshot_generation(generation)
+                self.metrics.record_compaction()
+        finally:
+            self._compacting = False
 
     # ------------------------------------------------------------------
     @property

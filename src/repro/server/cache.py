@@ -109,22 +109,28 @@ class ResultCache:
         """A last-resort lookup that ignores the generation key.
 
         Backs the opt-in stale-while-error mode: when the pool cannot
-        answer, the most recently cached result for this (format,
-        query) — *whatever generation produced it* — beats a 5xx.
-        Scans newest-first so a multi-generation cache serves the
-        freshest answer it has.  Does not touch hit/miss accounting or
-        LRU order: stale serves are an emergency path, not a workload
-        signal.
+        answer, the *freshest* cached result for this (format, query) —
+        the one computed at the highest generation — beats a 5xx.  LRU
+        recency is not data freshness: an old-generation entry that a
+        client re-touched recently would otherwise shadow a newer
+        answer sitting cold in the middle of the list.  Does not touch
+        hit/miss accounting or LRU order: stale serves are an emergency
+        path, not a workload signal.
         """
         if self.max_entries <= 0 or self._disabled:
             return None
         with self._lock:
             if self._disabled:
                 return None
-            for (_, entry_fmt, entry_query), entry in reversed(self._entries.items()):
-                if entry_fmt == fmt and entry_query == query:
-                    return entry
-        return None
+            best_generation: Optional[int] = None
+            best: Optional[CachedResult] = None
+            for (entry_generation, entry_fmt, entry_query), entry in self._entries.items():
+                if entry_fmt != fmt or entry_query != query:
+                    continue
+                if best_generation is None or entry_generation > best_generation:
+                    best_generation = entry_generation
+                    best = entry
+            return best
 
     def clear(self) -> None:
         """Drop every entry."""

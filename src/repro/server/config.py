@@ -75,6 +75,12 @@ class ServerConfig:
     #: rolling ``respawn_window`` seconds; excess attempts wait.
     respawn_budget: int = 8
     respawn_window: float = 30.0
+    #: Background delta compaction: once the writer's pending delta
+    #: (adds + tombstones) reaches this many triples, the server folds
+    #: it into the data file via an atomic overwrite and advances the
+    #: snapshot generation respawned workers load from.  0 disables
+    #: auto-compaction; ``POST /update`` keeps accumulating deltas.
+    compact_threshold: int = 0
 
     @property
     def effective_max_inflight(self) -> int:

@@ -56,6 +56,12 @@ class ServerMetrics:
         self.worker_restarts_total = 0
         #: Stale cache entries served under stale-while-error.
         self.stale_served_total = 0
+        #: SPARQL UPDATE requests that committed (changed ≥ 1 triple).
+        self.updates_total = 0
+        self.update_triples_added_total = 0
+        self.update_triples_removed_total = 0
+        #: Delta compactions folded into the data file.
+        self.compactions_total = 0
         #: Worker-side fault injections, by site: each successful reply
         #: carries the *delta* of injections since the worker's previous
         #: reply, so the aggregate is exact for surviving workers.
@@ -95,6 +101,16 @@ class ServerMetrics:
     def record_stale_served(self) -> None:
         with self._lock:
             self.stale_served_total += 1
+
+    def record_update(self, added: int, removed: int) -> None:
+        with self._lock:
+            self.updates_total += 1
+            self.update_triples_added_total += added
+            self.update_triples_removed_total += removed
+
+    def record_compaction(self) -> None:
+        with self._lock:
+            self.compactions_total += 1
 
     def record_fault_injections(self, counts: Mapping[str, int]) -> None:
         """Fold in per-site injection deltas reported by a worker."""
@@ -212,6 +228,26 @@ class ServerMetrics:
                 "repro_stale_served_total",
                 self.stale_served_total,
                 "Stale cache entries served under stale-while-error.",
+            )
+            emit(
+                "repro_updates_total",
+                self.updates_total,
+                "SPARQL UPDATE requests that changed at least one triple.",
+            )
+            emit(
+                "repro_update_triples_added_total",
+                self.update_triples_added_total,
+                "Triples inserted by UPDATE requests.",
+            )
+            emit(
+                "repro_update_triples_removed_total",
+                self.update_triples_removed_total,
+                "Triples removed by UPDATE requests.",
+            )
+            emit(
+                "repro_compactions_total",
+                self.compactions_total,
+                "Delta compactions folded into the data file.",
             )
             lines.append(
                 "# HELP repro_faults_injected_total Injected faults by site "

@@ -179,7 +179,40 @@ def _worker_main(
             break
         if request is None:  # orderly shutdown
             break
-        query, fmt, timeout = request
+        if request[0] == "update":
+            # A write broadcast from the parent: apply it to this
+            # worker's own store (the delta overlay keeps the mmap'd
+            # snapshot frozen) and ack with the resulting generation so
+            # the parent can verify fleet consistency.
+            _, update_text, timeout = request
+            try:
+                outcome = uo_engine.update(update_text, timeout=timeout)
+                conn.send(
+                    (
+                        "updated",
+                        {
+                            "added": outcome.added,
+                            "removed": outcome.removed,
+                            "generation": store.generation,
+                            "faults": _fault_delta(),
+                        },
+                    )
+                )
+            except QueryTimeoutError as exc:
+                conn.send(("timeout", str(exc)))
+            except SparqlError as exc:
+                conn.send(("error", str(exc)))
+            except MemoryError:
+                conn.send(("crashed", "worker out of memory"))
+                break
+            except Exception as exc:  # noqa: BLE001 — the pipe is the error channel
+                # Includes injected delta.apply io_errors: the store is
+                # unchanged (the site fires before any mutation), but
+                # this worker now lags the fleet, so the parent kills
+                # and respawns it through the replay path.
+                conn.send(("error", f"internal error: {type(exc).__name__}: {exc}"))
+            continue
+        _, query, fmt, timeout = request
         started = time.perf_counter()
         # One checkpoint spans both phases — evaluation and result
         # serialization — so the whole request shares one budget.
@@ -238,7 +271,7 @@ def _worker_main(
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("index", "proc", "conn", "generation")
+    __slots__ = ("index", "proc", "conn", "generation", "published")
 
     def __init__(self, ctx, index: int, config: ServerConfig, fault_plan=None):
         self.index = index
@@ -253,6 +286,11 @@ class _Worker:
         child_conn.close()
         self.conn = parent_conn
         self.generation: Optional[int] = None
+        #: True once the worker has entered the idle queue for the
+        #: first time.  An update broadcast only waits for published
+        #: workers — a respawn mid-replay catches up from the replay
+        #: log instead of stalling the broadcast.
+        self.published = False
 
     def wait_ready(self, timeout: float) -> None:
         if not self.conn.poll(timeout):
@@ -347,6 +385,7 @@ class WorkerPool:
                     "retry once the data file is stable"
                 )
             for worker in started:
+                worker.published = True
                 self._idle.put(worker)
         except BaseException:
             # Any startup failure — PoolError, OSError from a spawn at
@@ -359,6 +398,18 @@ class WorkerPool:
         #: Target roster size; ``alive`` may run short of it while the
         #: heal thread works a deficit off.
         self.size = len(started)
+        # ---- live-write state (guarded by _update_lock) ----
+        #: Serializes update broadcasts against respawn replay.
+        self._update_lock = threading.Lock()
+        #: Updates applied since the data file was last written:
+        #: (generation after the update, update text).  A respawned
+        #: worker replays every entry past the generation its snapshot
+        #: loaded at before it may serve.
+        self._replay: List[tuple] = []
+        #: The generation persisted in the data file — advanced by
+        #: compaction (note_snapshot_generation), which also truncates
+        #: the replay log.
+        self._snapshot_generation: int = self.generation
         self._heal_thread = threading.Thread(
             target=self._heal_loop, name="repro-pool-heal", daemon=True
         )
@@ -470,15 +521,55 @@ class WorkerPool:
             self._backoff_until = 0.0
         if (
             replacement.generation is not None
-            and replacement.generation != self.generation
+            and replacement.generation != self._snapshot_generation
             and self._on_generation_drift is not None
         ):
-            # The snapshot was rebuilt in place: this worker now serves
+            # The data file changed under us *outside* the update path
+            # (rebuilt in place by an operator): this worker now serves
             # different data than its still-running siblings.  Surface
             # it so the server can stop trusting generation-keyed
             # caching (full consistency needs a rolling restart).
             self._on_generation_drift(replacement.generation)
-        self._idle.put(replacement)
+            replacement.published = True
+            self._idle.put(replacement)
+            return
+        # The worker loaded the expected snapshot generation; replay
+        # the updates the fleet has committed since that snapshot was
+        # written, then publish it into the idle queue.
+        if not self._replay_updates(replacement):
+            with self._spawn_lock:
+                if replacement in self._workers:
+                    self._workers.remove(replacement)
+            replacement.kill()
+            self._note_respawn_failure()
+
+    def _replay_updates(self, worker: _Worker) -> bool:
+        """Bring a freshly spawned worker up to the fleet generation.
+
+        Holds the update lock across the whole replay so a concurrent
+        broadcast can neither miss this worker (it is not yet in the
+        idle queue) nor race the log snapshot; publication into the
+        idle queue happens under the same hold, so after this returns
+        the worker sees every committed update exactly once.
+        """
+        with self._update_lock:
+            base = worker.generation or 0
+            for generation_after, text in self._replay:
+                if generation_after <= base:
+                    continue
+                try:
+                    worker.conn.send(("update", text, self.config.timeout))
+                    if not worker.conn.poll(self.config.hard_timeout):
+                        return False
+                    message = worker.conn.recv()
+                except (EOFError, OSError, ValueError):
+                    return False
+                if message[0] != "updated":
+                    return False
+                worker.generation = int(message[1]["generation"])
+            worker.published = True
+            self._idle.put(worker)
+        return True
 
     def _heal_loop(self) -> None:
         """Background healer: repay the respawn deficit on a timer.
@@ -529,7 +620,7 @@ class WorkerPool:
             try:
                 if _faults.ACTIVE is not None:
                     _faults.ACTIVE.fire("worker.send")
-                worker.conn.send((query, fmt, self.config.timeout))
+                worker.conn.send(("query", query, fmt, self.config.timeout))
             except (OSError, ValueError):
                 broken = True
                 return WorkerReply("error", message="worker unavailable; please retry")
@@ -574,6 +665,87 @@ class WorkerPool:
                 ).start()
             else:
                 self._idle.put(worker)
+
+    # ------------------------------------------------------------------
+    # live writes
+    # ------------------------------------------------------------------
+    def broadcast_update(self, text: str, expected_generation: int) -> int:
+        """Apply one committed UPDATE to every published worker.
+
+        The caller (the server's write path) has already applied the
+        update to its authoritative store and owns ordering; this
+        method propagates it and appends it to the replay log, under
+        the update lock so broadcasts, replays and log reads are
+        mutually serialized.
+
+        Workers are leased from the idle queue until every published
+        live worker has been collected (in-flight queries finish first,
+        bounded by the hard timeout).  A worker that cannot be leased
+        in time, dies mid-update, or acks a different generation is
+        killed and respawned — the replay log brings its replacement
+        back to the fleet generation.  Returns the number of workers
+        that confirmed the update.
+        """
+        deadline = time.monotonic() + self.config.hard_timeout + 1.0
+        with self._update_lock:
+            leased: List[_Worker] = []
+            while True:
+                with self._spawn_lock:
+                    reachable = sum(
+                        1
+                        for w in self._workers
+                        if self._is_serving(w) and w.published
+                    )
+                if len(leased) >= reachable:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    leased.append(self._idle.get(timeout=min(0.25, remaining)))
+                except queue.Empty:
+                    continue
+            confirmed = 0
+            broken: List[_Worker] = []
+            for worker in leased:
+                ok = False
+                try:
+                    worker.conn.send(("update", text, self.config.timeout))
+                    if worker.conn.poll(self.config.hard_timeout):
+                        message = worker.conn.recv()
+                        if message[0] == "updated":
+                            worker.generation = int(message[1]["generation"])
+                            ok = worker.generation == expected_generation
+                except (EOFError, OSError, ValueError):
+                    ok = False
+                if ok:
+                    confirmed += 1
+                    self._idle.put(worker)
+                else:
+                    broken.append(worker)
+            self._replay.append((expected_generation, text))
+            self.generation = expected_generation
+        for worker in broken:
+            threading.Thread(target=self._replace, args=(worker,), daemon=True).start()
+        return confirmed
+
+    def note_snapshot_generation(self, generation: int) -> None:
+        """The data file now persists ``generation`` (compaction ran).
+
+        Respawned workers will load it directly, so replay entries at
+        or below it are no longer needed.
+        """
+        with self._update_lock:
+            self._snapshot_generation = generation
+            self._replay = [
+                entry for entry in self._replay if entry[0] > generation
+            ]
+
+    @property
+    def pending_replay(self) -> int:
+        """Updates a fresh respawn would replay (the un-compacted tail)."""
+        with self._update_lock:
+            return len(self._replay)
 
     # ------------------------------------------------------------------
     # lifecycle / introspection

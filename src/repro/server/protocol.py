@@ -29,6 +29,7 @@ __all__ = [
     "SparqlRequest",
     "negotiate_format",
     "parse_sparql_request",
+    "parse_update_request",
 ]
 
 #: format key → response Content-Type.
@@ -48,6 +49,7 @@ MEDIA_TYPE_FORMATS: Dict[str, str] = {
 
 _FORM_URLENCODED = "application/x-www-form-urlencoded"
 _SPARQL_QUERY = "application/sparql-query"
+_SPARQL_UPDATE = "application/sparql-update"
 
 
 class ProtocolError(Exception):
@@ -202,3 +204,43 @@ def parse_sparql_request(
     explicit = _single_parameter(url_parameters, "format")
     chosen = negotiate_format(headers.get("Accept"), explicit, offered)
     return SparqlRequest(query=query, format=chosen)
+
+
+def parse_update_request(method: str, headers: Mapping[str, str], body: bytes) -> str:
+    """Validate one SPARQL 1.1 Protocol update operation into its text.
+
+    The protocol's update operation is POST-only (updates are not safe
+    or idempotent, so no GET form exists):
+
+    - ``POST /update`` with ``application/x-www-form-urlencoded`` —
+      update via ``update=`` form parameter;
+    - ``POST /update`` with ``application/sparql-update`` — update
+      direct in the body.
+    """
+    if method != "POST":
+        raise ProtocolError(405, f"method {method} not allowed; updates require POST")
+    content_type = (headers.get("Content-Type") or "").split(";")[0].strip().lower()
+    if content_type == _FORM_URLENCODED:
+        try:
+            form = parse_qs(body.decode("utf-8"), keep_blank_values=True)
+        except UnicodeDecodeError:
+            raise ProtocolError(400, "request body is not valid UTF-8") from None
+        update = _single_parameter(form, "update")
+        if update is None:
+            raise ProtocolError(400, "missing required form parameter 'update'")
+    elif content_type == _SPARQL_UPDATE:
+        try:
+            update = body.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError(400, "request body is not valid UTF-8") from None
+    elif not content_type:
+        raise ProtocolError(400, "POST requires a Content-Type header")
+    else:
+        raise ProtocolError(
+            415,
+            f"unsupported Content-Type {content_type!r}; use "
+            f"{_FORM_URLENCODED} or {_SPARQL_UPDATE}",
+        )
+    if not update.strip():
+        raise ProtocolError(400, "empty update")
+    return update

@@ -30,6 +30,11 @@ __all__ = [
     "GroupElement",
     "OrderCondition",
     "SelectQuery",
+    "InsertData",
+    "DeleteData",
+    "ModifyUpdate",
+    "UpdateOperation",
+    "UpdateRequest",
     "BinaryNode",
     "EmptyPattern",
     "And",
@@ -284,6 +289,128 @@ class SelectQuery:
             extras.append(f"OFFSET {self.offset}")
         suffix = (", " + " ".join(extras)) if extras else ""
         return f"SelectQuery(SELECT {proj}, {self.where!r}{suffix})"
+
+
+# ----------------------------------------------------------------------
+# SPARQL 1.1 UPDATE forms
+# ----------------------------------------------------------------------
+class InsertData:
+    """``INSERT DATA { ... }`` — ground triples to add."""
+
+    __slots__ = ("triples",)
+
+    def __init__(self, triples: Sequence[TriplePattern]):
+        triples = tuple(triples)
+        for triple in triples:
+            if not isinstance(triple, TriplePattern):
+                raise TypeError(f"INSERT DATA takes triples, got {triple!r}")
+            if triple.variables():
+                raise ValueError("INSERT DATA triples must be ground (no variables)")
+        self.triples = triples
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, InsertData) and other.triples == self.triples
+
+    def __repr__(self) -> str:
+        return f"InsertData({len(self.triples)} triples)"
+
+
+class DeleteData:
+    """``DELETE DATA { ... }`` — ground triples to remove."""
+
+    __slots__ = ("triples",)
+
+    def __init__(self, triples: Sequence[TriplePattern]):
+        triples = tuple(triples)
+        for triple in triples:
+            if not isinstance(triple, TriplePattern):
+                raise TypeError(f"DELETE DATA takes triples, got {triple!r}")
+            if triple.variables():
+                raise ValueError("DELETE DATA triples must be ground (no variables)")
+        self.triples = triples
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DeleteData) and other.triples == self.triples
+
+    def __repr__(self) -> str:
+        return f"DeleteData({len(self.triples)} triples)"
+
+
+class ModifyUpdate:
+    """``DELETE {tmpl} INSERT {tmpl} WHERE {group}`` (either template
+    optional, at least one present).
+
+    ``DELETE WHERE { ... }`` parses as a ModifyUpdate whose delete
+    template *is* the WHERE pattern.  Both templates are instantiated
+    per WHERE solution against the pre-update state; instantiations
+    leaving a variable unbound (or producing an invalid triple, e.g. a
+    literal subject) are silently dropped, per SPARQL 1.1 §3.1.3.
+    """
+
+    __slots__ = ("delete_template", "insert_template", "where")
+
+    def __init__(
+        self,
+        delete_template: Sequence[TriplePattern],
+        insert_template: Sequence[TriplePattern],
+        where: "GroupGraphPattern",
+    ):
+        delete_template = tuple(delete_template)
+        insert_template = tuple(insert_template)
+        if not delete_template and not insert_template:
+            raise ValueError("DELETE/INSERT ... WHERE requires at least one template")
+        for triple in (*delete_template, *insert_template):
+            if not isinstance(triple, TriplePattern):
+                raise TypeError(f"update templates take triples, got {triple!r}")
+        if not isinstance(where, GroupGraphPattern):
+            raise TypeError("WHERE clause must be a GroupGraphPattern")
+        self.delete_template = delete_template
+        self.insert_template = insert_template
+        self.where = where
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ModifyUpdate)
+            and other.delete_template == self.delete_template
+            and other.insert_template == self.insert_template
+            and other.where == self.where
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ModifyUpdate(delete ×{len(self.delete_template)}, "
+            f"insert ×{len(self.insert_template)}, {self.where!r})"
+        )
+
+
+UpdateOperation = U[InsertData, DeleteData, ModifyUpdate]
+
+
+class UpdateRequest:
+    """A parsed SPARQL UPDATE request: operations applied in order
+    (``;``-separated), sharing one prologue."""
+
+    __slots__ = ("operations", "prefixes")
+
+    def __init__(
+        self,
+        operations: Sequence[UpdateOperation],
+        prefixes: Opt[Dict[str, str]] = None,
+    ):
+        operations = tuple(operations)
+        if not operations:
+            raise ValueError("empty UPDATE request")
+        for op in operations:
+            if not isinstance(op, (InsertData, DeleteData, ModifyUpdate)):
+                raise TypeError(f"invalid update operation {op!r}")
+        self.operations = operations
+        self.prefixes = dict(prefixes or {})
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UpdateRequest) and other.operations == self.operations
+
+    def __repr__(self) -> str:
+        return f"UpdateRequest({list(self.operations)!r})"
 
 
 # ----------------------------------------------------------------------

@@ -43,12 +43,17 @@ from ..rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
 from ..rdf.terms import BlankNode, IRI, Literal, Variable
 from ..rdf.triple import TriplePattern
 from .algebra import (
+    DeleteData,
     FilterExpression,
     GroupGraphPattern,
+    InsertData,
+    ModifyUpdate,
     OptionalExpression,
     OrderCondition,
     SelectQuery,
     UnionExpression,
+    UpdateOperation,
+    UpdateRequest,
 )
 from .errors import SparqlSyntaxError, UnsupportedFeatureError
 from .expressions import (
@@ -66,9 +71,12 @@ from .expressions import (
 )
 from .tokenizer import Token, tokenize
 
-__all__ = ["parse_query", "parse_group"]
+__all__ = ["parse_query", "parse_group", "parse_update"]
 
 _UNSUPPORTED_KEYWORDS = frozenset({"ASK", "CONSTRUCT", "DESCRIBE", "GROUP"})
+
+#: SPARQL 1.1 UPDATE forms outside the supported fragment.
+_UNSUPPORTED_UPDATE_KEYWORDS = frozenset({"WITH", "USING", "GRAPH", "LOAD", "CLEAR"})
 
 _RDF_TYPE = RDF.term("type")
 
@@ -160,6 +168,118 @@ class _Parser:
             limit=limit,
             offset=offset,
         )
+
+    def parse_update(self) -> UpdateRequest:
+        """``Prologue Operation (';' Prologue? Operation)* ';'?``.
+
+        Operations: ``INSERT DATA {…}``, ``DELETE DATA {…}``,
+        ``DELETE WHERE {…}`` and ``DELETE {…}? INSERT {…}? WHERE {…}``
+        (at least one template).  Graph-targeted forms (WITH / USING /
+        GRAPH / LOAD / CLEAR) are outside the single-graph fragment and
+        raise :class:`UnsupportedFeatureError`.
+        """
+        operations: List[UpdateOperation] = []
+        self._parse_prologue()
+        while True:
+            if self.peek().kind == "EOF":
+                if operations:
+                    break  # trailing ';'
+                raise self.error("empty UPDATE request")
+            operations.append(self._parse_update_operation())
+            if self.at_punct(";"):
+                self.advance()
+                self._parse_prologue()  # the prologue may repeat between operations
+                continue
+            break
+        token = self.peek()
+        if token.kind != "EOF":
+            self.check_unsupported()
+            raise self.error(f"trailing content after update: {token.value!r}")
+        return UpdateRequest(operations, self.prefixes)
+
+    def _check_unsupported_update_keyword(self) -> None:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in _UNSUPPORTED_UPDATE_KEYWORDS:
+            raise UnsupportedFeatureError(
+                f"{token.value} update forms are not supported "
+                f"(single-graph stores only; line {token.line})"
+            )
+
+    def _parse_update_operation(self) -> UpdateOperation:
+        self._check_unsupported_update_keyword()
+        if self.at_keyword("INSERT"):
+            self.advance()
+            if self.at_keyword("DATA"):
+                self.advance()
+                return self._ground_data(InsertData, "INSERT DATA")
+            insert_template = self._parse_triples_block()
+            if not self.at_keyword("WHERE"):
+                self._check_unsupported_update_keyword()
+                raise self.error("expected WHERE after INSERT template")
+            self.advance()
+            return ModifyUpdate((), insert_template, self.parse_group())
+        if self.at_keyword("DELETE"):
+            self.advance()
+            if self.at_keyword("DATA"):
+                self.advance()
+                return self._ground_data(DeleteData, "DELETE DATA")
+            if self.at_keyword("WHERE"):
+                # DELETE WHERE {…}: the pattern doubles as the template.
+                self.advance()
+                where = self.parse_group()
+                template = []
+                for element in where.elements:
+                    if not isinstance(element, TriplePattern):
+                        raise UnsupportedFeatureError(
+                            "DELETE WHERE supports only basic graph patterns"
+                        )
+                    template.append(element)
+                if not template:
+                    raise self.error("DELETE WHERE requires at least one triple pattern")
+                return ModifyUpdate(template, (), where)
+            delete_template = self._parse_triples_block()
+            insert_template: List[TriplePattern] = []
+            if self.at_keyword("INSERT"):
+                self.advance()
+                insert_template = self._parse_triples_block()
+            if not self.at_keyword("WHERE"):
+                self._check_unsupported_update_keyword()
+                raise self.error("expected WHERE after update template")
+            self.advance()
+            return ModifyUpdate(delete_template, insert_template, self.parse_group())
+        self.check_unsupported()
+        raise self.error(
+            f"expected an update operation (INSERT/DELETE), "
+            f"found {self.peek().value!r}"
+        )
+
+    def _ground_data(self, cls, label: str):
+        triples = self._parse_triples_block()
+        try:
+            return cls(triples)
+        except ValueError as exc:
+            raise self.error(f"{label}: {exc}") from exc
+
+    def _parse_triples_block(self) -> List[TriplePattern]:
+        """``'{' (Triple '.'?)* '}'`` — triples only (no patterns)."""
+        self.expect_punct("{")
+        triples: List[TriplePattern] = []
+        while not self.at_punct("}"):
+            token = self.peek()
+            if token.kind == "EOF":
+                raise self.error("unterminated block: missing '}'")
+            if token.kind == "PUNCT" and token.value == ".":
+                self.advance()
+                continue
+            if token.kind == "KEYWORD" and token.value == "GRAPH":
+                raise UnsupportedFeatureError(
+                    "GRAPH blocks in updates are not supported"
+                )
+            triples.append(self._parse_triple())
+            if self.at_punct("."):
+                self.advance()
+        self.expect_punct("}")
+        return triples
 
     def _parse_order_by(self) -> List[OrderCondition]:
         if not self.at_keyword("ORDER"):
@@ -489,6 +609,11 @@ def parse_query(text: str, prefixes: Opt[Dict[str, str]] = None) -> SelectQuery:
     table (PREFIX declarations in the text still win).
     """
     return _Parser(tokenize(text), prefixes).parse_query()
+
+
+def parse_update(text: str, prefixes: Opt[Dict[str, str]] = None) -> UpdateRequest:
+    """Parse a SPARQL 1.1 UPDATE request (``;``-separated operations)."""
+    return _Parser(tokenize(text), prefixes).parse_update()
 
 
 def parse_group(text: str, prefixes: Opt[Dict[str, str]] = None) -> GroupGraphPattern:

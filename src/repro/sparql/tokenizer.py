@@ -36,6 +36,18 @@ KEYWORDS = frozenset(
         "TRUE",
         "FALSE",
         "A",
+        # SPARQL 1.1 UPDATE forms (INSERT DATA / DELETE DATA /
+        # DELETE/INSERT ... WHERE); WITH/USING/GRAPH/LOAD/CLEAR are
+        # tokenized so the parser can reject them with a targeted
+        # "unsupported" message instead of a bare-word lex error.
+        "INSERT",
+        "DELETE",
+        "DATA",
+        "WITH",
+        "USING",
+        "GRAPH",
+        "LOAD",
+        "CLEAR",
     }
 )
 

@@ -2,6 +2,7 @@
 binary snapshots and the streaming bulk loader."""
 
 from .bulkload import BulkLoader, bulk_load_ntriples
+from .delta import DeltaLayer, DeltaOverlayIndexes
 from .indexes import FrozenTripleIndexes, TripleIndexes, sorted_scan_position
 from .runs import (
     SortedIdSet,
@@ -28,6 +29,8 @@ from .store import EncodedPattern, MISSING_ID, TripleStore
 __all__ = [
     "TripleIndexes",
     "FrozenTripleIndexes",
+    "DeltaLayer",
+    "DeltaOverlayIndexes",
     "sorted_scan_position",
     "SortedRun",
     "SortedIdSet",

@@ -133,6 +133,35 @@ class TripleIndexes:
         self._o_sp.setdefault(o, []).append((s, p))
         return True
 
+    def remove(self, triple: EncodedTriple) -> bool:
+        """Remove an encoded triple; returns False when absent.
+
+        The per-entry lists are small (result-proportional), so the
+        linear ``list.remove`` calls are bounded by the entry sizes;
+        only ``_all`` pays an O(n) scan, acceptable on the mutable path
+        (frozen stores delete through the delta overlay instead).
+        """
+        if triple not in self._spo:
+            return False
+        s, p, o = triple
+        if self._pred_sets:
+            self._pred_sets.pop(p, None)
+        self._spo.discard(triple)
+        self._all.remove(triple)
+        for mapping, key, value in (
+            (self._sp_o, (s, p), o),
+            (self._po_s, (p, o), s),
+            (self._so_p, (s, o), p),
+            (self._s_po, s, (p, o)),
+            (self._p_so, p, (s, o)),
+            (self._o_sp, o, (s, p)),
+        ):
+            values = mapping[key]
+            values.remove(value)
+            if not values:
+                del mapping[key]
+        return True
+
     def __len__(self) -> int:
         return len(self._all)
 

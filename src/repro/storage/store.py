@@ -19,10 +19,12 @@ import threading
 from array import array
 from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
+from .. import faults as _faults
 from ..rdf.dataset import Dataset
 from ..rdf.dictionary import EncodedTriple, TermDictionary
 from ..rdf.terms import GroundTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
+from .delta import DeltaOverlayIndexes
 from .indexes import FrozenTripleIndexes, TripleIndexes
 from .snapshot import LazyTermDictionary, SnapshotReader, write_snapshot
 from .stats import StoreStatistics
@@ -84,22 +86,28 @@ class TripleStore:
                     self._indexes_loader = None
         return indexes
 
-    def _mutable_indexes(self) -> TripleIndexes:
-        """The indexes, thawed into their insertable form if frozen.
+    def _writable_indexes(self) -> "AnyIndexes":
+        """The indexes in their writable form — **without thawing**.
 
-        The thaw is atomic with respect to concurrent readers: the
-        mutable :class:`TripleIndexes` is built *fully* from the frozen
-        permutations before the single publishing store to
-        ``self._indexes``, so a reader mid-query keeps the frozen index
-        it already grabbed (or picks up the complete thawed one) — it
-        can never observe a half-built structure.
+        A frozen store is wrapped in a :class:`DeltaOverlayIndexes`
+        (sorted delta runs + tombstones over the untouched base
+        permutations), so the sorted-run execution layer — merge joins,
+        galloping pruning, leapfrog spans — keeps working with pending
+        writes.  The transition is atomic with respect to concurrent
+        readers: the overlay is built fully before the single
+        publishing store to ``self._indexes``, so a reader mid-query
+        keeps the frozen index it already grabbed (the overlay shares
+        its arrays) or picks up the complete overlay — never a partial
+        structure.
         """
         with self._index_lock:
             indexes = self.indexes
+            if isinstance(indexes, DeltaOverlayIndexes):
+                return indexes
             if isinstance(indexes, FrozenTripleIndexes):
-                thawed = indexes.thaw()  # build fully …
-                self._indexes = thawed  # … then publish
-                indexes = thawed
+                overlay = DeltaOverlayIndexes(indexes)  # build fully …
+                self._indexes = overlay  # … then publish
+                return overlay
             return indexes
 
     # ------------------------------------------------------------------
@@ -285,28 +293,114 @@ class TripleStore:
 
     def add(self, triple: Triple) -> bool:
         """Insert one triple; returns False for duplicates."""
-        self._stats = None
-        self._stats_loader = None
-        self._columns_source = None
-        self._generation += 1
-        added = self._mutable_indexes().insert(self.dictionary.encode_triple(triple))
-        self._triple_count = len(self.indexes)
-        return added
+        added, _ = self.apply_update(inserts=(triple,))
+        return added > 0
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns the number actually added."""
-        self._stats = None
-        self._stats_loader = None
-        self._columns_source = None
-        self._generation += 1
-        encode = self.dictionary.encode_triple
-        insert = self._mutable_indexes().insert
-        added = 0
-        for triple in triples:
-            if insert(encode(triple)):
-                added += 1
-        self._triple_count = len(self.indexes)
+        added, _ = self.apply_update(inserts=triples)
         return added
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete one triple; returns False when it was not present."""
+        _, removed = self.apply_update(deletes=(triple,))
+        return removed > 0
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Delete many triples; returns the number actually removed."""
+        _, removed = self.apply_update(deletes=triples)
+        return removed
+
+    def _lookup_ground(self, triple: Triple) -> Optional[EncodedTriple]:
+        """Non-minting triple encoding: None when any term is unknown
+        (such a triple cannot be stored, so a delete of it is a no-op
+        that must not grow the dictionary)."""
+        lookup = self.dictionary.lookup
+        s = lookup(triple.subject)
+        if s is None:
+            return None
+        p = lookup(triple.predicate)
+        if p is None:
+            return None
+        o = lookup(triple.object)
+        if o is None:
+            return None
+        return (s, p, o)
+
+    def apply_update(
+        self,
+        inserts: Iterable[Triple] = (),
+        deletes: Iterable[Triple] = (),
+    ) -> Tuple[int, int]:
+        """Apply one write batch; returns ``(added, removed)``.
+
+        Deletes apply before inserts (SPARQL 1.1 ``DELETE/INSERT``
+        order).  A frozen store routes the batch into its delta overlay
+        — the sorted permutations stay intact, reads keep taking merge
+        and gallop paths — while a classic mutable store edits its hash
+        indexes directly.  Generation and derived caches (statistics,
+        raw snapshot columns) are invalidated **only when visibility
+        actually changed**: a duplicate-only insert or a miss-only
+        delete batch is a no-op and must not invalidate plan/result
+        caches fleet-wide.
+        """
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("delta.apply")
+        added = removed = 0
+        with self._index_lock:
+            indexes = self._writable_indexes()
+            if isinstance(indexes, DeltaOverlayIndexes):
+                delete, insert = indexes.delta_delete, indexes.delta_insert
+            else:
+                delete, insert = indexes.remove, indexes.insert
+            for triple in deletes:
+                encoded = self._lookup_ground(triple)
+                if encoded is not None and delete(encoded):
+                    removed += 1
+            encode = self.dictionary.encode_triple
+            for triple in inserts:
+                if insert(encode(triple)):
+                    added += 1
+            if added or removed:
+                if isinstance(indexes, DeltaOverlayIndexes):
+                    # Seal once per batch so subsequent reads are pure
+                    # (no lazy freeze racing a concurrent query thread).
+                    indexes.delta.seal()
+                self._stats = None
+                self._stats_loader = None
+                self._columns_source = None
+                self._generation += 1
+                self._triple_count = len(indexes)
+        return added, removed
+
+    def compact(self, path: str) -> int:
+        """Fold pending delta writes into a new snapshot generation.
+
+        Writes the merged (base − tombstones + adds) permutations to
+        ``path`` through the ordinary atomic snapshot publish (tmp +
+        fsync + rename: readers of the old file keep their mapping, a
+        crash never leaves a torn file), then collapses the in-memory
+        overlay so the store serves a plain frozen index again with an
+        empty delta.  Returns the generation the snapshot carries.
+        """
+        with self._index_lock:
+            indexes = self.indexes
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("compact.publish")
+            self.save(path)
+            if isinstance(indexes, DeltaOverlayIndexes):
+                # Same logical contents → same generation: collapsing
+                # the overlay is invisible to generation-keyed caches.
+                self._indexes = indexes.collapse()
+            return self._generation
+
+    @property
+    def pending_delta(self) -> Tuple[int, int]:
+        """(pending adds, pending tombstones) awaiting compaction."""
+        indexes = self._indexes
+        if isinstance(indexes, DeltaOverlayIndexes):
+            return indexes.pending
+        return (0, 0)
 
     def __len__(self) -> int:
         if self._indexes is None:

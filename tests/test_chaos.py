@@ -320,3 +320,102 @@ class TestLastGoodGeneration:
             assert not server.generation_mixed
             status, _, body = sparql_get(server, QUERY_HEADOF, timeout=60)
             assert status == 200 and body == expected[QUERY_HEADOF]
+
+
+# ----------------------------------------------------------------------
+# write-path chaos: delta admission and compaction publish faults
+# ----------------------------------------------------------------------
+EXC = "http://example.org/chaos#"
+LIVE_QUERY = f"SELECT ?s WHERE {{ ?s <{EXC}tag> <{EXC}on> }}"
+
+
+def post_update(server, text, timeout=60):
+    request = urllib.request.Request(
+        server.url + "/update",
+        data=text.encode("utf-8"),
+        headers={"Content-Type": "application/sparql-update"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def insert_stmt(i):
+    return f"INSERT DATA {{ <{EXC}n{i}> <{EXC}tag> <{EXC}on> }}"
+
+
+def live_count(server):
+    status, _, body = sparql_get(server, LIVE_QUERY)
+    assert status == 200
+    return len(json.loads(body)["results"]["bindings"])
+
+
+class TestWriteChaos:
+    def test_delta_apply_fault_rejects_update_atomically(self, snap, tmp_path):
+        """A failing write batch is rejected wholesale — parent-first
+        application means the fleet never sees a poisoned update, the
+        generation does not advance, and reads keep serving."""
+        import shutil
+
+        live = str(tmp_path / "wchaos.snap")
+        shutil.copy(snap, live)
+        config = chaos_config(live, "delta.apply:io_error@2", workers=2)
+        with SparqlServer(config) as server:
+            status, outcome = post_update(server, insert_stmt(0))
+            assert status == 200 and outcome["added"] == 1
+            assert live_count(server) == 1
+            generation = server.generation
+
+            # The 2nd parent-side admission fires the fault: the update
+            # is rejected before any worker is asked to apply it.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_update(server, insert_stmt(1))
+            assert excinfo.value.code == 500
+            assert "error" in json.loads(excinfo.value.read())
+            assert server.generation == generation
+            assert server.pool.pending_replay == 1  # only the good one
+            assert live_count(server) == 1
+
+            # Reads are untouched; the roster never lost a worker.
+            assert server.pool.stats()["alive"] == 2
+            assert not server.generation_mixed
+
+    def test_compact_publish_fault_keeps_snapshot_and_overlay(self, snap, tmp_path):
+        """A failed compaction publish is absorbed: the on-disk
+        snapshot keeps its pre-compaction bytes, the delta overlay and
+        replay log stay intact, and the next threshold crossing retries
+        and succeeds."""
+        import shutil
+
+        live = str(tmp_path / "cchaos.snap")
+        shutil.copy(snap, live)
+        before_bytes = open(live, "rb").read()
+        config = chaos_config(
+            live, "compact.publish:io_error@1", workers=1, compact_threshold=1
+        )
+        with SparqlServer(config) as server:
+            status, _ = post_update(server, insert_stmt(0))
+            assert status == 200
+            # The background compaction fires the fault and aborts.
+            assert wait_for(lambda: not server._compacting)
+            assert server.metrics.compactions_total == 0
+            assert open(live, "rb").read() == before_bytes
+            assert server.pool.pending_replay == 1
+            assert live_count(server) == 1
+
+            # Next update crosses the threshold again; the single-shot
+            # fault is spent, so this publish lands atomically.
+            status, _ = post_update(server, insert_stmt(1))
+            assert status == 200
+            assert wait_for(lambda: server.metrics.compactions_total >= 1)
+            assert wait_for(lambda: server.pool.pending_replay == 0)
+            assert live_count(server) == 2
+
+            # A cold open of the published file sees the folded delta at
+            # the served generation.
+            cold = TripleStore.load(live)
+            try:
+                assert cold.generation == server.generation
+                assert len(cold) == len(TripleStore.load(snap)) + 2
+            finally:
+                cold.close()
+            assert_roster_heals(server)

@@ -26,6 +26,7 @@ from repro.server import (
     SparqlServer,
     negotiate_format,
     parse_sparql_request,
+    parse_update_request,
 )
 from repro.server.app import AdmissionController
 from repro.server.cache import CachedResult
@@ -530,3 +531,267 @@ class TestWorkerRecovery:
             assert pool.alive == 1
         finally:
             pool.close()
+
+
+# ----------------------------------------------------------------------
+# stale lookup (regression: LRU order is not data freshness)
+# ----------------------------------------------------------------------
+class TestStaleLookup:
+    def test_get_stale_prefers_highest_generation(self):
+        """get_stale must return the freshest *generation*, not the most
+        recently *used* entry.  Before the fix the LRU-order scan let a
+        client re-touching an old-generation entry shadow a newer one."""
+        cache = ResultCache(max_entries=8)
+        cache.put(1, "json", "q", _entry(b"gen1"))
+        cache.put(3, "json", "q", _entry(b"gen3"))
+        cache.put(2, "json", "q", _entry(b"gen2"))
+        # Make the oldest generation the most recently used.
+        assert cache.get(1, "json", "q").payload == b"gen1"
+        stale = cache.get_stale("json", "q")
+        assert stale is not None
+        assert stale.payload == b"gen3"
+
+    def test_get_stale_matches_format_and_query(self):
+        cache = ResultCache(max_entries=8)
+        cache.put(5, "json", "q", _entry(b"json-q"))
+        cache.put(9, "csv", "q", _entry(b"csv-q"))
+        cache.put(9, "json", "other", _entry(b"json-other"))
+        assert cache.get_stale("json", "q").payload == b"json-q"
+        assert cache.get_stale("tsv", "q") is None
+
+
+# ----------------------------------------------------------------------
+# update protocol unit tests (no socket)
+# ----------------------------------------------------------------------
+class TestParseUpdateRequest:
+    def test_post_form(self):
+        body = urllib.parse.urlencode({"update": "INSERT DATA { <u:a> <u:b> <u:c> }"})
+        text = parse_update_request(
+            "POST", {"Content-Type": "application/x-www-form-urlencoded"}, body.encode()
+        )
+        assert "INSERT DATA" in text
+
+    def test_post_direct(self):
+        text = parse_update_request(
+            "POST",
+            {"Content-Type": "application/sparql-update; charset=utf-8"},
+            b"DELETE DATA { <u:a> <u:b> <u:c> }",
+        )
+        assert text.startswith("DELETE DATA")
+
+    def test_get_is_405(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_update_request("GET", {}, b"")
+        assert excinfo.value.status == 405
+
+    def test_missing_form_parameter_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_update_request(
+                "POST", {"Content-Type": "application/x-www-form-urlencoded"}, b"query=x"
+            )
+        assert excinfo.value.status == 400
+
+    def test_wrong_content_type_is_415(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_update_request("POST", {"Content-Type": "text/plain"}, b"x")
+        assert excinfo.value.status == 415
+
+    def test_empty_update_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_update_request(
+                "POST", {"Content-Type": "application/sparql-update"}, b"  "
+            )
+        assert excinfo.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# live writes over HTTP
+# ----------------------------------------------------------------------
+def http_post(url, body, content_type, timeout=60):
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def post_update(server, text, timeout=60):
+    status, _, body = http_post(
+        server.url + "/update", text.encode("utf-8"), "application/sparql-update", timeout
+    )
+    return status, json.loads(body)
+
+
+EX = "http://example.org/live#"
+LIVE_QUERY = f"SELECT ?s ?o WHERE {{ ?s <{EX}linked> ?o }}"
+
+
+def _live_rows(server):
+    status, _, body = sparql_get(server, LIVE_QUERY)
+    assert status == 200
+    return json.loads(body)["results"]["bindings"]
+
+
+class TestLiveUpdates:
+    @pytest.fixture
+    def rw_server(self, snapshot_path, tmp_path):
+        import shutil
+
+        data = str(tmp_path / "live.snap")
+        shutil.copy(snapshot_path, data)
+        config = ServerConfig(
+            data=data, port=0, workers=2, timeout=15.0, cache_entries=32
+        )
+        with SparqlServer(config) as instance:
+            yield instance
+
+    def test_insert_delete_and_generation(self, rw_server):
+        generation0 = rw_server.generation
+        assert _live_rows(rw_server) == []
+
+        status, outcome = post_update(
+            rw_server,
+            f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> . "
+            f"<{EX}b> <{EX}linked> <{EX}c> }}",
+        )
+        assert status == 200
+        assert outcome["added"] == 2 and outcome["removed"] == 0
+        assert outcome["changed"] is True
+        assert outcome["workers_confirmed"] == 2
+        assert outcome["generation"] > generation0
+        # Committed writes are visible to reads with no restart, no
+        # snapshot rebuild, and still through the frozen read paths.
+        assert len(_live_rows(rw_server)) == 2
+
+        # The generation-keyed cache invalidated structurally: the new
+        # rows appear even though the old result was cached.
+        status, outcome = post_update(
+            rw_server, f"DELETE DATA {{ <{EX}a> <{EX}linked> <{EX}b> }}"
+        )
+        assert status == 200
+        assert outcome["removed"] == 1
+        rows = _live_rows(rw_server)
+        assert len(rows) == 1
+        assert rows[0]["s"]["value"] == f"{EX}b"
+
+        _, _, body = http_get(rw_server.url + "/healthz")
+        health = json.loads(body)
+        assert health["generation"] == rw_server.generation
+        assert health["pending_updates"] == 2
+        assert health["generation_mixed"] is False
+
+    def test_noop_update_commits_nothing(self, rw_server):
+        post_update(rw_server, f"INSERT DATA {{ <{EX}x> <{EX}linked> <{EX}y> }}")
+        generation = rw_server.generation
+        # Re-inserting the same triple changes nothing: no generation
+        # bump, no broadcast, no cache invalidation (the write-path
+        # invalidation fix).
+        status, outcome = post_update(
+            rw_server, f"INSERT DATA {{ <{EX}x> <{EX}linked> <{EX}y> }}"
+        )
+        assert status == 200
+        assert outcome["added"] == 0 and outcome["removed"] == 0
+        assert outcome["changed"] is False
+        assert outcome["workers_confirmed"] == 0
+        assert rw_server.generation == generation
+
+    def test_where_driven_modify(self, rw_server):
+        post_update(
+            rw_server,
+            f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> . "
+            f"<{EX}c> <{EX}linked> <{EX}d> }}",
+        )
+        status, outcome = post_update(
+            rw_server,
+            f"DELETE {{ ?s <{EX}linked> ?o }} INSERT {{ ?o <{EX}linked> ?s }} "
+            f"WHERE {{ ?s <{EX}linked> ?o }}",
+        )
+        assert status == 200
+        assert outcome["added"] == 2 and outcome["removed"] == 2
+        subjects = sorted(row["s"]["value"] for row in _live_rows(rw_server))
+        assert subjects == [f"{EX}b", f"{EX}d"]
+
+    def test_update_errors(self, rw_server):
+        request = urllib.request.Request(
+            rw_server.url + "/update",
+            data=b"INSERT DATA { this is not sparql",
+            headers={"Content-Type": "application/sparql-update"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        request = urllib.request.Request(
+            rw_server.url + "/update",
+            data=b"LOAD <http://example.org/file.nt>",
+            headers={"Content-Type": "application/sparql-update"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_compaction_folds_delta_and_truncates_replay(self, snapshot_path, tmp_path):
+        import shutil
+
+        data = str(tmp_path / "compact.snap")
+        shutil.copy(snapshot_path, data)
+        config = ServerConfig(
+            data=data, port=0, workers=1, timeout=15.0, compact_threshold=1
+        )
+        with SparqlServer(config) as instance:
+            status, outcome = post_update(
+                instance, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> }}"
+            )
+            assert status == 200 and outcome["changed"] is True
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if (
+                    instance.metrics.compactions_total
+                    and instance.pool.pending_replay == 0
+                ):
+                    break
+                time.sleep(0.05)
+            assert instance.metrics.compactions_total == 1
+            assert instance.pool.pending_replay == 0
+            # The data file now persists the post-update generation and
+            # the folded triple; a cold store sees both.
+            compacted = TripleStore.load(data)
+            try:
+                assert compacted.generation == instance.generation
+                from repro.rdf import IRI, TriplePattern
+
+                pattern = TriplePattern(
+                    IRI(f"{EX}a"), IRI(f"{EX}linked"), IRI(f"{EX}b")
+                )
+                assert len(list(compacted.match(pattern))) == 1
+            finally:
+                compacted.close()
+            # Queries still answer after compaction.
+            assert len(_live_rows(instance)) == 1
+
+    def test_respawned_worker_replays_updates(self, rw_server):
+        post_update(rw_server, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> }}")
+        # Kill one worker; the pool heals it and must replay the update
+        # before the replacement serves.
+        victim = rw_server.pool._workers[0]
+        victim.proc.kill()
+        victim.proc.join(10)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if rw_server.pool.alive == 2 and all(
+                w.generation == rw_server.generation
+                for w in rw_server.pool._workers
+                if w.generation is not None
+            ):
+                break
+            # Touch the pool so the dead worker is detected promptly; a
+            # query landing on the corpse yields a transient 500.
+            try:
+                sparql_get(rw_server, LIVE_QUERY)
+            except urllib.error.HTTPError:
+                pass
+            time.sleep(0.1)
+        assert rw_server.pool.alive == 2
+        # Every query — whichever worker serves it — sees the write.
+        for _ in range(4):
+            assert len(_live_rows(rw_server)) == 1
+        assert rw_server.generation_mixed is False

@@ -137,7 +137,9 @@ class TestRoundTrip:
         assert loaded.lookup(IRI(EX + "never-seen")) is None
         assert not loaded.dictionary._materialized  # binary search only
 
-    def test_mutation_after_load_thaws_and_bumps_generation(self, snap_path):
+    def test_mutation_after_load_overlays_and_bumps_generation(self, snap_path):
+        from repro.storage import DeltaOverlayIndexes
+
         store = TripleStore.from_dataset(tricky_dataset())
         store.save(snap_path)
         loaded = TripleStore.load(snap_path)
@@ -145,11 +147,15 @@ class TestRoundTrip:
         assert isinstance(loaded.indexes, FrozenTripleIndexes)
         added = loaded.add(Triple(IRI(EX + "new"), IRI(EX + "p"), Literal("v")))
         assert added
-        assert isinstance(loaded.indexes, TripleIndexes)
+        # Writes no longer thaw: they land in a sorted delta overlay
+        # stacked over the still-frozen permutations.
+        assert isinstance(loaded.indexes, DeltaOverlayIndexes)
         assert loaded.generation == generation + 1
         assert len(loaded) == len(store) + 1
-        # duplicate insert still detected after the thaw
+        # duplicate insert still detected through the overlay
         assert not loaded.add(Triple(IRI(EX + "new"), IRI(EX + "p"), Literal("v")))
+        # and a zero-effect write must not bump the generation again
+        assert loaded.generation == generation + 1
 
     def test_save_reload_of_loaded_store(self, snap_path, tmp_path):
         store = TripleStore.from_dataset(tricky_dataset())

@@ -391,15 +391,19 @@ class TestFreeze:
         assert cold.freeze() is cold
         assert sorted(cold.indexes.all_triples()) == expected
 
-    def test_write_after_freeze_thaws(self):
+    def test_write_after_freeze_uses_delta_overlay(self):
         d = Dataset()
         d.add_spo(IRI(EX + "a"), P, IRI(EX + "b"))
         store = TripleStore.from_dataset(d).freeze()
         from repro.rdf import Triple
+        from repro.storage import DeltaOverlayIndexes
 
         assert store.add(Triple(IRI(EX + "c"), P, IRI(EX + "d")))
         assert len(store) == 2
-        assert not isinstance(store.indexes, FrozenTripleIndexes)
+        # No thaw: the write lands in a sorted delta overlay and the
+        # store keeps the frozen sorted-run read paths.
+        assert isinstance(store.indexes, DeltaOverlayIndexes)
+        assert isinstance(store.indexes, FrozenTripleIndexes)
 
     def test_empty_store_freezes(self):
         store = TripleStore().freeze()

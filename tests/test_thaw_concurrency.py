@@ -1,8 +1,9 @@
 """Concurrency regression tests for the store's index state transitions.
 
-A snapshot-backed store serves reads from :class:`FrozenTripleIndexes`
-and *thaws* into a mutable :class:`TripleIndexes` on the first write.
-Both transitions — the deferred lazy build and the thaw — must be
+A snapshot-backed store serves reads from :class:`FrozenTripleIndexes`;
+the first write layers a :class:`DeltaOverlayIndexes` over it (the
+frozen permutations are never torn down — no thaw).  Both transitions
+— the deferred lazy build and the overlay installation — must be
 atomic from a reader's point of view: build the replacement fully,
 then publish it with a single attribute store.  Before the fix, two
 racing first-touch readers could trip the loader's one-shot assertion,
@@ -17,7 +18,7 @@ import pytest
 
 from repro.core import SparqlUOEngine
 from repro.rdf import Dataset, IRI, Triple
-from repro.storage import TripleStore
+from repro.storage import DeltaOverlayIndexes, TripleStore
 from repro.storage.indexes import FrozenTripleIndexes
 
 EX = "http://example.org/"
@@ -99,7 +100,8 @@ class TestThawDuringReads:
         for thread in readers:
             thread.start()
         try:
-            # Trigger the thaw mid-read-traffic, then a few more writes.
+            # Install the delta overlay mid-read-traffic, then a few
+            # more writes into it.
             for index in range(5):
                 store.add(
                     Triple(IRI(f"{EX}new{index}"), IRI(f"{EX}p0"), IRI(f"{EX}onew"))
@@ -109,17 +111,20 @@ class TestThawDuringReads:
             for thread in readers:
                 thread.join(10)
         assert not errors
-        # Counts only ever move between the pre-thaw baseline and the
+        # Counts only ever move between the pre-write baseline and the
         # final post-write value.
         assert observed <= set(range(baseline, baseline + 6))
         final = len(engine.execute(query))
         assert final == baseline + 5
-        assert not isinstance(store.indexes, FrozenTripleIndexes)
+        # Writes no longer thaw: the store still serves the frozen
+        # sorted-run read paths, through the delta overlay.
+        assert isinstance(store.indexes, DeltaOverlayIndexes)
+        assert isinstance(store.indexes, FrozenTripleIndexes)
 
-    def test_thaw_preserves_contents(self, snapshot):
+    def test_overlay_preserves_contents(self, snapshot):
         store = TripleStore.load(snapshot, lazy=True)
         frozen_triples = sorted(store.indexes.all_triples())
         store.add(Triple(IRI(f"{EX}extra"), IRI(f"{EX}p0"), IRI(f"{EX}oextra")))
-        thawed_triples = sorted(store.indexes.all_triples())
-        assert len(thawed_triples) == len(frozen_triples) + 1
-        assert set(frozen_triples) <= set(thawed_triples)
+        overlay_triples = sorted(store.indexes.all_triples())
+        assert len(overlay_triples) == len(frozen_triples) + 1
+        assert set(frozen_triples) <= set(overlay_triples)
