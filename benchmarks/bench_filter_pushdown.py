@@ -87,8 +87,8 @@ def main() -> int:
     print("== FILTER pushdown vs post-filter ==")
     rows = []
     for engine_name in ("wco", "hashjoin"):
-        pushdown_engine = SparqlUOEngine(store, engine_name, mode="full", pushdown=True)
-        postfilter_engine = SparqlUOEngine(store, engine_name, mode="full", pushdown=False)
+        pushdown_engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full", pushdown=True)
+        postfilter_engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full", pushdown=False)
         for query_name, query in FILTER_QUERIES.items():
             push_ms, push_result = run(pushdown_engine, query)
             post_ms, post_result = run(postfilter_engine, query)
@@ -115,8 +115,8 @@ def main() -> int:
     print("\n== LIMIT early termination ==")
     rows = []
     for engine_name in ("wco", "hashjoin"):
-        engine = SparqlUOEngine(store, engine_name, mode="full", pushdown=True)
-        reference = SparqlUOEngine(store, engine_name, mode="full", pushdown=False)
+        engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full", pushdown=True)
+        reference = SparqlUOEngine(store, bgp_engine=engine_name, mode="full", pushdown=False)
         limited_ms, limited = run(engine, LIMIT_QUERY)
         full_ms, full = run(reference, UNLIMITED_QUERY)
         limited_rows, full_rows = bgp_rows(limited), bgp_rows(full)

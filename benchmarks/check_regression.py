@@ -21,13 +21,21 @@ order of preference, the most machine-independent observable available:
 ``join_space``  the paper's deterministic plan-quality metric — fails
                 when ``fresh > baseline * js_tolerance`` (tight band:
                 it should be bit-stable).
-``rows_materialized`` / ``probe_count``
+``rows_materialized`` / ``probe_count`` / ``terms_decoded``
                 deterministic physical-execution counters (rows emitted
-                into result bags, galloping probes performed) — fail
-                when ``fresh > baseline * counter_tolerance``; a growth
+                into result bags, galloping probes performed, dictionary
+                ids materialized into terms) — fail when
+                ``fresh > baseline * counter_tolerance``; a growth
                 here means an execution path silently degraded (e.g.
-                merge joins falling back to hash joins) even if wall
-                time on the CI host looks fine.
+                merge joins falling back to hash joins, or an aggregate
+                starting to decode) even if wall time on the CI host
+                looks fine.  A ``terms_decoded`` baseline of 0 is the
+                zero-decode gate: *any* fresh decode fails.
+``rows_kernel_filtered``
+                floor-checked (``fresh < baseline / counter_tolerance``
+                fails): this counter measures rows screened by the
+                vectorized filter kernels, so a regression is a *drop*
+                — eligible predicates falling back to the per-row loop.
 ``wall_ms``     raw wall time — only meaningful when baseline and fresh
                 come from comparable hosts, so it is gated behind
                 ``--wall-tolerance`` and skipped otherwise (CI runners
@@ -97,6 +105,8 @@ def merge_baselines(records: List[Dict]) -> Dict[Key, Dict]:
             ("wall_ms", min),
             ("rows_materialized", min),
             ("probe_count", min),
+            ("terms_decoded", min),
+            ("rows_kernel_filtered", max),
         ):
             if field in record:
                 value = record[field]
@@ -154,7 +164,7 @@ def check(
                     f"{ceiling:.4g} (baseline {base['join_space']:.4g} * "
                     f"tolerance {js_tolerance:g})"
                 )
-        for field in ("rows_materialized", "probe_count"):
+        for field in ("rows_materialized", "probe_count", "terms_decoded"):
             if field in record and field in base:
                 compared += 1
                 checked_any = True
@@ -166,6 +176,18 @@ def check(
                         f"tolerance {counter_tolerance:g} — an execution "
                         f"path degraded)"
                     )
+        if "rows_kernel_filtered" in record and "rows_kernel_filtered" in base:
+            compared += 1
+            checked_any = True
+            floor = base["rows_kernel_filtered"] / counter_tolerance
+            if record["rows_kernel_filtered"] < floor:
+                failures.append(
+                    f"{label}: rows_kernel_filtered "
+                    f"{record['rows_kernel_filtered']} below {floor:.0f} "
+                    f"(baseline {base['rows_kernel_filtered']} / tolerance "
+                    f"{counter_tolerance:g} — kernels fell back to the "
+                    f"row loop)"
+                )
         if wall_tolerance is not None and "wall_ms" in record and "wall_ms" in base:
             compared += 1
             checked_any = True

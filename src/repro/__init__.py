@@ -27,7 +27,9 @@ from .core import (
     BETree,
     CandidatePolicy,
     CostModel,
+    EngineOptions,
     ExecutionMode,
+    PreparedQuery,
     QueryResult,
     SparqlUOEngine,
     ThresholdMode,
@@ -102,7 +104,9 @@ __all__ = [
     # core
     "SparqlUOEngine",
     "UpdateResult",
+    "EngineOptions",
     "ExecutionMode",
+    "PreparedQuery",
     "QueryResult",
     "BETree",
     "CostModel",

@@ -9,11 +9,17 @@ semantics of :mod:`repro.sparql.expressions`.  Both BGP engines accept
 compiled filters and apply them as early as their pipelines allow —
 inside pattern scans when a single pattern covers the expression's
 variables, otherwise right after the join step that completes coverage.
+
+Single-variable expressions without REGEX/arithmetic additionally lower
+to a batch :class:`~repro.bgp.kernels.FilterKernel` (``kernels=True``,
+the default): scans screen whole row chunks with one compare-and-compact
+pass, and join-emission predicates reduce to a memoized per-id dict hit
+instead of a binding-dict build plus expression walk per row.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional as Opt, Sequence
+from typing import Callable, Dict, List, Optional as Opt, Sequence, Tuple
 
 from ..sparql.bags import Bag, Row, UNBOUND
 from ..sparql.expressions import (
@@ -21,21 +27,45 @@ from ..sparql.expressions import (
     expression_variables,
     filter_passes,
 )
+from .kernels import FilterKernel, filtered_stream, lower_expression
 
-__all__ = ["CompiledFilter", "combine_predicates"]
+__all__ = ["CompiledFilter", "combine_predicates", "filtered_rows"]
 
 
 class CompiledFilter:
     """One FILTER expression bound to a store, evaluable on id rows."""
 
-    __slots__ = ("expression", "variables", "_decode", "_cache")
+    __slots__ = ("expression", "variables", "_decode", "_cache", "kernel")
 
-    def __init__(self, expression: Expression, store, cache: Opt[Dict] = None):
+    def __init__(
+        self,
+        expression: Expression,
+        store,
+        cache: Opt[Dict] = None,
+        kernels: bool = True,
+    ):
         self.expression = expression
         self.variables = expression_variables(expression)
         self._decode = store.decode
         #: id → term memo, shared across every predicate of this filter.
         self._cache = cache if cache is not None else {}
+        #: The lowered batch kernel, or None when the expression needs
+        #: the row loop (multi-variable, REGEX, arithmetic) or kernels
+        #: are disabled for differential testing.
+        self.kernel: Opt[FilterKernel] = None
+        if kernels:
+            variable = lower_expression(expression)
+            if variable is not None:
+                self.kernel = FilterKernel(expression, variable, store)
+
+    def kernel_slot(self, schema: Sequence[str]) -> Opt[int]:
+        """The kernel's column index in ``schema``, when lowerable there."""
+        if self.kernel is None:
+            return None
+        try:
+            return list(schema).index(self.kernel.variable)
+        except ValueError:
+            return None
 
     def row_predicate(self, schema: Sequence[str]) -> Callable[[Row], bool]:
         """A keep/drop predicate for rows aligned with ``schema``.
@@ -44,6 +74,16 @@ class CompiledFilter:
         unbound for every row (their references error, BOUND sees
         false) — exactly the group-end FILTER semantics.
         """
+        slot = self.kernel_slot(schema)
+        if slot is not None:
+            kernel = self.kernel
+            assert kernel is not None
+
+            def keep_kernel(row: Row) -> bool:
+                return kernel.passes(row[slot])
+
+            return keep_kernel
+
         slots = [(name, i) for i, name in enumerate(schema) if name in self.variables]
         expression = self.expression
         decode = self._decode
@@ -58,6 +98,7 @@ class CompiledFilter:
                 term = cache.get(value)
                 if term is None:
                     term = cache[value] = decode(value)
+                    _exec_counters().terms_decoded += 1
                 binding[name] = term
             return filter_passes(expression, binding)
 
@@ -66,11 +107,24 @@ class CompiledFilter:
     def apply(self, bag: Bag) -> Bag:
         """σ over an id-level bag (used at group end and by post-filter
         reference paths)."""
+        slot = self.kernel_slot(bag.schema)
+        if slot is not None:
+            assert self.kernel is not None
+            return Bag.from_rows(
+                bag.schema, self.kernel.compact(list(bag.rows), slot)
+            )
         keep = self.row_predicate(bag.schema)
         return Bag.from_rows(bag.schema, [row for row in bag.rows if keep(row)])
 
     def __repr__(self) -> str:
         return f"CompiledFilter(vars={sorted(self.variables)})"
+
+
+def _exec_counters():
+    # Lazy: repro.core imports this module during package init.
+    from ..core.metrics import EXEC_COUNTERS
+
+    return EXEC_COUNTERS
 
 
 def combine_predicates(
@@ -90,3 +144,30 @@ def combine_predicates(
         return True
 
     return keep
+
+
+def filtered_rows(
+    filters: Sequence[CompiledFilter], schema: Sequence[str], rows
+):
+    """Apply filters to a streaming row source, batch-first.
+
+    Filters that lower to kernels on this schema run as chunked
+    compare-and-compact passes; the rest conjoin into a per-row
+    residual predicate.  Falls back to a plain generator when nothing
+    lowers.  Order-preserving either way.
+    """
+    kernels: List[Tuple[FilterKernel, int]] = []
+    slow: List[CompiledFilter] = []
+    for compiled in filters:
+        slot = compiled.kernel_slot(schema)
+        if slot is not None:
+            assert compiled.kernel is not None
+            kernels.append((compiled.kernel, slot))
+        else:
+            slow.append(compiled)
+    residual = combine_predicates(slow, schema)
+    if not kernels:
+        if residual is None:
+            return rows
+        return (row for row in rows if residual(row))
+    return filtered_stream(rows, kernels, slow_keep=residual)

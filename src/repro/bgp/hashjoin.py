@@ -55,7 +55,7 @@ from ..storage.indexes import FrozenTripleIndexes
 from ..storage.runs import SortedIdSet, as_span, gallop_left
 from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
-from .filters import combine_predicates as _combine
+from .filters import combine_predicates as _combine, filtered_rows as _filtered_rows
 from .interface import BGPEngine, Candidates, PlanEstimate, ticked_rows
 from .plans import greedy_pattern_order, scan_sort_variable
 
@@ -157,8 +157,10 @@ class HashJoinEngine(BGPEngine):
                 scan_filters = [f for f in remaining if f.variables <= scan_covered]
                 if scan_filters:
                     remaining = [f for f in remaining if f not in scan_filters]
-                    keep_scan = _combine(scan_filters, schema)
-                    rows = (row for row in rows if keep_scan(row))
+                    # Batch path: kernel-lowered filters screen the scan
+                    # in compare-and-compact chunks (order-preserving, so
+                    # sort tags stay truthful); the rest run per row.
+                    rows = _filtered_rows(scan_filters, schema, rows)
                     run_values = None  # rows may drop; the raw run is stale
             join_filters: List = []
             stop: Optional[int] = None

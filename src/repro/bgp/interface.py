@@ -104,6 +104,7 @@ def decode_bag(
     from ..core.metrics import EXEC_COUNTERS  # lazy: core imports this module
 
     EXEC_COUNTERS.batch_decoded_ids += len(distinct)
+    EXEC_COUNTERS.terms_decoded += len(distinct)
     EXEC_COUNTERS.decoded_cells += len(rows) * len(bag.schema)
     source = rows if checkpoint is None else ticked_rows(rows, checkpoint)
     return Bag.from_rows(bag.schema, [tuple(cache[v] for v in row) for row in source])

@@ -1,0 +1,197 @@
+"""Batch compare-and-compact filter kernels over encoded-id columns.
+
+Per-row filter evaluation — build a binding dict, decode, walk the
+expression tree — is the dominant Python-interpreter cost on
+filter-heavy scans.  For the single-variable fragment of the expression
+language (comparisons, logical connectives, BOUND; everything except
+REGEX and arithmetic, which fall back to the row loop) the predicate's
+value depends only on the id in one column, so a chunk of rows can be
+screened in three batch steps:
+
+1. **sweep** — the chunk's column is materialized as an ``array('q')``
+   (a C int64 buffer, memoryview-compatible) and its *distinct new* ids
+   are decoded in one :meth:`decode_many` batch; each distinct id's
+   term-level verdict is computed once and memoized (``terms_decoded``
+   counts exactly these memo misses);
+2. **compare** — the keep-mask for the whole chunk is
+   ``bytearray(map(memo.__getitem__, column))``: one C-level map over
+   the column, no Python frame per row;
+3. **compact** — surviving rows are emitted with a single list
+   comprehension (or the chunk is passed through untouched when the
+   mask is all-ones).
+
+The verdict is evaluated on the *decoded term* via the shared
+:func:`~repro.sparql.expressions.filter_passes` semantics — never on
+raw id equality — so value-level comparisons (``"5" = "05"``,
+``"5"^^xsd:integer = "5.0"^^xsd:double``) keep their SPARQL meaning.
+
+:class:`~repro.bgp.filters.CompiledFilter` lowers eligible expressions
+to these kernels; both BGP engines then get the batch path in their
+scan pushdown (chunked streams) and a memo-dict fast path in their join
+emission predicates.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import islice
+from typing import Callable, Dict, Iterable, Iterator, List, Optional as Opt, Sequence, Tuple
+
+from ..sparql.bags import Row, UNBOUND
+from ..sparql.expressions import (
+    BoundCall,
+    Comparison,
+    ConstantTerm,
+    Expression,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    VariableRef,
+    expression_variables,
+    filter_passes,
+)
+
+__all__ = ["KERNEL_CHUNK", "FilterKernel", "lower_expression", "filtered_stream"]
+
+#: Rows per compare-and-compact batch.  Large enough to amortize the
+#: chunk bookkeeping, small enough that a cancelled query never owes
+#: more than one chunk of work past its deadline checkpoint.
+KERNEL_CHUNK = 2048
+
+
+def _exec_counters():
+    # Lazy: repro.core imports the bgp package during initialization.
+    from ..core.metrics import EXEC_COUNTERS
+
+    return EXEC_COUNTERS
+
+
+def _kernel_shaped(expression: Expression) -> bool:
+    """Only node types whose value is a pure function of one column."""
+    if isinstance(expression, (VariableRef, ConstantTerm, BoundCall)):
+        return True
+    if isinstance(expression, LogicalNot):
+        return _kernel_shaped(expression.operand)
+    if isinstance(expression, (LogicalAnd, LogicalOr, Comparison)):
+        return _kernel_shaped(expression.left) and _kernel_shaped(expression.right)
+    # RegexCall / Arithmetic / UnaryMinus: stay on the row loop.
+    return False
+
+
+def lower_expression(expression: Expression) -> Opt[str]:
+    """The column variable of a kernel-eligible expression, else None.
+
+    Eligible = references exactly one variable and contains only
+    comparison / logical / BOUND / constant nodes.
+    """
+    names = expression_variables(expression)
+    if len(names) != 1:
+        return None
+    if not _kernel_shaped(expression):
+        return None
+    return next(iter(names))
+
+
+class FilterKernel:
+    """One lowered single-variable predicate with a per-id verdict memo."""
+
+    __slots__ = ("expression", "variable", "_store", "_memo")
+
+    def __init__(self, expression: Expression, variable: str, store):
+        self.expression = expression
+        self.variable = variable
+        self._store = store
+        #: id → keep verdict; UNBOUND's verdict is precomputed (an
+        #: unbound reference errors → drop, unless BOUND/! flips it).
+        self._memo: Dict[object, bool] = {
+            UNBOUND: filter_passes(expression, {})
+        }
+
+    # ------------------------------------------------------------------
+    # per-row form (join emission): one dict hit per row after warmup
+    # ------------------------------------------------------------------
+    def passes(self, value) -> bool:
+        verdict = self._memo.get(value)
+        if verdict is None:
+            verdict = self._evaluate_one(value)
+        return verdict
+
+    def _evaluate_one(self, value: int) -> bool:
+        term = self._store.decode(value)
+        _exec_counters().terms_decoded += 1
+        verdict = filter_passes(self.expression, {self.variable: term})
+        self._memo[value] = verdict
+        return verdict
+
+    # ------------------------------------------------------------------
+    # batch form (scans, group-end application)
+    # ------------------------------------------------------------------
+    def _sweep(self, column: Sequence) -> None:
+        """Decode and judge every not-yet-seen distinct id of a column."""
+        memo = self._memo
+        missing = {value for value in column if value not in memo}
+        if not missing:
+            return
+        decoded = self._store.decode_many(missing)
+        counters = _exec_counters()
+        counters.terms_decoded += len(missing)
+        expression = self.expression
+        variable = self.variable
+        for value, term in decoded.items():
+            memo[value] = filter_passes(expression, {variable: term})
+
+    def mask(self, column: Sequence) -> bytearray:
+        """Keep-mask for one id column: sweep misses, then one C map."""
+        self._sweep(column)
+        return bytearray(map(self._memo.__getitem__, column))
+
+    def compact(self, rows: List[Row], slot: int) -> List[Row]:
+        """Compare-and-compact one chunk of rows on column ``slot``."""
+        if not rows:
+            return rows
+        try:
+            column: Sequence = array("q", (row[slot] for row in rows))
+        except (TypeError, OverflowError):
+            # A row carries the UNBOUND sentinel (or an id outside
+            # int64, which the dictionary never emits): fall back to a
+            # plain list column; the memo handles the sentinel.
+            column = [row[slot] for row in rows]
+        keep = self.mask(column)
+        _exec_counters().rows_kernel_filtered += len(rows)
+        kept = keep.count(1)
+        if kept == len(rows):
+            return rows
+        if not kept:
+            return []
+        return [row for row, flag in zip(rows, keep) if flag]
+
+    def __repr__(self) -> str:
+        return f"FilterKernel(?{self.variable}, memo={len(self._memo) - 1})"
+
+
+def filtered_stream(
+    rows: Iterable[Row],
+    kernels: Sequence[Tuple[FilterKernel, int]],
+    slow_keep: Opt[Callable[[Row], bool]] = None,
+    chunk: int = KERNEL_CHUNK,
+) -> Iterator[Row]:
+    """Order-preserving chunked filter over a streaming row source.
+
+    Each chunk runs every lowered kernel's compare-and-compact pass
+    (cheapest first would be ideal; callers pass them in filter order),
+    then the residual row-loop predicate ``slow_keep`` over whatever
+    survived.  Emission order is exactly input order, so scan sort tags
+    stay truthful upstream of merge joins.
+    """
+    iterator = iter(rows)
+    while True:
+        block = list(islice(iterator, chunk))
+        if not block:
+            return
+        for kernel, slot in kernels:
+            block = kernel.compact(block, slot)
+            if not block:
+                break
+        if slow_keep is not None and block:
+            block = [row for row in block if slow_keep(row)]
+        yield from block

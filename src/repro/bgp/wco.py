@@ -45,6 +45,7 @@ from ..storage.store import TripleStore
 from .cardinality import CardinalityEstimator, pattern_count
 from .filters import combine_predicates as _combine
 from .interface import BGPEngine, Candidates, PlanEstimate, ticked_rows
+from .kernels import KERNEL_CHUNK, FilterKernel
 from .plans import greedy_pattern_order
 
 __all__ = ["WCOJoinEngine"]
@@ -55,6 +56,22 @@ def _exec_counters():
     from ..core.metrics import EXEC_COUNTERS
 
     return EXEC_COUNTERS
+
+
+def _compact_tail(
+    out: List[Row], start: int, kernels: Sequence[Tuple[FilterKernel, int]]
+) -> int:
+    """Compare-and-compact ``out[start:]`` in place; returns the new
+    already-screened length.  Order-preserving, so the extension loop can
+    flush pending emissions chunk by chunk."""
+    tail: List[Row] = out[start:]
+    for kernel, slot in kernels:
+        tail = kernel.compact(tail, slot)
+        if not tail:
+            break
+    del out[start:]
+    out.extend(tail)
+    return len(out)
 
 
 class _Edge:
@@ -342,15 +359,31 @@ class WCOJoinEngine(BGPEngine):
             slots[name] = len(slots)
 
         keep = None
+        batch_kernels: List[Tuple[FilterKernel, int]] = []
         if filters:
             covered = set(schema)
             eligible = [f for f in filters if f.variables <= covered]
+            for compiled in eligible:
+                filters.remove(compiled)
+            if stop_at is not None and filters:
+                stop_at = None  # uncovered filters could still drop rows
             if eligible:
-                keep = _combine(eligible, schema)
-                for compiled in eligible:
-                    filters.remove(compiled)
-        if stop_at is not None and filters:
-            stop_at = None  # uncovered filters could still drop rows
+                if stop_at is None:
+                    # Lowered kernels compact the emitted rows in chunks;
+                    # only the residual stays on the per-row predicate.
+                    # With a LIMIT armed the inline predicate is kept for
+                    # every filter so early exit counts surviving rows.
+                    slow: List = []
+                    for compiled in eligible:
+                        slot = compiled.kernel_slot(schema)
+                        if slot is not None:
+                            assert compiled.kernel is not None
+                            batch_kernels.append((compiled.kernel, slot))
+                        else:
+                            slow.append(compiled)
+                    keep = _combine(slow, schema)
+                else:
+                    keep = _combine(eligible, schema)
 
         # ------------------------------------------------------------------
         # leapfrog fast path: one new endpoint vertex, runs to intersect
@@ -362,7 +395,7 @@ class WCOJoinEngine(BGPEngine):
                 allowed = allowed_o if vertex_is_object else allowed_s
                 sorted_cand = allowed.ids if isinstance(allowed, SortedIdSet) else None
                 if verifiers or sorted_cand is not None:
-                    return self._extend_leapfrog(
+                    out = self._extend_leapfrog(
                         rows,
                         cs,
                         cp,
@@ -377,6 +410,9 @@ class WCOJoinEngine(BGPEngine):
                         checkpoint,
                         counters,
                     )
+                    if batch_kernels:
+                        _compact_tail(out, 0, batch_kernels)
+                    return out
         assert not verifiers  # verifiers are only collected for the fast path
 
         # The generic loop probes membership per scanned triple; a
@@ -401,6 +437,7 @@ class WCOJoinEngine(BGPEngine):
                 return ticked_rows(_raw(s, p, o), _check)
 
         out: List[Row] = []
+        compacted_to = 0  # out[:compacted_to] is already kernel-screened
         tick = 0  # outer-loop tick: empty scans must still hit the hook
         for row in rows:
             if checkpoint is not None:
@@ -436,8 +473,12 @@ class WCOJoinEngine(BGPEngine):
                 if keep is not None and not keep(extended):
                     continue
                 out.append(extended)
+                if batch_kernels and len(out) - compacted_to >= KERNEL_CHUNK:
+                    compacted_to = _compact_tail(out, compacted_to, batch_kernels)
                 if stop_at is not None and len(out) >= stop_at:
                     return out
+        if batch_kernels:
+            _compact_tail(out, compacted_to, batch_kernels)
         return out
 
     def _extend_leapfrog(

@@ -36,7 +36,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .core.engine import SparqlUOEngine
+from .core.engine import EngineOptions, SparqlUOEngine
 from .datasets.dbpedia import generate_dbpedia
 from .datasets.lubm import generate_lubm
 from .rdf.ntriples import dump_ntriples, load_ntriples
@@ -110,7 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable FILTER pushdown / DISTINCT-before-decode / LIMIT "
         "short-circuit (reference pipeline, for comparison)",
     )
-    query.add_argument("--explain", action="store_true", help="print the BE-tree plan")
+    query.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="disable batch compare-and-compact filter kernels "
+        "(per-row reference filters, for comparison)",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plan: BE-tree, transform report, BGP cost estimates",
+    )
     query.add_argument("--stats", action="store_true", help="print execution statistics")
     query.add_argument(
         "--limit", type=_non_negative_int, default=None, help="print at most N rows"
@@ -253,9 +263,12 @@ def _command_query(args, out) -> int:
 
     engine = SparqlUOEngine(
         store,
-        bgp_engine=args.engine,
-        mode=args.mode,
-        pushdown=not args.no_pushdown,
+        options=EngineOptions(
+            bgp_engine=args.engine,
+            mode=args.mode,
+            pushdown=not args.no_pushdown,
+            kernels=not args.no_kernels,
+        ),
     )
     text = _read_query(args)
 
@@ -309,6 +322,12 @@ def _command_query(args, out) -> int:
         print(
             "# exec: "
             + " | ".join(f"{name} {value}" for name, value in counters.items()),
+            file=stats_out,
+        )
+        print(
+            f"# decode: {counters.get('terms_decoded', 0)} terms materialized | "
+            f"{counters.get('batch_decoded_ids', 0)} batch-decoded ids | "
+            f"{counters.get('rows_kernel_filtered', 0)} rows kernel-screened",
             file=stats_out,
         )
     return 0

@@ -4,7 +4,14 @@ candidate pruning, and the engine facade."""
 from .betree import BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 from .candidates import CandidatePolicy, ThresholdMode
 from .cost import CostModel, f_and, f_optional, f_union
-from .engine import ExecutionMode, QueryResult, SparqlUOEngine, UpdateResult
+from .engine import (
+    EngineOptions,
+    ExecutionMode,
+    PreparedQuery,
+    QueryResult,
+    SparqlUOEngine,
+    UpdateResult,
+)
 from .evaluator import BGPBasedEvaluator, EvaluationTrace
 from .joinspace import join_space
 from .metrics import (
@@ -40,7 +47,9 @@ __all__ = [
     "f_and",
     "f_union",
     "f_optional",
+    "EngineOptions",
     "ExecutionMode",
+    "PreparedQuery",
     "QueryResult",
     "SparqlUOEngine",
     "UpdateResult",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional as Opt, Tuple, Union as U
 
 from .. import faults as _faults
@@ -52,11 +53,25 @@ from .betree import BETree
 from .candidates import CandidatePolicy, ThresholdMode
 from .cost import CostModel
 from .evaluator import BGPBasedEvaluator, EvaluationTrace
+from .grouping import grouped_bag
 from .joinspace import join_space
 from .metrics import EXEC_COUNTERS
+from .options import (
+    EngineOptions,
+    LEGACY_POSITIONAL,
+    SNAPSHOT_POSITIONAL,
+    resolve_options,
+)
 from .transform import TransformReport, multi_level_transform
 
-__all__ = ["ExecutionMode", "QueryResult", "SparqlUOEngine", "UpdateResult"]
+__all__ = [
+    "EngineOptions",
+    "ExecutionMode",
+    "PreparedQuery",
+    "QueryResult",
+    "SparqlUOEngine",
+    "UpdateResult",
+]
 
 _BGP_ENGINES = {
     "wco": WCOJoinEngine,
@@ -81,6 +96,40 @@ class ExecutionMode(enum.Enum):
     @property
     def prunes(self) -> bool:
         return self in (ExecutionMode.CP, ExecutionMode.FULL)
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A parsed + planned query, ready to execute.
+
+    Replaces :meth:`SparqlUOEngine.prepare`'s former positional
+    5-tuple.  Iteration still yields the legacy field order, so
+    ``parsed, tree, report, parse_s, transform_s = engine.prepare(q)``
+    keeps working during the transition.
+    """
+
+    query: SelectQuery
+    tree: BETree
+    report: Opt[TransformReport]
+    #: 0.0 on a plan-cache hit (nothing was parsed or transformed).
+    parse_seconds: float
+    transform_seconds: float
+
+    def __iter__(self):
+        return iter(
+            (
+                self.query,
+                self.tree,
+                self.report,
+                self.parse_seconds,
+                self.transform_seconds,
+            )
+        )
+
+    @property
+    def cached(self) -> bool:
+        """True when this plan came straight from the plan cache."""
+        return self.parse_seconds == 0.0 and self.transform_seconds == 0.0
 
 
 class QueryResult:
@@ -181,36 +230,59 @@ class SparqlUOEngine:
     def __init__(
         self,
         store: TripleStore,
-        bgp_engine: U[str, BGPEngine] = "wco",
-        mode: U[str, ExecutionMode] = ExecutionMode.FULL,
-        fixed_fraction: float = 0.01,
-        pushdown: bool = True,
-        sorted_runs: bool = True,
+        *args,
+        options: Opt[EngineOptions] = None,
+        **kwargs,
     ):
+        """Build an engine over ``store``.
+
+        Configuration lives in one :class:`EngineOptions` value —
+        passed whole via ``options=``, as per-knob keyword overrides
+        (``mode="cp"``, ``kernels=False``, …), or both (keywords win).
+        Positional configuration arguments follow the legacy
+        ``(bgp_engine, mode, fixed_fraction, pushdown, sorted_runs)``
+        order for one release behind a DeprecationWarning.
+        """
+        options = resolve_options(options, args, kwargs, LEGACY_POSITIONAL)
+        #: The resolved configuration (frozen; shared safely).
+        self.options = options
         self.store = store
         #: ``sorted_runs=False`` pins the classic hash-join / set-
         #: candidate execution paths even over frozen stores — the
         #: reference configuration the sorted-run differential tests
         #: and ``bench_merge_join.py`` compare against.
-        self.sorted_runs = sorted_runs
+        self.sorted_runs = options.sorted_runs
+        #: ``kernels=False`` keeps every FILTER on the per-row loop —
+        #: the reference configuration for the kernel differential
+        #: tests and the kernel-off side of ``bench_aggregates.py``.
+        self.kernels = options.kernels
+        bgp_engine = options.bgp_engine
         if isinstance(bgp_engine, str):
             try:
-                bgp_engine = _BGP_ENGINES[bgp_engine](store, sorted_runs=sorted_runs)
+                bgp_engine = _BGP_ENGINES[bgp_engine](
+                    store, sorted_runs=options.sorted_runs
+                )
             except KeyError:
                 raise ValueError(
                     f"unknown BGP engine {bgp_engine!r}; "
                     f"choose from {sorted(_BGP_ENGINES)}"
                 ) from None
         self.bgp_engine: BGPEngine = bgp_engine
+        mode = options.mode
         self.mode = ExecutionMode(mode) if not isinstance(mode, ExecutionMode) else mode
         self.cost_model = CostModel(self.bgp_engine)
-        self.policy = self._make_policy(fixed_fraction)
+        self.policy = self._make_policy(options.fixed_fraction)
         #: ``pushdown=False`` turns off filter-into-pipeline evaluation,
         #: DISTINCT-before-decode and LIMIT short-circuiting — the
         #: reference configuration for equivalence testing and the
         #: post-filter side of the pushdown benchmark.
-        self.pushdown = pushdown
-        self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy, pushdown=pushdown)
+        self.pushdown = options.pushdown
+        self.evaluator = BGPBasedEvaluator(
+            self.bgp_engine,
+            self.policy,
+            pushdown=options.pushdown,
+            kernels=options.kernels,
+        )
         #: parsed-query → BE-tree plan cache, keyed on query text and
         #: invalidated by the store's plan token (write generation plus
         #: cheap content counts, see :meth:`_plan_token`).  Complements
@@ -238,42 +310,34 @@ class SparqlUOEngine:
     def for_dataset(
         cls,
         dataset: Dataset,
-        bgp_engine: U[str, BGPEngine] = "wco",
-        mode: U[str, ExecutionMode] = ExecutionMode.FULL,
-        fixed_fraction: float = 0.01,
-        pushdown: bool = True,
-        sorted_runs: bool = True,
+        *args,
+        options: Opt[EngineOptions] = None,
+        **kwargs,
     ) -> "SparqlUOEngine":
         """Build a store from a plain dataset and wrap an engine around it."""
-        return cls(
-            TripleStore.from_dataset(dataset),
-            bgp_engine,
-            mode,
-            fixed_fraction,
-            pushdown,
-            sorted_runs,
+        options = resolve_options(
+            options, args, kwargs, LEGACY_POSITIONAL, "for_dataset"
         )
+        return cls(TripleStore.from_dataset(dataset), options=options)
 
     @classmethod
     def from_snapshot(
         cls,
         path: str,
-        bgp_engine: U[str, BGPEngine] = "wco",
-        mode: U[str, ExecutionMode] = ExecutionMode.FULL,
-        fixed_fraction: float = 0.01,
-        pushdown: bool = True,
-        lazy: bool = True,
-        sorted_runs: bool = True,
+        *args,
+        options: Opt[EngineOptions] = None,
+        **kwargs,
     ) -> "SparqlUOEngine":
-        """Start hot: wrap an engine around a persisted store snapshot."""
-        return cls(
-            TripleStore.load(path, lazy=lazy),
-            bgp_engine,
-            mode,
-            fixed_fraction,
-            pushdown,
-            sorted_runs,
+        """Start hot: wrap an engine around a persisted store snapshot.
+
+        ``options.lazy`` governs the snapshot load (index files mapped
+        on first use); legacy positional order additionally carried
+        ``lazy`` between ``pushdown`` and ``sorted_runs``.
+        """
+        options = resolve_options(
+            options, args, kwargs, SNAPSHOT_POSITIONAL, "from_snapshot"
         )
+        return cls(TripleStore.load(path, lazy=options.lazy), options=options)
 
     def reload_store(self, store: TripleStore) -> None:
         """Swap the backing store, keeping the plan cache.
@@ -293,7 +357,9 @@ class SparqlUOEngine:
         else:
             self.bgp_engine = type(self.bgp_engine)(store)
         self.cost_model = CostModel(self.bgp_engine)
-        self.evaluator = BGPBasedEvaluator(self.bgp_engine, self.policy, pushdown=self.pushdown)
+        self.evaluator = BGPBasedEvaluator(
+            self.bgp_engine, self.policy, pushdown=self.pushdown, kernels=self.kernels
+        )
 
     def _make_policy(self, fixed_fraction: float) -> CandidatePolicy:
         if self.mode is ExecutionMode.CP:
@@ -309,8 +375,8 @@ class SparqlUOEngine:
     # ------------------------------------------------------------------
     # pipeline
     # ------------------------------------------------------------------
-    def prepare(self, query: U[str, SelectQuery]):
-        """Parse (if needed) and plan: returns (query, tree, report, timings).
+    def prepare(self, query: U[str, SelectQuery]) -> PreparedQuery:
+        """Parse (if needed) and plan: returns a :class:`PreparedQuery`.
 
         Query texts are memoized: the parsed query, the (transformed)
         BE-tree and the transform report are reused as long as the store
@@ -323,7 +389,7 @@ class SparqlUOEngine:
                 token, parsed, tree, report = cached
                 if token == self._plan_token():
                     self._plan_cache.move_to_end(cache_key)
-                    return parsed, tree, report, 0.0, 0.0
+                    return PreparedQuery(parsed, tree, report, 0.0, 0.0)
                 del self._plan_cache[cache_key]
 
         parse_start = time.perf_counter()
@@ -346,7 +412,7 @@ class SparqlUOEngine:
             self._plan_cache[cache_key] = (self._plan_token(), query, tree, report)
             if len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
-        return query, tree, report, parse_seconds, transform_seconds
+        return PreparedQuery(query, tree, report, parse_seconds, transform_seconds)
 
     def execute(
         self,
@@ -381,7 +447,8 @@ class SparqlUOEngine:
         # counts against the budget; the check right after fires when
         # planning alone used it up.
         check = self._make_checkpoint(timeout, checkpoint)
-        parsed, tree, report, parse_seconds, transform_seconds = self.prepare(query)
+        prepared = self.prepare(query)
+        parsed, tree, report = prepared.query, prepared.tree, prepared.report
         if check is not None:
             check()
 
@@ -394,6 +461,7 @@ class SparqlUOEngine:
             and parsed.limit is not None
             and not parsed.order_by
             and not parsed.deduplicates
+            and not parsed.groups
         ):
             limit_hint = parsed.offset + parsed.limit
         solutions = self.evaluator.evaluate(
@@ -404,7 +472,23 @@ class SparqlUOEngine:
         names = parsed.projection_names()
         if names is None:
             names = sorted(pattern_variables(parsed.where))
-        if parsed.order_by:
+        if parsed.groups:
+            # Grouped execution: group keys and aggregate folds run
+            # entirely on encoded ids; only the distinct ids the output
+            # needs (group keys, non-COUNT aggregated values) are
+            # decoded — a pure COUNT decodes nothing at all.  The
+            # resulting bag is term-level (aggregate results are fresh
+            # literals outside the dictionary), so the ordinary
+            # modifier pipeline applies directly.
+            grouped = grouped_bag(self.store, parsed, solutions, checkpoint=check)
+            if check is not None:
+                check()
+            if parsed.order_by:
+                grouped = order_bag(grouped, parsed.order_by)
+            if parsed.deduplicates:
+                grouped = distinct_bag(grouped)
+            projected = slice_bag(grouped, parsed.offset, parsed.limit)
+        elif parsed.order_by:
             # Ordering precedes projection (keys may use non-projected
             # variables), so the full bag is decoded first.  The decode
             # loop re-enters the checkpoint; the modifier stages check
@@ -444,8 +528,8 @@ class SparqlUOEngine:
             tree=tree,
             trace=trace,
             transform_report=report,
-            parse_seconds=parse_seconds,
-            transform_seconds=transform_seconds,
+            parse_seconds=prepared.parse_seconds,
+            transform_seconds=prepared.transform_seconds,
             execute_seconds=execute_seconds,
             # Advisory (process-global counters): concurrent executions
             # in one process may bleed into each other's deltas.
@@ -594,12 +678,33 @@ class SparqlUOEngine:
         return check
 
     def explain(self, query: U[str, SelectQuery]) -> str:
-        """The (transformed) BE-tree plan as indented text."""
-        _, tree, report, _, _ = self.prepare(query)
-        header = f"mode={self.mode.value} engine={self.bgp_engine.name}"
+        """The full plan as indented text: configuration header, the
+        transform report, per-BGP cost/cardinality estimates, the
+        (transformed) BE-tree and the grouping plan when present.
+
+        Public API (also behind ``repro query --explain``): the
+        rendering is for humans and its exact shape is not stable, but
+        the header's ``mode=``/``engine=`` fields and one ``BGP[id]``
+        estimate line per BGP node are.
+        """
+        prepared = self.prepare(query)
+        parsed, tree, report = prepared.query, prepared.tree, prepared.report
+        lines = [f"mode={self.mode.value} engine={self.bgp_engine.name}"]
         if report is not None:
-            header += f" | {report!r}"
-        return header + "\n" + tree.pretty()
+            lines.append(f"transform: {report!r}")
+        for node in tree.bgp_nodes():
+            if node.is_empty():
+                continue
+            estimate = self.bgp_engine.estimate(node.patterns)
+            lines.append(
+                f"BGP[{node.node_id}] estimate: cost={estimate.cost:.1f} "
+                f"cardinality={estimate.cardinality:.1f}"
+            )
+        lines.append(tree.pretty())
+        plan = parsed.group_plan()
+        if plan is not None:
+            lines.append(plan.pretty())
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (

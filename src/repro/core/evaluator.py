@@ -102,10 +102,15 @@ class BGPBasedEvaluator:
         engine: BGPEngine,
         policy: Opt[CandidatePolicy] = None,
         pushdown: bool = True,
+        kernels: bool = True,
     ):
         self.engine = engine
         self.policy = policy or CandidatePolicy()
         self.pushdown = pushdown
+        #: Lower eligible FILTER expressions to batch compare-and-compact
+        #: kernels; ``False`` keeps every filter on the row loop (the
+        #: differential-test reference configuration).
+        self.kernels = kernels
 
     def evaluate(
         self,
@@ -143,7 +148,7 @@ class BGPBasedEvaluator:
         """BGPBasedEvaluation(D, T(group), cand) — Algorithm 1."""
         store = self.engine.store
         pending: List[CompiledFilter] = [
-            CompiledFilter(child.expression, store)
+            CompiledFilter(child.expression, store, kernels=self.kernels)
             for child in group.children
             if isinstance(child, FilterNode)
         ]

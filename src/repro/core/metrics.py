@@ -58,6 +58,8 @@ EXEC_COUNTER_FIELDS = (
     "rows_materialized", # rows emitted into result bags by BGP engines
     "batch_decoded_ids", # distinct ids decoded by batch result decode
     "decoded_cells",     # result cells filled from those ids
+    "rows_kernel_filtered",  # rows screened by batch compare-and-compact kernels
+    "terms_decoded",     # ids materialized into terms anywhere (0 = zero-decode)
 )
 
 

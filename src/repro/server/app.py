@@ -479,7 +479,7 @@ class SparqlServer:
 
             store = _open_store(self.config.data)
             self._writer_engine = SparqlUOEngine(
-                store, bgp_engine=self.config.engine, mode=self.config.mode
+                store, options=self.config.engine_options()
             )
         return self._writer_engine
 

@@ -52,6 +52,8 @@ class ServerConfig:
     #: Engine wiring, forwarded to every worker's SparqlUOEngine.
     engine: str = "wco"
     mode: str = "full"
+    #: Batch filter kernels in every worker (off = row-loop reference).
+    kernels: bool = True
     #: Log one line per request to stderr (quiet by default).
     log_requests: bool = False
     #: Result formats served; first entry is the negotiation default.
@@ -101,3 +103,16 @@ class ServerConfig:
 
     def with_port(self, port: int) -> "ServerConfig":
         return replace(self, port=port)
+
+    def engine_options(self):
+        """The worker engines' configuration as one EngineOptions value.
+
+        Built lazily (the server package must stay importable without
+        the core engine); the frozen dataclass pickles through the
+        worker pool's ``spawn`` start method.
+        """
+        from ..core.options import EngineOptions
+
+        return EngineOptions(
+            bgp_engine=self.engine, mode=self.mode, kernels=self.kernels
+        )

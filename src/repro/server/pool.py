@@ -107,9 +107,13 @@ def _open_store(path: str):
 
 
 def _worker_main(
-    conn, data_path: str, engine: str, mode: str, fault_plan=None
+    conn, data_path: str, options, fault_plan=None
 ) -> None:
     """Child-process entry point: open the store, then serve queries.
+
+    ``options`` is the worker engine's frozen
+    :class:`~repro.core.options.EngineOptions` — one pickled value
+    instead of a drifting list of per-knob spawn args.
 
     Replies are small tuples (tag first) rather than rich objects so
     the pipe traffic stays cheap to pickle.  The serialized result
@@ -146,7 +150,7 @@ def _worker_main(
         else:
             _faults.arm_from_env()
         store = _open_store(data_path)
-        uo_engine = SparqlUOEngine(store, bgp_engine=engine, mode=mode)
+        uo_engine = SparqlUOEngine(store, options=options)
     except BaseException as exc:  # noqa: B036 — report, then die
         try:
             conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
@@ -278,7 +282,7 @@ class _Worker:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, config.data, config.engine, config.mode, fault_plan),
+            args=(child_conn, config.data, config.engine_options(), fault_plan),
             name=f"repro-worker-{index}",
             daemon=True,
         )

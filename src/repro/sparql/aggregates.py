@@ -1,0 +1,105 @@
+"""Aggregate folding semantics, shared by the engine and the test oracle.
+
+One place defines what COUNT / SUM / MIN / MAX / AVG produce, so the
+zero-decode grouped execution path and the naive dict-based oracle agree
+by construction:
+
+- COUNT yields an ``xsd:integer`` literal and never errors;
+- SUM / AVG fold :func:`~repro.sparql.expressions.term_value` numbers;
+  a non-numeric input value is an aggregate *error*, which leaves the
+  alias unbound for that group (SPARQL 1.1 §18.5);
+- SUM and AVG of the empty sequence are ``0`` (per the spec's
+  ``Sum({}) = 0``; AVG of an empty group is defined as 0 too);
+- MIN / MAX order inputs by :func:`order_sort_key` — the same total
+  order ORDER BY uses — and return the *term* itself, so mixed-type
+  groups are deterministic instead of erroring;
+- ``distinct`` de-duplicates by term identity before folding, which on
+  encoded ids is exactly id-distinctness (the dictionary is bijective).
+
+Folding is term-level; the engine's grouped path keeps per-group state
+as encoded ids and only materializes the distinct ids of the aggregated
+column (COUNT materializes nothing) before calling in here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional as Opt
+
+from ..rdf.terms import Literal, Term
+from .expressions import ExprError, order_sort_key, term_value
+
+__all__ = ["count_literal", "numeric_literal", "aggregate_terms"]
+
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+_XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+
+
+def count_literal(count: int) -> Literal:
+    """A COUNT result: a canonical ``xsd:integer`` literal."""
+    return Literal(str(int(count)), datatype=XSD_INTEGER)
+
+
+def numeric_literal(value) -> Literal:
+    """A SUM/AVG result as a literal.
+
+    Integers (including integral bools folded by ``int()`` upstream)
+    become ``xsd:integer``; anything else ``xsd:double`` with Python's
+    shortest-repr lexical form — deterministic, and identical on the
+    oracle and engine sides because both call this helper.
+    """
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    return Literal(repr(float(value)), datatype=_XSD_DOUBLE)
+
+
+def aggregate_terms(
+    function: str, terms: Iterable[Term], distinct: bool
+) -> Opt[Term]:
+    """Fold one group's bound input terms into the aggregate's result term.
+
+    ``terms`` are the *bound* values of the aggregated variable within
+    one group (unbound rows are dropped before aggregation, per the
+    spec's ``ListEval`` skipping error rows).  Returns None when the
+    aggregate evaluates to an error or is undefined on the empty group
+    (MIN/MAX) — the alias stays unbound in that solution.
+    """
+    values = list(terms)
+    if distinct:
+        values = list(dict.fromkeys(values))
+    if function == "COUNT":
+        return count_literal(len(values))
+    if function in ("MIN", "MAX"):
+        if not values:
+            return None
+        chooser = min if function == "MIN" else max
+        return chooser(values, key=_min_max_key)
+    # SUM / AVG: numeric folds.
+    if not values:
+        return numeric_literal(0)
+    total = 0
+    for term in values:
+        try:
+            number = term_value(term)
+        except ExprError:
+            return None
+        if isinstance(number, bool) or not isinstance(number, (int, float)):
+            return None
+        total += number
+    if function == "SUM":
+        return numeric_literal(total)
+    if function == "AVG":
+        average = total / len(values)
+        if isinstance(average, float) and average.is_integer() and isinstance(total, int):
+            # n | total: keep the integer form so 4/2 folds to "2",
+            # matching the intuitive decimal result on both sides.
+            return numeric_literal(int(average))
+        return numeric_literal(average)
+    raise ValueError(f"unknown aggregate function {function!r}")
+
+
+def _min_max_key(term: Term):
+    try:
+        value = term_value(term)
+    except ExprError:
+        value = ExprError("ill-formed")
+    return order_sort_key(value)

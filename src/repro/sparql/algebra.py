@@ -29,6 +29,8 @@ __all__ = [
     "FilterExpression",
     "GroupElement",
     "OrderCondition",
+    "Aggregate",
+    "GroupBy",
     "SelectQuery",
     "InsertData",
     "DeleteData",
@@ -186,18 +188,113 @@ class GroupGraphPattern:
         return f"GroupGraphPattern({list(self.elements)!r})"
 
 
+class Aggregate:
+    """One projected aggregate: ``(FUNC(DISTINCT? ?v | *) AS ?alias)``.
+
+    ``expression`` is the aggregated variable, or None for ``COUNT(*)``
+    (the only function whose argument may be ``*``).  The fragment keeps
+    aggregate arguments to plain variables so grouping and folding can
+    run entirely on encoded ids.
+    """
+
+    FUNCTIONS = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+    __slots__ = ("function", "expression", "distinct", "alias")
+
+    def __init__(
+        self,
+        function: str,
+        expression: Opt[Variable],
+        alias: Variable,
+        distinct: bool = False,
+    ):
+        function = function.upper()
+        if function not in self.FUNCTIONS:
+            raise ValueError(f"unknown aggregate function {function!r}")
+        if expression is None and function != "COUNT":
+            raise ValueError(f"{function}(*) is not defined; only COUNT takes '*'")
+        if expression is not None and not isinstance(expression, Variable):
+            raise TypeError(f"aggregate argument must be a variable, got {expression!r}")
+        if not isinstance(alias, Variable):
+            raise TypeError(f"aggregate alias must be a variable, got {alias!r}")
+        self.function = function
+        self.expression = expression
+        self.distinct = bool(distinct)
+        self.alias = alias
+
+    @property
+    def name(self) -> str:
+        """The output column name (the alias), mirroring Variable.name."""
+        return self.alias.name
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Aggregate)
+            and other.function == self.function
+            and other.expression == self.expression
+            and other.distinct == self.distinct
+            and other.alias == self.alias
+        )
+
+    def __hash__(self) -> int:
+        return hash(("agg", self.function, self.expression, self.distinct, self.alias))
+
+    def __repr__(self) -> str:
+        arg = "*" if self.expression is None else self.expression.n3()
+        if self.distinct:
+            arg = f"DISTINCT {arg}"
+        return f"({self.function}({arg}) AS {self.alias.n3()})"
+
+
+class GroupBy:
+    """The grouped head of a query: grouping keys plus its aggregates.
+
+    Sits alongside the WHERE-derived BE-tree in plans: the tree produces
+    the (encoded) solution bag, this node describes how its rows
+    collapse into groups.  Built by :class:`SelectQuery` whenever the
+    projection contains aggregates or a ``GROUP BY`` clause is present.
+    """
+
+    __slots__ = ("variables", "aggregates")
+
+    def __init__(self, variables: Sequence[Variable], aggregates: Sequence[Aggregate]):
+        self.variables = tuple(variables)
+        self.aggregates = tuple(aggregates)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GroupBy)
+            and other.variables == self.variables
+            and other.aggregates == self.aggregates
+        )
+
+    def __hash__(self) -> int:
+        return hash(("groupby", self.variables, self.aggregates))
+
+    def pretty(self) -> str:
+        keys = " ".join(v.n3() for v in self.variables) or "(implicit single group)"
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"GroupBy[{keys}] -> {aggs}"
+
+    def __repr__(self) -> str:
+        return f"GroupBy({list(self.variables)!r}, {list(self.aggregates)!r})"
+
+
 class SelectQuery:
     """A parsed SELECT query: projection + WHERE group + modifiers.
 
     ``variables`` is None for ``SELECT *`` (and for the appendix's bare
     ``SELECT WHERE``, which we treat identically): project every
-    in-scope variable.
+    in-scope variable.  Projection items are :class:`Variable`\\ s or
+    :class:`Aggregate`\\ s; with aggregates present (or a ``GROUP BY``
+    clause), solutions are grouped by ``group_by`` before projection —
+    an empty ``group_by`` then means one implicit group.
 
-    The solution modifiers follow SPARQL 1.1's pipeline: ORDER BY over
-    the full WHERE solutions, then projection, then DISTINCT (REDUCED is
-    treated as DISTINCT — both are permitted to eliminate duplicates,
-    and doing so keeps execution deterministic), then OFFSET, then
-    LIMIT.
+    The solution modifiers follow SPARQL 1.1's pipeline: (grouping →)
+    ORDER BY over the full WHERE solutions, then projection, then
+    DISTINCT (REDUCED is treated as DISTINCT — both are permitted to
+    eliminate duplicates, and doing so keeps execution deterministic),
+    then OFFSET, then LIMIT.
     """
 
     __slots__ = (
@@ -209,11 +306,12 @@ class SelectQuery:
         "order_by",
         "limit",
         "offset",
+        "group_by",
     )
 
     def __init__(
         self,
-        variables: Opt[Sequence[Variable]],
+        variables: Opt[Sequence[U[Variable, Aggregate]]],
         where: GroupGraphPattern,
         prefixes: Opt[Dict[str, str]] = None,
         distinct: bool = False,
@@ -221,11 +319,12 @@ class SelectQuery:
         order_by: Sequence[OrderCondition] = (),
         limit: Opt[int] = None,
         offset: int = 0,
+        group_by: Sequence[Variable] = (),
     ):
         if variables is not None:
             variables = tuple(variables)
             for var in variables:
-                if not isinstance(var, Variable):
+                if not isinstance(var, (Variable, Aggregate)):
                     raise TypeError(f"projection must be variables, got {var!r}")
         if not isinstance(where, GroupGraphPattern):
             raise TypeError("WHERE clause must be a GroupGraphPattern")
@@ -237,6 +336,27 @@ class SelectQuery:
             raise ValueError(f"LIMIT must be a non-negative integer, got {limit!r}")
         if not isinstance(offset, int) or offset < 0:
             raise ValueError(f"OFFSET must be a non-negative integer, got {offset!r}")
+        group_by = tuple(group_by)
+        for var in group_by:
+            if not isinstance(var, Variable):
+                raise TypeError(f"GROUP BY takes variables, got {var!r}")
+        aggregates = tuple(
+            item for item in (variables or ()) if isinstance(item, Aggregate)
+        )
+        if aggregates or group_by:
+            if variables is None:
+                raise ValueError("SELECT * cannot be combined with GROUP BY/aggregates")
+            group_names = {v.name for v in group_by}
+            seen: set = set()
+            for item in variables:
+                if isinstance(item, Variable):
+                    if item.name not in group_names:
+                        raise ValueError(
+                            f"?{item.name} is projected but not a GROUP BY key"
+                        )
+                if item.name in seen:
+                    raise ValueError(f"duplicate projection name ?{item.name}")
+                seen.add(item.name)
         self.variables = variables
         self.where = where
         self.prefixes = dict(prefixes or {})
@@ -245,6 +365,7 @@ class SelectQuery:
         self.order_by = order_by
         self.limit = limit
         self.offset = offset
+        self.group_by = group_by
 
     @property
     def deduplicates(self) -> bool:
@@ -256,8 +377,29 @@ class SelectQuery:
             self.deduplicates or self.order_by or self.limit is not None or self.offset
         )
 
+    @property
+    def aggregates(self) -> "tuple[Aggregate, ...]":
+        """The projected aggregates, in projection order."""
+        return tuple(
+            item for item in (self.variables or ()) if isinstance(item, Aggregate)
+        )
+
+    @property
+    def groups(self) -> bool:
+        """True when execution must go through the grouped path."""
+        return bool(self.group_by) or any(
+            isinstance(item, Aggregate) for item in (self.variables or ())
+        )
+
+    def group_plan(self) -> Opt[GroupBy]:
+        """The grouping head as a plan node, or None for plain queries."""
+        if not self.groups:
+            return None
+        return GroupBy(self.group_by, self.aggregates)
+
     def projection_names(self) -> Opt[List[str]]:
-        """Projected variable names, or None for select-all."""
+        """Projected variable names (aggregate aliases included), or
+        None for select-all."""
         if self.variables is None:
             return None
         return [v.name for v in self.variables]
@@ -272,15 +414,22 @@ class SelectQuery:
             and other.order_by == self.order_by
             and other.limit == self.limit
             and other.offset == self.offset
+            and other.group_by == self.group_by
         )
 
     def __repr__(self) -> str:
-        proj = "*" if self.variables is None else " ".join(v.n3() for v in self.variables)
+        proj = "*" if self.variables is None else " ".join(
+            v.n3() if isinstance(v, Variable) else repr(v) for v in self.variables
+        )
         extras = []
         if self.distinct:
             extras.append("DISTINCT")
         if self.reduced:
             extras.append("REDUCED")
+        if self.group_by:
+            extras.append(
+                "GROUP BY " + " ".join(v.n3() for v in self.group_by)
+            )
         if self.order_by:
             extras.append(f"ORDER BY ×{len(self.order_by)}")
         if self.limit is not None:

@@ -6,9 +6,11 @@ solution modifiers):
 .. code-block:: text
 
     Query          := Prologue SELECT ('DISTINCT'|'REDUCED')? Projection?
-                      WHERE? Group Modifiers
+                      WHERE? Group ('GROUP' 'BY' Var+)? Modifiers
     Prologue       := (PREFIX pname: <iri>)*
-    Projection     := '*' | Var+                 (absent ⇒ select-all)
+    Projection     := '*' | (Var | AggItem)+     (absent ⇒ select-all)
+    AggItem        := '(' Func '(' 'DISTINCT'? ('*'|Var) ')' AS Var ')'
+    Func           := 'COUNT' | 'SUM' | 'MIN' | 'MAX' | 'AVG'
     Group          := '{' Element* '}'
     Element        := Triple '.'?                (triple pattern)
                     | Group UnionTail?           (group / UNION chain)
@@ -29,8 +31,8 @@ solution modifiers):
     Verb           := iri | pname | 'a' | Var
     Term           := iri | pname | Var | literal | blank | bool
 
-Anything outside the fragment (ASK, CONSTRUCT, property paths,
-GROUP BY, …) raises
+Anything outside the fragment (ASK, CONSTRUCT, property paths, …)
+raises
 :class:`~repro.sparql.errors.UnsupportedFeatureError` with a pointer at
 the offending token.
 """
@@ -43,6 +45,7 @@ from ..rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
 from ..rdf.terms import BlankNode, IRI, Literal, Variable
 from ..rdf.triple import TriplePattern
 from .algebra import (
+    Aggregate,
     DeleteData,
     FilterExpression,
     GroupGraphPattern,
@@ -73,7 +76,7 @@ from .tokenizer import Token, tokenize
 
 __all__ = ["parse_query", "parse_group", "parse_update"]
 
-_UNSUPPORTED_KEYWORDS = frozenset({"ASK", "CONSTRUCT", "DESCRIBE", "GROUP"})
+_UNSUPPORTED_KEYWORDS = frozenset({"ASK", "CONSTRUCT", "DESCRIBE"})
 
 #: SPARQL 1.1 UPDATE forms outside the supported fragment.
 _UNSUPPORTED_UPDATE_KEYWORDS = frozenset({"WITH", "USING", "GRAPH", "LOAD", "CLEAR"})
@@ -152,22 +155,30 @@ class _Parser:
         if self.at_keyword("WHERE"):
             self.advance()
         group = self.parse_group()
+        group_by = self._parse_group_by()
         order_by = self._parse_order_by()
         limit, offset = self._parse_limit_offset()
         token = self.peek()
         if token.kind != "EOF":
             self.check_unsupported()
             raise self.error(f"trailing content after query: {token.value!r}")
-        return SelectQuery(
-            variables,
-            group,
-            self.prefixes,
-            distinct=distinct,
-            reduced=reduced,
-            order_by=order_by,
-            limit=limit,
-            offset=offset,
-        )
+        try:
+            return SelectQuery(
+                variables,
+                group,
+                self.prefixes,
+                distinct=distinct,
+                reduced=reduced,
+                order_by=order_by,
+                limit=limit,
+                offset=offset,
+                group_by=group_by,
+            )
+        except ValueError as exc:
+            # Projection/grouping consistency errors (non-key variable
+            # projected, SELECT * with GROUP BY, duplicate aliases) are
+            # syntax-level errors to the caller.
+            raise self.error(str(exc)) from None
 
     def parse_update(self) -> UpdateRequest:
         """``Prologue Operation (';' Prologue? Operation)* ';'?``.
@@ -350,15 +361,76 @@ class _Parser:
             prefix = name_token.value[:-1]
             self.prefixes[prefix] = iri_token.value
 
-    def _parse_projection(self) -> Opt[List[Variable]]:
+    def _parse_projection(self) -> "Opt[List]":
         if self.at_punct("*"):
             self.advance()
             return None
+        variables: List = []
+        while True:
+            token = self.peek()
+            if token.kind == "VAR":
+                variables.append(Variable(self.advance().value))
+            elif self.at_punct("("):
+                variables.append(self._parse_aggregate_item())
+            else:
+                break
+        if not variables:
+            return None  # bare 'SELECT WHERE {…}' — select-all
+        return variables
+
+    def _parse_aggregate_item(self) -> Aggregate:
+        """``'(' Func '(' DISTINCT? ('*'|Var) ')' AS Var ')'``."""
+        self.expect_punct("(")
+        token = self.peek()
+        if token.kind != "KEYWORD" or token.value not in Aggregate.FUNCTIONS:
+            raise UnsupportedFeatureError(
+                "projection expressions are limited to aggregates "
+                f"(COUNT/SUM/MIN/MAX/AVG), found {token.value!r} "
+                f"(line {token.line})"
+            )
+        function = self.advance().value
+        self.expect_punct("(")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        argument: Opt[Variable] = None
+        if self.at_punct("*"):
+            if function != "COUNT":
+                raise self.error(f"{function}(*) is not defined; only COUNT takes '*'")
+            self.advance()
+        else:
+            token = self.peek()
+            if token.kind != "VAR":
+                raise self.error(
+                    f"aggregate arguments must be a variable or '*', "
+                    f"found {token.value!r}"
+                )
+            argument = Variable(self.advance().value)
+        self.expect_punct(")")
+        if not self.at_keyword("AS"):
+            raise self.error("expected AS after aggregate expression")
+        self.advance()
+        token = self.peek()
+        if token.kind != "VAR":
+            raise self.error("expected an alias variable after AS")
+        alias = Variable(self.advance().value)
+        self.expect_punct(")")
+        return Aggregate(function, argument, alias, distinct=distinct)
+
+    def _parse_group_by(self) -> List[Variable]:
+        """``GROUP BY ?v …`` — grouping keys are plain variables."""
+        if not self.at_keyword("GROUP"):
+            return []
+        self.advance()
+        if not self.at_keyword("BY"):
+            raise self.error("expected BY after GROUP")
+        self.advance()
         variables: List[Variable] = []
         while self.peek().kind == "VAR":
             variables.append(Variable(self.advance().value))
         if not variables:
-            return None  # bare 'SELECT WHERE {…}' — select-all
+            raise self.error("GROUP BY requires at least one variable")
         return variables
 
     def parse_group(self) -> GroupGraphPattern:

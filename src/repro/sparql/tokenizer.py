@@ -36,6 +36,13 @@ KEYWORDS = frozenset(
         "TRUE",
         "FALSE",
         "A",
+        # Aggregation (GROUP BY heads): functions plus the AS binder.
+        "COUNT",
+        "SUM",
+        "MIN",
+        "MAX",
+        "AVG",
+        "AS",
         # SPARQL 1.1 UPDATE forms (INSERT DATA / DELETE DATA /
         # DELETE/INSERT ... WHERE); WITH/USING/GRAPH/LOAD/CLEAR are
         # tokenized so the parser can reject them with a targeted

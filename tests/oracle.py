@@ -29,6 +29,7 @@ from repro.sparql.algebra import (
     pattern_variables,
 )
 from repro.rdf.triple import TriplePattern
+from repro.sparql.aggregates import aggregate_terms, count_literal
 from repro.sparql.expressions import filter_passes, order_key_for_binding
 
 Solution = Dict[str, object]  # variable name → ground term
@@ -141,9 +142,59 @@ def solution_key(mu: Solution) -> frozenset:
     return frozenset(mu.items())
 
 
+def grouped_solutions(
+    query: SelectQuery, solutions: List[Solution]
+) -> List[Solution]:
+    """Naive dict-based GROUP BY + aggregation (term-level throughout).
+
+    Groups key on the tuple of (possibly absent) group-variable values;
+    aggregates fold over the *bound* values of their column through the
+    same shared :func:`aggregate_terms` semantics the engine uses —
+    deliberately without any encoded-id shortcuts, so the differential
+    suite cross-checks the zero-decode path against first principles.
+    An aggregate that folds to None (MIN/MAX of nothing, SUM over a
+    non-number) leaves its alias unbound.  With no GROUP BY keys there
+    is exactly one implicit group, even over an empty input.
+    """
+    group_names = [v.name for v in query.group_by]
+    groups: Dict[tuple, List[Solution]] = {}
+    if group_names:
+        for mu in solutions:
+            key = tuple(mu.get(name) for name in group_names)
+            groups.setdefault(key, []).append(mu)
+    else:
+        groups[()] = list(solutions)
+    out: List[Solution] = []
+    for key, members in groups.items():
+        result: Solution = {}
+        for name, value in zip(group_names, key):
+            if value is not None:
+                result[name] = value
+        for aggregate in query.aggregates:
+            if aggregate.expression is None:  # COUNT(*) / COUNT(DISTINCT *)
+                if aggregate.distinct:
+                    count = len({solution_key(mu) for mu in members})
+                else:
+                    count = len(members)
+                term = count_literal(count)
+            else:
+                name = aggregate.expression.name
+                values = [mu[name] for mu in members if name in mu]
+                term = aggregate_terms(
+                    aggregate.function, values, distinct=aggregate.distinct
+                )
+            if term is not None:
+                result[aggregate.name] = term
+        out.append(result)
+    return out
+
+
 def execute(query: SelectQuery, dataset: Dataset) -> OracleResult:
-    """ORDER BY → projection → DISTINCT/REDUCED → OFFSET → LIMIT."""
+    """GROUP BY/aggregate → ORDER BY → projection → DISTINCT/REDUCED →
+    OFFSET → LIMIT."""
     solutions = evaluate_group(query.where, dataset)
+    if query.groups:
+        solutions = grouped_solutions(query, solutions)
     names: Optional[Sequence[str]] = query.projection_names()
     if names is None:
         names = sorted(pattern_variables(query.where))

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.rdf import Dataset, IRI, Literal, Triple, TriplePattern, Variable
 from repro.sparql.algebra import (
+    Aggregate,
     FilterExpression,
     GroupGraphPattern,
     OptionalExpression,
@@ -360,6 +361,78 @@ def random_query(
         where,
         distinct=rng.random() < 0.3,
         reduced=rng.random() < 0.05,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+    )
+
+
+_AGG_FUNCTIONS = ["COUNT", "COUNT", "SUM", "MIN", "MAX", "AVG"]
+
+
+def random_aggregate_query(rng: random.Random, max_depth: int = 2) -> SelectQuery:
+    """One random GROUP BY / aggregate query for the differential suite.
+
+    Deliberately adversarial around the zero-decode path's edge cases:
+
+    - group keys drawn from *all* pattern variables, so OPTIONAL-born
+      variables (UNBOUND in some rows) frequently key groups, and a
+      sometimes-included never-bound variable keys everything into one
+      UNBOUND group;
+    - aggregated columns include string literals and IRIs (SUM/AVG →
+      unbound alias) and sometimes a never-bound variable (COUNT=0,
+      MIN/MAX unbound);
+    - a query with no matching rows and no GROUP BY exercises the
+      implicit empty group (COUNT must be 0, not an empty result);
+    - every function × DISTINCT, COUNT(*) and COUNT(DISTINCT *)
+      included, plus optional FILTERs (kernel-eligible and not),
+      ORDER BY over aliases, DISTINCT and paging.
+    """
+    where = _random_group(rng, max_depth)
+    bound = sorted(pattern_variables(where))
+    names = bound or ["v0"]
+    if rng.random() < 0.15:
+        names = names + ["never_bound"]
+    elements = list(where.elements)
+    for _ in range(rng.randint(0, 2) if rng.random() < 0.5 else 0):
+        expression = _random_expression(rng, names)
+        elements.insert(rng.randint(0, len(elements)), FilterExpression(expression))
+    where = GroupGraphPattern(elements)
+
+    key_count = rng.choice([0, 1, 1, 1, 2])
+    keys: List[Variable] = []
+    if key_count:
+        pool = list(dict.fromkeys(names))
+        keys = [Variable(n) for n in rng.sample(pool, min(key_count, len(pool)))]
+
+    aggregates: List[Aggregate] = []
+    for index in range(rng.randint(1, 2)):
+        function = rng.choice(_AGG_FUNCTIONS)
+        distinct = rng.random() < 0.3
+        if function == "COUNT" and rng.random() < 0.4:
+            column = None  # COUNT(*) / COUNT(DISTINCT *)
+        else:
+            column = Variable(rng.choice(names))
+        aggregates.append(
+            Aggregate(function, column, Variable(f"agg{index}"), distinct=distinct)
+        )
+
+    projection: List = keys + aggregates
+    rng.shuffle(projection)
+    projected_names = [item.name for item in projection]
+    order_by = []
+    if rng.random() < 0.4:
+        for name in rng.sample(
+            projected_names, min(len(projected_names), rng.randint(1, 2))
+        ):
+            order_by.append(OrderCondition(VariableRef(name), rng.random() < 0.6))
+    limit = rng.randint(0, 6) if rng.random() < 0.3 else None
+    offset = rng.choice([0, 0, 1, 2]) if rng.random() < 0.3 else 0
+    return SelectQuery(
+        projection,
+        where,
+        group_by=keys,
+        distinct=rng.random() < 0.2,
         order_by=order_by,
         limit=limit,
         offset=offset,

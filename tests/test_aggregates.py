@@ -1,0 +1,325 @@
+"""GROUP BY / aggregation and the EngineOptions / PreparedQuery API.
+
+Deterministic unit coverage for PRs' aggregate stack: grammar and
+validation errors, the zero-decode execution invariants (``terms_decoded``,
+``rows_kernel_filtered``), the grouped edge cases (UNBOUND keys, empty
+groups), and the engine-options redesign (keyword construction, the
+positional deprecation shim, pickling through spawn-style round trips).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import EngineOptions, PreparedQuery, SparqlUOEngine
+from repro.core.metrics import EXEC_COUNTERS
+from repro.rdf import Dataset, IRI, Literal, Triple
+from repro.sparql import parse_query
+from repro.sparql.aggregates import aggregate_terms, count_literal, numeric_literal
+from repro.sparql.errors import SparqlSyntaxError, UnsupportedFeatureError
+from repro.storage import TripleStore
+
+EX = "http://agg.test/"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def _int(value: int) -> Literal:
+    return Literal(str(value), datatype=XSD_INTEGER)
+
+
+@pytest.fixture(scope="module")
+def store() -> TripleStore:
+    triples = []
+    for i in range(12):
+        s = IRI(EX + f"s{i}")
+        triples.append(Triple(s, IRI(EX + "kind"), IRI(EX + f"K{i % 3}")))
+        triples.append(Triple(s, IRI(EX + "score"), _int(i)))
+        if i % 2 == 0:
+            triples.append(Triple(s, IRI(EX + "label"), Literal(f"n{i}")))
+    return TripleStore.from_dataset(Dataset(triples)).freeze()
+
+
+def _rows(result):
+    return [dict(mu) for mu in result]
+
+
+# ----------------------------------------------------------------------
+# grammar and validation
+# ----------------------------------------------------------------------
+class TestParsing:
+    def test_group_by_with_aggregates_parses(self):
+        q = parse_query(
+            "SELECT ?k (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?k } GROUP BY ?k"
+        )
+        assert [v.name for v in q.group_by] == ["k"]
+        assert q.groups
+        (agg,) = q.aggregates
+        assert (agg.function, agg.distinct, agg.name) == ("COUNT", True, "n")
+        assert q.projection_names() == ["k", "n"]
+
+    def test_every_function_parses(self):
+        q = parse_query(
+            "SELECT (COUNT(*) AS ?c) (SUM(?v) AS ?s) (MIN(?v) AS ?lo) "
+            "(MAX(?v) AS ?hi) (AVG(?v) AS ?m) WHERE { ?x ?p ?v }"
+        )
+        assert [a.function for a in q.aggregates] == [
+            "COUNT",
+            "SUM",
+            "MIN",
+            "MAX",
+            "AVG",
+        ]
+        assert q.aggregates[0].expression is None
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT * WHERE { ?x ?p ?y } GROUP BY ?x",
+            "SELECT ?y (COUNT(*) AS ?n) WHERE { ?x ?p ?y } GROUP BY ?x",
+            "SELECT (SUM(*) AS ?n) WHERE { ?x ?p ?y }",
+            "SELECT (COUNT(?x) ?n) WHERE { ?x ?p ?y }",
+            "SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?y } GROUP BY",
+            "SELECT (COUNT(?x) AS ?n) (SUM(?y) AS ?n) WHERE { ?x ?p ?y }",
+        ],
+    )
+    def test_invalid_aggregate_queries_rejected(self, text):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(text)
+
+    def test_non_aggregate_projection_expression_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query("SELECT (REGEX(?x, \"a\") AS ?n) WHERE { ?x ?p ?y }")
+
+
+# ----------------------------------------------------------------------
+# shared fold semantics
+# ----------------------------------------------------------------------
+class TestAggregateTerms:
+    def test_count(self):
+        assert aggregate_terms("COUNT", [_int(1), _int(1)], False) == count_literal(2)
+        assert aggregate_terms("COUNT", [], False) == count_literal(0)
+
+    def test_sum_and_avg_integral(self):
+        values = [_int(1), _int(2), _int(3)]
+        assert aggregate_terms("SUM", values, False) == numeric_literal(6)
+        assert aggregate_terms("AVG", values, False) == numeric_literal(2)
+
+    def test_avg_fractional_is_double(self):
+        got = aggregate_terms("AVG", [_int(1), _int(2)], False)
+        assert got.datatype.endswith("double") and float(got.lexical) == 1.5
+
+    def test_sum_empty_is_zero(self):
+        assert aggregate_terms("SUM", [], False) == numeric_literal(0)
+
+    def test_min_max_empty_is_unbound(self):
+        assert aggregate_terms("MIN", [], False) is None
+        assert aggregate_terms("MAX", [], False) is None
+
+    def test_sum_non_numeric_is_unbound(self):
+        assert aggregate_terms("SUM", [Literal("x"), _int(1)], False) is None
+
+    def test_distinct_dedupes(self):
+        values = [_int(2), _int(2), _int(3)]
+        assert aggregate_terms("SUM", values, True) == numeric_literal(5)
+        assert aggregate_terms("COUNT", values, True) == count_literal(2)
+
+
+# ----------------------------------------------------------------------
+# grouped execution
+# ----------------------------------------------------------------------
+class TestGroupedExecution:
+    def test_group_by_count(self, store):
+        result = SparqlUOEngine(store).execute(
+            f"SELECT ?k (COUNT(*) AS ?n) WHERE {{ ?s <{EX}kind> ?k }} "
+            "GROUP BY ?k ORDER BY ?k"
+        )
+        assert _rows(result) == [
+            {"k": IRI(EX + "K0"), "n": count_literal(4)},
+            {"k": IRI(EX + "K1"), "n": count_literal(4)},
+            {"k": IRI(EX + "K2"), "n": count_literal(4)},
+        ]
+
+    def test_pure_count_decodes_nothing(self, store):
+        engine = SparqlUOEngine(store)
+        EXEC_COUNTERS.reset()
+        result = engine.execute(
+            f"SELECT (COUNT(*) AS ?n) WHERE {{ ?s <{EX}score> ?v }}"
+        )
+        assert _rows(result) == [{"n": count_literal(12)}]
+        assert EXEC_COUNTERS.terms_decoded == 0
+
+    def test_numeric_folds(self, store):
+        result = SparqlUOEngine(store).execute(
+            f"SELECT (SUM(?v) AS ?s) (AVG(?v) AS ?m) (MIN(?v) AS ?lo) "
+            f"(MAX(?v) AS ?hi) WHERE {{ ?x <{EX}score> ?v }}"
+        )
+        assert _rows(result) == [
+            {
+                "s": numeric_literal(66),
+                "m": numeric_literal(5.5),
+                "lo": _int(0),
+                "hi": _int(11),
+            }
+        ]
+
+    def test_empty_input_implicit_group(self, store):
+        result = SparqlUOEngine(store).execute(
+            f"SELECT (COUNT(?v) AS ?n) (SUM(?v) AS ?s) (MIN(?v) AS ?lo) "
+            f"WHERE {{ ?x <{EX}missing> ?v }}"
+        )
+        # One row: COUNT=0, SUM=0, MIN unbound.
+        assert _rows(result) == [{"n": count_literal(0), "s": numeric_literal(0)}]
+
+    def test_empty_input_with_group_by_is_empty(self, store):
+        result = SparqlUOEngine(store).execute(
+            f"SELECT ?k (COUNT(*) AS ?n) WHERE {{ ?x <{EX}missing> ?k }} GROUP BY ?k"
+        )
+        assert len(result) == 0
+
+    def test_unbound_group_key(self, store):
+        # label exists only for even subjects: the odd ones group under
+        # an UNBOUND key, which must surface as a row without ?l.
+        result = SparqlUOEngine(store).execute(
+            f"SELECT ?l (COUNT(*) AS ?n) WHERE {{ ?s <{EX}kind> ?k . "
+            f"OPTIONAL {{ ?s <{EX}label> ?l }} }} GROUP BY ?l"
+        )
+        rows = _rows(result)
+        unbound_rows = [r for r in rows if "l" not in r]
+        assert len(rows) == 7  # 6 labels + one UNBOUND group
+        assert unbound_rows == [{"n": count_literal(6)}]
+
+    def test_count_distinct_on_ids(self, store):
+        result = SparqlUOEngine(store).execute(
+            f"SELECT (COUNT(DISTINCT ?k) AS ?n) WHERE {{ ?s <{EX}kind> ?k }}"
+        )
+        assert _rows(result) == [{"n": count_literal(3)}]
+
+    def test_order_by_aggregate_alias(self, store):
+        result = SparqlUOEngine(store).execute(
+            f"SELECT ?k (SUM(?v) AS ?t) WHERE {{ ?s <{EX}kind> ?k . "
+            f"?s <{EX}score> ?v }} GROUP BY ?k ORDER BY DESC(?t) LIMIT 1"
+        )
+        # K2 holds scores 2,5,8,11 = 26, the largest bucket.
+        assert _rows(result) == [{"k": IRI(EX + "K2"), "t": numeric_literal(26)}]
+
+    def test_group_plan_in_explain(self, store):
+        engine = SparqlUOEngine(store)
+        text = engine.explain(
+            f"SELECT ?k (COUNT(*) AS ?n) WHERE {{ ?s <{EX}kind> ?k }} GROUP BY ?k"
+        )
+        assert "GroupBy[?k]" in text
+        assert "(COUNT(*) AS ?n)" in text
+        assert "estimate: cost=" in text
+
+
+# ----------------------------------------------------------------------
+# filter kernels
+# ----------------------------------------------------------------------
+class TestKernels:
+    QUERY = f"SELECT ?s ?v WHERE {{ ?s <{EX}score> ?v . FILTER (?v >= 6) }}"
+
+    def test_kernel_screens_rows(self, store):
+        engine = SparqlUOEngine(store)
+        EXEC_COUNTERS.reset()
+        result = engine.execute(self.QUERY)
+        assert len(result) == 6
+        assert EXEC_COUNTERS.rows_kernel_filtered >= 12
+
+    def test_kernels_off_matches(self, store):
+        on = SparqlUOEngine(store).execute(self.QUERY)
+        EXEC_COUNTERS.reset()
+        off = SparqlUOEngine(store, kernels=False).execute(self.QUERY)
+        assert EXEC_COUNTERS.rows_kernel_filtered == 0
+        assert on.solutions == off.solutions
+
+    def test_regex_stays_on_row_loop(self, store):
+        engine = SparqlUOEngine(store)
+        EXEC_COUNTERS.reset()
+        result = engine.execute(
+            f'SELECT ?s WHERE {{ ?s <{EX}label> ?l . FILTER regex(?l, "n1") }}'
+        )
+        assert len(result) == 1  # labels are n0,n2,...,n10 — only n10 matches "n1"
+        assert EXEC_COUNTERS.rows_kernel_filtered == 0
+
+    def test_counters_reach_query_stats(self, store):
+        result = SparqlUOEngine(store).execute(self.QUERY)
+        assert "rows_kernel_filtered" in result.exec_counters
+        assert "terms_decoded" in result.exec_counters
+
+
+# ----------------------------------------------------------------------
+# EngineOptions / PreparedQuery API
+# ----------------------------------------------------------------------
+class TestEngineOptions:
+    def test_keyword_construction_never_warns(self, store, recwarn):
+        engine = SparqlUOEngine(store, bgp_engine="hashjoin", mode="cp", kernels=False)
+        assert engine.mode.value == "cp" and engine.kernels is False
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_options_object(self, store):
+        options = EngineOptions(mode="tt", pushdown=False, kernels=False)
+        engine = SparqlUOEngine(store, options=options)
+        assert engine.options == options
+        assert engine.mode.value == "tt"
+        assert engine.evaluator.pushdown is False
+        assert engine.evaluator.kernels is False
+
+    def test_keywords_override_options(self, store):
+        engine = SparqlUOEngine(
+            store, options=EngineOptions(mode="tt"), mode="base"
+        )
+        assert engine.mode.value == "base"
+
+    def test_positional_args_deprecated(self, store):
+        with pytest.warns(DeprecationWarning):
+            engine = SparqlUOEngine(store, "hashjoin", "base")
+        assert engine.mode.value == "base"
+
+    def test_unknown_option_rejected(self, store):
+        with pytest.raises(TypeError, match="turbo"):
+            SparqlUOEngine(store, turbo=True)
+
+    def test_unknown_engine_still_value_error(self, store):
+        with pytest.raises(ValueError, match="unknown BGP engine"):
+            SparqlUOEngine(store, bgp_engine="mystery")
+
+    def test_options_pickle_roundtrip(self):
+        options = EngineOptions(bgp_engine="hashjoin", kernels=False)
+        assert pickle.loads(pickle.dumps(options)) == options
+
+    def test_repr_shows_only_non_defaults(self):
+        assert repr(EngineOptions()) == "EngineOptions()"
+        assert repr(EngineOptions(mode="cp")) == "EngineOptions(mode='cp')"
+
+    def test_server_config_builds_options(self):
+        from repro.server.config import ServerConfig
+
+        config = ServerConfig(data="x.snap", engine="hashjoin", kernels=False)
+        options = config.engine_options()
+        assert options.bgp_engine == "hashjoin"
+        assert options.mode == "full"
+        assert options.kernels is False
+
+
+class TestPreparedQuery:
+    TEXT = f"SELECT ?s WHERE {{ ?s <{EX}kind> ?k }}"
+
+    def test_prepare_returns_dataclass(self, store):
+        engine = SparqlUOEngine(store)
+        prepared = engine.prepare(self.TEXT)
+        assert isinstance(prepared, PreparedQuery)
+        assert prepared.query.projection_names() == ["s"]
+        assert not prepared.cached
+
+    def test_legacy_tuple_unpacking(self, store):
+        engine = SparqlUOEngine(store)
+        parsed, tree, report, parse_s, transform_s = engine.prepare(self.TEXT)
+        assert parsed.projection_names() == ["s"]
+        assert tree is engine.prepare(self.TEXT).tree
+
+    def test_cache_hit_flag(self, store):
+        engine = SparqlUOEngine(store)
+        engine.prepare(self.TEXT)
+        assert engine.prepare(self.TEXT).cached

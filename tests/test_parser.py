@@ -146,12 +146,16 @@ class TestErrors:
             "ASK { ?x ?p ?y }",
             "CONSTRUCT { ?x ?p ?y } WHERE { ?x ?p ?y }",
             "DESCRIBE <http://example.org/x>",
-            "SELECT * WHERE { ?x ?p ?y } GROUP BY ?x",
         ],
     )
     def test_unsupported_features(self, query):
         with pytest.raises(UnsupportedFeatureError):
             parse_query(query)
+
+    def test_select_star_with_group_by_is_rejected(self):
+        # GROUP BY itself parses now; the * projection is what's invalid.
+        with pytest.raises(SparqlSyntaxError, match="SELECT \\*"):
+            parse_query("SELECT * WHERE { ?x ?p ?y } GROUP BY ?x")
 
     @pytest.mark.parametrize(
         "query",

@@ -63,9 +63,9 @@ def test_pushdown_matches_reference_pipeline(query, data):
     """
     store = TripleStore.from_dataset(data)
     for engine_name in ENGINES:
-        optimized = SparqlUOEngine(store, engine_name, mode="full").execute(query)
+        optimized = SparqlUOEngine(store, bgp_engine=engine_name, mode="full").execute(query)
         reference = SparqlUOEngine(
-            store, engine_name, mode="base", pushdown=False
+            store, bgp_engine=engine_name, mode="base", pushdown=False
         ).execute(query)
         _assert_same_result(query, optimized, reference, engine_name)
 
@@ -81,7 +81,7 @@ def test_filter_pushdown_exact_bag_equality(group, data):
     for engine_name in ENGINES:
         for pushdown in (True, False):
             result = SparqlUOEngine(
-                store, engine_name, mode="full", pushdown=pushdown
+                store, bgp_engine=engine_name, mode="full", pushdown=pushdown
             ).execute(query)
             assert result.solutions == reference, (engine_name, pushdown)
 
@@ -94,7 +94,7 @@ def test_engine_matches_reference_semantics(query, data):
     reference_rows = _rows(execute_query(query, data))
     store = TripleStore.from_dataset(data)
     for engine_name in ENGINES:
-        result = SparqlUOEngine(store, engine_name, mode="full").execute(query)
+        result = SparqlUOEngine(store, bgp_engine=engine_name, mode="full").execute(query)
         opt_rows = _rows(result)
         if query.limit is None and not query.offset:
             assert oracle.as_counter(opt_rows) == oracle.as_counter(reference_rows), engine_name
@@ -118,7 +118,7 @@ def test_limit_short_circuit_returns_a_valid_page(query, data):
     )
     store = TripleStore.from_dataset(data)
     for engine_name in ENGINES:
-        engine = SparqlUOEngine(store, engine_name, mode="full")
+        engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full")
         page = _rows(engine.execute(query))
         full = _rows(engine.execute(full_query))
         assert oracle.contained_in(page, full), engine_name
