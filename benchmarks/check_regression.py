@@ -36,6 +36,14 @@ order of preference, the most machine-independent observable available:
                 fails): this counter measures rows screened by the
                 vectorized filter kernels, so a regression is a *drop*
                 — eligible predicates falling back to the per-row loop.
+``overhead_pct``
+                the disarmed-tracer overhead bound from
+                ``bench_trace_overhead.py`` — fails when fresh exceeds
+                ``min(baseline * 50, 2.0)``: the generous relative
+                band absorbs host-dependent check pricing while still
+                catching an accidentally instrumented hot loop (the
+                deterministic site count jumping orders of magnitude),
+                and the absolute 2% acceptance bar always applies.
 ``wall_ms``     raw wall time — only meaningful when baseline and fresh
                 come from comparable hosts, so it is gated behind
                 ``--wall-tolerance`` and skipped otherwise (CI runners
@@ -107,6 +115,7 @@ def merge_baselines(records: List[Dict]) -> Dict[Key, Dict]:
             ("probe_count", min),
             ("terms_decoded", min),
             ("rows_kernel_filtered", max),
+            ("overhead_pct", min),
         ):
             if field in record:
                 value = record[field]
@@ -187,6 +196,17 @@ def check(
                     f"(baseline {base['rows_kernel_filtered']} / tolerance "
                     f"{counter_tolerance:g} — kernels fell back to the "
                     f"row loop)"
+                )
+        if "overhead_pct" in record and "overhead_pct" in base:
+            compared += 1
+            checked_any = True
+            ceiling = min(base["overhead_pct"] * 50, 2.0)
+            if record["overhead_pct"] > ceiling:
+                failures.append(
+                    f"{label}: disarmed-tracer overhead bound "
+                    f"{record['overhead_pct']:.4f}% above {ceiling:.4f}% "
+                    f"(baseline {base['overhead_pct']:.4f}% — a hot loop "
+                    f"grew instrumentation or the 2% bar was crossed)"
                 )
         if wall_tolerance is not None and "wall_ms" in record and "wall_ms" in base:
             compared += 1

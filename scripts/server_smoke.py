@@ -11,7 +11,10 @@ with urllib only:
    with a direct ``application/sparql-query`` body;
 3. a pathological query that must trip the per-query timeout (504)
    without taking the server down;
-4. ``/healthz`` and ``/metrics`` sanity;
+4. ``/healthz`` and ``/metrics`` sanity, then the observability loop:
+   a header-activated trace that round-trips through the worker pool
+   with the request id echoed, ``/debug/templates`` accumulating the
+   replayed query family, and the slow-query log filling on disk;
 5. SIGINT → orderly shutdown with exit code 0.
 
 ``--chaos`` runs the operator-facing chaos smoke instead: the same
@@ -205,11 +208,20 @@ def chaos_main() -> int:
 
 def main() -> int:
     snap_path = build_snapshot()
+    slow_log = os.path.join(os.path.dirname(snap_path), "slow.jsonl")
 
     reference = run_cli("query", snap_path, QUERY, "--format", "json")
     check(reference.returncode == 0, "reference CLI query ran")
 
-    server = spawn_server(snap_path, "--workers", "2", "--timeout", "1")
+    server = spawn_server(
+        snap_path,
+        "--workers", "2",
+        "--timeout", "1",
+        # Observability smoke: everything qualifies as "slow" so the
+        # structured log provably fills, and traces round-trip.
+        "--slow-query-ms", "0.01",
+        "--slow-query-log", slow_log,
+    )
     try:
         assert server.stdout is not None
         banner = server.stdout.readline()
@@ -283,6 +295,82 @@ def main() -> int:
         check(status == 200 and 'repro_requests_total{status="200"}' in text,
               "metrics exposition renders")
         check("repro_timeouts_total 1" in text, "timeout counted in metrics")
+        check("repro_query_seconds_bucket" in text,
+              "latency histogram buckets exposed")
+
+        # 4b. Trace smoke: a header-activated trace round-trips through
+        #     the worker pool with the client's request id echoed.  The
+        #     trailing space defeats the result cache (exact-text key)
+        #     without changing the constant-lifted template, so this
+        #     request provably exercises the pool.
+        traced_url = base + "/sparql?" + urllib.parse.urlencode({"query": QUERY + " "})
+        status, headers, body = http(
+            traced_url,
+            headers={"X-Repro-Trace": "1", "X-Request-Id": "smoke-trace-1"},
+        )
+        check(status == 200, "traced GET /sparql returns 200")
+        check(
+            headers.get("X-Repro-Request-Id") == "smoke-trace-1",
+            "client request id honored and echoed",
+        )
+        check("X-Repro-Generation" in headers, "generation header present")
+        document = json.loads(body)
+        repro = document.get("extensions", {}).get("repro", {})
+        check(repro.get("request_id") == "smoke-trace-1",
+              "trace extensions carry the request id")
+        trace = repro.get("trace") or {}
+        span_names = {child.get("name") for child in trace.get("children", ())}
+        check("pool" in span_names, "parent-side pool span present")
+
+        def find_span(node, name):
+            if node.get("name") == name:
+                return node
+            for child in node.get("children", ()):  # depth-first
+                found = find_span(child, name)
+                if found is not None:
+                    return found
+            return None
+
+        worker_span = find_span(trace, "worker")
+        check(worker_span is not None, "worker span stitched under the request")
+        check(
+            worker_span.get("meta", {}).get("request_id") == "smoke-trace-1",
+            "worker span carries the same request id",
+        )
+        check(find_span(trace, "scan") is not None,
+              "per-operator scan span crossed the pipe")
+
+        # 4c. /debug/templates: the replayed query family (same shape,
+        #     different constants would fold too) has accumulated stats.
+        status, _, body = http(base + "/debug/templates")
+        check(status == 200, "GET /debug/templates returns 200")
+        registry = json.loads(body)
+        busiest = (registry.get("templates") or [{}])[0]
+        check(busiest.get("count", 0) >= 2,
+              f"busiest template replayed (count {busiest.get('count')})")
+        check(busiest.get("latency_ms", {}).get("p50", 0) > 0,
+              "template latency quantiles populated")
+
+        # 4d. Slow-query log written (threshold set to ~everything).
+        deadline = time.time() + 10
+        entries = []
+        while time.time() < deadline and not entries:
+            try:
+                with open(slow_log, "r", encoding="utf-8") as handle:
+                    entries = [json.loads(line) for line in handle if line.strip()]
+            except OSError:
+                pass
+            if not entries:
+                time.sleep(0.2)
+        check(bool(entries), "slow-query log written")
+        check(
+            any(entry.get("request_id") == "smoke-trace-1" for entry in entries),
+            "slow-query log entry carries the request id",
+        )
+        check(
+            any(entry.get("template") for entry in entries),
+            "slow-query log entries carry template hashes",
+        )
 
         # 5. Orderly shutdown.
         server.send_signal(signal.SIGINT)

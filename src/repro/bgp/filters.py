@@ -107,14 +107,27 @@ class CompiledFilter:
     def apply(self, bag: Bag) -> Bag:
         """σ over an id-level bag (used at group end and by post-filter
         reference paths)."""
+        from ..obs import trace as _trace  # lazy: obs ↔ bgp layering
+
+        tracer = _trace.ACTIVE
         slot = self.kernel_slot(bag.schema)
         if slot is not None:
             assert self.kernel is not None
-            return Bag.from_rows(
+            if tracer is not None:
+                tracer.begin("filter_kernel", rows=len(bag.rows))
+            out = Bag.from_rows(
                 bag.schema, self.kernel.compact(list(bag.rows), slot)
             )
+            if tracer is not None:
+                tracer.end(kept=len(out.rows))
+            return out
+        if tracer is not None:
+            tracer.begin("filter", rows=len(bag.rows))
         keep = self.row_predicate(bag.schema)
-        return Bag.from_rows(bag.schema, [row for row in bag.rows if keep(row)])
+        out = Bag.from_rows(bag.schema, [row for row in bag.rows if keep(row)])
+        if tracer is not None:
+            tracer.end(kept=len(out.rows))
+        return out
 
     def __repr__(self) -> str:
         return f"CompiledFilter(vars={sorted(self.variables)})"

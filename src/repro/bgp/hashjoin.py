@@ -126,6 +126,11 @@ class HashJoinEngine(BGPEngine):
             return Bag.identity()
         if limit is not None and limit <= 0:
             return Bag.empty()
+        from ..obs import trace as _trace  # lazy: obs ↔ bgp layering
+
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.annotate(engine=self.name, patterns=len(patterns))
         counters = _exec_counters()
         # Counted once: count_pattern enumerates for repeated-variable
         # patterns, and both the ordering and the build-side choice

@@ -33,6 +33,7 @@ from typing import (
     Union,
 )
 
+from ..obs import trace as _trace
 from ..rdf.terms import Variable
 from ..rdf.triple import TriplePattern
 from ..sparql.bags import Bag, UNBOUND
@@ -84,6 +85,9 @@ def decode_bag(
     rows = bag.rows
     if not rows or not bag.schema:
         return Bag.from_rows(bag.schema, list(rows))
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.begin("decode", rows=len(rows), columns=len(bag.schema))
     distinct: set = set()
     for row in rows:
         distinct.update(row)
@@ -107,7 +111,12 @@ def decode_bag(
     EXEC_COUNTERS.terms_decoded += len(distinct)
     EXEC_COUNTERS.decoded_cells += len(rows) * len(bag.schema)
     source = rows if checkpoint is None else ticked_rows(rows, checkpoint)
-    return Bag.from_rows(bag.schema, [tuple(cache[v] for v in row) for row in source])
+    decoded = Bag.from_rows(
+        bag.schema, [tuple(cache[v] for v in row) for row in source]
+    )
+    if tracer is not None:
+        tracer.end(distinct_ids=len(distinct))
+    return decoded
 
 #: Candidate restriction: variable name → permitted term ids, either a
 #: plain ``set`` (legacy) or a :class:`~repro.storage.runs.SortedIdSet`

@@ -170,6 +170,11 @@ class WCOJoinEngine(BGPEngine):
             return Bag.identity()
         if limit is not None and limit <= 0:
             return Bag.empty()
+        from ..obs import trace as _trace  # lazy: obs ↔ bgp layering
+
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.annotate(engine=self.name, patterns=len(patterns))
         edges = [_Edge(self.store, p) for p in patterns]
         if any(edge.impossible() for edge in edges):
             return Bag.empty()

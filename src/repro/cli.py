@@ -123,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--stats", action="store_true", help="print execution statistics")
     query.add_argument(
+        "--trace",
+        nargs="?",
+        const="tree",
+        choices=["tree", "json"],
+        default=None,
+        help="record per-operator spans and print the trace after the "
+        "results (tree: EXPLAIN-ANALYZE-style annotated tree; json: "
+        "the raw span tree)",
+    )
+    query.add_argument(
         "--limit", type=_non_negative_int, default=None, help="print at most N rows"
     )
     query.add_argument(
@@ -197,6 +207,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection spec for chaos testing, e.g. "
         "'worker.exec:crash@3;cache.get:io_error@0.1#seed=7' "
         "(see repro.faults; defaults to $REPRO_FAULTS)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability (0..1) of tracing a request that did not ask "
+        "for a trace; sampled traces feed the slow-query log",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="log queries slower than this to the slow-query log "
+        "(0 disables the latency trigger)",
+    )
+    serve.add_argument(
+        "--slow-query-log",
+        default="",
+        metavar="PATH",
+        help="JSONL file for slow/sampled/timed-out queries "
+        "(size-bounded; see README Observability)",
+    )
+    serve.add_argument(
+        "--stats-dump",
+        default="",
+        metavar="PATH",
+        help="write the template-stats registry to this file on SIGUSR1 "
+        "('-' for stderr)",
     )
     serve.add_argument(
         "--compact-threshold",
@@ -276,9 +316,24 @@ def _command_query(args, out) -> int:
         print(engine.explain(text), file=out)
         return 0
 
+    from .sparql.parser import is_update_request
+
+    tracer = None
+    if args.trace:
+        from .obs import trace as _obs_trace
+
+        # The CLI is a one-query process: arming the global is exactly
+        # the worker discipline, and every engine span lands under it.
+        tracer = _obs_trace.arm(_obs_trace.Tracer("query"))
+
+    if is_update_request(text):
+        return _run_update(engine, text, args, out, tracer)
+
     try:
         result = engine.execute(text)
     except SparqlError as exc:
+        if tracer is not None:
+            _finish_trace(tracer, args, sys.stderr, aborted=type(exc).__name__)
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -330,6 +385,53 @@ def _command_query(args, out) -> int:
             f"{counters.get('rows_kernel_filtered', 0)} rows kernel-screened",
             file=stats_out,
         )
+        if result.template is not None:
+            print(f"# template: {result.template['hash']}", file=stats_out)
+    if tracer is not None:
+        _finish_trace(tracer, args, out if args.format == "table" else sys.stderr)
+    return 0
+
+
+def _finish_trace(tracer, args, stream, aborted=None) -> None:
+    """Print the finished span tree (annotated tree or raw JSON)."""
+    import json as _json
+
+    from .obs import trace as _obs_trace
+
+    tree = tracer.finish(aborted=aborted)
+    _obs_trace.disarm()
+    if args.trace == "json":
+        print(_json.dumps(tree), file=stream)
+    else:
+        print("# trace:", file=stream)
+        print(_obs_trace.render_trace(tree), file=stream)
+
+
+def _run_update(engine, text, args, out, tracer) -> int:
+    """``repro query`` with UPDATE text: apply it and report what moved."""
+    try:
+        result = engine.update(text)
+    except SparqlError as exc:
+        if tracer is not None:
+            _finish_trace(tracer, args, sys.stderr, aborted=type(exc).__name__)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"update OK: {result.added} added, {result.removed} removed "
+        f"({result.operations} operation{'s' if result.operations != 1 else ''}, "
+        f"generation {result.generation})",
+        file=out,
+    )
+    if args.stats:
+        adds, tombstones = engine.store.pending_delta
+        print(
+            f"# parse {result.parse_seconds * 1000:.1f} ms | "
+            f"apply {result.apply_seconds * 1000:.1f} ms | "
+            f"delta depth {adds} adds + {tombstones} tombstones pending",
+            file=out,
+        )
+    if tracer is not None:
+        _finish_trace(tracer, args, out)
     return 0
 
 
@@ -355,6 +457,10 @@ def _command_serve(args, out) -> int:
         drain_seconds=args.drain,
         stale_while_error=args.stale_while_error,
         compact_threshold=args.compact_threshold,
+        trace_sample=args.trace_sample,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
+        stats_dump=args.stats_dump,
         # One resolved spec drives the parent and every worker; the
         # env var is the no-flag path chaos harnesses use.
         faults=args.faults or os.environ.get(faults.ENV_VAR, ""),

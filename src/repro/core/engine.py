@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional as Opt, Tuple, Union as U
 
 from .. import faults as _faults
+from ..obs import trace as _trace
+from ..obs.templates import lift_template
 from ..bgp.hashjoin import HashJoinEngine
 from ..bgp.interface import BGPEngine
 from ..bgp.wco import WCOJoinEngine
@@ -114,6 +116,9 @@ class PreparedQuery:
     #: 0.0 on a plan-cache hit (nothing was parsed or transformed).
     parse_seconds: float
     transform_seconds: float
+    #: Constant-lifted template ({"hash", "text", "constants"}) or None
+    #: when the query could not be lifted.  Cached with the plan.
+    template: Opt[dict] = None
 
     def __iter__(self):
         return iter(
@@ -146,6 +151,7 @@ class QueryResult:
         transform_seconds: float,
         execute_seconds: float,
         exec_counters: Opt[dict] = None,
+        template: Opt[dict] = None,
     ):
         self.solutions = solutions
         self.variables = variables
@@ -159,6 +165,9 @@ class QueryResult:
         #: (merge vs hash joins, galloping, candidate intersections —
         #: see :data:`repro.core.metrics.EXEC_COUNTER_FIELDS`).
         self.exec_counters: dict = exec_counters or {}
+        #: The query's constant-lifted template (see
+        #: :func:`repro.obs.templates.lift_template`), or None.
+        self.template: Opt[dict] = template
 
     def __len__(self) -> int:
         return len(self.solutions)
@@ -289,7 +298,7 @@ class SparqlUOEngine:
         #: the BGP engines' estimate caches: repeated executions of the
         #: same query text skip parsing AND the cost-driven
         #: transformation.
-        self._plan_cache: "OrderedDict[str, Tuple[tuple, SelectQuery, BETree, Opt[TransformReport]]]" = (
+        self._plan_cache: "OrderedDict[str, Tuple[tuple, SelectQuery, BETree, Opt[TransformReport], Opt[dict]]]" = (
             OrderedDict()
         )
         self._plan_cache_size = 128
@@ -386,19 +395,31 @@ class SparqlUOEngine:
         if cache_key is not None:
             cached = self._plan_cache.get(cache_key)
             if cached is not None:
-                token, parsed, tree, report = cached
+                token, parsed, tree, report, template = cached
                 if token == self._plan_token():
                     self._plan_cache.move_to_end(cache_key)
-                    return PreparedQuery(parsed, tree, report, 0.0, 0.0)
+                    return PreparedQuery(parsed, tree, report, 0.0, 0.0, template)
                 del self._plan_cache[cache_key]
 
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.begin("parse")
         parse_start = time.perf_counter()
         if isinstance(query, str):
             query = parse_query(query)
         parse_seconds = time.perf_counter() - parse_start
+        if tracer is not None:
+            tracer.end()
+
+        template = lift_template(query)
 
         transform_start = time.perf_counter()
+        if tracer is not None:
+            tracer.begin("plan")
         tree = BETree.from_query(query)
+        if tracer is not None:
+            tracer.end(bgps=len(tree.bgp_nodes()))
+            tracer.begin("transform")
         report: Opt[TransformReport] = None
         if self.mode.transforms:
             report = multi_level_transform(
@@ -406,13 +427,21 @@ class SparqlUOEngine:
                 tree,
                 skip_cp_equivalent=(self.mode is ExecutionMode.FULL),
             )
+        if tracer is not None:
+            tracer.end(applied=(report is not None))
         transform_seconds = time.perf_counter() - transform_start
 
         if cache_key is not None:
-            self._plan_cache[cache_key] = (self._plan_token(), query, tree, report)
+            self._plan_cache[cache_key] = (
+                self._plan_token(),
+                query,
+                tree,
+                report,
+                template,
+            )
             if len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
-        return PreparedQuery(query, tree, report, parse_seconds, transform_seconds)
+        return PreparedQuery(query, tree, report, parse_seconds, transform_seconds, template)
 
     def execute(
         self,
@@ -449,6 +478,15 @@ class SparqlUOEngine:
         check = self._make_checkpoint(timeout, checkpoint)
         prepared = self.prepare(query)
         parsed, tree, report = prepared.query, prepared.tree, prepared.report
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.annotate(
+                plan_cache="hit" if prepared.cached else "miss",
+                generation=self.store.generation,
+                mode=self.mode.value,
+            )
+            if prepared.template is not None:
+                tracer.annotate(template=prepared.template["hash"])
         if check is not None:
             check()
 
@@ -534,6 +572,7 @@ class SparqlUOEngine:
             # Advisory (process-global counters): concurrent executions
             # in one process may bleed into each other's deltas.
             exec_counters=EXEC_COUNTERS.delta_since(counters_before),
+            template=prepared.template,
         )
 
     # ------------------------------------------------------------------
@@ -564,10 +603,16 @@ class SparqlUOEngine:
         plan/result caches invalidate exactly when visible state does.
         """
         check = self._make_checkpoint(timeout, checkpoint)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.begin("parse")
         parse_start = time.perf_counter()
         if isinstance(request, str):
             request = parse_update(request)
         parse_seconds = time.perf_counter() - parse_start
+        if tracer is not None:
+            tracer.end(operations=len(request.operations))
+            tracer.begin("apply")
 
         added = removed = 0
         apply_start = time.perf_counter()
@@ -587,6 +632,10 @@ class SparqlUOEngine:
             added += got
             removed += gone
         apply_seconds = time.perf_counter() - apply_start
+        if tracer is not None:
+            tracer.end(
+                added=added, removed=removed, generation=self.store.generation
+            )
 
         return UpdateResult(
             added=added,

@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional as Opt, Sequence
 
 from ..bgp.filters import CompiledFilter
 from ..bgp.interface import BGPEngine
+from ..obs import trace as _trace
 from ..sparql.bags import Bag, join, left_join, union
 from .betree import BETree, BGPNode, FilterNode, GroupNode, OptionalNode, UnionNode
 from .candidates import CandidatePolicy
@@ -154,6 +155,7 @@ class BGPBasedEvaluator:
         ]
         operators = [c for c in group.children if not isinstance(c, FilterNode)]
         r: Opt[Bag] = None  # None ⇔ the join identity (nothing yet)
+        tracer = _trace.ACTIVE
         for position, child in enumerate(operators):
             if checkpoint is not None:
                 checkpoint()
@@ -181,20 +183,32 @@ class BGPBasedEvaluator:
                     # every group filter runs inside it, so its output
                     # rows are final — production can stop at the hint.
                     bgp_limit = limit_hint
+                if tracer is not None:
+                    tracer.begin(
+                        "scan", bgp=child.node_id, pushed_filters=len(pushed)
+                    )
                 evaluated = self._evaluate_bgp(
                     child, cand, trace, pushed, bgp_limit, checkpoint
                 )
+                if tracer is not None:
+                    tracer.end(rows=len(evaluated))
                 if pushed:
                     pending = [f for f in pending if f not in pushed]
                     if trace is not None:
                         trace.pushed_filters += len(pushed)
-                r = evaluated if r is None else join(r, evaluated, checkpoint=checkpoint)
+                r = self._join(r, evaluated, tracer, checkpoint)
             elif isinstance(child, GroupNode):
+                if tracer is not None:
+                    tracer.begin("group")
                 evaluated = self.evaluate_group(
                     child, child_cand, trace, checkpoint=checkpoint
                 )
-                r = evaluated if r is None else join(r, evaluated, checkpoint=checkpoint)
+                if tracer is not None:
+                    tracer.end(rows=len(evaluated))
+                r = self._join(r, evaluated, tracer, checkpoint)
             elif isinstance(child, UnionNode):
+                if tracer is not None:
+                    tracer.begin("union", branches=len(child.branches))
                 u = Bag.empty()
                 for branch in child.branches:
                     u = union(
@@ -203,7 +217,9 @@ class BGPBasedEvaluator:
                             branch, child_cand, trace, checkpoint=checkpoint
                         ),
                     )
-                r = u if r is None else join(r, u, checkpoint=checkpoint)
+                if tracer is not None:
+                    tracer.end(rows=len(u))
+                r = self._join(r, u, tracer, checkpoint)
             elif isinstance(child, OptionalNode):
                 # Candidates are forwarded only when actual left rows
                 # exist at this level (r, not child_cand): an OPTIONAL
@@ -214,9 +230,13 @@ class BGPBasedEvaluator:
                 # and ⟕ then wrongly keeps the bare left row ("no
                 # partner" and "no compatible partner" differ exactly
                 # when the left row is the empty mapping).
+                if tracer is not None:
+                    tracer.begin("optional")
                 o = self.evaluate_group(child.group, r, trace, checkpoint=checkpoint)
                 left = r if r is not None else Bag.identity()
                 r = left_join(left, o, checkpoint=checkpoint)
+                if tracer is not None:
+                    tracer.end(rows=len(r))
             else:  # pragma: no cover - tree constructor validates
                 raise TypeError(f"not a BE-tree node: {child!r}")
             if pending and r is not None and self.pushdown:
@@ -227,6 +247,23 @@ class BGPBasedEvaluator:
             r = compiled.apply(r)
             if trace is not None:
                 trace.bag_filters += 1
+        return r
+
+    @staticmethod
+    def _join(
+        r: Opt[Bag],
+        evaluated: Bag,
+        tracer: "Opt[_trace.Tracer]",
+        checkpoint: Opt[Callable[[], None]],
+    ) -> Bag:
+        """``r ⋈ evaluated`` with a trace span; identity passes through."""
+        if r is None:
+            return evaluated
+        if tracer is not None:
+            tracer.begin("join", left=len(r), right=len(evaluated))
+        r = join(r, evaluated, checkpoint=checkpoint)
+        if tracer is not None:
+            tracer.end(rows=len(r))
         return r
 
     def _apply_certain(
@@ -265,6 +302,9 @@ class BGPBasedEvaluator:
         if node.is_empty():
             return Bag.identity()
         candidates = self.policy.candidates_for(self.engine, node.patterns, cand)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.annotate(pruned=candidates is not None)
         if filters or limit is not None or checkpoint is not None:
             result = self.engine.evaluate(
                 node.patterns,

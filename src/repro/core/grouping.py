@@ -124,6 +124,11 @@ def grouped_bag(
     there is exactly one implicit group — present even when the input
     is empty, per SPARQL 1.1 (``COUNT`` of nothing is 0).
     """
+    from ..obs import trace as _trace  # lazy: keeps grouping import-light
+
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.begin("group_fold", rows=len(solutions.rows))
     schema = solutions.schema
     slot_of = {name: i for i, name in enumerate(schema)}
     group_names = [v.name for v in parsed.group_by]
@@ -187,4 +192,6 @@ def grouped_bag(
                 cells.append(UNBOUND if term is None else term)
                 agg_at += 1
         out_rows.append(tuple(cells))
+    if tracer is not None:
+        tracer.end(groups=len(groups))
     return Bag.from_rows(tuple(names), out_rows)

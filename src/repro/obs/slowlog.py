@@ -1,0 +1,99 @@
+"""A size-bounded structured slow-query log (JSONL).
+
+One line per logged request — slow queries past ``--slow-query-ms``,
+sampled traces, and timeouts — carrying the request id, the raw query,
+its constant-lifted template hash, total latency, row count, execution
+counters and (when tracing was active) the span tree.  Lines are
+self-contained JSON objects so the file greps and ``jq``s cleanly.
+
+The log is bounded by *entries*, not bytes: once the file exceeds
+``2 × max_entries`` lines it is compacted in place down to the newest
+``max_entries``.  Compaction is rare (amortized O(1) writes) and the
+whole class serializes behind one lock, so the pool's reply thread can
+log without coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Append-only JSONL log, compacted to the newest ``max_entries``."""
+
+    def __init__(self, path: str, max_entries: int = 1000):
+        self.path = path
+        self.max_entries = max(1, int(max_entries))
+        self._lock = threading.Lock()
+        self._lines = 0  # lines written since the last count
+        self._counted = False
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        reason: str,
+        request_id: Optional[str],
+        query: str,
+        total_ms: float,
+        *,
+        kind: str = "query",
+        rows: Optional[int] = None,
+        template: Optional[str] = None,
+        counters: Optional[Dict[str, int]] = None,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one entry; never raises (logging must not fail queries)."""
+        entry: Dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "reason": reason,
+            "request_id": request_id,
+            "kind": kind,
+            "total_ms": round(total_ms, 3),
+            "query": query,
+        }
+        if rows is not None:
+            entry["rows"] = rows
+        if template:
+            entry["template"] = template
+        if counters:
+            entry["counters"] = counters
+        if trace is not None:
+            entry["trace"] = trace
+        line = json.dumps(entry, separators=(",", ":"), default=str)
+        try:
+            with self._lock:
+                if not self._counted:
+                    self._lines = self._count_lines()
+                    self._counted = True
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                self._lines += 1
+                if self._lines > 2 * self.max_entries:
+                    self._compact()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _count_lines(self) -> int:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
+    def _compact(self) -> None:
+        """Rewrite the file keeping only the newest ``max_entries`` lines."""
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        keep = lines[-self.max_entries :]
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.writelines(keep)
+        os.replace(tmp, self.path)
+        self._lines = len(keep)

@@ -1,0 +1,287 @@
+"""Constant-lifted query templates and the per-template stats registry.
+
+Production replay logs are one query *shape* instantiated across
+thousands of entities (``?s ub:advisor <ProfessorN>`` for every N).
+:func:`lift_template` rewrites a parsed query so each distinct ground
+constant in an entity position becomes a placeholder variable
+(``?__c0``, ``?__c1``, … in first-occurrence order, the same constant
+reusing the same placeholder), then renders a canonical template text
+and a short stable hash.  Predicates stay concrete — they are the
+workload's structure, not its parameters — and so do ``rdf:type``
+class objects, for the same reason.
+
+:class:`TemplateRegistry` accumulates per-template count, latency
+quantiles, row totals and execution-counter aggregates in a bounded
+LRU map.  It is the data substrate the ROADMAP's "workload-adaptive
+serving" item consumes, surfaced at ``GET /debug/templates`` and via
+``repro serve --stats-dump``.
+
+All ``sparql`` imports are lazy so this module stays importable from
+the server parent (whose lint scope deliberately excludes ``core`` /
+``sparql`` module-level imports).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TemplateRegistry", "lift_template"]
+
+_RDF_TYPE_IRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+# ----------------------------------------------------------------------
+# constant lifting
+# ----------------------------------------------------------------------
+def lift_template(parsed: Any) -> Optional[Dict[str, Any]]:
+    """Normalize a parsed SELECT query to its constant-lifted template.
+
+    Returns ``{"hash", "text", "constants"}`` or None when the query
+    cannot be lifted (non-SELECT input, unexpected node types).  The
+    hash is an 8-byte blake2b over the canonical text — short enough
+    for log lines, stable across processes.
+    """
+    try:
+        text, constants = _lift(parsed)
+    except Exception:
+        return None
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+    return {"hash": digest, "text": text, "constants": constants}
+
+
+def _lift(parsed: Any) -> "tuple[str, int]":
+    from ..rdf.terms import IRI, Literal, Variable
+    from ..sparql import algebra
+    from ..sparql.expressions import (
+        Arithmetic,
+        Comparison,
+        ConstantTerm,
+        LogicalAnd,
+        LogicalNot,
+        LogicalOr,
+        RegexCall,
+        UnaryMinus,
+        VariableRef,
+        format_expression,
+    )
+
+    if not isinstance(parsed, algebra.SelectQuery):
+        raise TypeError(f"can only lift SELECT queries, got {type(parsed).__name__}")
+
+    mapping: Dict[Any, Variable] = {}
+
+    def placeholder(term: Any) -> Variable:
+        var = mapping.get(term)
+        if var is None:
+            var = Variable(f"__c{len(mapping)}")
+            mapping[term] = var
+        return var
+
+    def lift_pattern(pattern: Any) -> Any:
+        subject, predicate, obj = pattern.subject, pattern.predicate, pattern.object
+        if isinstance(subject, IRI):
+            subject = placeholder(subject)
+        keep_object = isinstance(predicate, IRI) and predicate.value == _RDF_TYPE_IRI
+        if not keep_object and isinstance(obj, (IRI, Literal)):
+            obj = placeholder(obj)
+        return algebra.TriplePattern(subject, predicate, obj)
+
+    def lift_expr(expr: Any) -> Any:
+        if isinstance(expr, ConstantTerm):
+            if isinstance(expr.term, (IRI, Literal)):
+                return VariableRef(placeholder(expr.term).name)
+            return expr
+        if isinstance(expr, Comparison):
+            return Comparison(expr.op, lift_expr(expr.left), lift_expr(expr.right))
+        if isinstance(expr, Arithmetic):
+            return Arithmetic(expr.op, lift_expr(expr.left), lift_expr(expr.right))
+        if isinstance(expr, LogicalAnd):
+            return LogicalAnd(lift_expr(expr.left), lift_expr(expr.right))
+        if isinstance(expr, LogicalOr):
+            return LogicalOr(lift_expr(expr.left), lift_expr(expr.right))
+        if isinstance(expr, LogicalNot):
+            return LogicalNot(lift_expr(expr.operand))
+        if isinstance(expr, UnaryMinus):
+            return UnaryMinus(lift_expr(expr.operand))
+        if isinstance(expr, RegexCall):
+            flags = lift_expr(expr.flags) if expr.flags is not None else None
+            return RegexCall(lift_expr(expr.text), lift_expr(expr.pattern), flags)
+        return expr  # VariableRef, BoundCall — nothing to lift
+
+    def lift_group(group: Any) -> Any:
+        elements = []
+        for element in group.elements:
+            if isinstance(element, algebra.TriplePattern):
+                elements.append(lift_pattern(element))
+            elif isinstance(element, algebra.GroupGraphPattern):
+                elements.append(lift_group(element))
+            elif isinstance(element, algebra.UnionExpression):
+                elements.append(
+                    algebra.UnionExpression([lift_group(b) for b in element.branches])
+                )
+            elif isinstance(element, algebra.OptionalExpression):
+                elements.append(algebra.OptionalExpression(lift_group(element.pattern)))
+            elif isinstance(element, algebra.FilterExpression):
+                elements.append(algebra.FilterExpression(lift_expr(element.expression)))
+            else:
+                raise TypeError(f"unexpected group element {type(element).__name__}")
+        return algebra.GroupGraphPattern(elements)
+
+    lifted_where = lift_group(parsed.where)
+
+    # Canonical header: projection order is semantic, keep it.
+    if parsed.variables is None:
+        projection = "*"
+    else:
+        items: List[str] = []
+        for item in parsed.variables:
+            if isinstance(item, algebra.Aggregate):
+                arg = item.expression.n3() if item.expression is not None else "*"
+                distinct = "DISTINCT " if item.distinct else ""
+                items.append(f"({item.function}({distinct}{arg}) AS {item.alias.n3()})")
+            else:
+                items.append(item.n3())
+        projection = " ".join(items)
+    header = "SELECT "
+    if parsed.distinct:
+        header += "DISTINCT "
+    elif parsed.reduced:
+        header += "REDUCED "
+    header += projection
+
+    lines = [header, format_group(lifted_where)]
+    if parsed.group_by:
+        lines.append("GROUP BY " + " ".join(v.n3() for v in parsed.group_by))
+    if parsed.order_by:
+        keys = []
+        for condition in parsed.order_by:
+            rendered = format_expression(lift_expr(condition.expression))
+            keys.append(rendered if condition.ascending else f"DESC({rendered})")
+        lines.append("ORDER BY " + " ".join(keys))
+    # LIMIT/OFFSET values are parameters, not structure: lift to markers
+    # so paging over one shape folds into one template.
+    if parsed.limit is not None:
+        lines.append("LIMIT $")
+    if parsed.offset:
+        lines.append("OFFSET $")
+    return "\n".join(lines), len(mapping)
+
+
+def format_group(group: Any) -> str:
+    from ..sparql.algebra import format_group as _format_group
+
+    return _format_group(group)
+
+
+# ----------------------------------------------------------------------
+# the bounded per-template stats registry
+# ----------------------------------------------------------------------
+class _TemplateStats:
+    """Aggregates for one template: count, latency, rows, counters."""
+
+    __slots__ = ("text", "count", "total_seconds", "rows_total", "counters", "_window")
+
+    WINDOW = 512  # recent latencies kept for quantiles
+
+    def __init__(self, text: str):
+        self.text = text
+        self.count = 0
+        self.total_seconds = 0.0
+        self.rows_total = 0
+        self.counters: Dict[str, int] = {}
+        self._window: "deque[float]" = deque(maxlen=self.WINDOW)
+
+    def observe(self, seconds: float, rows: int, counters: Optional[Dict[str, int]]) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.rows_total += rows
+        self._window.append(seconds)
+        if counters:
+            mine = self.counters
+            for name, value in counters.items():
+                mine[name] = mine.get(name, 0) + int(value)
+
+    def quantile(self, q: float) -> float:
+        window = sorted(self._window)
+        if not window:
+            return 0.0
+        index = min(len(window) - 1, int(q * len(window)))
+        return window[index]
+
+    def to_dict(self, digest: str) -> Dict[str, Any]:
+        mean = self.total_seconds / self.count if self.count else 0.0
+        out: Dict[str, Any] = {
+            "template": digest,
+            "text": self.text,
+            "count": self.count,
+            "rows_total": self.rows_total,
+            "latency_ms": {
+                "mean": round(mean * 1000, 3),
+                "p50": round(self.quantile(0.50) * 1000, 3),
+                "p90": round(self.quantile(0.90) * 1000, 3),
+                "p99": round(self.quantile(0.99) * 1000, 3),
+            },
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        return out
+
+
+class TemplateRegistry:
+    """Thread-safe bounded LRU of per-template execution stats."""
+
+    def __init__(self, max_templates: int = 512):
+        self.max_templates = max_templates
+        self._lock = threading.Lock()
+        self._stats: "OrderedDict[str, _TemplateStats]" = OrderedDict()
+        self.evicted = 0
+
+    def observe(
+        self,
+        digest: Optional[str],
+        text: Optional[str],
+        seconds: float,
+        rows: int = 0,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if not digest:
+            return
+        with self._lock:
+            stats = self._stats.get(digest)
+            if stats is None:
+                stats = _TemplateStats(text or "")
+                self._stats[digest] = stats
+                while len(self._stats) > self.max_templates:
+                    self._stats.popitem(last=False)
+                    self.evicted += 1
+            else:
+                self._stats.move_to_end(digest)
+                if text and not stats.text:
+                    stats.text = text
+            stats.observe(seconds, rows, counters)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stats)
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            stats = self._stats.get(digest)
+            return stats.to_dict(digest) if stats is not None else None
+
+    def snapshot(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/debug/templates`` payload: busiest templates first."""
+        with self._lock:
+            entries = [stats.to_dict(digest) for digest, stats in self._stats.items()]
+        entries.sort(key=lambda e: (-e["count"], e["template"]))
+        if limit is not None:
+            entries = entries[:limit]
+        return {
+            "templates": entries,
+            "tracked": len(entries),
+            "evicted": self.evicted,
+            "max_templates": self.max_templates,
+        }

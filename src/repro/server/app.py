@@ -13,16 +13,21 @@ is what keeps an overloaded endpoint responsive.
 from __future__ import annotations
 
 import json
+import random
+import re
 import signal
 import socket
 import sys
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Optional, Tuple
 
 from .. import faults as _faults
+from ..obs import SlowQueryLog, TemplateRegistry
+from ..obs import trace as _obs_trace
 from ..sparql.errors import (
     QueryTimeoutError,
     SparqlError,
@@ -50,6 +55,30 @@ _REPLY_STATUS = {
     "error": 500,
     "shed": 503,
 }
+
+#: Characters a client-supplied ``X-Request-Id`` may contain; anything
+#: else (or an over-long id) is replaced with a minted one, so log
+#: lines and response headers never carry unvetted bytes.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def _splice_extensions(payload: bytes, repro: dict) -> Optional[bytes]:
+    """Attach ``{"extensions": {"repro": ...}}`` to a JSON result payload.
+
+    Returns None (caller serves the original bytes) when the payload is
+    not a JSON object — extension splicing must never break a response.
+    """
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    extensions = document.setdefault("extensions", {})
+    if not isinstance(extensions, dict):
+        return None
+    extensions["repro"] = repro
+    return (json.dumps(document) + "\n").encode("utf-8")
 
 
 class AdmissionController:
@@ -135,6 +164,13 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            # Every response names the store generation it was served
+            # against (clients correlate reads with their writes) and
+            # echoes the request id minted/honored at ingress.
+            self.send_header("X-Repro-Generation", str(self.state.generation))
+            request_id = getattr(self, "repro_request_id", None)
+            if request_id:
+                self.send_header("X-Repro-Request-Id", request_id)
             for name, value in extra or ():
                 self.send_header(name, value)
             self.end_headers()
@@ -148,10 +184,18 @@ class _Handler(BaseHTTPRequestHandler):
         extra = (("Retry-After", "1"),) if status == 503 else None
         self._respond(status, "application/json", body.encode("utf-8"), extra)
 
+    def _mint_request_id(self) -> str:
+        """Honor a well-formed client ``X-Request-Id``, else mint one."""
+        supplied = self.headers.get("X-Request-Id", "")
+        if supplied and _REQUEST_ID_RE.match(supplied):
+            return supplied
+        return uuid.uuid4().hex[:16]
+
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self.repro_request_id = self._mint_request_id()
         if self.headers.get("Content-Length") not in (None, "0") or self.headers.get(
             "Transfer-Encoding"
         ):
@@ -167,10 +211,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_healthz()
         elif path == "/metrics":
             self._handle_metrics()
+        elif path == "/debug/templates":
+            self._handle_templates(query_string)
         else:
             self._respond_error(404, f"no route for {path}")
 
     def do_POST(self) -> None:  # noqa: N802
+        self.repro_request_id = self._mint_request_id()
         path, _, query_string = self.path.partition("?")
         if path not in ("/sparql", "/update"):
             self._respond_error(404, f"no route for {path}")
@@ -223,11 +270,35 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_error(exc.status, str(exc))
             return
 
+        request_id = self.repro_request_id
+        trace_header = self.headers.get("X-Repro-Trace", "")
+        trace_requested = trace_header.strip().lower() in ("1", "true", "yes")
+        sampled = (
+            not trace_requested
+            and state.config.trace_sample > 0.0
+            and random.random() < state.config.trace_sample
+        )
+        tracer: Optional[_obs_trace.Tracer] = None
+        if trace_requested or sampled:
+            # A request-*local* tracer, never the armed process global:
+            # the parent serves many threads at once, while the global
+            # belongs to one-query-at-a-time processes (CLI, workers).
+            # Worker spans come back in the reply meta and are grafted
+            # under this tree.
+            tracer = _obs_trace.Tracer(
+                "request",
+                request_id=request_id,
+                method=method,
+                format=request.format,
+            )
+
         started = perf_counter()
         # The cache is consulted *before* admission control: a hit
         # costs microseconds and no worker, so popular queries keep
         # answering precisely when the execution slots are saturated.
         if not state.generation_mixed:
+            if tracer is not None:
+                tracer.begin("cache_lookup")
             try:
                 if _faults.ACTIVE is not None:
                     _faults.ACTIVE.fire("cache.get")
@@ -238,11 +309,10 @@ class _Handler(BaseHTTPRequestHandler):
                 # A failing cache lookup degrades to a miss — the cache
                 # is an accelerator, never a dependency.
                 cached = None
+            if tracer is not None:
+                tracer.end(outcome="hit" if cached is not None else "miss")
             if cached is not None:
-                self._respond(200, cached.content_type, cached.payload)
-                state.metrics.record_query(
-                    "hit", perf_counter() - started, cached.row_count, cached.join_space
-                )
+                self._finish_cached(request, cached, started, tracer, trace_requested, sampled)
                 return
         if not state.admission.acquire():
             state.metrics.record_shed()
@@ -250,14 +320,89 @@ class _Handler(BaseHTTPRequestHandler):
             return
         state.metrics.enter()
         try:
-            reply = state.pool.execute(request.query, request.format)
-            self._finish_executed(request, reply, started)
+            if tracer is not None:
+                tracer.begin("pool")
+            reply = state.pool.execute(
+                request.query,
+                request.format,
+                request_id=request_id,
+                trace=tracer is not None,
+            )
+            if tracer is not None:
+                # The worker's span tree nests under the pool span; the
+                # pool span's extra time is lease, pipe and relay cost.
+                tracer.graft(reply.meta.get("trace") if reply.meta else None)
+                tracer.end(kind=reply.kind)
+            self._finish_executed(request, reply, started, tracer, trace_requested, sampled)
         finally:
             state.metrics.leave()
             state.admission.release()
 
-    def _finish_executed(self, request, reply: WorkerReply, started: float) -> None:
+    def _finish_cached(
+        self,
+        request,
+        cached: CachedResult,
+        started: float,
+        tracer: "Optional[_obs_trace.Tracer]",
+        trace_requested: bool,
+        sampled: bool,
+    ) -> None:
+        """Serve a result-cache hit, with counters and trace attached."""
         state = self.state
+        trace_tree = tracer.finish() if tracer is not None else None
+        payload = cached.payload
+        if trace_requested and request.format == "json":
+            spliced = _splice_extensions(
+                payload,
+                {
+                    "request_id": self.repro_request_id,
+                    "cache": "hit",
+                    "generation": state.generation,
+                    "exec_counters": cached.exec_counters or {},
+                    "trace": trace_tree,
+                },
+            )
+            if spliced is not None:
+                payload = spliced
+        self._respond(200, cached.content_type, payload, (("X-Repro-Cache", "hit"),))
+        seconds = perf_counter() - started
+        # The entry's recorded counters go to the *client* (hot queries
+        # no longer silently under-report) but are not folded into the
+        # /metrics exec totals again: the miss that computed the entry
+        # already counted that work once.
+        state.metrics.record_query(
+            "hit", seconds, cached.row_count, cached.join_space
+        )
+        template = cached.template if isinstance(cached.template, dict) else None
+        if template is not None:
+            state.templates.observe(
+                template.get("hash"),
+                template.get("text"),  # type: ignore[arg-type]
+                seconds,
+                cached.row_count,
+                cached.exec_counters,
+            )
+        self._maybe_slowlog(
+            request.query,
+            seconds * 1000.0,
+            rows=cached.row_count,
+            template=template.get("hash") if template else None,  # type: ignore[union-attr]
+            counters=cached.exec_counters,
+            trace=trace_tree,
+            sampled=sampled,
+        )
+
+    def _finish_executed(
+        self,
+        request,
+        reply: WorkerReply,
+        started: float,
+        tracer: "Optional[_obs_trace.Tracer]" = None,
+        trace_requested: bool = False,
+        sampled: bool = False,
+    ) -> None:
+        state = self.state
+        request_id = getattr(self, "repro_request_id", None)
         if reply.kind != "ok":
             if reply.kind == "timeout":
                 state.metrics.record_timeout()
@@ -282,11 +427,44 @@ class _Handler(BaseHTTPRequestHandler):
                         "stale", perf_counter() - started, stale.row_count, stale.join_space
                     )
                     return
+            trace_tree = tracer.finish() if tracer is not None else None
+            self._maybe_slowlog(
+                request.query,
+                (perf_counter() - started) * 1000.0,
+                trace=trace_tree,
+                sampled=sampled,
+                timed_out=(reply.kind == "timeout"),
+            )
+            if trace_requested and trace_tree is not None:
+                # A timed-out query's reply meta carried the worker's
+                # *partial* trace (open spans marked aborted); return it
+                # with the error so "what did it manage to do" is
+                # answerable from the 504 itself.
+                body = json.dumps(
+                    {
+                        "error": reply.message,
+                        "extensions": {
+                            "repro": {"request_id": request_id, "trace": trace_tree}
+                        },
+                    }
+                ) + "\n"
+                self._respond(
+                    _REPLY_STATUS.get(reply.kind, 500),
+                    "application/json",
+                    body.encode("utf-8"),
+                )
+                return
             self._respond_error(_REPLY_STATUS.get(reply.kind, 500), reply.message)
             return
         content_type = FORMAT_MEDIA_TYPES[request.format]
         rows = int(reply.meta.get("rows", 0))  # type: ignore[arg-type]
         join_space = float(reply.meta.get("join_space", 0.0))  # type: ignore[arg-type]
+        exec_counters = reply.meta.get("exec")
+        if not isinstance(exec_counters, dict):
+            exec_counters = None
+        template = reply.meta.get("template")
+        if not isinstance(template, dict):
+            template = None
         # Cache under the generation the worker *actually served* (a
         # respawned worker may have reopened a rebuilt snapshot); once
         # drift is detected the cache is disabled entirely, so mixed
@@ -300,26 +478,108 @@ class _Handler(BaseHTTPRequestHandler):
                     served_generation,
                     request.format,
                     request.query,
-                    CachedResult(reply.payload, content_type, rows, join_space),
+                    # The original payload (never the trace-spliced
+                    # variant) plus the counters/template a future hit
+                    # replays to its client.
+                    CachedResult(
+                        reply.payload,
+                        content_type,
+                        rows,
+                        join_space,
+                        exec_counters=exec_counters,
+                        template=template,
+                    ),
                 )
             except OSError:
                 pass  # a result that cannot be cached is still served
-        self._respond(200, content_type, reply.payload)
+        trace_tree = tracer.finish() if tracer is not None else None
+        payload = reply.payload
+        if trace_requested and request.format == "json":
+            spliced = _splice_extensions(
+                payload,
+                {
+                    "request_id": request_id,
+                    "cache": "miss",
+                    "generation": served_generation,
+                    "exec_counters": exec_counters or {},
+                    "trace": trace_tree,
+                },
+            )
+            if spliced is not None:
+                payload = spliced
+        self._respond(200, content_type, payload, (("X-Repro-Cache", "miss"),))
         fault_counts = reply.meta.get("faults")
         if isinstance(fault_counts, dict) and fault_counts:
             state.metrics.record_fault_injections(fault_counts)
-        exec_counters = reply.meta.get("exec")
+        seconds = perf_counter() - started
         state.metrics.record_query(
             "miss",
-            perf_counter() - started,
+            seconds,
             rows,
             join_space,
-            exec_counters if isinstance(exec_counters, dict) else None,
+            exec_counters,
+        )
+        if template is not None:
+            state.templates.observe(
+                template.get("hash"),
+                template.get("text"),  # type: ignore[arg-type]
+                seconds,
+                rows,
+                exec_counters,
+            )
+        self._maybe_slowlog(
+            request.query,
+            seconds * 1000.0,
+            rows=rows,
+            template=template.get("hash") if template else None,  # type: ignore[union-attr]
+            counters=exec_counters,
+            trace=trace_tree,
+            sampled=sampled,
+        )
+
+    def _maybe_slowlog(
+        self,
+        query: str,
+        total_ms: float,
+        *,
+        kind: str = "query",
+        rows: Optional[int] = None,
+        template=None,
+        counters=None,
+        trace=None,
+        sampled: bool = False,
+        timed_out: bool = False,
+    ) -> None:
+        """Append to the slow-query log when this request qualifies."""
+        state = self.state
+        log = state.slowlog
+        if log is None:
+            return
+        slow_ms = state.config.slow_query_ms
+        if timed_out:
+            reason = "timeout"
+        elif slow_ms > 0 and total_ms >= slow_ms:
+            reason = "slow"
+        elif sampled:
+            reason = "sample"
+        else:
+            return
+        log.record(
+            reason,
+            getattr(self, "repro_request_id", None),
+            query,
+            total_ms,
+            kind=kind,
+            rows=rows,
+            template=template if isinstance(template, str) else None,
+            counters=counters if isinstance(counters, dict) else None,
+            trace=trace,
         )
 
     def _handle_update(self, body: bytes) -> None:
         """``POST /update`` — apply a SPARQL 1.1 UPDATE to the live fleet."""
         state = self.state
+        started = perf_counter()
         try:
             text = parse_update_request("POST", self.headers, body)
         except ProtocolError as exc:
@@ -345,8 +605,34 @@ class _Handler(BaseHTTPRequestHandler):
             # the client may simply retry.
             self._respond_error(500, f"update failed: {exc}")
             return
+        # Write observability: what changed, plus how deep the unpersisted
+        # delta and the respawn replay log currently run.
+        document["request_id"] = self.repro_request_id
+        document["replay_log"] = state.pool.pending_replay
         body_bytes = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
         self._respond(200, "application/json", body_bytes)
+        self._maybe_slowlog(
+            text,
+            (perf_counter() - started) * 1000.0,
+            kind="update",
+            rows=int(document.get("added", 0)) + int(document.get("removed", 0)),
+        )
+
+    def _handle_templates(self, query_string: str) -> None:
+        """``GET /debug/templates`` — the per-template stats registry."""
+        limit: Optional[int] = None
+        for part in query_string.split("&"):
+            name, _, value = part.partition("=")
+            if name == "limit":
+                try:
+                    limit = max(0, int(value))
+                except ValueError:
+                    self._respond_error(400, "limit must be an integer")
+                    return
+        document = self.state.templates.snapshot(limit=limit)
+        document["generation"] = self.state.generation
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self._respond(200, "application/json", body)
 
     def _handle_healthz(self) -> None:
         """Three-state health: a short roster is *degraded but serving*.
@@ -402,6 +688,13 @@ class SparqlServer:
         self.config = config
         self.metrics = ServerMetrics()
         self.cache = ResultCache(config.cache_entries, config.cache_bytes)
+        #: Per-template execution stats (GET /debug/templates, SIGUSR1
+        #: dump) — fed by worker reply meta and by cache hits.
+        self.templates = TemplateRegistry()
+        #: The structured slow-query log, or None when not configured.
+        self.slowlog: Optional[SlowQueryLog] = (
+            SlowQueryLog(config.slow_query_log) if config.slow_query_log else None
+        )
         # Arm fault injection before anything that hosts an injection
         # point (the pool spawn below included).  Workers arm the same
         # plan independently — it travels pickled through the spawn
@@ -558,6 +851,24 @@ class SparqlServer:
             self._compacting = False
 
     # ------------------------------------------------------------------
+    def dump_stats(self, destination: Optional[str] = None) -> None:
+        """Write the template-stats registry as JSON to ``destination``
+        (a path, or "-" for stderr).  The ``repro serve --stats-dump``
+        SIGUSR1 handler calls this; it never raises."""
+        destination = destination or self.config.stats_dump or "-"
+        document = self.templates.snapshot()
+        document["generation"] = self.generation
+        text = json.dumps(document, sort_keys=True) + "\n"
+        try:
+            if destination == "-":
+                sys.stderr.write(text)
+                sys.stderr.flush()
+            else:
+                with open(destination, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+        except OSError as exc:
+            sys.stderr.write(f"warning: stats dump failed: {exc}\n")
+
     @property
     def port(self) -> int:
         """The bound port (resolves ``port=0`` to the OS's pick)."""
@@ -635,6 +946,14 @@ def serve(config: ServerConfig, out=None) -> int:
     previous = {}
     for signum in (signal.SIGINT, signal.SIGTERM):
         previous[signum] = signal.signal(signum, _signal_handler)
+    if config.stats_dump and hasattr(signal, "SIGUSR1"):
+
+        def _dump_handler(signum, frame) -> None:
+            # Dump off the signal frame: file I/O under a handler would
+            # block the serve loop mid-accept.
+            threading.Thread(target=server.dump_stats, daemon=True).start()
+
+        previous[signal.SIGUSR1] = signal.signal(signal.SIGUSR1, _dump_handler)
     try:
         server.serve_forever()
     finally:

@@ -26,7 +26,14 @@ __all__ = ["CachedResult", "ResultCache"]
 class CachedResult:
     """One cached response: payload plus the metadata ``/metrics`` wants."""
 
-    __slots__ = ("payload", "content_type", "row_count", "join_space")
+    __slots__ = (
+        "payload",
+        "content_type",
+        "row_count",
+        "join_space",
+        "exec_counters",
+        "template",
+    )
 
     def __init__(
         self,
@@ -34,11 +41,20 @@ class CachedResult:
         content_type: str,
         row_count: int,
         join_space: float,
+        exec_counters: Optional[Dict[str, int]] = None,
+        template: Optional[Dict[str, object]] = None,
     ):
         self.payload = payload
         self.content_type = content_type
         self.row_count = row_count
         self.join_space = join_space
+        #: Execution counters recorded when the entry was computed —
+        #: replayed to clients on a hit so hot queries stop silently
+        #: under-reporting (``--stats`` / worker reply meta).
+        self.exec_counters = exec_counters
+        #: The query's constant-lifted template ({"hash", "text"}), so
+        #: cache hits still feed the template-stats registry.
+        self.template = template
 
 
 #: generation, format key, exact query text.

@@ -77,6 +77,19 @@ class ServerConfig:
     #: rolling ``respawn_window`` seconds; excess attempts wait.
     respawn_budget: int = 8
     respawn_window: float = 30.0
+    #: Probabilistic tracing: this fraction of queries (0.0–1.0) is
+    #: traced even without an ``X-Repro-Trace`` header, feeding the
+    #: slow-query log.  0 disables sampling.
+    trace_sample: float = 0.0
+    #: Slow-query threshold in milliseconds: requests at or above it
+    #: are appended to the slow-query log.  0 disables the threshold
+    #: (sampled and timed-out queries may still be logged).
+    slow_query_ms: float = 0.0
+    #: Path of the JSONL slow-query log; "" disables logging entirely.
+    slow_query_log: str = ""
+    #: Where ``SIGUSR1`` dumps the template-stats registry: a file
+    #: path, "-" for stderr, or "" to disable the handler.
+    stats_dump: str = ""
     #: Background delta compaction: once the writer's pending delta
     #: (adds + tombstones) reaches this many triples, the server folds
     #: it into the data file via an atomic overwrite and advances the

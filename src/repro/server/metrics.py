@@ -17,23 +17,52 @@ from typing import Deque, Dict, List, Mapping, Optional
 from .. import faults as _faults
 from ..core.metrics import EXEC_COUNTER_FIELDS
 
-__all__ = ["LatencySummary", "ServerMetrics"]
+__all__ = ["HISTOGRAM_BUCKETS", "LatencySummary", "ServerMetrics"]
+
+#: Cumulative latency histogram bounds (seconds) for
+#: ``repro_query_seconds_bucket``.  Unlike the sliding-window summary
+#: quantiles, bucket counts are exact over the server's lifetime and
+#: aggregate across instances — the form dashboards compute quantiles
+#: from.  +Inf is implicit (rendered, not stored).
+HISTOGRAM_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
 
 
 class LatencySummary:
-    """Exact count/sum plus sliding-window quantiles for one label set."""
+    """Exact count/sum plus sliding-window quantiles for one label set,
+    and exact cumulative histogram bucket counts."""
 
-    __slots__ = ("count", "total", "_window")
+    __slots__ = ("count", "total", "_window", "buckets")
 
     def __init__(self, window: int = 4096):
         self.count = 0
         self.total = 0.0
         self._window: Deque[float] = deque(maxlen=window)
+        #: Per-bound observation counts, *non*-cumulative; the renderer
+        #: accumulates them into Prometheus's cumulative ``le`` series.
+        self.buckets = [0] * len(HISTOGRAM_BUCKETS)
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total += seconds
         self._window.append(seconds)
+        for index, bound in enumerate(HISTOGRAM_BUCKETS):
+            if seconds <= bound:
+                self.buckets[index] += 1
+                break
 
     def quantile(self, q: float) -> Optional[float]:
         if not self._window:
@@ -318,6 +347,29 @@ class ServerMetrics:
                 lines.append(
                     f'repro_query_latency_seconds_sum{{cache="{outcome}"}} '
                     f"{summary.total:.6f}"
+                )
+            lines.append(
+                "# HELP repro_query_seconds Query latency histogram by "
+                "cache outcome (cumulative buckets)."
+            )
+            lines.append("# TYPE repro_query_seconds histogram")
+            for outcome, summary in sorted(self.latency.items()):
+                cumulative = 0
+                for bound, count in zip(HISTOGRAM_BUCKETS, summary.buckets):
+                    cumulative += count
+                    lines.append(
+                        f'repro_query_seconds_bucket{{cache="{outcome}",le="{bound}"}} '
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f'repro_query_seconds_bucket{{cache="{outcome}",le="+Inf"}} '
+                    f"{summary.count}"
+                )
+                lines.append(
+                    f'repro_query_seconds_sum{{cache="{outcome}"}} {summary.total:.6f}'
+                )
+                lines.append(
+                    f'repro_query_seconds_count{{cache="{outcome}"}} {summary.count}'
                 )
             emit(
                 "repro_uptime_seconds",

@@ -142,6 +142,7 @@ def _worker_main(
     # then kill), so the workers ignore the signal rather than each
     # dumping a KeyboardInterrupt traceback mid-recv.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from ..obs import trace as _obs_trace
     from ..sparql.results import SERIALIZERS as serializers
 
     try:
@@ -216,8 +217,22 @@ def _worker_main(
                 # and respawns it through the replay path.
                 conn.send(("error", f"internal error: {type(exc).__name__}: {exc}"))
             continue
-        _, query, fmt, timeout = request
+        # Requests grew a fifth element (an extras dict: request id,
+        # trace flag) — tolerate the old 4-tuple so a mid-upgrade
+        # parent/worker mix keeps serving.
+        _, query, fmt, timeout = request[:4]
+        extras: Dict[str, object] = request[4] if len(request) > 4 else {}
         started = time.perf_counter()
+        tracer = None
+        if extras.get("trace"):
+            # One query at a time per worker, so arming the process
+            # global is safe here; the parent stitches this subtree
+            # under its own request span via the reply meta.
+            tracer = _obs_trace.arm(
+                _obs_trace.Tracer(
+                    name="worker", request_id=extras.get("request_id")
+                )
+            )
         # One checkpoint spans both phases — evaluation and result
         # serialization — so the whole request shares one budget.
         check = SparqlUOEngine.deadline_checkpoint(timeout)
@@ -230,9 +245,13 @@ def _worker_main(
             if _faults.ACTIVE is not None:
                 _faults.ACTIVE.fire("worker.exec")
             result = uo_engine.execute(query, checkpoint=check)
+            if tracer is not None:
+                tracer.begin("serialize", format=fmt)
             payload = serializers[fmt](
                 result.variables, ticked_rows(iter(result.solutions), check)
             ).encode("utf-8")
+            if tracer is not None:
+                tracer.end(bytes=len(payload))
             meta = {
                 "rows": len(result),
                 "parse_ms": round(result.parse_seconds * 1000, 3),
@@ -252,9 +271,19 @@ def _worker_main(
                 # the parent can aggregate them into /metrics.
                 "faults": _fault_delta(),
             }
+            if result.template is not None:
+                # Feeds the parent's template-stats registry.
+                meta["template"] = result.template
+            if tracer is not None:
+                meta["trace"] = tracer.finish()
             conn.send(("ok", payload, meta))
         except QueryTimeoutError as exc:
-            conn.send(("timeout", str(exc)))
+            if tracer is not None:
+                # A partial trace of everything the query managed to do
+                # before the deadline, open spans marked aborted.
+                conn.send(("timeout", str(exc), {"trace": tracer.finish(aborted="timeout")}))
+            else:
+                conn.send(("timeout", str(exc)))
         except SparqlSyntaxError as exc:
             conn.send(("syntax", str(exc)))
         except UnsupportedFeatureError as exc:
@@ -269,6 +298,9 @@ def _worker_main(
             break  # restart with a clean heap
         except Exception as exc:  # noqa: BLE001 — the pipe is the error channel
             conn.send(("error", f"internal error: {type(exc).__name__}: {exc}"))
+        finally:
+            if tracer is not None:
+                _obs_trace.disarm()
     conn.close()
 
 
@@ -603,8 +635,20 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # the one request-path entry point
     # ------------------------------------------------------------------
-    def execute(self, query: str, fmt: str) -> WorkerReply:
+    def execute(
+        self,
+        query: str,
+        fmt: str,
+        request_id: Optional[str] = None,
+        trace: bool = False,
+    ) -> WorkerReply:
         """Run one query on a leased worker; always returns a reply.
+
+        ``request_id`` and ``trace`` ride to the worker in the request's
+        extras dict: the id stitches worker-side spans under the HTTP
+        request's span tree, and ``trace=True`` arms the worker's
+        tracer for this one query (the serialized tree comes back in
+        the reply meta, on timeouts too).
 
         Hard-timeout and dead-worker paths return their error
         immediately and heal (kill + respawn) on a background thread,
@@ -619,12 +663,17 @@ class WorkerPool:
             return WorkerReply(
                 "shed", message="no worker available within the queue wait"
             )
+        extras: Dict[str, object] = {}
+        if request_id is not None:
+            extras["request_id"] = request_id
+        if trace:
+            extras["trace"] = True
         broken = False
         try:
             try:
                 if _faults.ACTIVE is not None:
                     _faults.ACTIVE.fire("worker.send")
-                worker.conn.send(("query", query, fmt, self.config.timeout))
+                worker.conn.send(("query", query, fmt, self.config.timeout, extras))
             except (OSError, ValueError):
                 broken = True
                 return WorkerReply("error", message="worker unavailable; please retry")
@@ -661,7 +710,10 @@ class WorkerPool:
                 # dead pipe.
                 broken = True
                 return WorkerReply("error", message=message[1])
-            return WorkerReply(tag, message=message[1])
+            # Error-class replies may carry meta too (a timed-out query's
+            # partial trace rides in a third tuple element).
+            meta = message[2] if len(message) > 2 else None
+            return WorkerReply(tag, message=message[1], meta=meta)
         finally:
             if broken:
                 threading.Thread(

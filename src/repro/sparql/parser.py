@@ -74,7 +74,7 @@ from .expressions import (
 )
 from .tokenizer import Token, tokenize
 
-__all__ = ["parse_query", "parse_group", "parse_update"]
+__all__ = ["is_update_request", "parse_query", "parse_group", "parse_update"]
 
 _UNSUPPORTED_KEYWORDS = frozenset({"ASK", "CONSTRUCT", "DESCRIBE"})
 
@@ -686,6 +686,32 @@ def parse_query(text: str, prefixes: Opt[Dict[str, str]] = None) -> SelectQuery:
 def parse_update(text: str, prefixes: Opt[Dict[str, str]] = None) -> UpdateRequest:
     """Parse a SPARQL 1.1 UPDATE request (``;``-separated operations)."""
     return _Parser(tokenize(text), prefixes).parse_update()
+
+
+def is_update_request(text: str) -> bool:
+    """Whether ``text`` starts an UPDATE request rather than a query.
+
+    Decided from the first keyword after any PREFIX declarations
+    (``INSERT``/``DELETE`` open updates; everything else is a query),
+    so callers with one free-text entry point — the CLI's ``query``
+    command — can route without attempting a full parse.  Unlexable
+    text is not an update: it should fail through the query path's
+    error reporting.
+    """
+    try:
+        tokens = tokenize(text)
+    except SparqlSyntaxError:
+        return False
+    index = 0
+    while (
+        index < len(tokens)
+        and tokens[index].kind == "KEYWORD"
+        and tokens[index].value == "PREFIX"
+    ):
+        index += 3  # PREFIX, pname, IRI — malformed decls fall through
+    if index < len(tokens) and tokens[index].kind == "KEYWORD":
+        return tokens[index].value in ("INSERT", "DELETE")
+    return False
 
 
 def parse_group(text: str, prefixes: Opt[Dict[str, str]] = None) -> GroupGraphPattern:

@@ -244,3 +244,44 @@ def test_differential_live_updates(seed):
                     f"sorted_runs={sorted_runs}"
                 )
                 check_equivalent(query, expected, engine.execute(query), context)
+
+
+TRACE_SEEDS = range(40)
+
+
+@pytest.mark.parametrize("seed", TRACE_SEEDS)
+def test_differential_tracing_transparent(seed):
+    """Arming a tracer must not change a single result row.
+
+    The obs layer rides inside every operator (scan, join, filter,
+    group fold, decode); this replays random queries with and without
+    an armed tracer on the same engine and asserts bag identity, plus a
+    well-formed span tree on every traced run.
+    """
+    from repro.obs import trace as obs_trace
+
+    rng = random.Random(11000 + seed)
+    dataset = random_dataset(rng, size=rng.randint(15, 32))
+    query = random_query(rng, extended=bool(seed % 2))
+    store = TripleStore.from_dataset(dataset).freeze()
+    for engine_name in ENGINES:
+        engine = SparqlUOEngine(store, bgp_engine=engine_name, mode="full")
+        plain = engine.execute(query)
+        tracer = obs_trace.arm(obs_trace.Tracer("query"))
+        try:
+            traced = engine.execute(query)
+        finally:
+            tree = tracer.finish()
+            obs_trace.disarm()
+        context = f"seed={seed} engine={engine_name}"
+        # Same engine, same frozen store, deterministic evaluation:
+        # even a LIMIT page must be identical run to run.
+        assert traced.solutions == plain.solutions, context
+
+        def well_formed(node, path="root"):
+            assert isinstance(node.get("name"), str) and node["name"], (context, path)
+            assert node.get("ms") is not None and node["ms"] >= 0, (context, path)
+            for child in node.get("children", ()):
+                well_formed(child, path + "/" + node["name"])
+
+        well_formed(tree)
