@@ -13,10 +13,22 @@ Four phases on a snapshot-backed (frozen) LUBM store:
    reads stay to a clean snapshot, ~1.0 when the merge layer is cheap);
 4. ``compact`` — folding the delta into a fresh snapshot generation.
 
-All ``results`` fields are deterministic (seeded batch generation),
-so ``check_regression.py`` pins them exactly across PRs, and
-``rows_materialized`` rides along as the machine-independent execution
-observable for the read phases.
+A WAL durability sweep then prices the acked-means-durable contract:
+the same insert stream pushed by concurrent committer threads through
+the server's write discipline (update + append under one lock, fsync
+wait outside it) under ``no_wal`` / ``wal_off`` / ``wal_interval`` /
+``wal_always``.  ``wal_interval`` is the production default — leader-
+based group commit shares fsyncs across committers — and the bench
+fails itself when its ingest falls outside ``WAL_MAX_OVERHEAD``
+(default 1.5x) of the no-WAL baseline; the same-host ratio is recorded
+as ``speedup`` on the ``ingest_wal_interval`` record and gated across
+PRs by ``check_regression.py``.
+
+All ``results`` fields are deterministic (seeded batch generation; the
+committer threads insert disjoint triples, so ``added`` is order-
+independent), so ``check_regression.py`` pins them exactly across PRs,
+and ``rows_materialized`` rides along as the machine-independent
+execution observable for the read phases.
 """
 
 from __future__ import annotations
@@ -25,8 +37,9 @@ import os
 import random
 import sys
 import tempfile
+import threading
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -36,6 +49,7 @@ from repro.core import SparqlUOEngine  # noqa: E402
 from repro.core.metrics import EXEC_COUNTERS  # noqa: E402
 from repro.datasets.lubm import generate_lubm  # noqa: E402
 from repro.storage import TripleStore  # noqa: E402
+from repro.storage.wal import WriteAheadLog, scan_wal  # noqa: E402
 
 UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
 EX = "http://example.org/ingest#"
@@ -58,6 +72,76 @@ def _insert_text(rng: random.Random, batch: int) -> str:
     return "INSERT DATA { " + " ".join(rows) + " }"
 
 
+#: Committer threads for the WAL sweep — enough concurrency for group
+#: commit to batch, small enough for a CI runner.
+COMMITTERS = 4
+
+WAL_MODES = ("no_wal", "wal_off", "wal_interval", "wal_always")
+
+
+def _wal_ingest(path: str, workdir: str, mode: str) -> Dict:
+    """Push the seeded insert stream through the server write
+    discipline: ``engine.update`` + ``wal.append`` under one commit
+    lock (frame order = commit order), ``wal.sync`` outside it (group
+    commit can batch concurrent committers into one fsync)."""
+    store = TripleStore.load(path, lazy=False)
+    engine = SparqlUOEngine(store, bgp_engine="hashjoin", mode="full")
+    wal: Optional[WriteAheadLog] = None
+    if mode != "no_wal":
+        wal = WriteAheadLog(
+            os.path.join(workdir, f"ingest_{mode}.wal"),
+            policy=mode.split("_", 1)[1],
+        )
+    rng = random.Random(7)
+    batches = [_insert_text(rng, b) for b in range(BATCHES)]
+    commit_lock = threading.Lock()
+    cursor = {"next": 0}
+    added_counts = [0] * COMMITTERS
+    errors: List[BaseException] = []
+
+    def committer(slot: int) -> None:
+        try:
+            while True:
+                with commit_lock:
+                    index = cursor["next"]
+                    if index >= len(batches):
+                        return
+                    cursor["next"] = index + 1
+                    result = engine.update(batches[index])
+                    seq = (
+                        wal.append(result.generation, batches[index])
+                        if wal is not None
+                        else None
+                    )
+                added_counts[slot] += result.added
+                if wal is not None and seq is not None:
+                    wal.sync(seq)
+        except BaseException as exc:  # surfaced by the caller
+            errors.append(exc)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=committer, args=(slot,))
+        for slot in range(COMMITTERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    if errors:
+        raise errors[0]
+    added = sum(added_counts)
+    fsync_count = 0
+    if wal is not None:
+        fsync_count = wal.fsync_count
+        wal.close()
+        # Replay sanity: every committed batch is a complete frame.
+        assert len(scan_wal(wal.path).records) == BATCHES
+    store.close()
+    return {"wall_ms": wall_ms, "added": added, "fsync_count": fsync_count}
+
+
 def _timed_read(engine: SparqlUOEngine) -> Dict:
     before = EXEC_COUNTERS.snapshot()
     started = time.perf_counter()
@@ -75,6 +159,12 @@ def main() -> int:
     workdir = tempfile.mkdtemp(prefix="bench_update_")
     path = os.path.join(workdir, "lubm.snap")
     TripleStore.from_dataset(generate_lubm(universities=1, seed=42)).save(path)
+    # The compact phase rewrites ``path`` in place; the WAL sweep runs
+    # every mode against this untouched copy so each ingests the full
+    # stream from the same starting state.
+    pristine = os.path.join(workdir, "lubm_pristine.snap")
+    with open(path, "rb") as source, open(pristine, "wb") as sink:
+        sink.write(source.read())
     store = TripleStore.load(path, lazy=False)
     base_size = len(store)
     engine = SparqlUOEngine(store, bgp_engine="hashjoin", mode="full")
@@ -158,7 +248,53 @@ def main() -> int:
         ),
     ]
 
-    out = emit_bench_json("pr7", records)
+    # ------------------------------------------------------------------
+    # WAL durability sweep: the acked-means-durable contract, priced.
+    # ------------------------------------------------------------------
+    sweep = {mode: _wal_ingest(pristine, workdir, mode) for mode in WAL_MODES}
+    for mode in WAL_MODES[1:]:
+        assert sweep[mode]["added"] == sweep["no_wal"]["added"], (
+            f"{mode} ingested a different triple count than the baseline"
+        )
+    no_wal_ms = sweep["no_wal"]["wall_ms"]
+    for mode in WAL_MODES:
+        outcome = sweep[mode]
+        extra: Dict = dict(
+            triples_per_sec=round(
+                outcome["added"] / (outcome["wall_ms"] / 1000.0), 1
+            ),
+            committers=COMMITTERS,
+        )
+        if mode != "no_wal":
+            extra["fsync_count"] = outcome["fsync_count"]
+        if mode == "wal_interval":
+            # Same-host ratio: group-commit ingest vs the no-WAL
+            # baseline (1.0 = free durability; the acceptance bar is
+            # >= 1/1.5).
+            extra["speedup"] = round(no_wal_ms / outcome["wall_ms"], 3)
+        records.append(
+            bench_record(
+                "update_ingest",
+                f"ingest_{mode}",
+                "uo",
+                "wal_sweep",
+                outcome["wall_ms"],
+                results=outcome["added"],
+                **extra,
+            )
+        )
+
+    overhead_bar = float(os.environ.get("WAL_MAX_OVERHEAD", "1.5"))
+    interval_ms = sweep["wal_interval"]["wall_ms"]
+    if interval_ms > overhead_bar * no_wal_ms:
+        print(
+            f"FAIL: wal_interval ingest {interval_ms:.1f} ms exceeds "
+            f"{overhead_bar}x the no-WAL baseline {no_wal_ms:.1f} ms",
+            file=sys.stderr,
+        )
+        return 1
+
+    out = emit_bench_json("update_ingest", records)
     print(
         format_table(
             ["phase", "wall_ms", "results", "extra"],

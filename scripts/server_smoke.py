@@ -24,7 +24,16 @@ be byte-identical-or-well-formed-5xx, fault/restart accounting visible
 in ``/metrics``, the roster healed to full strength afterwards, and a
 SIGTERM drain that still exits 0 with the shutdown banner.
 
-Any failure exits non-zero; CI runs both modes as separate jobs.
+``--crash`` runs the durability smoke: ``repro serve --wal`` under a
+seeded kill/restart schedule with the WAL fault sites armed
+(probabilistic ``wal.append`` failures — those updates get 5xx and are
+exempt from the contract).  Each round streams updates, SIGKILLs the
+server at a seeded point mid-stream, restarts it on the same snapshot
++ WAL, and requires every 2xx-acked update to be present; the final
+round drains via SIGTERM (exit 0) and ``repro wal info`` must verify
+the log clean.
+
+Any failure exits non-zero; CI runs the modes as separate jobs.
 """
 
 from __future__ import annotations
@@ -204,6 +213,126 @@ def chaos_main() -> int:
         if server.poll() is None:
             server.kill()
             server.wait(30)
+
+
+def crash_main(seed: int = 7) -> int:
+    import random
+
+    snap_path = build_snapshot()
+    wal_path = os.path.join(os.path.dirname(snap_path), "updates.wal")
+    rng = random.Random(seed)
+    ex = "http://example.org/crashsmoke#"
+    live_query = f"SELECT ?s WHERE {{ ?s <{ex}tag> <{ex}on> }} ORDER BY ?s"
+
+    def wal_server(*extra: str) -> subprocess.Popen:
+        # The WAL fault sites are armed on every boot: ~10% of appends
+        # fail (seeded), so some updates are refused with a 5xx — the
+        # durability contract only covers the acked ones.
+        return spawn_server(
+            snap_path,
+            "--workers", "1",
+            "--timeout", "10",
+            "--wal", wal_path,
+            "--wal-fsync", "interval",
+            "--faults", f"wal.append:io_error@0.1#seed={seed}",
+            "--drain", "5",
+            *extra,
+        )
+
+    acked: list = []
+    update_counter = 0
+    rounds = 3
+    for round_no in range(rounds):
+        server = wal_server()
+        try:
+            base = read_banner(server)
+            wait_healthy(base)
+
+            # Restart rounds must come back serving every prior ack.
+            _, _, body = http(
+                base + "/sparql?" + urllib.parse.urlencode({"query": live_query})
+            )
+            present = sorted(
+                row["s"]["value"]
+                for row in json.loads(body)["results"]["bindings"]
+            )
+            for iri in acked:
+                check(iri in present, f"round {round_no}: recovered ack {iri}")
+
+            kill_after = rng.randint(2, 6)
+            sent = 0
+            while sent < kill_after:
+                update_counter += 1
+                iri = f"{ex}n{update_counter:03d}"
+                try:
+                    status, _, _ = http(
+                        base + "/update",
+                        data=f"INSERT DATA {{ <{iri}> <{ex}tag> <{ex}on> }}".encode(),
+                        headers={"Content-Type": "application/sparql-update"},
+                        timeout=30,
+                    )
+                except urllib.error.HTTPError as exc:
+                    # An armed wal.append fault: unacked by design.
+                    check(
+                        exc.code == 500,
+                        f"failed update {iri} is a well-formed 5xx ({exc.code})",
+                    )
+                    exc.read()
+                else:
+                    check(status == 200, f"update {iri} acked")
+                    acked.append(iri)
+                sent += 1
+            print(
+                f"ok: round {round_no}: {len(acked)} total acks, "
+                f"SIGKILL after {kill_after} updates"
+            )
+            server.send_signal(signal.SIGKILL)
+            server.wait(30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(30)
+
+    # Final round: recovery after the last kill, an orderly SIGTERM
+    # drain, and a clean `repro wal info` verdict.
+    server = wal_server()
+    try:
+        base = read_banner(server)
+        wait_healthy(base)
+        _, _, body = http(
+            base + "/sparql?" + urllib.parse.urlencode({"query": live_query})
+        )
+        present = sorted(
+            row["s"]["value"] for row in json.loads(body)["results"]["bindings"]
+        )
+        for iri in acked:
+            check(iri in present, f"final recovery serves ack {iri}")
+        check(
+            set(present) <= {f"{ex}n{i:03d}" for i in range(1, update_counter + 1)},
+            "no phantom rows appeared",
+        )
+        _, _, body = http(base + "/healthz")
+        health = json.loads(body)
+        check(health["wal_depth"] >= len(acked), "healthz reports the WAL depth")
+        _, _, body = http(base + "/metrics")
+        text = body.decode()
+        check("repro_wal_enabled 1" in text, "WAL gauge exposed")
+        check("repro_wal_recoveries_total 1" in text, "recovery counted in metrics")
+
+        server.send_signal(signal.SIGTERM)
+        stdout, _ = server.communicate(timeout=60)
+        check(server.returncode == 0, f"clean SIGTERM exit (code {server.returncode})")
+        check("shutdown complete" in stdout, "shutdown message printed")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(30)
+
+    verdict = run_cli("wal", "info", wal_path)
+    check(verdict.returncode == 0, "repro wal info verifies the drained log clean")
+    check("integrity" in verdict.stdout, "wal info prints the integrity line")
+    print(f"\ncrash smoke: all checks passed ({len(acked)} acked updates survived)")
+    return 0
 
 
 def main() -> int:
@@ -393,5 +522,16 @@ if __name__ == "__main__":
         action="store_true",
         help="run the fault-injection chaos smoke instead of the protocol smoke",
     )
+    parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="run the WAL durability smoke: seeded kill -9 / restart "
+        "schedule with the wal.* fault sites armed",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="schedule seed for --crash"
+    )
     arguments = parser.parse_args()
+    if arguments.crash:
+        raise SystemExit(crash_main(arguments.seed))
     raise SystemExit(chaos_main() if arguments.chaos else main())

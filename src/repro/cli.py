@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 ``query``     run a SPARQL-UO query over an N-Triples file or a binary
               store snapshot (detected by magic, so ``data.snap`` and
@@ -25,6 +25,11 @@ Five subcommands cover the common workflows:
 
                   python -m repro snapshot build data.nt data.snap
                   python -m repro snapshot info data.snap --verify
+
+``wal``       inspect a write-ahead log (frame inventory, torn/corrupt
+              verdict with the same exit codes as ``snapshot info``)::
+
+                  python -m repro wal info updates.wal
 
 ``stats``     print Table-2-style statistics for an N-Triples file.
 """
@@ -247,6 +252,24 @@ def build_parser() -> argparse.ArgumentParser:
         "overwrite) once it holds this many pending adds+tombstones; "
         "0 disables background compaction",
     )
+    serve.add_argument(
+        "--wal",
+        default="",
+        metavar="PATH",
+        help="write-ahead log: every committed POST /update is appended "
+        "and fsynced here before its 2xx ack, and startup replays the "
+        "un-compacted tail, so acked updates survive kill -9; empty "
+        "disables durability (the pre-WAL behaviour)",
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=["always", "interval", "off"],
+        default="interval",
+        help="WAL fsync policy: 'always' fsyncs per update, 'interval' "
+        "group-commits (concurrent updates share fsyncs, every ack "
+        "still waits for durability; default), 'off' leaves fsync to "
+        "OS writeback (acks may precede durability)",
+    )
 
     generate = sub.add_parser("generate", help="write a synthetic benchmark dataset")
     generate.add_argument("flavor", choices=["lubm", "dbpedia"])
@@ -276,6 +299,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="additionally checksum every section",
     )
+
+    wal = sub.add_parser("wal", help="inspect write-ahead logs")
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_info = wal_sub.add_parser(
+        "info",
+        help="print WAL frame metadata (every frame is CRC-checked; "
+        "exit 2 on a torn tail, 3 on corruption)",
+    )
+    wal_info.add_argument("wal", help="write-ahead log file")
 
     stats = sub.add_parser("stats", help="print dataset statistics (Table 2 shape)")
     stats.add_argument("data", help="N-Triples file")
@@ -461,6 +493,8 @@ def _command_serve(args, out) -> int:
         slow_query_ms=args.slow_query_ms,
         slow_query_log=args.slow_query_log,
         stats_dump=args.stats_dump,
+        wal=args.wal,
+        wal_fsync=args.wal_fsync,
         # One resolved spec drives the parent and every worker; the
         # env var is the no-flag path chaos harnesses use.
         faults=args.faults or os.environ.get(faults.ENV_VAR, ""),
@@ -553,6 +587,51 @@ def _command_snapshot(args, out) -> int:
     return 0
 
 
+def _command_wal(args, out) -> int:
+    """``repro wal info``: frame inventory plus the torn/corrupt verdict.
+
+    Exit codes mirror ``snapshot info``: 0 clean, 2 torn (incomplete —
+    the expected crash artifact, truncated automatically on the next
+    server start), 3 corrupt (complete but wrong — refuses to load).
+    """
+    import os
+
+    from .storage.wal import WalCorruptError, scan_wal
+
+    try:
+        scan = scan_wal(args.wal)
+    except WalCorruptError as exc:
+        print(f"error: corrupt write-ahead log: {exc}", file=sys.stderr)
+        print(
+            "hint: frames past the corruption cannot be trusted; restore "
+            "the log from backup or move it aside and accept the loss of "
+            "its acked updates",
+            file=sys.stderr,
+        )
+        return 3
+    if not scan.exists:
+        print(f"error: no such write-ahead log: {args.wal}", file=sys.stderr)
+        return 2
+    print(f"path          {args.wal}", file=out)
+    print(f"file bytes    {os.path.getsize(args.wal)}", file=out)
+    print(f"records       {len(scan.records)}", file=out)
+    if scan.records:
+        print(f"generations   {scan.records[0].generation}..{scan.records[-1].generation}", file=out)
+        payload = sum(len(record.text.encode("utf-8")) for record in scan.records)
+        print(f"update bytes  {payload}", file=out)
+    if scan.torn is not None:
+        print(f"torn tail     {scan.torn}", file=out)
+        print(
+            "hint: the final append was interrupted (crash signature); "
+            "the next `repro serve --wal` truncates the tail and replays "
+            "every complete frame — no acked update is lost",
+            file=sys.stderr,
+        )
+        return 2
+    print("integrity     OK (all frames complete, checksums match)", file=out)
+    return 0
+
+
 def _command_stats(args, out) -> int:
     dataset = load_ntriples(args.data)
     stats = dataset.statistics()
@@ -572,6 +651,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _command_generate(args, out)
     if args.command == "snapshot":
         return _command_snapshot(args, out)
+    if args.command == "wal":
+        return _command_wal(args, out)
     if args.command == "stats":
         return _command_stats(args, out)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -335,6 +335,7 @@ class SparqlUOEngine:
         path: str,
         *args,
         options: Opt[EngineOptions] = None,
+        wal: Opt[str] = None,
         **kwargs,
     ) -> "SparqlUOEngine":
         """Start hot: wrap an engine around a persisted store snapshot.
@@ -342,11 +343,28 @@ class SparqlUOEngine:
         ``options.lazy`` governs the snapshot load (index files mapped
         on first use); legacy positional order additionally carried
         ``lazy`` between ``pushdown`` and ``sorted_runs``.
+
+        ``wal`` names a write-ahead log to recover from: frames past
+        the snapshot's generation — acked updates a previous process
+        logged but never compacted — are replayed into the delta
+        overlay, a torn final frame is truncated (the crash signature),
+        and a corrupt log raises
+        :class:`~repro.storage.wal.WalCorruptError` rather than serve
+        data missing acked writes.
         """
         options = resolve_options(
             options, args, kwargs, SNAPSHOT_POSITIONAL, "from_snapshot"
         )
-        return cls(TripleStore.load(path, lazy=options.lazy), options=options)
+        engine = cls(TripleStore.load(path, lazy=options.lazy), options=options)
+        if wal:
+            from ..storage.wal import recover_wal
+
+            recovery = recover_wal(wal)
+            with engine.store.bulk_replay():
+                for record in recovery.records:
+                    if record.generation > engine.store.generation:
+                        engine.update(record.text)
+        return engine
 
     def reload_store(self, store: TripleStore) -> None:
         """Swap the backing store, keeping the plan cache.

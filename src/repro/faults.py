@@ -87,6 +87,9 @@ KNOWN_SITES = frozenset(
         "bulkload.line",          # bulk loader parse loop, per statement line
         "delta.apply",            # write batch admission into the delta layer
         "compact.publish",        # delta compaction, before the snapshot publish
+        "wal.append",             # WAL frame write, before the ack
+        "wal.fsync",              # WAL durability fsync (group-commit leader)
+        "wal.replay",             # WAL scan, per frame read on recovery
         # worker pool
         "worker.spawn",           # parent-side process/pipe creation
         "worker.exec",            # worker-side, before executing each query

@@ -34,6 +34,7 @@ from ..sparql.errors import (
     SparqlSyntaxError,
     UnsupportedFeatureError,
 )
+from ..storage.wal import WalCorruptError, WriteAheadLog
 from .cache import CachedResult, ResultCache
 from .config import ServerConfig
 from .metrics import ServerMetrics
@@ -646,12 +647,15 @@ class _Handler(BaseHTTPRequestHandler):
         pool_stats = state.pool.stats()
         alive = int(pool_stats["alive"])
         target = int(pool_stats["target"])
-        if alive >= target:
-            status, http_status = "ok", 200
-        elif alive > 0:
-            status, http_status = "degraded", 200
-        else:
+        if alive == 0:
             status, http_status = "unavailable", 503
+        elif alive >= target and not state.recovered_torn_tail:
+            status, http_status = "ok", 200
+        else:
+            # A short roster — or a startup that had to truncate a torn
+            # WAL tail (every *acked* update survived, but the crash is
+            # worth an operator's look) — is degraded yet serving.
+            status, http_status = "degraded", 200
         document = {
             "status": status,
             "workers": target,
@@ -662,6 +666,8 @@ class _Handler(BaseHTTPRequestHandler):
             "generation_mixed": state.generation_mixed,
             "inflight": state.metrics.inflight,
             "pending_updates": state.pool.pending_replay,
+            "wal_depth": state.wal.depth if state.wal is not None else 0,
+            "recovered_torn_tail": state.recovered_torn_tail,
             "cache": state.cache.stats(),
         }
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
@@ -670,7 +676,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_metrics(self) -> None:
         state = self.state
         text = state.metrics.render(
-            state.generation, state.pool.stats(), state.cache.stats()
+            state.generation,
+            state.pool.stats(),
+            state.cache.stats(),
+            state.wal_stats(),
         )
         self._respond(200, "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8"))
 
@@ -703,6 +712,25 @@ class SparqlServer:
         if config.faults:
             _faults.arm(config.faults)  # FaultSpecError propagates: typos fail loudly
             self._armed_faults = True
+        # Open (and recover) the write-ahead log before anything else
+        # is running: a corrupt log must refuse startup (exit code 3,
+        # like a corrupt snapshot) with nothing to unwind, and a torn
+        # tail is truncated here so the replay below sees only complete
+        # frames.  The recovered records are replayed once the pool is
+        # up.
+        self.wal: Optional[WriteAheadLog] = None
+        #: Startup recoveries performed (0 or 1 per process): the log
+        #: held acked updates the snapshot lacked, or a torn tail was
+        #: cut.  Rendered as repro_wal_recoveries_total.
+        self.wal_recoveries = 0
+        #: True when open found (and truncated) a torn final frame —
+        #: surfaced on /healthz as a degraded, but correct, start.
+        self.recovered_torn_tail = False
+        #: The recovery span tree (obs), set when a replay ran.
+        self.recovery_trace: Optional[dict] = None
+        if config.wal:
+            self.wal = WriteAheadLog(config.wal, policy=config.wal_fsync)
+            self.recovered_torn_tail = self.wal.recovered_torn_tail
         # Bind the listener *before* spawning workers: a bind failure
         # (EADDRINUSE, privileged port) must not leave N freshly
         # spawned processes parked on their pipes.
@@ -738,6 +766,17 @@ class SparqlServer:
         #: the first update — read-only servers never pay for it.
         self._writer_engine = None
         self._compacting = False
+        if self.wal is not None:
+            # From here on the WAL (already appended to before every
+            # broadcast) is the respawn-replay source; the pool's
+            # in-memory list stays empty.
+            self.pool.attach_wal(self.wal)
+            try:
+                self._replay_wal_tail()
+            except BaseException:
+                self.pool.close()
+                self._httpd.server_close()
+                raise
         self._httpd.state = self
         self._thread: Optional[threading.Thread] = None
 
@@ -771,10 +810,78 @@ class SparqlServer:
             from ..core.engine import SparqlUOEngine
 
             store = _open_store(self.config.data)
+            if self.wal is not None:
+                # Compaction (store.compact) truncates the WAL's dead
+                # prefix as part of publishing the snapshot.
+                store.attach_wal(self.wal)
             self._writer_engine = SparqlUOEngine(
                 store, options=self.config.engine_options()
             )
         return self._writer_engine
+
+    def _replay_wal_tail(self) -> None:
+        """Replay recovered WAL records past the snapshot generation.
+
+        Runs once at startup, before the listener accepts a single
+        request: every acked update the previous process logged but had
+        not yet compacted is re-applied to the writer store and
+        broadcast to the fresh fleet, so a ``kill -9`` between two
+        compactions loses nothing.  The writer's *computed* generation
+        is authoritative — a recorded generation can legitimately drift
+        when an unacked (never-logged) update separated two logged ones
+        before the crash — and a frame whose text no longer parses is
+        corruption (exit code 3): logged frames were validated before
+        being written.
+        """
+        wal = self.wal
+        assert wal is not None
+        records = [r for r in wal.recovered_records if r.generation > self.generation]
+        if not records and not wal.recovered_torn_tail:
+            return
+        tracer = _obs_trace.Tracer("wal_recovery", path=self.config.wal)
+        tracer.begin("replay", records=len(records))
+        started = perf_counter()
+        replayed = 0
+        if records:
+            engine = self._writer()
+            with engine.store.bulk_replay():
+                for record in records:
+                    try:
+                        result = engine.update(record.text, timeout=self.config.timeout)
+                    except SparqlError as exc:
+                        raise WalCorruptError(
+                            f"recovered frame at generation {record.generation} "
+                            f"does not parse: {exc}"
+                        ) from exc
+                    if not (result.added or result.removed):
+                        continue
+                    if result.generation != record.generation:
+                        sys.stderr.write(
+                            f"warning: wal replay computed generation "
+                            f"{result.generation} for a frame recorded at "
+                            f"{record.generation} (an unacked update preceded "
+                            f"the crash); continuing with the computed value\n"
+                        )
+                    self.pool.broadcast_update(record.text, result.generation)
+                    self.generation = result.generation
+                    replayed += 1
+        self.wal_recoveries = 1
+        tracer.end(applied=replayed, torn_tail=wal.recovered_torn_tail)
+        self.recovery_trace = tracer.finish()
+        sys.stderr.write(
+            f"wal: recovered {replayed} update(s) from {self.config.wal!r}"
+            f"{' (torn tail truncated)' if wal.recovered_torn_tail else ''} "
+            f"in {(perf_counter() - started) * 1000:.1f} ms; "
+            f"serving generation {self.generation}\n"
+        )
+
+    def wal_stats(self) -> Optional[dict]:
+        """One consistent WAL sample for /metrics (None when disabled)."""
+        if self.wal is None:
+            return None
+        stats = self.wal.stats()
+        stats["recoveries"] = self.wal_recoveries
+        return stats
 
     def apply_update(self, text: str) -> dict:
         """Apply one UPDATE request: parent store, then the fleet.
@@ -787,12 +894,29 @@ class SparqlServer:
         bumps no generation, and therefore invalidates no caches
         (the write-path invalidation fix this PR carries).
         """
+        wal_seq: Optional[int] = None
+        durability_error: Optional[OSError] = None
         with self._update_lock:
             engine = self._writer()
             result = engine.update(text, timeout=self.config.timeout)
             confirmed = 0
             changed = bool(result.added or result.removed)
             if changed:
+                if self.wal is not None:
+                    # The append happens under the update lock so frame
+                    # order matches commit order; the fsync wait happens
+                    # *outside* it (below), so concurrent committers
+                    # share a group-commit leader's fsync instead of
+                    # serializing one fsync per update.
+                    try:
+                        wal_seq = self.wal.append(result.generation, text)
+                    except OSError as exc:
+                        # The parent store has already committed, so the
+                        # fleet must still be brought along (consistency
+                        # over durability) — but the client gets a 5xx:
+                        # this update was never acked and may not
+                        # survive a crash.
+                        durability_error = exc
                 confirmed = self.pool.broadcast_update(text, result.generation)
                 # Advance the cache key only after the fleet confirmed:
                 # queries racing the broadcast keep hitting the old
@@ -802,15 +926,28 @@ class SparqlServer:
                 self.metrics.record_update(result.added, result.removed)
                 self._maybe_compact()
             pending = engine.store.pending_delta
-            return {
-                "added": result.added,
-                "removed": result.removed,
-                "operations": result.operations,
-                "generation": result.generation,
-                "changed": changed,
-                "workers_confirmed": confirmed,
-                "pending_delta": {"adds": pending[0], "tombstones": pending[1]},
-            }
+        if self.wal is not None and wal_seq is not None and durability_error is None:
+            # Ack-after-fsync: the frame must be durable before the
+            # client can see its 2xx.
+            try:
+                self.wal.sync(wal_seq)
+            except OSError as exc:
+                durability_error = exc
+        if durability_error is not None:
+            raise OSError(
+                f"update applied in memory but not durable "
+                f"(WAL write failed: {durability_error}); treat this "
+                f"update as unacked"
+            ) from durability_error
+        return {
+            "added": result.added,
+            "removed": result.removed,
+            "operations": result.operations,
+            "generation": result.generation,
+            "changed": changed,
+            "workers_confirmed": confirmed,
+            "pending_delta": {"adds": pending[0], "tombstones": pending[1]},
+        }
 
     def _maybe_compact(self) -> None:
         """Kick background compaction once the delta outgrows the threshold."""
@@ -909,6 +1046,11 @@ class SparqlServer:
         deadline = time.monotonic() + max(self.config.drain_seconds, 0.0)
         while self.metrics.inflight > 0 and time.monotonic() < deadline:
             time.sleep(0.02)
+        if self.wal is not None:
+            # Close fsyncs under every policy: a drained SIGTERM/SIGINT
+            # shutdown must not lose the final group-commit window (or,
+            # under policy "off", the whole OS writeback window).
+            self.wal.close()
         self.pool.close()
         if self._armed_faults:
             _faults.disarm()
@@ -927,13 +1069,28 @@ def serve(config: ServerConfig, out=None) -> int:
     out = out if out is not None else sys.stdout
     try:
         server = SparqlServer(config)
+    except WalCorruptError as exc:
+        # Mirrors the corrupt-snapshot CLI contract: complete-but-wrong
+        # evidence refuses to serve (exit 3); torn tails never get here
+        # — they are truncated during recovery.
+        print(f"error: corrupt write-ahead log: {exc}", file=sys.stderr)
+        print(
+            "hint: inspect with `repro wal info`; move the file aside to "
+            "start from the snapshot alone (acked updates in the log "
+            "will be lost)",
+            file=sys.stderr,
+        )
+        return 3
     except (PoolError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    wal_note = (
+        f" wal={config.wal}:{config.wal_fsync}" if config.wal else ""
+    )
     print(
         f"serving {config.data} at {server.url}/sparql "
         f"(workers={server.pool.size} timeout={config.timeout:g}s "
-        f"generation={server.generation})",
+        f"generation={server.generation}{wal_note})",
         file=out,
         flush=True,
     )

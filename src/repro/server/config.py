@@ -90,6 +90,14 @@ class ServerConfig:
     #: Where ``SIGUSR1`` dumps the template-stats registry: a file
     #: path, "-" for stderr, or "" to disable the handler.
     stats_dump: str = ""
+    #: Write-ahead log path; "" disables the WAL (acked updates then
+    #: live only in memory until compaction — the pre-durability
+    #: behaviour, kept for benchmarks and read-mostly deployments).
+    wal: str = ""
+    #: WAL fsync policy: ``always`` (fsync per update), ``interval``
+    #: (group commit: concurrent updates share fsyncs, each ack still
+    #: waits for its frame to be durable) or ``off`` (OS writeback).
+    wal_fsync: str = "interval"
     #: Background delta compaction: once the writer's pending delta
     #: (adds + tombstones) reaches this many triples, the server folds
     #: it into the data file via an atomic overwrite and advances the

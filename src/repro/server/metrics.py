@@ -184,12 +184,16 @@ class ServerMetrics:
         generation: int,
         pool_stats: Mapping[str, float],
         cache_stats: Dict[str, int],
+        wal_stats: Optional[Mapping[str, object]] = None,
     ) -> str:
         """The ``/metrics`` document (Prometheus text exposition v0).
 
         ``pool_stats`` is :meth:`WorkerPool.stats` — roster health
         (alive vs target, heal backoff, snapshot fallbacks) sampled in
         one lock hold so the exposed values are mutually consistent.
+        ``wal_stats`` is :meth:`SparqlServer.wal_stats` (None renders
+        the WAL series at zero: dashboards can tell "durability off"
+        from "no writes yet" via repro_wal_enabled).
         """
         alive = int(pool_stats.get("alive", 0))
         target = int(pool_stats.get("target", alive))
@@ -277,6 +281,42 @@ class ServerMetrics:
                 "repro_compactions_total",
                 self.compactions_total,
                 "Delta compactions folded into the data file.",
+            )
+            wal = wal_stats or {}
+            emit(
+                "repro_wal_enabled",
+                1 if wal_stats is not None else 0,
+                "Whether a write-ahead log backs POST /update acks.",
+                "gauge",
+            )
+            emit(
+                "repro_wal_depth",
+                int(wal.get("depth", 0)),  # type: ignore[arg-type]
+                "WAL frames awaiting compaction (respawn replay depth).",
+                "gauge",
+            )
+            emit(
+                "repro_wal_records_total",
+                int(wal.get("records_total", 0)),  # type: ignore[arg-type]
+                "Update frames appended to the WAL by this process.",
+            )
+            emit(
+                "repro_wal_recoveries_total",
+                int(wal.get("recoveries", 0)),  # type: ignore[arg-type]
+                "Startup recoveries that replayed the WAL tail or cut a "
+                "torn frame.",
+            )
+            lines.append(
+                "# HELP repro_wal_fsync_seconds Time spent in WAL "
+                "durability fsyncs (group commit shares one fsync across "
+                "concurrent updates)."
+            )
+            lines.append("# TYPE repro_wal_fsync_seconds summary")
+            lines.append(
+                f"repro_wal_fsync_seconds_count {int(wal.get('fsync_count', 0))}"  # type: ignore[arg-type]
+            )
+            lines.append(
+                f"repro_wal_fsync_seconds_sum {float(wal.get('fsync_seconds', 0.0)):.6f}"  # type: ignore[arg-type]
             )
             lines.append(
                 "# HELP repro_faults_injected_total Injected faults by site "

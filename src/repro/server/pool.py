@@ -55,6 +55,14 @@ __all__ = ["PoolError", "WorkerPool", "WorkerReply"]
 #: Wall-clock budget for a worker to open the store and report ready.
 _STARTUP_TIMEOUT = 120.0
 
+#: Without a WAL, the in-memory replay log is the only respawn-replay
+#: source, but it must not grow without bound between compactions: past
+#: this many entries the oldest are dropped and a respawned worker that
+#: would have needed them is killed for the heal thread to retry after
+#: the next compaction shrinks the gap.  With a WAL attached the log on
+#: disk is the replay source and this cap never engages.
+_REPLAY_CAP = 10_000
+
 
 class PoolError(Exception):
     """The pool could not be brought up (bad snapshot, spawn failure)."""
@@ -440,8 +448,19 @@ class WorkerPool:
         #: Updates applied since the data file was last written:
         #: (generation after the update, update text).  A respawned
         #: worker replays every entry past the generation its snapshot
-        #: loaded at before it may serve.
+        #: loaded at before it may serve.  Superseded by the WAL when
+        #: one is attached (the log on disk is then the replay source
+        #: and this list stays empty); capped at ``_REPLAY_CAP``
+        #: otherwise.
         self._replay: List[tuple] = []
+        #: Oldest generation the in-memory replay log still reaches
+        #: back to: entries dropped by the cap raise this floor, and a
+        #: respawn whose snapshot predates it cannot be caught up.
+        self._replay_floor: int = self.generation
+        #: Attached write-ahead log (see :meth:`attach_wal`); updates
+        #: are already appended to it by the server's write path before
+        #: the broadcast, so respawn replay streams from disk.
+        self._wal = None
         #: The generation persisted in the data file — advanced by
         #: compaction (note_snapshot_generation), which also truncates
         #: the replay log.
@@ -590,7 +609,27 @@ class WorkerPool:
         """
         with self._update_lock:
             base = worker.generation or 0
-            for generation_after, text in self._replay:
+            if self._wal is not None:
+                # Stream the un-compacted tail from disk: the WAL holds
+                # every update past the snapshot generation (appended
+                # before each broadcast), so parent memory stays flat no
+                # matter how many updates separate two compactions.
+                try:
+                    entries = [
+                        (record.generation, record.text)
+                        for record in self._wal.records_after(base)
+                    ]
+                except OSError:
+                    return False
+            else:
+                if base < self._replay_floor:
+                    # The cap dropped entries this worker would need;
+                    # it cannot be caught up from memory.  Fail the
+                    # respawn — the heal thread retries, and the next
+                    # compaction moves the snapshot past the floor.
+                    return False
+                entries = self._replay
+            for generation_after, text in entries:
                 if generation_after <= base:
                     continue
                 try:
@@ -779,7 +818,14 @@ class WorkerPool:
                     self._idle.put(worker)
                 else:
                     broken.append(worker)
-            self._replay.append((expected_generation, text))
+            if self._wal is None:
+                # Memory-backed replay: append, then enforce the cap so
+                # the log cannot grow without bound between compactions.
+                self._replay.append((expected_generation, text))
+                if len(self._replay) > _REPLAY_CAP:
+                    dropped = self._replay[: -_REPLAY_CAP]
+                    self._replay = self._replay[-_REPLAY_CAP:]
+                    self._replay_floor = dropped[-1][0]
             self.generation = expected_generation
         for worker in broken:
             threading.Thread(target=self._replace, args=(worker,), daemon=True).start()
@@ -796,11 +842,26 @@ class WorkerPool:
             self._replay = [
                 entry for entry in self._replay if entry[0] > generation
             ]
+            self._replay_floor = max(self._replay_floor, generation)
+
+    def attach_wal(self, wal) -> None:
+        """Adopt ``wal`` as the respawn-replay source.
+
+        The server's write path appends every committed update to the
+        log *before* broadcasting it, so the log always covers at least
+        what a broadcast covers; from here on the in-memory replay list
+        stays empty and respawn replay re-reads the tail from disk.
+        """
+        with self._update_lock:
+            self._wal = wal
+            self._replay = []
 
     @property
     def pending_replay(self) -> int:
         """Updates a fresh respawn would replay (the un-compacted tail)."""
         with self._update_lock:
+            if self._wal is not None:
+                return self._wal.depth
             return len(self._replay)
 
     # ------------------------------------------------------------------

@@ -85,6 +85,13 @@ class DeltaLayer:
     def touch(self) -> None:
         self.version += 1
 
+    @property
+    def needs_seal(self) -> bool:
+        """Whether writes have landed since the last :meth:`seal` (the
+        store's bulk-replay path seals once at the end instead of per
+        batch, and uses this to skip a no-op re-freeze)."""
+        return self._sealed_version != self.version
+
     def seal(self) -> None:
         """Freeze the current add/tombstone sets into sorted runs."""
         if self._sealed_version != self.version:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from array import array
+from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from .. import faults as _faults
@@ -56,6 +57,13 @@ class TripleStore:
         self._stats_loader: Optional[Callable[[], Optional[StoreStatistics]]] = None
         self._generation = 0
         self._snapshot: Optional[SnapshotReader] = None
+        #: Attached write-ahead log (see :meth:`attach_wal`): compaction
+        #: truncates its dead prefix once the snapshot is published.
+        self._wal = None
+        #: Cleared inside :meth:`bulk_replay`: per-batch delta sealing
+        #: is skipped while a single-threaded recovery replays many
+        #: update batches back to back.
+        self._seal_eagerly = True
         #: Serializes the index state *transitions* (lazy build, thaw):
         #: each transition builds the replacement structure fully and
         #: only then publishes it with a single attribute store, so
@@ -362,7 +370,7 @@ class TripleStore:
                 if insert(encode(triple)):
                     added += 1
             if added or removed:
-                if isinstance(indexes, DeltaOverlayIndexes):
+                if isinstance(indexes, DeltaOverlayIndexes) and self._seal_eagerly:
                     # Seal once per batch so subsequent reads are pure
                     # (no lazy freeze racing a concurrent query thread).
                     indexes.delta.seal()
@@ -372,6 +380,36 @@ class TripleStore:
                 self._generation += 1
                 self._triple_count = len(indexes)
         return added, removed
+
+    def attach_wal(self, wal) -> None:
+        """Couple a :class:`~repro.storage.wal.WriteAheadLog` to this
+        store's compaction lifecycle: once :meth:`compact` publishes a
+        snapshot at generation G, every WAL frame at or below G is dead
+        (a restart loads the snapshot instead of replaying them) and is
+        truncated away."""
+        self._wal = wal
+
+    @contextmanager
+    def bulk_replay(self):
+        """Defer per-batch delta sealing across a recovery replay.
+
+        Each :meth:`apply_update` batch normally seals the delta —
+        re-freezing the *whole* add/tombstone set into sorted runs — so
+        replaying N logged batches back to back would pay that freeze N
+        times over.  Recovery is single-threaded with no concurrent
+        readers, so sealing can wait until the replay finishes; lazy
+        reads mid-block stay correct (the overlay seals on first
+        touch), they are just not what recovery does.
+        """
+        self._seal_eagerly = False
+        try:
+            yield self
+        finally:
+            self._seal_eagerly = True
+            with self._index_lock:
+                indexes = self._indexes
+                if isinstance(indexes, DeltaOverlayIndexes) and indexes.delta.needs_seal:
+                    indexes.delta.seal()
 
     def compact(self, path: str) -> int:
         """Fold pending delta writes into a new snapshot generation.
@@ -392,6 +430,14 @@ class TripleStore:
                 # Same logical contents → same generation: collapsing
                 # the overlay is invisible to generation-keyed caches.
                 self._indexes = indexes.collapse()
+            if self._wal is not None:
+                try:
+                    self._wal.truncate_below(self._generation)
+                except OSError:
+                    # Dead frames that survive a failed truncation are
+                    # harmless: replay filters on generation, and the
+                    # next compaction retries the cut.
+                    pass
             return self._generation
 
     @property

@@ -196,7 +196,7 @@ def _random_write_triple(rng):
 
 
 @pytest.mark.parametrize("seed", LIVE_SEEDS)
-def test_differential_live_updates(seed):
+def test_differential_live_updates(seed, tmp_path):
     """Random INSERT/DELETE batches interleaved with random queries.
 
     A plain Python set mirrors the logical triple set; after every
@@ -206,11 +206,28 @@ def test_differential_live_updates(seed):
     over the mirror.  This is the delta layer's end-to-end equivalence
     proof: pending adds and tombstones are indistinguishable from a
     store rebuilt from scratch.
+
+    Every batch is additionally journalled to a write-ahead log as
+    SPARQL UPDATE text, and a final crash/recover round replays the
+    log onto the *pre-update* snapshot via ``from_snapshot(wal=…)`` —
+    the recovered store must answer exactly like the live one that
+    never crashed (WAL replay is equivalence-preserving, not just
+    count-preserving).
     """
+    from repro.storage.wal import WriteAheadLog
+
     rng = random.Random(9000 + seed)
     dataset = random_dataset(rng, size=rng.randint(10, 24))
-    store = TripleStore.from_dataset(dataset).freeze()
+    base_store = TripleStore.from_dataset(dataset)
+    snap = str(tmp_path / "live.snap")
+    base_store.save(snap)
+    store = base_store.freeze()
+    wal = WriteAheadLog(str(tmp_path / "live.wal"), policy="off")
     mirror = set(dataset)
+    last_query = None
+    # One generation per journalled operation, the way a serving parent
+    # commits: replay applies each frame as its own engine.update.
+    journal_generation = store.generation
     for round_no in range(LIVE_ROUNDS):
         inserts = [_random_write_triple(rng) for _ in range(rng.randint(0, 6))]
         present = sorted(mirror, key=str)
@@ -225,12 +242,27 @@ def test_differential_live_updates(seed):
         assert len(store) == len(mirror)
         # The store must still be frozen-shaped — writes never thaw it.
         assert isinstance(store.indexes, FrozenTripleIndexes)
+        # Journal the batch exactly as a serving parent would: deletes
+        # first, then inserts (apply_update's delete-then-insert order).
+        if deletes:
+            journal_generation += 1
+            wal.append(
+                journal_generation,
+                "DELETE DATA { " + " ".join(t.n3() for t in deletes) + " }",
+            )
+        if inserts:
+            journal_generation += 1
+            wal.append(
+                journal_generation,
+                "INSERT DATA { " + " ".join(t.n3() for t in inserts) + " }",
+            )
 
         query = random_query(rng, extended=bool(seed % 2))
         try:
             expected = oracle.execute(query, Dataset(mirror))
         except oracle.OracleBlowup:
             continue
+        last_query = (query, expected)
         for engine_name in ENGINES:
             for sorted_runs in (True, False):
                 engine = SparqlUOEngine(
@@ -244,6 +276,30 @@ def test_differential_live_updates(seed):
                     f"sorted_runs={sorted_runs}"
                 )
                 check_equivalent(query, expected, engine.execute(query), context)
+
+    # Crash/recover round: the process dies with the delta overlay
+    # never compacted; the snapshot on disk still holds the original
+    # dataset and the WAL holds every batch.  Recovery must rebuild the
+    # exact live state.
+    wal.close()
+    for engine_name in ENGINES:
+        for sorted_runs in (True, False):
+            recovered = SparqlUOEngine.from_snapshot(
+                snap,
+                wal=wal.path,
+                bgp_engine=engine_name,
+                mode="full",
+                sorted_runs=sorted_runs,
+            )
+            context = (
+                f"seed={seed} crash-recover engine={engine_name} "
+                f"sorted_runs={sorted_runs}"
+            )
+            assert len(recovered.store) == len(mirror), context
+            if last_query is not None:
+                query, expected = last_query
+                check_equivalent(query, expected, recovered.execute(query), context)
+            recovered.store.close()
 
 
 TRACE_SEEDS = range(40)

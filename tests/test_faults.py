@@ -405,3 +405,100 @@ class TestPoolSites:
             assert stats["snapshot_fallbacks"] == 0
         finally:
             pool.close()
+
+
+# ----------------------------------------------------------------------
+# WAL sites and the drained-shutdown durability window
+# ----------------------------------------------------------------------
+EXW = "http://example.org/waldrain#"
+
+
+class TestWalSites:
+    def test_wal_sites_are_registered(self):
+        for site in ("wal.append", "wal.fsync", "wal.replay"):
+            assert site in faults.KNOWN_SITES
+            FaultPlan(f"{site}:io_error@1")  # parses like any other site
+
+    def test_append_fault_fails_the_update_but_not_the_server(self, snap, tmp_path):
+        """An injected WAL write failure must surface as a 5xx — the
+        client is NOT acked (the update may be lost on restart) — while
+        reads keep serving and later updates land again."""
+        import json as json_module
+        import shutil
+        import urllib.error
+        import urllib.request
+
+        from repro.server.app import SparqlServer
+
+        data = str(tmp_path / "walfault.snap")
+        shutil.copy(snap, data)
+        config = ServerConfig(
+            data=data,
+            port=0,
+            workers=1,
+            timeout=15.0,
+            wal=str(tmp_path / "walfault.wal"),
+            faults="wal.append:io_error@2",
+        )
+        with SparqlServer(config) as instance:
+            def update(i):
+                request = urllib.request.Request(
+                    instance.url + "/update",
+                    data=f"INSERT DATA {{ <{EXW}n{i}> <{EXW}p> <{EXW}o> }}".encode(),
+                    headers={"Content-Type": "application/sparql-update"},
+                )
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    return response.status, json_module.loads(response.read())
+
+            status, _ = update(0)
+            assert status == 200
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                update(1)
+            assert excinfo.value.code == 500
+            assert "error" in json_module.loads(excinfo.value.read())
+
+            # The schedule is spent: the next update acks durably, and
+            # the read path never blinked.
+            status, _ = update(2)
+            assert status == 200
+            assert instance.pool.stats()["alive"] == 1
+
+    def test_drained_shutdown_fsyncs_the_wal(self, snap, tmp_path):
+        """The SIGTERM/SIGINT drain path (``SparqlServer.shutdown``)
+        must fsync the WAL before exit: with policy ``off`` no fsync
+        has run by ack time, so an orderly drain that skipped the final
+        fsync would leave the last group-commit window to chance."""
+        import json as json_module
+        import shutil
+        import urllib.request
+
+        from repro.server.app import SparqlServer
+        from repro.storage.wal import scan_wal
+
+        data = str(tmp_path / "draindur.snap")
+        shutil.copy(snap, data)
+        wal_path = str(tmp_path / "draindur.wal")
+        config = ServerConfig(
+            data=data, port=0, workers=1, timeout=15.0,
+            wal=wal_path, wal_fsync="off",
+        )
+        instance = SparqlServer(config)
+        instance.start()
+        request = urllib.request.Request(
+            instance.url + "/update",
+            data=f"INSERT DATA {{ <{EXW}a> <{EXW}p> <{EXW}b> }}".encode(),
+            headers={"Content-Type": "application/sparql-update"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+            json_module.loads(response.read())
+        wal = instance.wal
+        assert wal is not None and wal.fsync_count == 0  # policy off: acked, not fsynced
+
+        instance.shutdown()  # what the SIGTERM/SIGINT handler drives
+
+        assert wal.fsync_count == 1, "drain exited without the final fsync"
+        assert wal._closed
+        scan = scan_wal(wal_path)
+        assert scan.torn is None and len(scan.records) == 1

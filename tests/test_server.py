@@ -795,3 +795,179 @@ class TestLiveUpdates:
         for _ in range(4):
             assert len(_live_rows(rw_server)) == 1
         assert rw_server.generation_mixed is False
+
+
+# ----------------------------------------------------------------------
+# durability: WAL-backed acked-means-durable updates
+# ----------------------------------------------------------------------
+class TestDurability:
+    def _config(self, data, wal, **overrides):
+        defaults = dict(
+            data=data, port=0, workers=2, timeout=15.0, wal=wal,
+            wal_fsync="interval",
+        )
+        defaults.update(overrides)
+        return ServerConfig(**defaults)
+
+    @pytest.fixture
+    def live_paths(self, snapshot_path, tmp_path):
+        import shutil
+
+        data = str(tmp_path / "durable.snap")
+        shutil.copy(snapshot_path, data)
+        return data, str(tmp_path / "durable.wal")
+
+    def _crash(self, instance):
+        """Tear the server down the way kill -9 would look from the
+        next process: no drain, no WAL close, no pool farewell."""
+        instance._httpd.shutdown()
+        instance._httpd.server_close()
+        instance.pool.close()
+
+    def test_acked_updates_survive_crash_and_restart(self, live_paths):
+        data, wal = live_paths
+        instance = SparqlServer(self._config(data, wal))
+        instance.start()
+        try:
+            for name in ("b", "c"):
+                status, outcome = post_update(
+                    instance, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}{name}> }}"
+                )
+                assert status == 200 and outcome["changed"] is True
+            generation = instance.generation
+        finally:
+            self._crash(instance)
+
+        with SparqlServer(self._config(data, wal)) as recovered:
+            # The snapshot on disk never saw the updates (no compaction
+            # ran); the WAL replay alone restores the acked state.
+            assert recovered.generation == generation
+            assert recovered.wal_recoveries == 1
+            assert recovered.recovered_torn_tail is False
+            objects = sorted(row["o"]["value"] for row in _live_rows(recovered))
+            assert objects == [f"{EX}b", f"{EX}c"]
+            # The recovery is traced for the obs layer.
+            assert recovered.recovery_trace is not None
+            assert recovered.recovery_trace["name"] == "wal_recovery"
+
+    def test_healthz_and_metrics_surface_wal_state(self, live_paths):
+        data, wal = live_paths
+        with SparqlServer(self._config(data, wal)) as instance:
+            post_update(instance, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> }}")
+            _, _, body = http_get(instance.url + "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["wal_depth"] == 1
+            assert health["recovered_torn_tail"] is False
+            _, _, body = http_get(instance.url + "/metrics")
+            text = body.decode()
+            assert "repro_wal_enabled 1" in text
+            assert "repro_wal_depth 1" in text
+            assert "repro_wal_records_total 1" in text
+            assert "repro_wal_recoveries_total 0" in text
+            assert "repro_wal_fsync_seconds_count" in text
+
+    def test_wal_disabled_metrics_render_zeros(self, server):
+        _, _, body = http_get(server.url + "/metrics")
+        text = body.decode()
+        assert "repro_wal_enabled 0" in text
+        _, _, body = http_get(server.url + "/healthz")
+        health = json.loads(body)
+        assert health["wal_depth"] == 0
+
+    def test_torn_tail_recovery_is_degraded_but_serving(self, live_paths):
+        data, wal = live_paths
+        instance = SparqlServer(self._config(data, wal))
+        instance.start()
+        try:
+            for name in ("b", "c"):
+                post_update(
+                    instance, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}{name}> }}"
+                )
+        finally:
+            self._crash(instance)
+        # The crash tore the final frame mid-append.
+        blob = open(wal, "rb").read()
+        open(wal, "wb").write(blob[:-4])
+
+        with SparqlServer(self._config(data, wal)) as recovered:
+            assert recovered.recovered_torn_tail is True
+            # The complete first frame replayed; the torn second is cut.
+            objects = [row["o"]["value"] for row in _live_rows(recovered)]
+            assert objects == [f"{EX}b"]
+            _, _, body = http_get(recovered.url + "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "degraded"
+            assert health["recovered_torn_tail"] is True
+            _, _, body = http_get(recovered.url + "/metrics")
+            assert "repro_wal_recoveries_total 1" in body.decode()
+
+    def test_corrupt_wal_refuses_startup(self, live_paths):
+        from repro.storage.wal import WalCorruptError
+
+        data, wal = live_paths
+        instance = SparqlServer(self._config(data, wal))
+        instance.start()
+        try:
+            post_update(instance, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> }}")
+        finally:
+            self._crash(instance)
+        blob = bytearray(open(wal, "rb").read())
+        blob[-6] ^= 0xFF  # inside the frame payload: CRC now wrong
+        open(wal, "wb").write(bytes(blob))
+        with pytest.raises(WalCorruptError):
+            SparqlServer(self._config(data, wal))
+
+    def test_respawned_worker_streams_replay_from_wal(self, live_paths):
+        data, wal = live_paths
+        with SparqlServer(self._config(data, wal)) as instance:
+            post_update(instance, f"INSERT DATA {{ <{EX}a> <{EX}linked> <{EX}b> }}")
+            # WAL attached: the in-memory replay list stays empty — the
+            # unbounded-growth fix — while pending_replay reads the log.
+            assert instance.pool._replay == []
+            assert instance.pool.pending_replay == 1
+            victim = instance.pool._workers[0]
+            victim.proc.kill()
+            victim.proc.join(10)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if instance.pool.alive == 2 and all(
+                    w.generation == instance.generation
+                    for w in instance.pool._workers
+                    if w.generation is not None
+                ):
+                    break
+                try:
+                    sparql_get(instance, LIVE_QUERY)
+                except urllib.error.HTTPError:
+                    pass
+                time.sleep(0.1)
+            assert instance.pool.alive == 2
+            for _ in range(4):
+                assert len(_live_rows(instance)) == 1
+
+    def test_replay_list_bounded_without_wal(self, snapshot_path, tmp_path, monkeypatch):
+        """WAL off: the in-memory respawn log no longer grows without
+        bound between compactions — it is capped, and the floor tracks
+        what was dropped so a stale respawn is refused, not wrong."""
+        import shutil
+
+        from repro.server import pool as pool_module
+
+        monkeypatch.setattr(pool_module, "_REPLAY_CAP", 3)
+        data = str(tmp_path / "cap.snap")
+        shutil.copy(snapshot_path, data)
+        config = ServerConfig(data=data, port=0, workers=1, timeout=15.0)
+        with SparqlServer(config) as instance:
+            for i in range(5):
+                status, outcome = post_update(
+                    instance, f"INSERT DATA {{ <{EX}n{i}> <{EX}linked> <{EX}o> }}"
+                )
+                assert status == 200 and outcome["changed"] is True
+            assert len(instance.pool._replay) == 3
+            # The floor is the generation of the newest dropped entry:
+            # replay can only serve respawns at or past it.
+            assert instance.pool._replay_floor == instance.pool._replay[0][0] - 1
+            # The cap is a memory bound, not a data loss: the live
+            # worker saw every broadcast and keeps serving all 5 rows.
+            assert len(_live_rows(instance)) == 5
